@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Ablation beyond the paper's figures: the whole defense landscape the
+ * paper's introduction surveys, on one table. For each scheme —
+ * unsafe baseline, InvisiSpec-style Invisible, CleanupSpec (both
+ * flavors), and CleanupSpec + constant-time rollback — report:
+ *   - does Spectre v1 (Flush+Reload) leak?
+ *   - the unXpec secret-dependent timing difference;
+ *   - workload overhead vs the unsafe baseline.
+ *
+ * The paper's narrative falls out of the rows: Invisible defenses are
+ * safe from both attacks but slow; Undo is fast but unXpec breaks it;
+ * constant-time rollback fixes Undo at Invisible-like cost.
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "analysis/table.hh"
+#include "attack/spectre_v1.hh"
+#include "attack/unxpec.hh"
+#include "cpu/core.hh"
+#include "sim/config.hh"
+#include "workload/synth_spec.hh"
+
+using namespace unxpec;
+
+namespace {
+
+bool
+spectreLeaks(const SystemConfig &cfg)
+{
+    Core core(cfg);
+    SpectreV1 spectre(core);
+    spectre.setSecretByte(42);
+    const SpectreResult result = spectre.leakByte();
+    return result.cacheHitSignal && result.guessedByte == 42;
+}
+
+double
+unxpecDelta(const SystemConfig &cfg)
+{
+    Core core(cfg);
+    UnxpecAttack attack(core);
+    double zeros = 0.0, ones = 0.0;
+    for (int r = 0; r < 3; ++r) {
+        attack.setSecret(0);
+        zeros += attack.measureOnce();
+        attack.setSecret(1);
+        ones += attack.measureOnce();
+    }
+    return (ones - zeros) / 3.0;
+}
+
+double
+workloadOverhead(const SystemConfig &cfg)
+{
+    const std::vector<const char *> picks = {"mcf_r", "leela_r", "gcc_r",
+                                             "imagick_r"};
+    RunOptions options;
+    options.maxInstructions = 40000;
+    options.warmupInstructions = 8000;
+    double total = 0.0;
+    for (const char *name : picks) {
+        const Program p = SynthSpec::generate(SynthSpec::profile(name), 42);
+        Core unsafe(SystemConfig::makeUnsafeBaseline());
+        const RunResult base = unsafe.run(p, options);
+        Core core(cfg);
+        const RunResult run = core.run(p, options);
+        total += static_cast<double>(run.cycles - run.warmupCycles) /
+                 (base.cycles - base.warmupCycles);
+    }
+    return (total / picks.size() - 1.0) * 100.0;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "=== Defense-landscape ablation ===\n\n";
+    TextTable table({"scheme", "Spectre v1", "unXpec delta (cyc)",
+                     "workload overhead"});
+
+    struct Row
+    {
+        const char *name;
+        SystemConfig cfg;
+    };
+    std::vector<Row> rows;
+    rows.push_back({"UnsafeBaseline", SystemConfig::makeUnsafeBaseline()});
+    rows.push_back({"InvisiSpec (Invisible)",
+                    SystemConfig::makeInvisiSpec()});
+    rows.push_back({"DelayOnMiss (Invisible)",
+                    SystemConfig::makeDelayOnMiss()});
+    {
+        SystemConfig cfg = SystemConfig::makeDefault();
+        cfg.cleanupMode = CleanupMode::Cleanup_FOR_L1;
+        rows.push_back({"Cleanup_FOR_L1 (Undo)", cfg});
+    }
+    rows.push_back({"Cleanup_FOR_L1L2 (Undo)", SystemConfig::makeDefault()});
+    {
+        SystemConfig cfg = SystemConfig::makeDefault();
+        cfg.cleanupMode = CleanupMode::Cleanup_FULL;
+        rows.push_back({"Cleanup_FULL (hypoth. L2 restore)", cfg});
+    }
+    {
+        SystemConfig cfg = SystemConfig::makeDefault();
+        cfg.cleanupTiming.constantTimeCycles = 65;
+        rows.push_back({"Cleanup + const-65 rollback", cfg});
+    }
+    {
+        SystemConfig cfg = SystemConfig::makeDefault();
+        cfg.cleanupTiming.fuzzyMaxCycles = 40;
+        rows.push_back({"Cleanup + fuzzy<=40 (SVII)", cfg});
+    }
+
+    for (const Row &row : rows) {
+        table.addRow({row.name,
+                      spectreLeaks(row.cfg) ? "LEAKS" : "blocked",
+                      TextTable::num(unxpecDelta(row.cfg)),
+                      TextTable::num(workloadOverhead(row.cfg)) + "%"});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nReading guide: Undo schemes stop Spectre cheaply but "
+                 "expose the ~22-cycle rollback channel;\nInvisible "
+                 "schemes and constant-time rollback close both channels "
+                 "at real performance cost.\n(unXpec delta under fuzzy "
+                 "noise is a noisy mean: the channel is blurred, not "
+                 "shifted.)\n";
+    return 0;
+}

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * §V-C attack parameterization: trade the number of in-branch loads
+ * and the POISON length against rate and accuracy. Reproduces the
+ * section's guidance: without eviction sets a single load already
+ * separates the secrets, so fewer loads maximize goodput; with
+ * eviction sets extra loads buy margin (and noisy-environment
+ * accuracy) at proportional rate cost.
+ */
+
+#include <iostream>
+
+#include "analysis/accuracy.hh"
+#include "analysis/table.hh"
+#include "attack/noise.hh"
+#include "attack/unxpec.hh"
+#include "sim/rng.hh"
+
+using namespace unxpec;
+
+namespace {
+
+struct Operating
+{
+    double accuracy = 0.0;
+    double rate_kbps = 0.0;
+    double goodput_kbps = 0.0; //!< rate x accuracy (crude but telling)
+};
+
+Operating
+evaluate(unsigned loads, bool evsets, unsigned bits)
+{
+    SystemConfig cfg = SystemConfig::makeDefault();
+    const NoiseProfile noise = NoiseProfile::evaluation();
+    noise.applyTo(cfg);
+    Core core(cfg);
+    noise.applyTo(core);
+
+    UnxpecConfig ucfg;
+    ucfg.inBranchLoads = loads;
+    ucfg.useEvictionSets = evsets;
+    UnxpecAttack attack(core, ucfg);
+    const double threshold = attack.calibrate(100);
+
+    Rng rng(31337);
+    std::vector<int> secret;
+    for (unsigned i = 0; i < bits; ++i)
+        secret.push_back(static_cast<int>(rng.range(2)));
+    const LeakResult result = attack.leak(secret, threshold);
+
+    Operating op;
+    op.accuracy = result.accuracy;
+    op.rate_kbps = LeakageRate::bitsPerSecond(
+        attack.cyclesPerSample(), core.config().clockGHz) / 1000.0;
+    op.goodput_kbps = op.rate_kbps * op.accuracy;
+    return op;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const unsigned bits = argc > 1 ? std::atoi(argv[1]) : 200;
+    std::cout << "=== SV-C attack parameterization (" << bits
+              << " bits/point, evaluation noise) ===\n\n";
+
+    TextTable table({"variant", "loads", "accuracy", "rate (Kbps)",
+                     "goodput (Kbps)"});
+    for (const bool evsets : {false, true}) {
+        for (const unsigned loads : {1u, 2u, 4u, 8u}) {
+            const Operating op = evaluate(loads, evsets, bits);
+            table.addRow({evsets ? "eviction sets" : "plain",
+                          std::to_string(loads),
+                          TextTable::num(op.accuracy * 100) + "%",
+                          TextTable::num(op.rate_kbps),
+                          TextTable::num(op.goodput_kbps)});
+        }
+    }
+    table.print(std::cout);
+
+    std::cout << "\nReading: plain unXpec gains little accuracy from "
+                 "extra loads (Fig. 3's flat growth),\nso one load "
+                 "maximizes goodput; eviction sets turn extra loads "
+                 "into real margin (Fig. 6),\nwhich pays off only when "
+                 "noise would otherwise dominate.\n";
+    return 0;
+}

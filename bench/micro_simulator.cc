@@ -1,0 +1,98 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator itself: cache
+ * access throughput, core instruction throughput, and full attack
+ * round latency. These guard the simulator's own performance, not the
+ * paper's results.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "attack/unxpec.hh"
+#include "cpu/core.hh"
+#include "memory/hierarchy.hh"
+#include "sim/config.hh"
+#include "workload/synth_spec.hh"
+
+using namespace unxpec;
+
+static void
+BM_CacheAccess(benchmark::State &state)
+{
+    SystemConfig cfg = SystemConfig::makeDefault();
+    Rng rng(1);
+    MemoryHierarchy hier(cfg, rng);
+    Cycle now = 0;
+    Addr addr = 0;
+    for (auto _ : state) {
+        now += 200;
+        addr += 8192;
+        benchmark::DoNotOptimize(
+            hier.access(addr, now, false, false, now));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccess);
+
+static void
+BM_CacheHit(benchmark::State &state)
+{
+    SystemConfig cfg = SystemConfig::makeDefault();
+    Rng rng(1);
+    MemoryHierarchy hier(cfg, rng);
+    hier.access(0x1000, 0, false, false, 0);
+    Cycle now = 1000;
+    for (auto _ : state) {
+        ++now;
+        benchmark::DoNotOptimize(
+            hier.access(0x1000, now, false, false, now));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheHit);
+
+static void
+BM_CoreInstructionThroughput(benchmark::State &state)
+{
+    Core core(SystemConfig::makeUnsafeBaseline());
+    const Program program =
+        SynthSpec::generate(SynthSpec::profile("x264_r"), 1);
+    std::uint64_t instructions = 0;
+    for (auto _ : state) {
+        RunOptions options;
+        options.maxInstructions = 10000;
+        const RunResult r = core.run(program, options);
+        instructions += r.instructions;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(instructions));
+}
+BENCHMARK(BM_CoreInstructionThroughput)->Unit(benchmark::kMillisecond);
+
+static void
+BM_UnxpecRound(benchmark::State &state)
+{
+    Core core(SystemConfig::makeDefault());
+    UnxpecAttack attack(core);
+    attack.setSecret(1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(attack.measureOnce());
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_UnxpecRound)->Unit(benchmark::kMicrosecond);
+
+static void
+BM_WorkloadSimulation(benchmark::State &state)
+{
+    Core core(SystemConfig::makeDefault());
+    const Program program =
+        SynthSpec::generate(SynthSpec::profile("mcf_r"), 1);
+    std::uint64_t cycles = 0;
+    for (auto _ : state) {
+        RunOptions options;
+        options.maxInstructions = 10000;
+        cycles += core.run(program, options).cycles;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(cycles));
+    state.SetLabel("items = simulated cycles");
+}
+BENCHMARK(BM_WorkloadSimulation)->Unit(benchmark::kMillisecond);

@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Command-line runner mirroring the paper artifact's `run.sh`
+ * interface (Artifact Appendix E):
+ *
+ *   artifact_runner TimingDifference [-e]   # §VI-A (Figs 7/8)
+ *   artifact_runner LeakageRate             # §VI-B
+ *   artifact_runner SecretLeakage [-e]      # §VI-C (Figs 10/11)
+ *   artifact_runner NoiseInsensitivity      # §VI-D (Fig 13)
+ *   artifact_runner ConstantTime <benchmark> [maxinst] [startinst]
+ *                                            # §VI-E (Fig 12, one row)
+ *
+ * Output follows the artifact's conventions: per-sample measurements
+ * on stdout (the artifact logs lines 29-1028 of its .txt files; here
+ * every line is a measurement), and gem5-style counters for the
+ * ConstantTime runs (sim_ticks, startCycles,
+ * extraCleanupSquashTimeCycles).
+ */
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "analysis/accuracy.hh"
+#include "attack/channel.hh"
+#include "attack/noise.hh"
+#include "attack/unxpec.hh"
+#include "cpu/core.hh"
+#include "sim/config.hh"
+#include "workload/synth_spec.hh"
+
+using namespace unxpec;
+
+namespace {
+
+bool
+hasFlag(int argc, char **argv, const char *flag)
+{
+    for (int i = 2; i < argc; ++i) {
+        if (std::strcmp(argv[i], flag) == 0)
+            return true;
+    }
+    return false;
+}
+
+SystemConfig
+evaluationConfig()
+{
+    SystemConfig cfg = SystemConfig::makeDefault();
+    NoiseProfile::evaluation().applyTo(cfg);
+    return cfg;
+}
+
+int
+runTimingDifference(bool evsets)
+{
+    Core core(evaluationConfig());
+    NoiseProfile::evaluation().applyTo(core);
+    UnxpecConfig cfg;
+    cfg.useEvictionSets = evsets;
+    UnxpecAttack attack(core, cfg);
+    for (const int secret : {0, 1}) {
+        std::cout << "# secret " << secret << " (1000 measurements)\n";
+        for (const double v : attack.collect(secret, 1000))
+            std::cout << v << "\n";
+    }
+    return 0;
+}
+
+int
+runLeakageRate()
+{
+    Core core(SystemConfig::makeDefault());
+    UnxpecConfig cfg;
+    cfg.mistrainIterations = 56; // the paper's operating point
+    UnxpecAttack attack(core, cfg);
+    attack.collect(0, 10);
+    attack.collect(1, 10);
+    const double rate = LeakageRate::samplesPerSecond(
+        attack.cyclesPerSample(), core.config().clockGHz);
+    std::cout << "cycles per sample: " << attack.cyclesPerSample()
+              << "\nsample rate: " << rate << " samples/s\n"
+              << "leakage rate (1 sample/bit): " << rate / 1000.0
+              << " Kbps (paper: ~140 Kbps)\n";
+    return 0;
+}
+
+int
+runSecretLeakage(bool evsets)
+{
+    Core core(evaluationConfig());
+    NoiseProfile::evaluation().applyTo(core);
+    UnxpecConfig cfg;
+    cfg.useEvictionSets = evsets;
+    UnxpecAttack attack(core, cfg);
+    const double threshold = attack.calibrate(300);
+
+    Rng rng(20220402);
+    std::vector<int> secret;
+    for (int i = 0; i < 1000; ++i)
+        secret.push_back(static_cast<int>(rng.range(2)));
+    const LeakResult result = attack.leak(secret, threshold);
+    for (std::size_t i = 0; i < secret.size(); ++i) {
+        std::cout << secret[i] << " " << result.guesses[i] << " "
+                  << result.latencies[i] << "\n";
+    }
+    std::cout << "# accuracy " << result.accuracy * 100 << " % (paper: "
+              << (evsets ? "91.6" : "86.7") << " %)\n";
+    return 0;
+}
+
+int
+runNoiseInsensitivity()
+{
+    SystemConfig cfg = SystemConfig::makeNoisyHost();
+    const NoiseProfile noise = NoiseProfile::noisyHost();
+    noise.applyTo(cfg);
+    Core core(cfg);
+    noise.applyTo(core);
+
+    for (unsigned accesses = 1; accesses <= 3; ++accesses) {
+        for (int secret = 0; secret <= 1; ++secret) {
+            std::cout << "f(N)=" << accesses << " secret=" << secret
+                      << ":";
+            for (unsigned loads = 1; loads <= 5; ++loads) {
+                UnxpecConfig ucfg;
+                ucfg.inBranchLoads = loads;
+                ucfg.conditionAccesses = accesses;
+                UnxpecAttack attack(core, ucfg);
+                attack.setSecret(secret);
+                double total = 0.0;
+                for (int r = 0; r < 10; ++r) {
+                    attack.measureOnce();
+                    total += static_cast<double>(
+                        attack.lastDetail().branchResolution);
+                }
+                std::cout << " " << total / 10;
+            }
+            std::cout << "\n";
+        }
+    }
+    return 0;
+}
+
+int
+runConstantTime(const std::string &benchmark, std::uint64_t maxinst,
+                std::uint64_t startinst)
+{
+    const Program program =
+        SynthSpec::generate(SynthSpec::profile(benchmark), 42);
+    RunOptions options;
+    options.maxInstructions = maxinst;
+    options.warmupInstructions = startinst;
+
+    auto report = [&](const char *label, Core &core,
+                      const RunResult &r) {
+        std::cout << "== " << label << " ==\n";
+        std::cout << "sim_ticks " << r.cycles << "\n";
+        std::cout << "system.cpu.fetch.startCycles " << r.warmupCycles
+                  << "\n";
+        const Counter *extra = core.cleanup().stats().findCounter(
+            "extraCleanupSquashTimeCycles");
+        if (extra != nullptr && extra->value() > 0) {
+            std::cout << "system.cpu.iew.lsq.thread0."
+                         "extraCleanupSquashTimeCycles "
+                      << extra->value() << "\n";
+        }
+    };
+
+    Core unsafe(SystemConfig::makeUnsafeBaseline());
+    const RunResult base = unsafe.run(program, options);
+    report("UnsafeBaseline", unsafe, base);
+    const double base_cycles =
+        static_cast<double>(base.cycles - base.warmupCycles);
+
+    for (const unsigned constant : {0u, 25u, 30u, 35u, 45u, 65u}) {
+        SystemConfig cfg = SystemConfig::makeDefault();
+        cfg.cleanupTiming.constantTimeCycles = constant;
+        Core core(cfg);
+        const RunResult run = core.run(program, options);
+        const std::string label = constant == 0
+            ? "Cleanup_FOR_L1L2 (no const)"
+            : "Cleanup_FOR_L1L2 const=" + std::to_string(constant);
+        report(label.c_str(), core, run);
+        const double measured =
+            static_cast<double>(run.cycles - run.warmupCycles);
+        std::cout << "overhead " << (measured / base_cycles - 1.0) * 100
+                  << " %\n";
+    }
+    return 0;
+}
+
+void
+usage()
+{
+    std::cout <<
+        "usage: artifact_runner <experiment> [options]\n"
+        "  TimingDifference [-e]      SVI-A measurements (Figs 7/8)\n"
+        "  LeakageRate                SVI-B sample rate\n"
+        "  SecretLeakage [-e]         SVI-C 1000-bit leak (Figs 10/11)\n"
+        "  NoiseInsensitivity         SVI-D noisy-host resolution "
+        "(Fig 13)\n"
+        "  ConstantTime <benchmark> [maxinst] [startinst]\n"
+        "                             SVI-E one Fig-12 row "
+        "(e.g. mcf_r)\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        usage();
+        return 1;
+    }
+    const std::string experiment = argv[1];
+    const bool evsets = hasFlag(argc, argv, "-e");
+
+    if (experiment == "TimingDifference")
+        return runTimingDifference(evsets);
+    if (experiment == "LeakageRate")
+        return runLeakageRate();
+    if (experiment == "SecretLeakage")
+        return runSecretLeakage(evsets);
+    if (experiment == "NoiseInsensitivity")
+        return runNoiseInsensitivity();
+    if (experiment == "ConstantTime") {
+        if (argc < 3) {
+            usage();
+            return 1;
+        }
+        const std::uint64_t maxinst =
+            argc > 3 ? std::atoll(argv[3]) : 100000;
+        const std::uint64_t startinst =
+            argc > 4 ? std::atoll(argv[4]) : maxinst / 5;
+        return runConstantTime(argv[2], maxinst, startinst);
+    }
+    usage();
+    return 1;
+}

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Countermeasure exploration (paper §VI-E and §VII): sweep relaxed
+ * constant-time rollback and the fuzzy dummy-cleanup mitigation, and
+ * chart the security/performance trade-off: attack accuracy on one
+ * axis, workload slowdown on the other.
+ *
+ *   $ ./mitigation_sweep
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "analysis/table.hh"
+#include "attack/noise.hh"
+#include "attack/unxpec.hh"
+#include "cpu/core.hh"
+#include "sim/config.hh"
+#include "workload/synth_spec.hh"
+
+using namespace unxpec;
+
+namespace {
+
+/** Attack accuracy over `bits` random bits under a mitigation. */
+double
+attackAccuracy(const SystemConfig &base_cfg, unsigned bits)
+{
+    SystemConfig cfg = base_cfg;
+    const NoiseProfile noise = NoiseProfile::evaluation();
+    noise.applyTo(cfg);
+    Core core(cfg);
+    noise.applyTo(core);
+
+    UnxpecAttack attack(core, UnxpecConfig{});
+    const double threshold = attack.calibrate(100);
+    Rng rng(99);
+    std::vector<int> secret;
+    for (unsigned i = 0; i < bits; ++i)
+        secret.push_back(static_cast<int>(rng.range(2)));
+    return attack.leak(secret, threshold).accuracy;
+}
+
+/** Mean slowdown of a small workload sample vs the unsafe baseline. */
+double
+workloadSlowdown(const SystemConfig &cfg)
+{
+    const std::vector<const char *> picks = {"mcf_r", "leela_r",
+                                             "imagick_r"};
+    RunOptions options;
+    options.maxInstructions = 40000;
+    options.warmupInstructions = 8000;
+
+    double total = 0.0;
+    for (const char *name : picks) {
+        const Program p = SynthSpec::generate(SynthSpec::profile(name), 42);
+        Core unsafe(SystemConfig::makeUnsafeBaseline());
+        const RunResult base = unsafe.run(p, options);
+        Core core(cfg);
+        const RunResult run = core.run(p, options);
+        total += static_cast<double>(run.cycles - run.warmupCycles) /
+                 (base.cycles - base.warmupCycles);
+    }
+    return (total / picks.size() - 1.0) * 100.0;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "=== Mitigation trade-off: accuracy vs overhead ===\n\n";
+    TextTable table({"mitigation", "attack accuracy", "workload overhead"});
+
+    const unsigned bits = 150;
+
+    {
+        const SystemConfig cfg = SystemConfig::makeDefault();
+        table.addRow({"none (plain CleanupSpec)",
+                      TextTable::num(attackAccuracy(cfg, bits) * 100) + "%",
+                      TextTable::num(workloadSlowdown(cfg)) + "%"});
+    }
+    for (const unsigned constant : {25u, 45u, 65u}) {
+        SystemConfig cfg = SystemConfig::makeDefault();
+        cfg.cleanupTiming.constantTimeCycles = constant;
+        table.addRow({"constant-time " + std::to_string(constant) +
+                          " cycles",
+                      TextTable::num(attackAccuracy(cfg, bits) * 100) + "%",
+                      TextTable::num(workloadSlowdown(cfg)) + "%"});
+    }
+    for (const unsigned fuzzy : {20u, 40u, 80u}) {
+        SystemConfig cfg = SystemConfig::makeDefault();
+        cfg.cleanupTiming.fuzzyMaxCycles = fuzzy;
+        table.addRow({"fuzzy dummy-cleanup <=" + std::to_string(fuzzy) +
+                          " cycles",
+                      TextTable::num(attackAccuracy(cfg, bits) * 100) + "%",
+                      TextTable::num(workloadSlowdown(cfg)) + "%"});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nReading: constant-time rollback closes the channel "
+                 "(accuracy ~50 %) but costs 20-70 %\nperformance; the "
+                 "paper's §VII fuzzy-cleanup idea degrades the attack at "
+                 "a fraction of the cost\n(more samples per bit would "
+                 "recover some accuracy — see §VI-D).\n";
+    return 0;
+}

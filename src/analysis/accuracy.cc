@@ -1,0 +1,68 @@
+#include "analysis/accuracy.hh"
+
+#include "sim/log.hh"
+
+namespace unxpec {
+
+double
+BitChannelReport::accuracy() const
+{
+    const std::uint64_t n = total();
+    return n == 0 ? 0.0 : static_cast<double>(true0 + true1) / n;
+}
+
+double
+BitChannelReport::zeroErrorRate() const
+{
+    const std::uint64_t n = true0 + false1;
+    return n == 0 ? 0.0 : static_cast<double>(false1) / n;
+}
+
+double
+BitChannelReport::oneErrorRate() const
+{
+    const std::uint64_t n = true1 + false0;
+    return n == 0 ? 0.0 : static_cast<double>(false0) / n;
+}
+
+BitChannelReport
+BitChannelReport::of(const std::vector<int> &guesses,
+                     const std::vector<int> &secret)
+{
+    if (guesses.size() != secret.size())
+        fatal("BitChannelReport::of: size mismatch");
+    BitChannelReport report;
+    for (std::size_t i = 0; i < guesses.size(); ++i) {
+        if (secret[i] == 0) {
+            if (guesses[i] == 0)
+                ++report.true0;
+            else
+                ++report.false1;
+        } else {
+            if (guesses[i] == 1)
+                ++report.true1;
+            else
+                ++report.false0;
+        }
+    }
+    return report;
+}
+
+double
+LeakageRate::samplesPerSecond(double cycles_per_sample, double clock_ghz)
+{
+    if (cycles_per_sample <= 0.0)
+        return 0.0;
+    return clock_ghz * 1e9 / cycles_per_sample;
+}
+
+double
+LeakageRate::bitsPerSecond(double cycles_per_sample, double clock_ghz,
+                           unsigned samples_per_bit)
+{
+    if (samples_per_bit == 0)
+        return 0.0;
+    return samplesPerSecond(cycles_per_sample, clock_ghz) / samples_per_bit;
+}
+
+} // namespace unxpec

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Bit-channel quality metrics: confusion matrix, error rates, and the
+ * leakage-rate arithmetic of §VI-B.
+ */
+
+#ifndef UNXPEC_ANALYSIS_ACCURACY_HH
+#define UNXPEC_ANALYSIS_ACCURACY_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace unxpec {
+
+/** Confusion matrix of a binary channel. */
+struct BitChannelReport
+{
+    std::uint64_t true0 = 0;  //!< secret 0 guessed 0
+    std::uint64_t false1 = 0; //!< secret 0 guessed 1
+    std::uint64_t true1 = 0;  //!< secret 1 guessed 1
+    std::uint64_t false0 = 0; //!< secret 1 guessed 0
+
+    std::uint64_t total() const { return true0 + false1 + true1 + false0; }
+    double accuracy() const;
+    double errorRate() const { return 1.0 - accuracy(); }
+    /** Per-class error rates. */
+    double zeroErrorRate() const;
+    double oneErrorRate() const;
+
+    static BitChannelReport of(const std::vector<int> &guesses,
+                               const std::vector<int> &secret);
+};
+
+/** Leakage-rate arithmetic (paper §VI-B). */
+struct LeakageRate
+{
+    /** Samples per second at `clock_ghz` given cycles per sample. */
+    static double samplesPerSecond(double cycles_per_sample,
+                                   double clock_ghz);
+
+    /** Bits per second with `samples_per_bit` samples per secret bit. */
+    static double bitsPerSecond(double cycles_per_sample, double clock_ghz,
+                                unsigned samples_per_bit = 1);
+};
+
+} // namespace unxpec
+
+#endif // UNXPEC_ANALYSIS_ACCURACY_HH

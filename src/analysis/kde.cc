@@ -1,0 +1,64 @@
+#include "analysis/kde.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "analysis/summary.hh"
+#include "sim/log.hh"
+
+namespace unxpec {
+
+double
+Kde::silvermanBandwidth(const std::vector<double> &samples)
+{
+    if (samples.size() < 2)
+        return 1.0;
+    const Summary s = Summary::of(samples);
+    const double n = static_cast<double>(samples.size());
+    const double iqr = s.p75 - s.p25;
+    double spread = s.stddev;
+    if (iqr > 0.0)
+        spread = std::min(spread, iqr / 1.34);
+    if (spread <= 0.0)
+        spread = 1.0;
+    return std::max(0.5, 0.9 * spread * std::pow(n, -0.2));
+}
+
+double
+Kde::evaluate(const std::vector<double> &samples, double bandwidth,
+              double x)
+{
+    if (samples.empty() || bandwidth <= 0.0)
+        return 0.0;
+    const double norm =
+        1.0 / (samples.size() * bandwidth * std::sqrt(2.0 * M_PI));
+    double density = 0.0;
+    for (const double sample : samples) {
+        const double z = (x - sample) / bandwidth;
+        density += std::exp(-0.5 * z * z);
+    }
+    return density * norm;
+}
+
+DensityCurve
+Kde::curve(const std::vector<double> &samples, double lo, double hi,
+           unsigned points, double bandwidth)
+{
+    if (points < 2)
+        fatal("Kde::curve: need at least two grid points");
+    if (bandwidth <= 0.0)
+        bandwidth = silvermanBandwidth(samples);
+
+    DensityCurve result;
+    result.x.reserve(points);
+    result.density.reserve(points);
+    const double step = (hi - lo) / (points - 1);
+    for (unsigned i = 0; i < points; ++i) {
+        const double x = lo + step * i;
+        result.x.push_back(x);
+        result.density.push_back(evaluate(samples, bandwidth, x));
+    }
+    return result;
+}
+
+} // namespace unxpec

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Gaussian kernel density estimation, matching the paper's use of KDE
+ * to render the latency distributions of Figures 7 and 8.
+ */
+
+#ifndef UNXPEC_ANALYSIS_KDE_HH
+#define UNXPEC_ANALYSIS_KDE_HH
+
+#include <vector>
+
+namespace unxpec {
+
+/** A density estimate sampled on a regular grid. */
+struct DensityCurve
+{
+    std::vector<double> x;
+    std::vector<double> density;
+};
+
+/** Gaussian KDE with Silverman's rule-of-thumb bandwidth. */
+class Kde
+{
+  public:
+    /** Silverman bandwidth for the samples (>= minimum of 0.5). */
+    static double silvermanBandwidth(const std::vector<double> &samples);
+
+    /** Density at a single point. */
+    static double evaluate(const std::vector<double> &samples,
+                           double bandwidth, double x);
+
+    /** Density curve over [lo, hi] with `points` grid points. */
+    static DensityCurve curve(const std::vector<double> &samples,
+                              double lo, double hi, unsigned points,
+                              double bandwidth = 0.0);
+};
+
+} // namespace unxpec
+
+#endif // UNXPEC_ANALYSIS_KDE_HH

@@ -1,0 +1,76 @@
+#include "analysis/perf_report.hh"
+
+#include <iomanip>
+
+#include "cpu/core.hh"
+
+namespace unxpec {
+
+namespace {
+
+std::uint64_t
+counterValue(const StatGroup &group, const char *name)
+{
+    const Counter *counter = group.findCounter(name);
+    return counter == nullptr ? 0 : counter->value();
+}
+
+} // namespace
+
+PerfReport
+PerfReport::of(Core &core, const RunResult &result)
+{
+    PerfReport report;
+    report.cycles = result.cycles;
+    report.instructions = result.instructions;
+    if (result.instructions > 0) {
+        report.cpi = static_cast<double>(result.cycles) /
+                     result.instructions;
+        report.ipc = 1.0 / report.cpi;
+        report.branchMpki =
+            1000.0 * counterValue(core.stats(), "mispredicts") /
+            result.instructions;
+    }
+
+    const auto &l1 = core.hierarchy().l1d().stats();
+    const std::uint64_t l1_hits = counterValue(l1, "hits");
+    const std::uint64_t l1_misses = counterValue(l1, "misses");
+    if (l1_hits + l1_misses > 0) {
+        report.l1dMissRatePct =
+            100.0 * l1_misses / static_cast<double>(l1_hits + l1_misses);
+    }
+    const auto &l2 = core.hierarchy().l2().stats();
+    const std::uint64_t l2_hits = counterValue(l2, "hits");
+    const std::uint64_t l2_misses = counterValue(l2, "misses");
+    if (l2_hits + l2_misses > 0) {
+        report.l2MissRatePct =
+            100.0 * l2_misses / static_cast<double>(l2_hits + l2_misses);
+    }
+
+    report.squashes = counterValue(core.cleanup().stats(), "squashes");
+    report.cleanupCycles = counterValue(core.cleanup().stats(), "cycles");
+    if (result.cycles > 0) {
+        report.cleanupCyclePct =
+            100.0 * report.cleanupCycles /
+            static_cast<double>(result.cycles);
+    }
+    return report;
+}
+
+void
+PerfReport::print(std::ostream &os) const
+{
+    os << std::fixed << std::setprecision(2);
+    os << "  cycles          " << cycles << "\n";
+    os << "  instructions    " << instructions << "\n";
+    os << "  CPI / IPC       " << cpi << " / " << ipc << "\n";
+    os << "  branch MPKI     " << branchMpki << "\n";
+    os << "  L1D miss rate   " << l1dMissRatePct << " %\n";
+    os << "  L2  miss rate   " << l2MissRatePct << " %\n";
+    os << "  squashes        " << squashes << "\n";
+    os << "  cleanup cycles  " << cleanupCycles << " ("
+       << cleanupCyclePct << " % of cycles)\n";
+    os.unsetf(std::ios::fixed);
+}
+
+} // namespace unxpec

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Derived performance metrics of a run: CPI/IPC, branch MPKI, cache
+ * hit rates, and cleanup activity. The gem5-style raw counters live in
+ * the respective StatGroups; this distills them the way architecture
+ * papers report them.
+ */
+
+#ifndef UNXPEC_ANALYSIS_PERF_REPORT_HH
+#define UNXPEC_ANALYSIS_PERF_REPORT_HH
+
+#include <cstdint>
+#include <ostream>
+
+namespace unxpec {
+
+class Core;
+struct RunResult;
+
+/** One run's headline performance numbers. */
+struct PerfReport
+{
+    std::uint64_t cycles = 0;
+    std::uint64_t instructions = 0;
+    double cpi = 0.0;
+    double ipc = 0.0;
+    double branchMpki = 0.0;       //!< mispredicts per kilo-instruction
+    double l1dMissRatePct = 0.0;
+    double l2MissRatePct = 0.0;
+    std::uint64_t squashes = 0;
+    std::uint64_t cleanupCycles = 0;
+    double cleanupCyclePct = 0.0;  //!< share of cycles spent in rollback
+
+    /**
+     * Distill a report from a core's counters after a run. Counters
+     * accumulate across runs on the same core; for per-run numbers use
+     * a fresh core or reset the stats first.
+     */
+    static PerfReport of(Core &core, const RunResult &result);
+
+    void print(std::ostream &os) const;
+};
+
+} // namespace unxpec
+
+#endif // UNXPEC_ANALYSIS_PERF_REPORT_HH

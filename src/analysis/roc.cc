@@ -1,0 +1,83 @@
+#include "analysis/roc.hh"
+
+#include <algorithm>
+
+#include "sim/log.hh"
+
+namespace unxpec {
+
+RocCurve
+RocCurve::of(const std::vector<double> &zeros,
+             const std::vector<double> &ones)
+{
+    if (zeros.empty() || ones.empty())
+        fatal("RocCurve::of: need samples of both classes");
+
+    std::vector<double> sorted_zeros = zeros;
+    std::vector<double> sorted_ones = ones;
+    std::sort(sorted_zeros.begin(), sorted_zeros.end());
+    std::sort(sorted_ones.begin(), sorted_ones.end());
+
+    // Candidate thresholds: every distinct observed value, plus
+    // sentinels beyond both ends.
+    std::vector<double> thresholds;
+    thresholds.reserve(zeros.size() + ones.size() + 2);
+    thresholds.push_back(std::max(sorted_zeros.back(),
+                                  sorted_ones.back()) + 1.0);
+    thresholds.insert(thresholds.end(), sorted_zeros.begin(),
+                      sorted_zeros.end());
+    thresholds.insert(thresholds.end(), sorted_ones.begin(),
+                      sorted_ones.end());
+    thresholds.push_back(std::min(sorted_zeros.front(),
+                                  sorted_ones.front()) - 1.0);
+    std::sort(thresholds.begin(), thresholds.end(),
+              std::greater<double>());
+    thresholds.erase(std::unique(thresholds.begin(), thresholds.end()),
+                     thresholds.end());
+
+    RocCurve curve;
+    curve.points_.reserve(thresholds.size());
+    for (const double threshold : thresholds) {
+        RocPoint point;
+        point.threshold = threshold;
+        const auto one_hits = sorted_ones.end() -
+            std::upper_bound(sorted_ones.begin(), sorted_ones.end(),
+                             threshold);
+        const auto zero_hits = sorted_zeros.end() -
+            std::upper_bound(sorted_zeros.begin(), sorted_zeros.end(),
+                             threshold);
+        point.tpr = static_cast<double>(one_hits) / sorted_ones.size();
+        point.fpr = static_cast<double>(zero_hits) / sorted_zeros.size();
+        curve.points_.push_back(point);
+    }
+    return curve;
+}
+
+double
+RocCurve::auc() const
+{
+    double area = 0.0;
+    for (std::size_t i = 1; i < points_.size(); ++i) {
+        const double dx = points_[i].fpr - points_[i - 1].fpr;
+        const double mean_y = (points_[i].tpr + points_[i - 1].tpr) / 2;
+        area += dx * mean_y;
+    }
+    return area;
+}
+
+RocPoint
+RocCurve::best() const
+{
+    RocPoint best_point;
+    double best_j = -1.0;
+    for (const RocPoint &point : points_) {
+        const double j = point.tpr - point.fpr;
+        if (j > best_j) {
+            best_j = j;
+            best_point = point;
+        }
+    }
+    return best_point;
+}
+
+} // namespace unxpec

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Receiver-operating-characteristic analysis of the covert channel:
+ * sweep the decode threshold over labeled latency samples and chart
+ * true-positive vs false-positive rates. AUC summarizes how separable
+ * the secret-1 and secret-0 latency distributions are — a
+ * distribution-free companion to the fixed-threshold accuracies of
+ * §VI-C.
+ */
+
+#ifndef UNXPEC_ANALYSIS_ROC_HH
+#define UNXPEC_ANALYSIS_ROC_HH
+
+#include <vector>
+
+namespace unxpec {
+
+/** One threshold operating point. */
+struct RocPoint
+{
+    double threshold = 0.0;
+    double tpr = 0.0; //!< secret-1 samples decoded as 1
+    double fpr = 0.0; //!< secret-0 samples decoded as 1
+};
+
+/** Threshold sweep over labeled samples. */
+class RocCurve
+{
+  public:
+    /**
+     * Build the curve from secret-0 (negative) and secret-1
+     * (positive) latency samples; a sample decodes 1 when it exceeds
+     * the threshold. Points are ordered by decreasing threshold, so
+     * (fpr, tpr) runs from (0,0) to (1,1).
+     */
+    static RocCurve of(const std::vector<double> &zeros,
+                       const std::vector<double> &ones);
+
+    const std::vector<RocPoint> &points() const { return points_; }
+
+    /** Area under the curve: 0.5 = blind guessing, 1.0 = perfect. */
+    double auc() const;
+
+    /** Operating point with the highest tpr - fpr (Youden's J). */
+    RocPoint best() const;
+
+  private:
+    std::vector<RocPoint> points_;
+};
+
+} // namespace unxpec
+
+#endif // UNXPEC_ANALYSIS_ROC_HH

@@ -1,0 +1,50 @@
+#include "analysis/summary.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace unxpec {
+
+double
+Summary::percentile(std::vector<double> samples, double q)
+{
+    if (samples.empty())
+        return 0.0;
+    std::sort(samples.begin(), samples.end());
+    const double pos = q * (samples.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, samples.size() - 1);
+    const double frac = pos - lo;
+    return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+}
+
+Summary
+Summary::of(const std::vector<double> &samples)
+{
+    Summary s;
+    s.count = samples.size();
+    if (samples.empty())
+        return s;
+
+    double sum = 0.0;
+    s.min = s.max = samples.front();
+    for (const double v : samples) {
+        sum += v;
+        s.min = std::min(s.min, v);
+        s.max = std::max(s.max, v);
+    }
+    s.mean = sum / samples.size();
+
+    double sq = 0.0;
+    for (const double v : samples)
+        sq += (v - s.mean) * (v - s.mean);
+    s.stddev = samples.size() > 1
+        ? std::sqrt(sq / (samples.size() - 1)) : 0.0;
+
+    s.median = percentile(samples, 0.5);
+    s.p25 = percentile(samples, 0.25);
+    s.p75 = percentile(samples, 0.75);
+    return s;
+}
+
+} // namespace unxpec

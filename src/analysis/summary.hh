@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Descriptive statistics over sample vectors.
+ */
+
+#ifndef UNXPEC_ANALYSIS_SUMMARY_HH
+#define UNXPEC_ANALYSIS_SUMMARY_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace unxpec {
+
+/** Summary statistics of a sample vector. */
+struct Summary
+{
+    std::size_t count = 0;
+    double mean = 0.0;
+    double stddev = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double median = 0.0;
+    double p25 = 0.0;
+    double p75 = 0.0;
+
+    /** Compute all fields for `samples`. */
+    static Summary of(const std::vector<double> &samples);
+
+    /** Linear-interpolated percentile (q in [0, 1]) of `samples`. */
+    static double percentile(std::vector<double> samples, double q);
+};
+
+} // namespace unxpec
+
+#endif // UNXPEC_ANALYSIS_SUMMARY_HH

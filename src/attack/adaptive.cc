@@ -1,0 +1,38 @@
+#include "attack/adaptive.hh"
+
+#include <algorithm>
+
+namespace unxpec {
+
+AdaptiveDecoder::AdaptiveDecoder(double initial_threshold,
+                                 double expected_delta, double alpha)
+    : mean0_(initial_threshold - expected_delta / 2.0),
+      mean1_(initial_threshold + expected_delta / 2.0),
+      alpha_(alpha)
+{
+}
+
+int
+AdaptiveDecoder::decode(double latency)
+{
+    const int guess = latency > threshold() ? 1 : 0;
+    // Fold the observation into the matched cluster. Far outliers
+    // (noise spikes) are clamped so one interrupt does not yank the
+    // boundary.
+    const double separation = std::max(1.0, mean1_ - mean0_);
+    if (guess == 1) {
+        const double clamped =
+            std::min(latency, mean1_ + 2.0 * separation);
+        mean1_ += alpha_ * (clamped - mean1_);
+    } else {
+        const double clamped =
+            std::max(latency, mean0_ - 2.0 * separation);
+        mean0_ += alpha_ * (clamped - mean0_);
+    }
+    // Keep the clusters ordered even under pathological inputs.
+    if (mean1_ < mean0_ + 1.0)
+        mean1_ = mean0_ + 1.0;
+    return guess;
+}
+
+} // namespace unxpec

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Adaptive online decoder. A fixed threshold (paper §VI-A picks 178 /
+ * 183 once) is brittle when the environment drifts — DVFS, thermal
+ * throttling, or contention slowly shift the whole latency
+ * distribution. The adaptive decoder tracks both class means with
+ * exponential moving averages and keeps the decision boundary at
+ * their midpoint, so the channel survives drift that would defeat the
+ * calibrated-once receiver.
+ */
+
+#ifndef UNXPEC_ATTACK_ADAPTIVE_HH
+#define UNXPEC_ATTACK_ADAPTIVE_HH
+
+namespace unxpec {
+
+/** Self-calibrating two-cluster decoder. */
+class AdaptiveDecoder
+{
+  public:
+    /**
+     * @param initial_threshold  starting boundary (from calibrate())
+     * @param expected_delta     prior on the class separation (the
+     *                           channel's ~22 or ~32 cycles), used to
+     *                           seed the cluster means
+     * @param alpha              EMA weight of each new observation
+     */
+    AdaptiveDecoder(double initial_threshold, double expected_delta = 22.0,
+                    double alpha = 0.08);
+
+    /** Classify one latency and fold it into the matched cluster. */
+    int decode(double latency);
+
+    /** Current decision boundary. */
+    double threshold() const { return (mean0_ + mean1_) / 2.0; }
+
+    double mean0() const { return mean0_; }
+    double mean1() const { return mean1_; }
+
+  private:
+    double mean0_;
+    double mean1_;
+    double alpha_;
+};
+
+} // namespace unxpec
+
+#endif // UNXPEC_ATTACK_ADAPTIVE_HH

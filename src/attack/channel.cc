@@ -1,0 +1,76 @@
+#include "attack/channel.hh"
+
+#include <algorithm>
+
+#include "sim/log.hh"
+
+namespace unxpec {
+
+double
+CovertChannel::calibrateThreshold(const std::vector<double> &zeros,
+                                  const std::vector<double> &ones)
+{
+    if (zeros.empty() || ones.empty())
+        fatal("CovertChannel::calibrateThreshold: empty calibration set");
+
+    // Candidate thresholds: every observed value. O(n^2) is fine at
+    // calibration sizes (thousands of samples).
+    std::vector<double> candidates = zeros;
+    candidates.insert(candidates.end(), ones.begin(), ones.end());
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                     candidates.end());
+
+    std::vector<double> sorted_zeros = zeros;
+    std::vector<double> sorted_ones = ones;
+    std::sort(sorted_zeros.begin(), sorted_zeros.end());
+    std::sort(sorted_ones.begin(), sorted_ones.end());
+
+    double best_threshold = candidates.front();
+    double best_errors = static_cast<double>(zeros.size() + ones.size());
+
+    for (const double threshold : candidates) {
+        // zeros misclassified: value > threshold.
+        const auto zero_errors = sorted_zeros.end() -
+            std::upper_bound(sorted_zeros.begin(), sorted_zeros.end(),
+                             threshold);
+        // ones misclassified: value <= threshold.
+        const auto one_errors =
+            std::upper_bound(sorted_ones.begin(), sorted_ones.end(),
+                             threshold) - sorted_ones.begin();
+        const double errors =
+            static_cast<double>(zero_errors) / sorted_zeros.size() +
+            static_cast<double>(one_errors) / sorted_ones.size();
+        if (errors < best_errors) {
+            best_errors = errors;
+            best_threshold = threshold;
+        }
+    }
+    return best_threshold;
+}
+
+int
+CovertChannel::decodeMajority(const std::vector<double> &samples,
+                              double threshold)
+{
+    int votes = 0;
+    for (const double sample : samples)
+        votes += decode(sample, threshold);
+    return votes * 2 > static_cast<int>(samples.size()) ? 1 : 0;
+}
+
+double
+CovertChannel::accuracy(const std::vector<int> &guesses,
+                        const std::vector<int> &secret)
+{
+    if (guesses.size() != secret.size() || guesses.empty())
+        fatal("CovertChannel::accuracy: size mismatch");
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < guesses.size(); ++i) {
+        if (guesses[i] == secret[i])
+            ++correct;
+    }
+    return static_cast<double>(correct) / guesses.size();
+}
+
+} // namespace unxpec

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Eviction-set construction (Vila et al., S&P'19). The unXpec
+ * optimization primes the L1 sets that the secret-1 transient loads
+ * map to, forcing every transient install to displace an attacker
+ * line, which CleanupSpec must then restore — lengthening rollback and
+ * enlarging the secret-dependent timing difference (paper §V-B).
+ *
+ * Two construction paths are provided:
+ *  - direct: the L1 uses conventional modulo indexing, so congruent
+ *    addresses can be computed outright (the paper's non-SMT threat
+ *    model permits this);
+ *  - group-testing reduction: the generic O(w·n) algorithm that
+ *    shrinks a large candidate pool to a minimal eviction set using
+ *    only an eviction oracle, for caches whose mapping is unknown.
+ */
+
+#ifndef UNXPEC_ATTACK_EVICTION_SET_HH
+#define UNXPEC_ATTACK_EVICTION_SET_HH
+
+#include <functional>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace unxpec {
+
+class Cache;
+
+/** Builders for L1 eviction sets. */
+class EvictionSet
+{
+  public:
+    /**
+     * Addresses congruent with `target` under modulo indexing:
+     * `count` lines, starting from `pool_base`, that land in the same
+     * set as `target` in a cache of `num_sets` sets.
+     */
+    static std::vector<Addr> direct(Addr target, unsigned num_sets,
+                                    unsigned count, Addr pool_base);
+
+    /**
+     * Eviction oracle: does accessing `candidates` (then probing
+     * `target`) evict `target`?
+     */
+    using Oracle =
+        std::function<bool(const std::vector<Addr> &candidates,
+                           Addr target)>;
+
+    /**
+     * Group-testing reduction: shrink `candidates` (which must evict
+     * `target`) to a minimal eviction set of `ways` addresses.
+     * Returns an empty vector when the pool never evicts the target.
+     */
+    static std::vector<Addr> reduce(std::vector<Addr> candidates,
+                                    Addr target, unsigned ways,
+                                    const Oracle &oracle);
+
+    /**
+     * Reference oracle running against a scratch copy of a cache
+     * model: fill with candidates, then check the target was displaced
+     * after being resident. Used by tests and by reduce() demos.
+     */
+    static Oracle modelOracle(const Cache &prototype,
+                              std::uint64_t seed);
+};
+
+} // namespace unxpec
+
+#endif // UNXPEC_ATTACK_EVICTION_SET_HH

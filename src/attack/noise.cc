@@ -1,0 +1,48 @@
+#include "attack/noise.hh"
+
+#include "cpu/core.hh"
+
+namespace unxpec {
+
+NoiseProfile
+NoiseProfile::quiet()
+{
+    return {};
+}
+
+NoiseProfile
+NoiseProfile::evaluation()
+{
+    NoiseProfile profile;
+    profile.interruptProbPerCycle = 3.0e-4;
+    profile.interruptStallMin = 60;
+    profile.interruptStallMax = 240;
+    profile.dramJitterSigma = 9.0;
+    return profile;
+}
+
+NoiseProfile
+NoiseProfile::noisyHost()
+{
+    NoiseProfile profile;
+    profile.interruptProbPerCycle = 8.0e-4;
+    profile.interruptStallMin = 80;
+    profile.interruptStallMax = 400;
+    profile.dramJitterSigma = 14.0;
+    return profile;
+}
+
+void
+NoiseProfile::applyTo(Core &core) const
+{
+    core.setInterruptNoise(interruptProbPerCycle, interruptStallMin,
+                           interruptStallMax);
+}
+
+void
+NoiseProfile::applyTo(SystemConfig &cfg) const
+{
+    cfg.memory.jitterSigma = dramJitterSigma;
+}
+
+} // namespace unxpec

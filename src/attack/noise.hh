@@ -1,0 +1,53 @@
+/**
+ * @file
+ * System-noise profiles. The paper's attacker model has the sender/
+ * receiver thread temporally multiplexing the core with other honest
+ * programs (§III-B); §VI-D argues the channel is robust to that noise.
+ * A profile combines per-cycle "interrupt" stalls (other programs
+ * stealing the core) with DRAM latency jitter (configured in
+ * MemoryConfig at system construction).
+ */
+
+#ifndef UNXPEC_ATTACK_NOISE_HH
+#define UNXPEC_ATTACK_NOISE_HH
+
+#include "sim/config.hh"
+
+namespace unxpec {
+
+class Core;
+
+/** Noise injected while the attack runs. */
+struct NoiseProfile
+{
+    /** Per-cycle probability of an external stall event. */
+    double interruptProbPerCycle = 0.0;
+    /** Stall length bounds (cycles) when an event fires. */
+    unsigned interruptStallMin = 0;
+    unsigned interruptStallMax = 0;
+    /** DRAM latency jitter (applied via MemoryConfig at construction). */
+    double dramJitterSigma = 0.0;
+
+    /** Silent machine: deterministic timing (calibration). */
+    static NoiseProfile quiet();
+
+    /**
+     * Default evaluation noise: light background activity matching the
+     * paper's single-sample accuracies (~87 % plain, ~92 % with
+     * eviction sets).
+     */
+    static NoiseProfile evaluation();
+
+    /** Heavier noise approximating a busy real host (§VI-D). */
+    static NoiseProfile noisyHost();
+
+    /** Configure the interrupt component on a core. */
+    void applyTo(Core &core) const;
+
+    /** Fold the DRAM-jitter component into a system config. */
+    void applyTo(SystemConfig &cfg) const;
+};
+
+} // namespace unxpec
+
+#endif // UNXPEC_ATTACK_NOISE_HH

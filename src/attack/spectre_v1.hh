@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Classic Spectre variant 1 with a Flush+Reload probe (paper
+ * Algorithm 1). Included as the contrast baseline: it leaks a byte per
+ * round on the unsafe baseline, while CleanupSpec's rollback
+ * invalidates the transient probe-array install and defeats it —
+ * which is exactly why unXpec attacks the rollback itself instead.
+ */
+
+#ifndef UNXPEC_ATTACK_SPECTRE_V1_HH
+#define UNXPEC_ATTACK_SPECTRE_V1_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cpu/core.hh"
+#include "cpu/program.hh"
+#include "sim/types.hh"
+
+namespace unxpec {
+
+/** Parameters of the Spectre-v1 proof of concept. */
+struct SpectreConfig
+{
+    unsigned mistrainIterations = 6;
+    unsigned probeEntries = 256; //!< P[64 x 256] of Algorithm 1
+};
+
+/** One leaked byte plus the probe evidence. */
+struct SpectreResult
+{
+    std::vector<double> probeLatencies; //!< per probe entry
+    int guessedByte = -1;               //!< argmin over entries 1..255
+    double guessLatency = 0.0;
+    bool cacheHitSignal = false;        //!< guess looked like an L1/L2 hit
+};
+
+/** Spectre v1 attack + Flush+Reload receiver on the simulated core. */
+class SpectreV1
+{
+  public:
+    SpectreV1(Core &core, const SpectreConfig &cfg = {});
+
+    /** Set the victim's secret byte (1..255; 0 is the training value). */
+    void setSecretByte(std::uint8_t value);
+
+    /** Run one full attack (poison, flush, victim, probe). */
+    SpectreResult leakByte();
+
+    const Program &program() const { return program_; }
+
+  private:
+    void buildProgram();
+
+    Core &core_;
+    SpectreConfig cfg_;
+    Program program_;
+
+    Addr probeBase_ = 0;
+    Addr arrayBase_ = 0;
+    Addr idxBase_ = 0;
+    Addr resultBase_ = 0;
+    Addr secretAddr_ = 0;
+    unsigned trials_ = 0;
+    bool dataLoaded_ = false;
+};
+
+} // namespace unxpec
+
+#endif // UNXPEC_ATTACK_SPECTRE_V1_HH

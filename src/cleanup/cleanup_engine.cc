@@ -1,0 +1,202 @@
+#include "cleanup/cleanup_engine.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace unxpec {
+
+CleanupEngine::CleanupEngine(CleanupMode mode, const CleanupTiming &timing,
+                             Rng &rng)
+    : mode_(mode),
+      timing_(timing),
+      rng_(rng),
+      stats_("cleanup"),
+      squashes_(stats_.counter("squashes", "mis-speculation squashes")),
+      cleanupEvents_(stats_.counter("events",
+                                    "squashes that required rollback work")),
+      cleanupCycles_(stats_.counter("cycles",
+                                    "total core-stall cycles for cleanup")),
+      invalidationsL1_(stats_.counter("invalidationsL1",
+                                      "transient L1 installs invalidated")),
+      invalidationsL2_(stats_.counter("invalidationsL2",
+                                      "transient L2 installs invalidated")),
+      restores_(stats_.counter("restores", "L1 victims restored")),
+      inflightDrops_(stats_.counter("inflightDrops",
+                                    "inflight transient fills scrubbed")),
+      extraConstCycles_(stats_.counter("extraCleanupSquashTimeCycles",
+                                       "extra stall imposed by "
+                                       "constant-time rollback"))
+{
+}
+
+double
+CleanupEngine::rollbackDuration(unsigned l1_inv, unsigned l2_inv,
+                                unsigned restores,
+                                unsigned l2_restores) const
+{
+    if (l1_inv == 0 && l2_inv == 0 && restores == 0 && l2_restores == 0)
+        return 0.0;
+
+    double duration = timing_.mshrCleanCost;
+
+    // Invalidation walks: L1 and L2 engines run in parallel, each
+    // pipelined after its first operation.
+    double inv_l1 = 0.0;
+    if (l1_inv > 0)
+        inv_l1 = timing_.invFirstL1 + (l1_inv - 1) * timing_.invNextL1;
+    double inv_l2 = 0.0;
+    if (l2_inv > 0)
+        inv_l2 = timing_.invFirstL2 + (l2_inv - 1) * timing_.invNextL2;
+    duration += std::max(inv_l1, inv_l2);
+
+    // Restoration: refills from L2 into L1, pipelined, after the
+    // invalidation pass.
+    if (restores > 0) {
+        duration += timing_.restoreFirst +
+                    (restores - 1) * timing_.restoreNext;
+    }
+    // Cleanup_FULL: L2 restorations refill from memory — the cost that
+    // made CleanupSpec reject L2 restoration outright.
+    if (l2_restores > 0) {
+        duration += timing_.restoreL2First +
+                    (l2_restores - 1) * timing_.restoreL2Next;
+    }
+    return duration;
+}
+
+Cycle
+CleanupEngine::rollback(MemoryHierarchy &hierarchy, const CleanupJob &job,
+                        Cycle older_drain)
+{
+    ++squashes_;
+    const Cycle squash = job.squashCycle;
+
+    if (mode_ == CleanupMode::UnsafeBaseline) {
+        // No rollback: the transient footprint persists — the very
+        // vulnerability CleanupSpec exists to close. Just drop the
+        // speculative markings (the installer will never commit).
+        auto unmark = [&hierarchy](const MemAccessRecord &record) {
+            if (record.l1Installed) {
+                if (CacheLine *line =
+                        hierarchy.l1d().probeMutable(record.lineAddr)) {
+                    line->speculative = false;
+                    line->installer = kSeqNone;
+                }
+            }
+            if (record.l2Installed) {
+                if (CacheLine *line =
+                        hierarchy.l2().probeMutable(record.lineAddr)) {
+                    line->speculative = false;
+                    line->installer = kSeqNone;
+                }
+            }
+        };
+        for (const auto &record : job.landed)
+            unmark(record);
+        for (const auto &record : job.inflight)
+            unmark(record);
+        lastStall_ = 0;
+        if (logEnabled_)
+            log_.push_back({squash, 0, 0, 0, 0, 0});
+        return squash;
+    }
+
+    // --- T3: scrub inflight transient fills --------------------------
+    for (const auto &record : job.inflight) {
+        hierarchy.undoInflight(record);
+        ++inflightDrops_;
+    }
+
+    // --- T5 state rollback for landed fills --------------------------
+    const bool invalidate_l2 = mode_ == CleanupMode::Cleanup_FOR_L1L2 ||
+                               mode_ == CleanupMode::Cleanup_FULL;
+    const bool restore_l2 = mode_ == CleanupMode::Cleanup_FULL;
+    unsigned l1_inv = 0;
+    unsigned l2_inv = 0;
+    for (const auto &record : job.landed) {
+        if (record.l1Installed &&
+            hierarchy.cleanupInvalidateL1(record)) {
+            ++l1_inv;
+        }
+        if (record.l2Installed) {
+            if (invalidate_l2) {
+                if (hierarchy.cleanupInvalidateL2(record))
+                    ++l2_inv;
+            } else if (CacheLine *line =
+                           hierarchy.l2().probeMutable(record.lineAddr)) {
+                // Cleanup_FOR_L1: L2 keeps the line (it relies on the
+                // randomized index instead); just unmark it.
+                line->speculative = false;
+                line->installer = kSeqNone;
+            }
+        }
+        hierarchy.l1d().mshr().squash(record.lineAddr);
+        hierarchy.l2().mshr().squash(record.lineAddr);
+    }
+
+    unsigned restored = 0;
+    for (const auto &record : job.restores) {
+        hierarchy.cleanupRestoreL1(record, squash);
+        ++restored;
+    }
+    unsigned restored_l2 = 0;
+    if (restore_l2) {
+        for (const auto &record : job.landed) {
+            if (record.l2Installed && record.l2VictimValid) {
+                hierarchy.cleanupRestoreL2(record, squash);
+                ++restored_l2;
+            }
+        }
+    }
+
+    invalidationsL1_ += l1_inv;
+    invalidationsL2_ += l2_inv;
+    restores_ += restored;
+
+    // --- timing --------------------------------------------------------
+    Cycle start = squash;
+    // T4: wait out inflight correct-path loads before touching state.
+    if (l1_inv + l2_inv + restored + restored_l2 > 0)
+        start = std::max(start, older_drain);
+
+    double duration = rollbackDuration(
+        l1_inv, invalidate_l2 ? l2_inv : 0, restored, restored_l2);
+    if (duration == 0.0 && !job.inflight.empty())
+        duration = timing_.mshrCleanCost;
+    Cycle stall_until =
+        start + static_cast<Cycle>(std::llround(duration));
+
+    // The countermeasures below only make sense for Undo schemes:
+    // Invisible squashes have no rollback whose timing could leak.
+    const bool undo_scheme = mode_ == CleanupMode::Cleanup_FOR_L1 ||
+                             mode_ == CleanupMode::Cleanup_FOR_L1L2 ||
+                             mode_ == CleanupMode::Cleanup_FULL;
+
+    // Relaxed constant-time rollback: stall at least the constant,
+    // longer when the real rollback needs it (§VI-E).
+    if (undo_scheme && timing_.constantTimeCycles > 0) {
+        const Cycle const_until = squash + timing_.constantTimeCycles;
+        if (const_until > stall_until) {
+            extraConstCycles_ += const_until - stall_until;
+            stall_until = const_until;
+        }
+    }
+
+    // Fuzzy dummy-cleanup mitigation (§VII): random extra rollback
+    // noise on every squash.
+    if (undo_scheme && timing_.fuzzyMaxCycles > 0)
+        stall_until += rng_.range(timing_.fuzzyMaxCycles + 1);
+
+    if (stall_until > squash) {
+        ++cleanupEvents_;
+        cleanupCycles_ += stall_until - squash;
+    }
+    lastStall_ = stall_until - squash;
+    if (logEnabled_) {
+        log_.push_back({squash, lastStall_, l1_inv, l2_inv, restored,
+                        static_cast<unsigned>(job.inflight.size())});
+    }
+    return stall_until;
+}
+
+} // namespace unxpec

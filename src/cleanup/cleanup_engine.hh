@@ -1,0 +1,115 @@
+/**
+ * @file
+ * The Undo rollback engine: CleanupSpec's T3-T5 timeline (paper Fig. 1)
+ * plus the two countermeasures the paper evaluates or proposes —
+ * relaxed constant-time rollback (§VI-E) and fuzzy dummy-cleanup
+ * (§VII).
+ *
+ * Timeline model on a squash at cycle S:
+ *   T3  scrub inflight transient loads from the MSHRs; their fills are
+ *       dropped on arrival (fixed cost, no walk);
+ *   T4  wait for inflight correct-path loads to retire before touching
+ *       cache state (zeroed out by the attack's FENCE);
+ *   T5  invalidate transiently installed lines whose fills landed — L1
+ *       and (in Cleanup_FOR_L1L2) L2 walks proceed in parallel, each
+ *       pipelined — then restore displaced L1 victims from L2,
+ *       pipelined.
+ * The core is stalled until the returned cycle. A squash with no
+ * transient footprint (the unXpec secret-0 case) stalls zero cycles —
+ * that asymmetry *is* the paper's timing channel.
+ */
+
+#ifndef UNXPEC_CLEANUP_CLEANUP_ENGINE_HH
+#define UNXPEC_CLEANUP_CLEANUP_ENGINE_HH
+
+#include <vector>
+
+#include "cleanup/spec_tracker.hh"
+#include "memory/hierarchy.hh"
+#include "sim/config.hh"
+#include "sim/rng.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace unxpec {
+
+/** Per-squash record for instrumented experiments (Fig. 2/3/6). */
+struct SquashLog
+{
+    Cycle cycle = 0;        //!< when the mis-speculation was detected
+    Cycle stall = 0;        //!< rollback stall charged
+    unsigned l1Invalidations = 0;
+    unsigned l2Invalidations = 0;
+    unsigned restores = 0;
+    unsigned inflightDropped = 0;
+};
+
+/** Applies and times the cache-state rollback for one squash. */
+class CleanupEngine
+{
+  public:
+    CleanupEngine(CleanupMode mode, const CleanupTiming &timing, Rng &rng);
+
+    /**
+     * Handle a squash: apply the state rollback to the hierarchy and
+     * return the cycle until which the core stalls (>= squash cycle;
+     * equal when nothing stalls).
+     *
+     * @param hierarchy     caches to roll back
+     * @param job           distilled footprint of the squashed loads
+     * @param older_drain   latest completion among inflight
+     *                      correct-path loads (T4), 0 if none
+     */
+    Cycle rollback(MemoryHierarchy &hierarchy, const CleanupJob &job,
+                   Cycle older_drain);
+
+    /**
+     * Pure timing query: rollback duration (cycles beyond the squash)
+     * for a footprint of k1 L1 installs, k2 L2 installs, m L1 restores
+     * (and, under Cleanup_FULL, m2 L2 restores from memory).
+     * Exposed for calibration tests and the analytical benches.
+     */
+    double rollbackDuration(unsigned l1_inv, unsigned l2_inv,
+                            unsigned restores,
+                            unsigned l2_restores = 0) const;
+
+    CleanupMode mode() const { return mode_; }
+    const CleanupTiming &timing() const { return timing_; }
+
+    /** Mutable timing (benches sweep constant-time values). */
+    CleanupTiming &timing() { return timing_; }
+    void setMode(CleanupMode mode) { mode_ = mode; }
+
+    StatGroup &stats() { return stats_; }
+
+    /** Cycles of cleanup stall charged by the most recent rollback. */
+    Cycle lastStall() const { return lastStall_; }
+
+    /** Per-squash logging (off by default; bounded by caller resets). */
+    void enableLog(bool enable) { logEnabled_ = enable; }
+    void clearLog() { log_.clear(); }
+    const std::vector<SquashLog> &log() const { return log_; }
+
+  private:
+    CleanupMode mode_;
+    CleanupTiming timing_;
+    Rng &rng_;
+
+    StatGroup stats_;
+    Counter &squashes_;
+    Counter &cleanupEvents_;
+    Counter &cleanupCycles_;
+    Counter &invalidationsL1_;
+    Counter &invalidationsL2_;
+    Counter &restores_;
+    Counter &inflightDrops_;
+    Counter &extraConstCycles_;
+    Cycle lastStall_ = 0;
+
+    bool logEnabled_ = false;
+    std::vector<SquashLog> log_;
+};
+
+} // namespace unxpec
+
+#endif // UNXPEC_CLEANUP_CLEANUP_ENGINE_HH

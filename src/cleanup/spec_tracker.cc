@@ -1,0 +1,34 @@
+#include "cleanup/spec_tracker.hh"
+
+#include <algorithm>
+
+namespace unxpec {
+
+CleanupJob
+SpecTracker::buildJob(Cycle squash_cycle,
+                      const std::vector<MemAccessRecord> &records)
+{
+    CleanupJob job;
+    job.squashCycle = squash_cycle;
+
+    for (const auto &record : records) {
+        if (!record.l1Installed && !record.l2Installed)
+            continue; // hit or MSHR merge: no footprint of its own
+
+        if (record.ready > squash_cycle) {
+            job.inflight.push_back(record);
+            continue;
+        }
+
+        job.landed.push_back(record);
+        if (record.l1Installed)
+            ++job.l1Invalidations;
+        if (record.l2Installed)
+            ++job.l2Invalidations;
+        if (record.l1Installed && record.l1VictimValid)
+            job.restores.push_back(record);
+    }
+    return job;
+}
+
+} // namespace unxpec

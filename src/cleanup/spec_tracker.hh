@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Speculative-footprint tracking. CleanupSpec keeps the addresses of
+ * transiently installed lines in the load queue and the addresses of
+ * the lines they evicted in the MSHRs (paper §II-B). Here the same
+ * information is carried on each squashed load's MemAccessRecord; the
+ * tracker distills a squash into a CleanupJob: what to invalidate at
+ * each level, what to restore into L1, and whether fills were still in
+ * flight when the squash hit.
+ */
+
+#ifndef UNXPEC_CLEANUP_SPEC_TRACKER_HH
+#define UNXPEC_CLEANUP_SPEC_TRACKER_HH
+
+#include <vector>
+
+#include "memory/hierarchy.hh"
+#include "sim/types.hh"
+
+namespace unxpec {
+
+/** Everything the rollback engine needs to undo one mis-speculation. */
+struct CleanupJob
+{
+    Cycle squashCycle = 0;
+
+    /** Transient installs whose fill landed before the squash: these
+     *  must be invalidated (and their L1 victims restored). */
+    std::vector<MemAccessRecord> landed;
+
+    /** Installs still in flight at squash time: the MSHR entry is
+     *  scrubbed and the fill dropped on arrival — cheap, no walk. */
+    std::vector<MemAccessRecord> inflight;
+
+    /** Subset of `landed` whose L1 fill displaced a valid line; those
+     *  victims must be restored. */
+    std::vector<MemAccessRecord> restores;
+
+    /** Counts over `landed`, for timing. */
+    unsigned l1Invalidations = 0;
+    unsigned l2Invalidations = 0;
+    unsigned restoreCount() const
+    {
+        return static_cast<unsigned>(restores.size());
+    }
+
+    bool empty() const { return landed.empty() && inflight.empty(); }
+};
+
+/** Builds CleanupJobs from the memory records of squashed loads. */
+class SpecTracker
+{
+  public:
+    /**
+     * Distill the squashed loads' access records into a cleanup job.
+     * Records that hit or merged installed nothing and contribute no
+     * rollback work — the property that makes secret=0 squashes free
+     * and opens the unXpec timing channel.
+     */
+    static CleanupJob buildJob(Cycle squash_cycle,
+                               const std::vector<MemAccessRecord> &records);
+};
+
+} // namespace unxpec
+
+#endif // UNXPEC_CLEANUP_SPEC_TRACKER_HH

@@ -1,0 +1,427 @@
+#include "cpu/assembler.hh"
+
+#include <cctype>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "sim/log.hh"
+
+namespace unxpec {
+
+namespace {
+
+/** One significant source line. */
+struct SourceLine
+{
+    unsigned number = 0;
+    std::vector<std::string> labels; //!< labels bound to this index
+    std::string mnemonic;
+    std::vector<std::string> operands;
+    bool isDirective = false;
+};
+
+std::string
+stripComment(const std::string &line)
+{
+    const std::size_t semicolon = line.find(';');
+    const std::size_t hash = line.find('#');
+    const std::size_t cut = std::min(semicolon, hash);
+    return cut == std::string::npos ? line : line.substr(0, cut);
+}
+
+std::string
+trim(const std::string &text)
+{
+    std::size_t begin = 0;
+    std::size_t end = text.size();
+    while (begin < end && std::isspace(static_cast<unsigned char>(
+                              text[begin]))) {
+        ++begin;
+    }
+    while (end > begin && std::isspace(static_cast<unsigned char>(
+                              text[end - 1]))) {
+        --end;
+    }
+    return text.substr(begin, end - begin);
+}
+
+/** Split an operand list on commas, trimming each piece. */
+std::vector<std::string>
+splitOperands(const std::string &text)
+{
+    std::vector<std::string> operands;
+    std::string current;
+    for (const char ch : text) {
+        if (ch == ',') {
+            operands.push_back(trim(current));
+            current.clear();
+        } else {
+            current += ch;
+        }
+    }
+    const std::string last = trim(current);
+    if (!last.empty())
+        operands.push_back(last);
+    return operands;
+}
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string &source) { scan(source); }
+
+    Program
+    emit(std::map<std::string, Addr> &symbols)
+    {
+        symbols_ = &symbols;
+
+        // Directives first: allocate data so instruction immediates
+        // can reference the symbols.
+        for (const SourceLine &line : lines_) {
+            if (line.isDirective)
+                applyDirective(line);
+        }
+
+        // Map label -> instruction index.
+        unsigned index = 0;
+        for (const SourceLine &line : lines_) {
+            for (const std::string &label : line.labels)
+                labelIndex_[label] = index;
+            if (!line.isDirective && !line.mnemonic.empty())
+                ++index;
+        }
+        instructionCount_ = index;
+
+        // Pre-create builder labels for every referenced target so
+        // backward targets are bound in emission order.
+        for (const SourceLine &line : lines_) {
+            if (line.isDirective || line.operands.empty())
+                continue;
+            const std::string &m = line.mnemonic;
+            if (m == "jmp" || m == "blt" || m == "bge" || m == "beq" ||
+                m == "bne") {
+                parseTarget(line, line.operands.back());
+            }
+        }
+
+        // Emit.
+        index = 0;
+        for (const SourceLine &line : lines_) {
+            if (line.isDirective || line.mnemonic.empty())
+                continue;
+            bindPending(index);
+            emitInstruction(line, index);
+            ++index;
+        }
+        bindPending(index); // labels at end-of-program
+        return builder_.build();
+    }
+
+  private:
+    void
+    scan(const std::string &source)
+    {
+        std::istringstream stream(source);
+        std::string raw;
+        unsigned number = 0;
+        std::vector<std::string> pending_labels;
+        while (std::getline(stream, raw)) {
+            ++number;
+            std::string text = trim(stripComment(raw));
+            // Peel leading "name:" labels.
+            for (;;) {
+                const std::size_t colon = text.find(':');
+                if (colon == std::string::npos)
+                    break;
+                const std::string head = trim(text.substr(0, colon));
+                if (head.empty() || head.find(' ') != std::string::npos ||
+                    head[0] == '.') {
+                    break;
+                }
+                pending_labels.push_back(head);
+                text = trim(text.substr(colon + 1));
+            }
+            if (text.empty())
+                continue;
+
+            SourceLine line;
+            line.number = number;
+            line.labels = pending_labels;
+            pending_labels.clear();
+            line.isDirective = text[0] == '.';
+
+            const std::size_t space = text.find_first_of(" \t");
+            line.mnemonic = text.substr(0, space);
+            if (space != std::string::npos) {
+                const std::string rest = trim(text.substr(space + 1));
+                if (line.isDirective) {
+                    // Directive operands are whitespace-separated.
+                    std::istringstream words(rest);
+                    std::string word;
+                    while (words >> word)
+                        line.operands.push_back(word);
+                } else {
+                    line.operands = splitOperands(rest);
+                }
+            }
+            lines_.push_back(std::move(line));
+        }
+        if (!pending_labels.empty()) {
+            SourceLine line;
+            line.labels = pending_labels;
+            lines_.push_back(std::move(line));
+        }
+    }
+
+    [[noreturn]] void
+    syntaxError(const SourceLine &line, const std::string &what) const
+    {
+        fatal("assembler: line ", line.number, ": ", what);
+    }
+
+    void
+    applyDirective(const SourceLine &line)
+    {
+        const auto &ops = line.operands;
+        if (line.mnemonic == ".data") {
+            // .data name bytes [align]
+            if (ops.size() < 2)
+                syntaxError(line, ".data needs a name and a size");
+            const std::size_t bytes = std::stoull(ops[1], nullptr, 0);
+            const std::size_t align =
+                ops.size() > 2 ? std::stoull(ops[2], nullptr, 0)
+                               : kLineBytes;
+            (*symbols_)[ops[0]] = builder_.alloc(bytes, align);
+        } else if (line.mnemonic == ".word" || line.mnemonic == ".byte") {
+            // .word name offset value
+            if (ops.size() != 3)
+                syntaxError(line, line.mnemonic +
+                                      " needs name, offset, value");
+            const auto it = symbols_->find(ops[0]);
+            if (it == symbols_->end())
+                syntaxError(line, "unknown data symbol " + ops[0]);
+            const Addr addr =
+                it->second + std::stoull(ops[1], nullptr, 0);
+            const std::uint64_t value = std::stoull(ops[2], nullptr, 0);
+            if (line.mnemonic == ".word")
+                builder_.initWord64(addr, value);
+            else
+                builder_.initByte(addr, static_cast<std::uint8_t>(value));
+        } else {
+            syntaxError(line, "unknown directive " + line.mnemonic);
+        }
+    }
+
+    RegIndex
+    parseReg(const SourceLine &line, const std::string &token) const
+    {
+        if (token.size() < 2 || token[0] != 'r')
+            syntaxError(line, "expected register, got '" + token + "'");
+        const unsigned long value = std::stoul(token.substr(1));
+        if (value >= kNumRegs)
+            syntaxError(line, "register out of range: " + token);
+        return static_cast<RegIndex>(value);
+    }
+
+    std::int64_t
+    parseImm(const SourceLine &line, const std::string &token) const
+    {
+        if (!token.empty() &&
+            (std::isdigit(static_cast<unsigned char>(token[0])) ||
+             token[0] == '-' || token[0] == '+')) {
+            return std::stoll(token, nullptr, 0);
+        }
+        const auto it = symbols_->find(token);
+        if (it == symbols_->end())
+            syntaxError(line, "unknown symbol '" + token + "'");
+        return static_cast<std::int64_t>(it->second);
+    }
+
+    /** Parse "[rN]", "[rN+imm]", "[rN-imm]". */
+    void
+    parseMem(const SourceLine &line, const std::string &token,
+             RegIndex &reg, std::int64_t &imm) const
+    {
+        if (token.size() < 4 || token.front() != '[' ||
+            token.back() != ']') {
+            syntaxError(line, "expected [rN+imm], got '" + token + "'");
+        }
+        const std::string inner = token.substr(1, token.size() - 2);
+        const std::size_t split = inner.find_first_of("+-", 1);
+        reg = parseReg(line, trim(inner.substr(0, split)));
+        imm = 0;
+        if (split != std::string::npos)
+            imm = parseImm(line, trim(inner.substr(split)));
+    }
+
+    /** Branch/jump target: a label name or "@index". */
+    int
+    parseTarget(const SourceLine &line, const std::string &token)
+    {
+        unsigned target_index;
+        if (token[0] == '@') {
+            target_index =
+                static_cast<unsigned>(std::stoul(token.substr(1)));
+        } else {
+            const auto it = labelIndex_.find(token);
+            if (it == labelIndex_.end())
+                syntaxError(line, "unknown label '" + token + "'");
+            target_index = it->second;
+        }
+        if (target_index > instructionCount_)
+            syntaxError(line, "branch target out of range");
+        auto it = labelForIndex_.find(target_index);
+        if (it == labelForIndex_.end()) {
+            it = labelForIndex_.emplace(target_index, builder_.label())
+                     .first;
+        }
+        return it->second;
+    }
+
+    void
+    bindPending(unsigned index)
+    {
+        const auto it = labelForIndex_.find(index);
+        if (it != labelForIndex_.end() && !bound_.count(index)) {
+            builder_.bind(it->second);
+            bound_.insert(index);
+        }
+    }
+
+    void
+    emitInstruction(const SourceLine &line, unsigned index)
+    {
+        (void)index;
+        const std::string &m = line.mnemonic;
+        const auto &ops = line.operands;
+        auto need = [&](std::size_t count) {
+            if (ops.size() != count) {
+                syntaxError(line, m + " expects " +
+                                      std::to_string(count) +
+                                      " operands");
+            }
+        };
+
+        // Memory mnemonics carry a size suffix: load8/load1/..., or
+        // plain load == load8.
+        if (m.rfind("load", 0) == 0) {
+            need(2);
+            const unsigned size =
+                m.size() > 4 ? std::stoul(m.substr(4)) : 8;
+            RegIndex base;
+            std::int64_t imm;
+            parseMem(line, ops[1], base, imm);
+            builder_.load(parseReg(line, ops[0]), base, imm, size);
+            return;
+        }
+        if (m.rfind("store", 0) == 0) {
+            need(2);
+            const unsigned size =
+                m.size() > 5 ? std::stoul(m.substr(5)) : 8;
+            RegIndex base;
+            std::int64_t imm;
+            parseMem(line, ops[0], base, imm);
+            builder_.store(base, imm, parseReg(line, ops[1]), size);
+            return;
+        }
+        if (m == "clflush") {
+            need(1);
+            RegIndex base;
+            std::int64_t imm;
+            parseMem(line, ops[0], base, imm);
+            builder_.clflush(base, imm);
+            return;
+        }
+
+        if (m == "nop") { builder_.nop(); return; }
+        if (m == "halt") { builder_.halt(); return; }
+        if (m == "fence") { builder_.fence(); return; }
+        if (m == "rdtscp") {
+            need(1);
+            builder_.rdtscp(parseReg(line, ops[0]));
+            return;
+        }
+        if (m == "li") {
+            need(2);
+            builder_.li(parseReg(line, ops[0]), parseImm(line, ops[1]));
+            return;
+        }
+        if (m == "mov") {
+            need(2);
+            builder_.mov(parseReg(line, ops[0]), parseReg(line, ops[1]));
+            return;
+        }
+        if (m == "addi" || m == "shl" || m == "shr") {
+            need(3);
+            const RegIndex rd = parseReg(line, ops[0]);
+            const RegIndex rs = parseReg(line, ops[1]);
+            const std::int64_t imm = parseImm(line, ops[2]);
+            if (m == "addi")
+                builder_.addi(rd, rs, imm);
+            else if (m == "shl")
+                builder_.shl(rd, rs, static_cast<unsigned>(imm));
+            else
+                builder_.shr(rd, rs, static_cast<unsigned>(imm));
+            return;
+        }
+        if (m == "add" || m == "sub" || m == "mul" || m == "and" ||
+            m == "or" || m == "xor") {
+            need(3);
+            const RegIndex rd = parseReg(line, ops[0]);
+            const RegIndex rs1 = parseReg(line, ops[1]);
+            const RegIndex rs2 = parseReg(line, ops[2]);
+            if (m == "add") builder_.add(rd, rs1, rs2);
+            else if (m == "sub") builder_.sub(rd, rs1, rs2);
+            else if (m == "mul") builder_.mul(rd, rs1, rs2);
+            else if (m == "and") builder_.and_(rd, rs1, rs2);
+            else if (m == "or") builder_.or_(rd, rs1, rs2);
+            else builder_.xor_(rd, rs1, rs2);
+            return;
+        }
+        if (m == "blt" || m == "bge" || m == "beq" || m == "bne") {
+            need(3);
+            const RegIndex rs1 = parseReg(line, ops[0]);
+            const RegIndex rs2 = parseReg(line, ops[1]);
+            const int label = parseTarget(line, ops[2]);
+            if (m == "blt") builder_.blt(rs1, rs2, label);
+            else if (m == "bge") builder_.bge(rs1, rs2, label);
+            else if (m == "beq") builder_.beq(rs1, rs2, label);
+            else builder_.bne(rs1, rs2, label);
+            return;
+        }
+        if (m == "jmp") {
+            need(1);
+            builder_.jmp(parseTarget(line, ops[0]));
+            return;
+        }
+        syntaxError(line, "unknown mnemonic '" + m + "'");
+    }
+
+    std::vector<SourceLine> lines_;
+    ProgramBuilder builder_;
+    std::map<std::string, Addr> *symbols_ = nullptr;
+    std::map<std::string, unsigned> labelIndex_;
+    std::map<unsigned, int> labelForIndex_;
+    std::set<unsigned> bound_;
+    unsigned instructionCount_ = 0;
+};
+
+} // namespace
+
+Program
+Assembler::assemble(const std::string &source)
+{
+    std::map<std::string, Addr> symbols;
+    return assemble(source, symbols);
+}
+
+Program
+Assembler::assemble(const std::string &source,
+                    std::map<std::string, Addr> &symbols)
+{
+    Parser parser(source);
+    return parser.emit(symbols);
+}
+
+} // namespace unxpec

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Text assembler for the mini-ISA. Accepts the same syntax
+ * Program::listing() emits (plus labels and data directives), so
+ * programs round-trip between text and the builder. Attack variants
+ * and test kernels can be written as plain assembly strings:
+ *
+ *     .data buf 64            ; allocate 64 line-aligned bytes
+ *     .word buf 0 1234        ; initialize buf+0 with a 64-bit word
+ *         li r1, buf
+ *     loop:
+ *         load8 r2, [r1+0]
+ *         addi r2, r2, 1
+ *         store8 [r1+0], r2
+ *         blt r2, r3, loop
+ *         halt
+ *
+ * Comments run from ';' or '#' to end of line. Immediates accept
+ * decimal and 0x-hex; `.data` symbols may be used as immediates.
+ */
+
+#ifndef UNXPEC_CPU_ASSEMBLER_HH
+#define UNXPEC_CPU_ASSEMBLER_HH
+
+#include <map>
+#include <string>
+
+#include "cpu/program.hh"
+
+namespace unxpec {
+
+/** Parses assembly text into a Program. */
+class Assembler
+{
+  public:
+    /** Assemble `source`; fatal() with a line number on syntax errors. */
+    static Program assemble(const std::string &source);
+
+    /**
+     * Assemble and also return the data-symbol table (symbol ->
+     * allocated address), for harnesses that must poke program data.
+     */
+    static Program assemble(const std::string &source,
+                            std::map<std::string, Addr> &symbols);
+};
+
+} // namespace unxpec
+
+#endif // UNXPEC_CPU_ASSEMBLER_HH

@@ -1,0 +1,569 @@
+#include "cpu/core.hh"
+
+#include <algorithm>
+
+#include "sim/log.hh"
+
+namespace unxpec {
+
+Core::Core(const SystemConfig &cfg)
+    : cfg_((cfg.validate(), cfg)),
+      rng_(cfg.seed),
+      hier_(cfg, rng_),
+      predictor_(cfg.core.predictor == PredictorKind::Gshare
+                     ? std::unique_ptr<BranchPredictor>(
+                           std::make_unique<GsharePredictor>())
+                     : std::make_unique<BimodalPredictor>()),
+      cleanup_(cfg.cleanupMode, cfg.cleanupTiming, rng_),
+      lsq_(cfg.core.lsqEntries),
+      stats_("cpu"),
+      simTicks_(stats_.counter("sim_ticks", "total simulated cycles")),
+      committedInstrs_(stats_.counter("committedInsts",
+                                      "instructions committed")),
+      branches_(stats_.counter("branches", "conditional branches resolved")),
+      mispredicts_(stats_.counter("mispredicts", "branches mispredicted")),
+      loads_(stats_.counter("loads", "loads executed")),
+      stores_(stats_.counter("stores", "stores committed")),
+      rob_(cfg.core.robEntries)
+{
+    rat_.fill(kSeqNone);
+}
+
+void
+Core::setInterruptNoise(double per_cycle_probability, unsigned min_stall,
+                        unsigned max_stall)
+{
+    interruptProb_ = per_cycle_probability;
+    interruptMin_ = min_stall;
+    interruptMax_ = std::max(min_stall, max_stall);
+}
+
+RunResult
+Core::run(const Program &program, const RunOptions &options)
+{
+    program_ = &program;
+    if (options.resetMicroarch) {
+        hier_.resetCaches();
+        predictor_->reset();
+    }
+    if (options.loadData)
+        program.loadInitialData(hier_.mem());
+
+    rob_.clear();
+    decodeQueue_.clear();
+    rat_.fill(kSeqNone);
+    regs_.fill(0);
+    fetchPC_ = 0;
+    fetchStopped_ = program.size() == 0;
+    halted_ = false;
+    committed_ = 0;
+    const Cycle run_start = now_;
+    stallUntil_ = now_;
+    commitStallUntil_ = now_;
+    fetchResumeCycle_ = now_;
+
+    RunResult result;
+
+    while (!halted_ && committed_ < options.maxInstructions) {
+        if (now_ - run_start >= options.maxCycles) {
+            warn("Core::run: cycle budget exhausted");
+            break;
+        }
+        ++now_;
+        ++simTicks_;
+
+        // External noise: other honest programs occasionally steal the
+        // core (interrupts, scheduler ticks).
+        if (interruptProb_ > 0.0 && rng_.chance(interruptProb_)) {
+            const unsigned span = interruptMax_ - interruptMin_ + 1;
+            stallUntil_ = std::max(
+                stallUntil_, now_ + interruptMin_ + rng_.range(span));
+        }
+
+        // Cleanup (or noise) stall freezes every stage.
+        if (now_ < stallUntil_)
+            continue;
+
+        tickWriteback(program);
+        tickCommit();
+        if (halted_ || committed_ >= options.maxInstructions)
+            break;
+        tickIssue();
+        tickDispatch();
+        tickFetch(program);
+
+        // Run-off detection: nothing in flight and nothing to fetch.
+        if (rob_.empty() && decodeQueue_.empty() && fetchStopped_)
+            break;
+
+        if (options.warmupInstructions > 0 && result.warmupCycles == 0 &&
+            committed_ >= options.warmupInstructions) {
+            result.warmupCycles = now_ - run_start;
+        }
+    }
+
+    if (options.warmupInstructions > 0 && result.warmupCycles == 0)
+        result.warmupCycles = now_ - run_start;
+
+    result.cycles = now_ - run_start;
+    result.instructions = committed_;
+    result.halted = halted_;
+    result.regs = regs_;
+    program_ = nullptr;
+    return result;
+}
+
+bool
+Core::operandsReady(const RobEntry &entry) const
+{
+    return entry.srcReady[0] && entry.srcReady[1];
+}
+
+void
+Core::tryWakeup(RobEntry &entry)
+{
+    for (unsigned slot = 0; slot < 2; ++slot) {
+        if (entry.srcReady[slot])
+            continue;
+        const RobEntry *producer = rob_.find(entry.producer[slot]);
+        if (producer == nullptr) {
+            // Producer committed: its value is architectural (no
+            // younger writer can have committed before this entry).
+            const RegIndex sources[2] = {entry.inst.rs1, entry.inst.rs2};
+            entry.srcValue[slot] = regs_[sources[slot]];
+            entry.srcReady[slot] = true;
+        } else if (producer->done) {
+            entry.srcValue[slot] = producer->result;
+            entry.srcReady[slot] = true;
+        }
+    }
+}
+
+void
+Core::executeEntry(RobEntry &entry)
+{
+    const auto s0 = entry.srcValue[0];
+    const auto s1 = entry.srcValue[1];
+    const auto imm = static_cast<std::uint64_t>(entry.inst.imm);
+
+    switch (entry.inst.op) {
+      case Opcode::LI:   entry.result = imm; break;
+      case Opcode::MOV:  entry.result = s0; break;
+      case Opcode::ADD:  entry.result = s0 + s1; break;
+      case Opcode::ADDI: entry.result = s0 + imm; break;
+      case Opcode::SUB:  entry.result = s0 - s1; break;
+      case Opcode::MUL:  entry.result = s0 * s1; break;
+      case Opcode::AND:  entry.result = s0 & s1; break;
+      case Opcode::OR:   entry.result = s0 | s1; break;
+      case Opcode::XOR:  entry.result = s0 ^ s1; break;
+      case Opcode::SHL:  entry.result = s0 << (imm & 63); break;
+      case Opcode::SHR:  entry.result = s0 >> (imm & 63); break;
+      case Opcode::BLT:
+        entry.resolvedTaken =
+            static_cast<std::int64_t>(s0) < static_cast<std::int64_t>(s1);
+        break;
+      case Opcode::BGE:
+        entry.resolvedTaken =
+            static_cast<std::int64_t>(s0) >= static_cast<std::int64_t>(s1);
+        break;
+      case Opcode::BEQ:  entry.resolvedTaken = s0 == s1; break;
+      case Opcode::BNE:  entry.resolvedTaken = s0 != s1; break;
+      default:
+        break;
+    }
+}
+
+void
+Core::tickIssue()
+{
+    unsigned issued = 0;
+    for (auto &entry : rob_) {
+        if (issued >= cfg_.core.issueWidth)
+            break;
+        if (entry.issued || entry.done)
+            continue;
+        tryWakeup(entry);
+        if (!operandsReady(entry))
+            continue;
+
+        const Opcode op = entry.inst.op;
+
+        if (op == Opcode::LOAD) {
+            const Addr addr =
+                entry.srcValue[0] + static_cast<Addr>(entry.inst.imm);
+            const auto gate = LoadStoreQueue::gateLoad(
+                rob_, entry.seq, addr, entry.inst.size);
+            if (gate.gate == LoadGate::Blocked)
+                continue;
+            const bool speculative =
+                gate.gate == LoadGate::Proceed &&
+                rob_.olderUnresolvedBranch(entry.seq);
+            if (speculative &&
+                cfg_.cleanupMode == CleanupMode::DelayOnMiss &&
+                !hier_.l1d().present(lineAlign(addr), now_)) {
+                // Delay-on-miss: a speculative L1 miss simply waits
+                // until the speculation resolves; L1 hits are served
+                // (they change no cache state).
+                continue;
+            }
+            entry.effAddr = addr;
+            entry.issued = true;
+            entry.issueCycle = now_;
+            ++loads_;
+            if (gate.gate == LoadGate::Forward) {
+                entry.result = gate.forwardValue;
+                entry.readyCycle = now_ + 1;
+            } else {
+                entry.speculative = speculative;
+                if (speculative &&
+                    cfg_.cleanupMode == CleanupMode::InvisiSpec) {
+                    // Invisible scheme: serve from the shadow buffer;
+                    // no cache state changes until commit.
+                    entry.memRecord =
+                        hier_.accessInvisible(addr, now_, entry.seq);
+                } else {
+                    entry.memRecord = hier_.access(addr, now_, false,
+                                                   speculative,
+                                                   entry.seq);
+                }
+                entry.hasMemRecord = true;
+                entry.readyCycle = entry.memRecord.ready;
+                entry.result = hier_.mem().read(addr, entry.inst.size);
+            }
+            ++issued;
+            continue;
+        }
+
+        if (op == Opcode::STORE) {
+            entry.effAddr =
+                entry.srcValue[0] + static_cast<Addr>(entry.inst.imm);
+            entry.storeValue = entry.srcValue[1];
+            entry.issued = true;
+            entry.issueCycle = now_;
+            entry.readyCycle = now_ + 1;
+            ++issued;
+            continue;
+        }
+
+        if (op == Opcode::CLFLUSH) {
+            // clflush is ordered: it only executes non-speculatively,
+            // after all older memory operations have completed.
+            if (rob_.olderUnresolvedBranch(entry.seq))
+                continue;
+            if (!LoadStoreQueue::fenceReady(rob_, entry.seq))
+                continue;
+            const Addr addr =
+                entry.srcValue[0] + static_cast<Addr>(entry.inst.imm);
+            entry.effAddr = addr;
+            hier_.flushLine(addr);
+            entry.issued = true;
+            entry.issueCycle = now_;
+            entry.readyCycle = now_ + cfg_.core.clflushLatency;
+            ++issued;
+            continue;
+        }
+
+        if (op == Opcode::FENCE) {
+            if (!LoadStoreQueue::fenceReady(rob_, entry.seq))
+                continue;
+            entry.issued = true;
+            entry.issueCycle = now_;
+            entry.readyCycle = now_ + 1;
+            ++issued;
+            continue;
+        }
+
+        if (op == Opcode::RDTSCP) {
+            // Serializing: waits for every older instruction.
+            bool all_older_done = true;
+            for (const auto &older : rob_) {
+                if (older.seq >= entry.seq)
+                    break;
+                if (!older.done) {
+                    all_older_done = false;
+                    break;
+                }
+            }
+            if (!all_older_done)
+                continue;
+            entry.result = now_;
+            entry.issued = true;
+            entry.issueCycle = now_;
+            entry.readyCycle = now_ + 1;
+            ++issued;
+            continue;
+        }
+
+        // ALU ops and conditional branches.
+        executeEntry(entry);
+        entry.issued = true;
+        entry.issueCycle = now_;
+        const unsigned latency = op == Opcode::MUL
+            ? cfg_.core.mulLatency : cfg_.core.intAluLatency;
+        entry.readyCycle = now_ + latency;
+        ++issued;
+    }
+}
+
+void
+Core::tickWriteback(const Program &program)
+{
+    (void)program;
+    for (auto &entry : rob_) {
+        if (!entry.issued || entry.done || entry.readyCycle > now_)
+            continue;
+        entry.done = true;
+        if (isCondBranch(entry.inst.op)) {
+            resolveBranch(entry);
+            if (entry.mispredicted) {
+                // Younger entries are gone; the iterator is invalid.
+                break;
+            }
+        }
+    }
+}
+
+void
+Core::resolveBranch(RobEntry &branch)
+{
+    ++branches_;
+    branch.actualNextPc = branch.resolvedTaken
+        ? static_cast<std::size_t>(branch.inst.target)
+        : branch.pc + 1;
+    predictor_->update(branch.pc, branch.resolvedTaken);
+
+    if (branch.resolvedTaken == branch.predictedTaken)
+        return;
+
+    ++mispredicts_;
+    branch.mispredicted = true;
+    squashAfter(branch);
+}
+
+void
+Core::squashAfter(RobEntry &branch)
+{
+    const std::vector<RobEntry> squashed =
+        rob_.squashYoungerThan(branch.seq);
+
+    std::vector<MemAccessRecord> records;
+    for (const auto &entry : squashed) {
+        if (isLoad(entry.inst.op) && entry.hasMemRecord)
+            records.push_back(entry.memRecord);
+    }
+
+    const CleanupJob job = SpecTracker::buildJob(now_, records);
+    const Cycle older_drain =
+        LoadStoreQueue::olderLoadsDrainCycle(rob_, branch.seq);
+    const Cycle cleanup_until = cleanup_.rollback(hier_, job, older_drain);
+    stallUntil_ = std::max(stallUntil_, cleanup_until);
+
+    decodeQueue_.clear();
+    fetchPC_ = branch.actualNextPc;
+    fetchStopped_ = fetchPC_ >= program_->size();
+    // The front end restarts only after the rollback finishes: the
+    // core is stalled for the cleanup, then pays the redirect bubble.
+    fetchResumeCycle_ =
+        std::max(now_, stallUntil_) + cfg_.core.branchRedirectPenalty;
+    // Sequence numbers restart right after the branch so ROB lookup
+    // stays O(1) on consecutive numbering.
+    nextSeq_ = branch.seq + 1;
+    rebuildRat();
+}
+
+void
+Core::rebuildRat()
+{
+    rat_.fill(kSeqNone);
+    for (const auto &entry : rob_) {
+        if (writesReg(entry.inst.op))
+            rat_[entry.inst.rd] = entry.seq;
+    }
+}
+
+void
+Core::tickCommit()
+{
+    if (now_ < commitStallUntil_)
+        return;
+    unsigned committed_now = 0;
+    while (committed_now < cfg_.core.commitWidth && !rob_.empty()) {
+        RobEntry &head = rob_.front();
+        if (!head.done)
+            break;
+
+        if (head.hasMemRecord && head.memRecord.invisible) {
+            // InvisiSpec expose/validate: the buffered load becomes
+            // architectural. A load that hit during speculation only
+            // needs exposure; one that missed must validate with a
+            // real access, and commit waits for it — the "two reads
+            // per speculative load" cost the paper's intro cites.
+            const MemAccessRecord expose = hier_.access(
+                head.effAddr, now_, false, false, head.seq);
+            head.memRecord.invisible = false;
+            head.hasMemRecord = false;
+            if (!head.memRecord.l1Hit) {
+                commitStallUntil_ = expose.ready;
+                if (now_ < commitStallUntil_)
+                    return;
+            }
+        }
+
+        if (head.inst.op == Opcode::HALT) {
+            halted_ = true;
+            ++committed_;
+            ++committedInstrs_;
+            rob_.popFront();
+            break;
+        }
+
+        if (isStore(head.inst.op)) {
+            commitStore(head);
+        } else if (isLoad(head.inst.op) && head.hasMemRecord) {
+            hier_.commitInstall(head.memRecord);
+        }
+
+        if (writesReg(head.inst.op)) {
+            regs_[head.inst.rd] = head.result;
+            if (rat_[head.inst.rd] == head.seq)
+                rat_[head.inst.rd] = kSeqNone;
+        }
+
+        if (trace_ != nullptr) {
+            *trace_ << now_ << " " << head.seq << " " << head.pc << ": "
+                    << disassemble(head.inst);
+            if (writesReg(head.inst.op))
+                *trace_ << " = " << head.result;
+            *trace_ << "\n";
+        }
+
+        ++committed_;
+        ++committedInstrs_;
+        ++committed_now;
+        rob_.popFront();
+    }
+}
+
+void
+Core::commitStore(RobEntry &entry)
+{
+    ++stores_;
+    hier_.mem().write(entry.effAddr, entry.storeValue, entry.inst.size);
+    // Write-allocate fill at commit; latency hidden by the store
+    // buffer, so the result timing is ignored.
+    hier_.access(entry.effAddr, now_, true, false, entry.seq);
+}
+
+void
+Core::tickDispatch()
+{
+    unsigned dispatched = 0;
+    while (dispatched < cfg_.core.fetchWidth && !decodeQueue_.empty() &&
+           !rob_.full()) {
+        const FetchedInst &fetched = decodeQueue_.front();
+        if (fetched.availCycle > now_)
+            break;
+        if (isMem(fetched.inst.op) &&
+            LoadStoreQueue::occupancy(rob_) >= lsq_.capacity()) {
+            break;
+        }
+
+        RobEntry entry;
+        entry.seq = nextSeq_++;
+        entry.pc = fetched.pc;
+        entry.inst = fetched.inst;
+        entry.predictedTaken = fetched.predictedTaken;
+        entry.dispatchCycle = now_;
+
+        const Opcode op = entry.inst.op;
+        const RegIndex sources[2] = {entry.inst.rs1, entry.inst.rs2};
+        const bool reads[2] = {readsRs1(op), readsRs2(op)};
+        for (unsigned slot = 0; slot < 2; ++slot) {
+            if (!reads[slot])
+                continue;
+            const SeqNum producer = rat_[sources[slot]];
+            if (producer == kSeqNone) {
+                entry.srcValue[slot] = regs_[sources[slot]];
+            } else if (const RobEntry *prod = rob_.find(producer);
+                       prod != nullptr && prod->done) {
+                entry.srcValue[slot] = prod->result;
+            } else {
+                entry.producer[slot] = producer;
+                entry.srcReady[slot] = false;
+            }
+        }
+
+        if (writesReg(op))
+            rat_[entry.inst.rd] = entry.seq;
+
+        // Instructions with no work complete at dispatch.
+        if (op == Opcode::NOP || op == Opcode::HALT || op == Opcode::JMP) {
+            entry.issued = true;
+            entry.done = true;
+            entry.readyCycle = now_;
+            if (op == Opcode::JMP) {
+                entry.resolvedTaken = true;
+                entry.actualNextPc =
+                    static_cast<std::size_t>(entry.inst.target);
+            }
+        }
+
+        rob_.push(std::move(entry));
+        decodeQueue_.pop_front();
+        ++dispatched;
+    }
+}
+
+void
+Core::tickFetch(const Program &program)
+{
+    if (fetchStopped_ || now_ < fetchResumeCycle_)
+        return;
+
+    const std::size_t queue_limit =
+        static_cast<std::size_t>(cfg_.core.fetchWidth) *
+        (cfg_.core.decodeDepth + 2);
+
+    unsigned fetched = 0;
+    while (fetched < cfg_.core.fetchWidth &&
+           decodeQueue_.size() < queue_limit) {
+        if (fetchPC_ >= program.size()) {
+            fetchStopped_ = true;
+            break;
+        }
+        const Instruction &inst = program.at(fetchPC_);
+
+        const Cycle icache_ready =
+            hier_.fetchReady(Program::pcToAddr(fetchPC_), now_);
+        const Cycle avail =
+            std::max(icache_ready, now_ + cfg_.l1i.hitLatency) +
+            cfg_.core.decodeDepth;
+
+        FetchedInst fetched_inst;
+        fetched_inst.pc = fetchPC_;
+        fetched_inst.inst = inst;
+        fetched_inst.availCycle = avail;
+
+        if (isCondBranch(inst.op)) {
+            fetched_inst.predictedTaken =
+                predictor_->predict(fetchPC_);
+            fetchPC_ = fetched_inst.predictedTaken
+                ? static_cast<std::size_t>(inst.target) : fetchPC_ + 1;
+        } else if (inst.op == Opcode::JMP) {
+            fetched_inst.predictedTaken = true;
+            fetchPC_ = static_cast<std::size_t>(inst.target);
+        } else if (inst.op == Opcode::HALT) {
+            fetchPC_ = fetchPC_ + 1;
+            decodeQueue_.push_back(fetched_inst);
+            fetchStopped_ = true;
+            break;
+        } else {
+            fetchPC_ = fetchPC_ + 1;
+        }
+
+        decodeQueue_.push_back(fetched_inst);
+        ++fetched;
+    }
+}
+
+} // namespace unxpec

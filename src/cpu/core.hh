@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Cycle-stepped out-of-order core in the mold of gem5's O3: speculative
+ * fetch down the predicted path, register renaming onto ROB tags,
+ * out-of-order issue with load/store discipline, in-order commit, and
+ * squash-on-mispredict that hands the transient memory footprint to
+ * the CleanupSpec rollback engine.
+ *
+ * Microarchitectural state (caches, predictor, cleanup stats) persists
+ * across run() calls, modeling the paper's attacker: sender and
+ * receiver share one thread and run round after round on a warm
+ * machine. Architectural state (registers, PC) resets per run.
+ */
+
+#ifndef UNXPEC_CPU_CORE_HH
+#define UNXPEC_CPU_CORE_HH
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <memory>
+
+#include "cleanup/cleanup_engine.hh"
+#include "cpu/branch_predictor.hh"
+#include "cpu/lsq.hh"
+#include "cpu/program.hh"
+#include "cpu/rob.hh"
+#include "memory/hierarchy.hh"
+#include "sim/config.hh"
+#include "sim/rng.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace unxpec {
+
+/** Options for one program execution. */
+struct RunOptions
+{
+    /** Stop after committing this many instructions (HALT also stops). */
+    std::uint64_t maxInstructions = UINT64_MAX;
+    /** Record the cycle at which this many instructions had committed
+     *  (the artifact's system.cpu.fetch.startCycles). */
+    std::uint64_t warmupInstructions = 0;
+    /** Cold-start caches and predictor before running. */
+    bool resetMicroarch = false;
+    /** Apply the program's initial data image to memory first. */
+    bool loadData = true;
+    /** Safety valve against runaway programs. */
+    std::uint64_t maxCycles = 1ull << 32;
+};
+
+/** Outcome of one program execution. */
+struct RunResult
+{
+    Cycle cycles = 0;             //!< sim_ticks for this run
+    std::uint64_t instructions = 0;
+    Cycle warmupCycles = 0;       //!< cycle at warmupInstructions commits
+    bool halted = false;
+    std::array<std::uint64_t, kNumRegs> regs{};
+
+    std::uint64_t reg(RegIndex index) const { return regs[index]; }
+};
+
+/** Single out-of-order core plus its memory hierarchy. */
+class Core
+{
+  public:
+    explicit Core(const SystemConfig &cfg);
+
+    // The hierarchy and cleanup engine hold references into this
+    // object; copying or moving would leave them dangling.
+    Core(const Core &) = delete;
+    Core &operator=(const Core &) = delete;
+
+    /** Execute a program to completion (HALT or instruction budget). */
+    RunResult run(const Program &program, const RunOptions &options = {});
+
+    MemoryHierarchy &hierarchy() { return hier_; }
+    BranchPredictor &predictor() { return *predictor_; }
+    CleanupEngine &cleanup() { return cleanup_; }
+    MainMemory &mem() { return hier_.mem(); }
+    Rng &rng() { return rng_; }
+    StatGroup &stats() { return stats_; }
+    const SystemConfig &config() const { return cfg_; }
+
+    /** Global cycle counter (monotonic across runs). */
+    Cycle now() const { return now_; }
+
+    /**
+     * Per-cycle probability of an external "interrupt" noise event and
+     * its stall length; models other honest programs multiplexing the
+     * core (§VI-D). Zero disables.
+     */
+    void setInterruptNoise(double per_cycle_probability,
+                           unsigned min_stall, unsigned max_stall);
+
+    /**
+     * Commit trace: when set, every committed instruction emits one
+     * line `cycle seq pc: disassembly [= result]`. nullptr disables.
+     */
+    void setTrace(std::ostream *trace) { trace_ = trace; }
+
+  private:
+    struct FetchedInst
+    {
+        std::size_t pc = 0;
+        Instruction inst;
+        bool predictedTaken = false;
+        Cycle availCycle = 0;
+    };
+
+    void tickWriteback(const Program &program);
+    void tickCommit();
+    void tickIssue();
+    void tickDispatch();
+    void tickFetch(const Program &program);
+
+    void resolveBranch(RobEntry &branch);
+    void squashAfter(RobEntry &branch);
+    void rebuildRat();
+
+    bool operandsReady(const RobEntry &entry) const;
+    void tryWakeup(RobEntry &entry);
+    std::uint64_t operandValue(const RobEntry &entry, unsigned slot) const;
+    void executeEntry(RobEntry &entry);
+    void commitStore(RobEntry &entry);
+
+    // --- configuration and shared state -----------------------------
+    SystemConfig cfg_;
+    Rng rng_;
+    MemoryHierarchy hier_;
+    std::unique_ptr<BranchPredictor> predictor_;
+    CleanupEngine cleanup_;
+    LoadStoreQueue lsq_;
+
+    StatGroup stats_;
+    Counter &simTicks_;
+    Counter &committedInstrs_;
+    Counter &branches_;
+    Counter &mispredicts_;
+    Counter &loads_;
+    Counter &stores_;
+
+    // --- per-run state -----------------------------------------------
+    const Program *program_ = nullptr;
+    std::array<std::uint64_t, kNumRegs> regs_{};
+    std::array<SeqNum, kNumRegs> rat_{};
+    ReorderBuffer rob_;
+    std::deque<FetchedInst> decodeQueue_;
+    std::size_t fetchPC_ = 0;
+    bool fetchStopped_ = false;
+    Cycle fetchResumeCycle_ = 0;
+    Cycle stallUntil_ = 0;
+    Cycle commitStallUntil_ = 0; //!< InvisiSpec validation drain
+    bool halted_ = false;
+    SeqNum nextSeq_ = 0;
+    std::uint64_t committed_ = 0;
+    Cycle now_ = 0;
+
+    // Noise injection.
+    double interruptProb_ = 0.0;
+    unsigned interruptMin_ = 0;
+    unsigned interruptMax_ = 0;
+
+    // Commit tracing.
+    std::ostream *trace_ = nullptr;
+};
+
+} // namespace unxpec
+
+#endif // UNXPEC_CPU_CORE_HH

@@ -1,0 +1,197 @@
+#include "cpu/isa.hh"
+
+#include <sstream>
+
+namespace unxpec {
+
+bool
+isLoad(Opcode op)
+{
+    return op == Opcode::LOAD;
+}
+
+bool
+isStore(Opcode op)
+{
+    return op == Opcode::STORE;
+}
+
+bool
+isMem(Opcode op)
+{
+    return op == Opcode::LOAD || op == Opcode::STORE ||
+           op == Opcode::CLFLUSH || op == Opcode::FENCE;
+}
+
+bool
+isCondBranch(Opcode op)
+{
+    return op == Opcode::BLT || op == Opcode::BGE || op == Opcode::BEQ ||
+           op == Opcode::BNE;
+}
+
+bool
+isBranch(Opcode op)
+{
+    return isCondBranch(op) || op == Opcode::JMP;
+}
+
+bool
+writesReg(Opcode op)
+{
+    switch (op) {
+      case Opcode::LI:
+      case Opcode::MOV:
+      case Opcode::ADD:
+      case Opcode::ADDI:
+      case Opcode::SUB:
+      case Opcode::MUL:
+      case Opcode::AND:
+      case Opcode::OR:
+      case Opcode::XOR:
+      case Opcode::SHL:
+      case Opcode::SHR:
+      case Opcode::LOAD:
+      case Opcode::RDTSCP:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+readsRs1(Opcode op)
+{
+    switch (op) {
+      case Opcode::MOV:
+      case Opcode::ADD:
+      case Opcode::ADDI:
+      case Opcode::SUB:
+      case Opcode::MUL:
+      case Opcode::AND:
+      case Opcode::OR:
+      case Opcode::XOR:
+      case Opcode::SHL:
+      case Opcode::SHR:
+      case Opcode::LOAD:
+      case Opcode::STORE:
+      case Opcode::BLT:
+      case Opcode::BGE:
+      case Opcode::BEQ:
+      case Opcode::BNE:
+      case Opcode::CLFLUSH:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+readsRs2(Opcode op)
+{
+    switch (op) {
+      case Opcode::ADD:
+      case Opcode::SUB:
+      case Opcode::MUL:
+      case Opcode::AND:
+      case Opcode::OR:
+      case Opcode::XOR:
+      case Opcode::STORE:
+      case Opcode::BLT:
+      case Opcode::BGE:
+      case Opcode::BEQ:
+      case Opcode::BNE:
+        return true;
+      default:
+        return false;
+    }
+}
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::NOP:     return "nop";
+      case Opcode::HALT:    return "halt";
+      case Opcode::LI:      return "li";
+      case Opcode::MOV:     return "mov";
+      case Opcode::ADD:     return "add";
+      case Opcode::ADDI:    return "addi";
+      case Opcode::SUB:     return "sub";
+      case Opcode::MUL:     return "mul";
+      case Opcode::AND:     return "and";
+      case Opcode::OR:      return "or";
+      case Opcode::XOR:     return "xor";
+      case Opcode::SHL:     return "shl";
+      case Opcode::SHR:     return "shr";
+      case Opcode::LOAD:    return "load";
+      case Opcode::STORE:   return "store";
+      case Opcode::BLT:     return "blt";
+      case Opcode::BGE:     return "bge";
+      case Opcode::BEQ:     return "beq";
+      case Opcode::BNE:     return "bne";
+      case Opcode::JMP:     return "jmp";
+      case Opcode::CLFLUSH: return "clflush";
+      case Opcode::FENCE:   return "fence";
+      case Opcode::RDTSCP:  return "rdtscp";
+    }
+    return "?";
+}
+
+std::string
+disassemble(const Instruction &inst)
+{
+    std::ostringstream oss;
+    oss << opcodeName(inst.op);
+    switch (inst.op) {
+      case Opcode::LI:
+        oss << " r" << +inst.rd << ", " << inst.imm;
+        break;
+      case Opcode::MOV:
+        oss << " r" << +inst.rd << ", r" << +inst.rs1;
+        break;
+      case Opcode::ADDI:
+      case Opcode::SHL:
+      case Opcode::SHR:
+        oss << " r" << +inst.rd << ", r" << +inst.rs1 << ", " << inst.imm;
+        break;
+      case Opcode::ADD:
+      case Opcode::SUB:
+      case Opcode::MUL:
+      case Opcode::AND:
+      case Opcode::OR:
+      case Opcode::XOR:
+        oss << " r" << +inst.rd << ", r" << +inst.rs1 << ", r" << +inst.rs2;
+        break;
+      case Opcode::LOAD:
+        oss << +inst.size << " r" << +inst.rd << ", [r" << +inst.rs1
+            << (inst.imm >= 0 ? "+" : "") << inst.imm << "]";
+        break;
+      case Opcode::STORE:
+        oss << +inst.size << " [r" << +inst.rs1
+            << (inst.imm >= 0 ? "+" : "") << inst.imm << "], r" << +inst.rs2;
+        break;
+      case Opcode::BLT:
+      case Opcode::BGE:
+      case Opcode::BEQ:
+      case Opcode::BNE:
+        oss << " r" << +inst.rs1 << ", r" << +inst.rs2 << ", @"
+            << inst.target;
+        break;
+      case Opcode::JMP:
+        oss << " @" << inst.target;
+        break;
+      case Opcode::CLFLUSH:
+        oss << " [r" << +inst.rs1 << (inst.imm >= 0 ? "+" : "") << inst.imm
+            << "]";
+        break;
+      case Opcode::RDTSCP:
+        oss << " r" << +inst.rd;
+        break;
+      default:
+        break;
+    }
+    return oss.str();
+}
+
+} // namespace unxpec

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The simulator's mini-ISA: a 32-register load/store machine with just
+ * enough surface to express the paper's attack code — dependent loads
+ * for f(N) branch conditions, conditional branches to mistrain and
+ * mis-speculate, `clflush`, a memory fence, and `rdtscp`.
+ */
+
+#ifndef UNXPEC_CPU_ISA_HH
+#define UNXPEC_CPU_ISA_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace unxpec {
+
+/** Number of architectural registers. */
+inline constexpr unsigned kNumRegs = 32;
+
+/** Operation codes. */
+enum class Opcode : std::uint8_t
+{
+    NOP,
+    HALT,    //!< stop the program at commit
+    LI,      //!< rd = imm
+    MOV,     //!< rd = rs1
+    ADD,     //!< rd = rs1 + rs2
+    ADDI,    //!< rd = rs1 + imm
+    SUB,     //!< rd = rs1 - rs2
+    MUL,     //!< rd = rs1 * rs2
+    AND,     //!< rd = rs1 & rs2
+    OR,      //!< rd = rs1 | rs2
+    XOR,     //!< rd = rs1 ^ rs2
+    SHL,     //!< rd = rs1 << imm
+    SHR,     //!< rd = rs1 >> imm
+    LOAD,    //!< rd = mem[rs1 + imm]  (size bytes, zero-extended)
+    STORE,   //!< mem[rs1 + imm] = rs2 (size bytes)
+    BLT,     //!< branch to target when rs1 < rs2 (signed)
+    BGE,     //!< branch to target when rs1 >= rs2 (signed)
+    BEQ,     //!< branch to target when rs1 == rs2
+    BNE,     //!< branch to target when rs1 != rs2
+    JMP,     //!< unconditional branch to target
+    CLFLUSH, //!< flush line of mem[rs1 + imm] from the whole hierarchy
+    FENCE,   //!< complete all older memory operations first
+    RDTSCP,  //!< rd = current cycle; waits for all older instructions
+};
+
+/** A decoded instruction. PCs are instruction indices into the program. */
+struct Instruction
+{
+    Opcode op = Opcode::NOP;
+    RegIndex rd = 0;
+    RegIndex rs1 = 0;
+    RegIndex rs2 = 0;
+    std::int64_t imm = 0;
+    std::int32_t target = 0; //!< branch/jump destination (instruction index)
+    std::uint8_t size = 8;   //!< memory access size in bytes
+};
+
+/** Classification helpers. */
+bool isLoad(Opcode op);
+bool isStore(Opcode op);
+bool isMem(Opcode op);          //!< load, store, clflush, or fence
+bool isCondBranch(Opcode op);
+bool isBranch(Opcode op);       //!< conditional or JMP
+bool writesReg(Opcode op);
+bool readsRs1(Opcode op);
+bool readsRs2(Opcode op);
+
+/** Mnemonic for an opcode. */
+const char *opcodeName(Opcode op);
+
+/** Disassemble one instruction. */
+std::string disassemble(const Instruction &inst);
+
+} // namespace unxpec
+
+#endif // UNXPEC_CPU_ISA_HH

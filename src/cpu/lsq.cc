@@ -1,0 +1,89 @@
+#include "cpu/lsq.hh"
+
+#include <algorithm>
+
+namespace unxpec {
+
+unsigned
+LoadStoreQueue::occupancy(const ReorderBuffer &rob)
+{
+    unsigned count = 0;
+    for (const auto &entry : rob) {
+        if (isMem(entry.inst.op))
+            ++count;
+    }
+    return count;
+}
+
+LoadGateResult
+LoadStoreQueue::gateLoad(const ReorderBuffer &rob, SeqNum seq, Addr addr,
+                         unsigned size)
+{
+    LoadGateResult result;
+    for (const auto &entry : rob) {
+        if (entry.seq >= seq)
+            break;
+        if (entry.inst.op == Opcode::FENCE && !entry.done) {
+            result.gate = LoadGate::Blocked;
+            return result;
+        }
+        if (!isStore(entry.inst.op))
+            continue;
+        if (!entry.done) {
+            // Address (or data) not resolved yet: be conservative.
+            result.gate = LoadGate::Blocked;
+            return result;
+        }
+        const Addr store_begin = entry.effAddr;
+        const Addr store_end = store_begin + entry.inst.size;
+        const Addr load_begin = addr;
+        const Addr load_end = addr + size;
+        const bool overlap =
+            store_begin < load_end && load_begin < store_end;
+        if (!overlap)
+            continue;
+        if (store_begin <= load_begin && load_end <= store_end) {
+            // Fully covered: forward (latest older store wins, so keep
+            // scanning and overwrite).
+            const unsigned shift =
+                static_cast<unsigned>(load_begin - store_begin) * 8;
+            std::uint64_t value = entry.storeValue >> shift;
+            if (size < 8)
+                value &= (1ull << (size * 8)) - 1;
+            result.gate = LoadGate::Forward;
+            result.forwardValue = value;
+        } else {
+            // Partial overlap: wait for the store to drain.
+            result.gate = LoadGate::Blocked;
+            return result;
+        }
+    }
+    return result;
+}
+
+bool
+LoadStoreQueue::fenceReady(const ReorderBuffer &rob, SeqNum seq)
+{
+    for (const auto &entry : rob) {
+        if (entry.seq >= seq)
+            break;
+        if (isMem(entry.inst.op) && !entry.done)
+            return false;
+    }
+    return true;
+}
+
+Cycle
+LoadStoreQueue::olderLoadsDrainCycle(const ReorderBuffer &rob, SeqNum seq)
+{
+    Cycle drain = 0;
+    for (const auto &entry : rob) {
+        if (entry.seq >= seq)
+            break;
+        if (isLoad(entry.inst.op) && entry.issued && !entry.done)
+            drain = std::max(drain, entry.readyCycle);
+    }
+    return drain;
+}
+
+} // namespace unxpec

@@ -1,0 +1,61 @@
+#include "cpu/rob.hh"
+
+#include <algorithm>
+
+#include "sim/log.hh"
+
+namespace unxpec {
+
+RobEntry &
+ReorderBuffer::push(RobEntry entry)
+{
+    if (full())
+        panic("ReorderBuffer::push on full ROB");
+    if (!entries_.empty() && entry.seq != entries_.back().seq + 1)
+        panic("ReorderBuffer::push: non-consecutive sequence number");
+    entries_.push_back(std::move(entry));
+    return entries_.back();
+}
+
+RobEntry *
+ReorderBuffer::find(SeqNum seq)
+{
+    if (entries_.empty() || seq < entries_.front().seq ||
+        seq > entries_.back().seq) {
+        return nullptr;
+    }
+    return &entries_[seq - entries_.front().seq];
+}
+
+const RobEntry *
+ReorderBuffer::find(SeqNum seq) const
+{
+    return const_cast<ReorderBuffer *>(this)->find(seq);
+}
+
+std::vector<RobEntry>
+ReorderBuffer::squashYoungerThan(SeqNum seq)
+{
+    std::vector<RobEntry> squashed;
+    while (!entries_.empty() && entries_.back().seq > seq) {
+        squashed.push_back(std::move(entries_.back()));
+        entries_.pop_back();
+    }
+    // Return them oldest-first for readability downstream.
+    std::reverse(squashed.begin(), squashed.end());
+    return squashed;
+}
+
+bool
+ReorderBuffer::olderUnresolvedBranch(SeqNum seq) const
+{
+    for (const auto &entry : entries_) {
+        if (entry.seq >= seq)
+            break;
+        if (isCondBranch(entry.inst.op) && !entry.done)
+            return true;
+    }
+    return false;
+}
+
+} // namespace unxpec

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Reorder buffer. Entries are assigned consecutive sequence numbers at
+ * dispatch, so lookup by sequence number is O(1) relative to the head.
+ * Squash removes every entry younger than the mispredicted branch and
+ * returns them so the cleanup engine can inspect their memory records.
+ */
+
+#ifndef UNXPEC_CPU_ROB_HH
+#define UNXPEC_CPU_ROB_HH
+
+#include <deque>
+#include <vector>
+
+#include "cpu/isa.hh"
+#include "memory/hierarchy.hh"
+#include "sim/types.hh"
+
+namespace unxpec {
+
+/** One in-flight instruction. */
+struct RobEntry
+{
+    SeqNum seq = kSeqNone;
+    std::size_t pc = 0;
+    Instruction inst;
+
+    // Operand capture: value is valid once the producer is done;
+    // producer == kSeqNone means the value was read from the register
+    // file at dispatch.
+    SeqNum producer[2] = {kSeqNone, kSeqNone};
+    bool srcReady[2] = {true, true};
+    std::uint64_t srcValue[2] = {0, 0};
+
+    bool issued = false;
+    bool done = false;
+    Cycle dispatchCycle = 0;
+    Cycle issueCycle = 0;
+    Cycle readyCycle = kCycleNever;
+    std::uint64_t result = 0;
+
+    /** Issued while an older conditional branch was unresolved. */
+    bool speculative = false;
+
+    // Branch bookkeeping.
+    bool predictedTaken = false;
+    bool resolvedTaken = false;
+    bool mispredicted = false;
+    std::size_t actualNextPc = 0;
+
+    // Memory bookkeeping.
+    bool hasMemRecord = false;
+    MemAccessRecord memRecord;
+    Addr effAddr = 0;
+    std::uint64_t storeValue = 0;
+};
+
+/** Circular in-order buffer of in-flight instructions. */
+class ReorderBuffer
+{
+  public:
+    explicit ReorderBuffer(unsigned capacity) : capacity_(capacity) {}
+
+    bool full() const { return entries_.size() >= capacity_; }
+    bool empty() const { return entries_.empty(); }
+    std::size_t size() const { return entries_.size(); }
+    unsigned capacity() const { return capacity_; }
+
+    /** Append a new entry (must not be full). */
+    RobEntry &push(RobEntry entry);
+
+    /** Oldest entry. */
+    RobEntry &front() { return entries_.front(); }
+    const RobEntry &front() const { return entries_.front(); }
+
+    /** Retire the oldest entry. */
+    void popFront() { entries_.pop_front(); }
+
+    /** Entry for a sequence number, nullptr if not in flight. */
+    RobEntry *find(SeqNum seq);
+    const RobEntry *find(SeqNum seq) const;
+
+    /**
+     * Remove every entry younger than `seq` and return them
+     * oldest-first.
+     */
+    std::vector<RobEntry> squashYoungerThan(SeqNum seq);
+
+    /** True when a not-yet-done conditional branch older than `seq`
+     *  exists. */
+    bool olderUnresolvedBranch(SeqNum seq) const;
+
+    void clear() { entries_.clear(); }
+
+    auto begin() { return entries_.begin(); }
+    auto end() { return entries_.end(); }
+    auto begin() const { return entries_.begin(); }
+    auto end() const { return entries_.end(); }
+
+  private:
+    unsigned capacity_;
+    std::deque<RobEntry> entries_;
+};
+
+} // namespace unxpec
+
+#endif // UNXPEC_CPU_ROB_HH

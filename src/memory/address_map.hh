@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Set-index functions. The conventional mapping uses the low line bits;
+ * the CEASER-style mapping (Qureshi, MICRO'18) encrypts the line
+ * address with a keyed permutation before indexing, which CleanupSpec
+ * adopts on lower-level caches in lieu of restoration.
+ */
+
+#ifndef UNXPEC_MEMORY_ADDRESS_MAP_HH
+#define UNXPEC_MEMORY_ADDRESS_MAP_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "sim/config.hh"
+#include "sim/types.hh"
+
+namespace unxpec {
+
+/** Maps a line address to a set index. */
+class IndexFunction
+{
+  public:
+    explicit IndexFunction(unsigned num_sets) : numSets_(num_sets) {}
+    virtual ~IndexFunction() = default;
+
+    /** Set index for a line address (offset bits already stripped). */
+    virtual unsigned set(Addr line_addr) const = 0;
+
+    unsigned numSets() const { return numSets_; }
+
+    /** Factory for the function named in a CacheConfig. */
+    static std::unique_ptr<IndexFunction>
+    create(IndexPolicy policy, unsigned num_sets, std::uint64_t key);
+
+  protected:
+    unsigned numSets_;
+};
+
+/** Conventional modulo indexing on the line number. */
+class ModuloIndex : public IndexFunction
+{
+  public:
+    explicit ModuloIndex(unsigned num_sets) : IndexFunction(num_sets) {}
+    unsigned set(Addr line_addr) const override;
+};
+
+/**
+ * CEASER-style keyed index: a 4-round Feistel network permutes the
+ * 64-bit line number under a secret key; the permuted value is then
+ * indexed modulo the set count. Bijective, so distinct lines never
+ * alias more than the modulo itself introduces.
+ */
+class CeaserIndex : public IndexFunction
+{
+  public:
+    CeaserIndex(unsigned num_sets, std::uint64_t key);
+
+    unsigned set(Addr line_addr) const override;
+
+    /** The keyed permutation itself (exposed for tests). */
+    std::uint64_t permute(std::uint64_t line_number) const;
+
+  private:
+    std::uint64_t roundKeys_[4];
+};
+
+} // namespace unxpec
+
+#endif // UNXPEC_MEMORY_ADDRESS_MAP_HH

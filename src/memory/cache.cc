@@ -1,0 +1,247 @@
+#include "memory/cache.hh"
+
+#include <algorithm>
+
+#include "sim/log.hh"
+
+namespace unxpec {
+
+Cache::Cache(const CacheConfig &cfg, Rng &rng, std::uint64_t index_key)
+    : cfg_(cfg),
+      numSets_(cfg.numSets()),
+      lines_(static_cast<std::size_t>(cfg.numSets()) * cfg.ways),
+      repl_(ReplacementPolicy::create(cfg.repl, cfg.numSets(), cfg.ways,
+                                      rng)),
+      index_(IndexFunction::create(cfg.index, cfg.numSets(), index_key)),
+      mshr_(cfg.mshrs),
+      stats_(cfg.name),
+      hits_(stats_.counter("hits", "demand hits")),
+      misses_(stats_.counter("misses", "demand misses")),
+      evictions_(stats_.counter("evictions", "valid lines displaced")),
+      invalidations_(stats_.counter("invalidations",
+                                    "lines invalidated (incl. cleanup)")),
+      restores_(stats_.counter("restores", "victims restored by cleanup"))
+{
+    if (cfg.ways == 0 || cfg.ways > 64)
+        fatal("cache ", cfg.name, ": ways must be in [1, 64]");
+    if (cfg.nomoReservedWays >= cfg.ways)
+        fatal("cache ", cfg.name, ": NoMo reservation leaves no usable way");
+}
+
+std::uint64_t
+Cache::allowedMask(unsigned domain) const
+{
+    const unsigned usable = cfg_.ways - cfg_.nomoReservedWays;
+    const std::uint64_t all =
+        cfg_.ways >= 64 ? ~0ull : ((1ull << cfg_.ways) - 1);
+    if (cfg_.nomoReservedWays == 0)
+        return all;
+    const std::uint64_t own =
+        usable >= 64 ? ~0ull : ((1ull << usable) - 1);
+    // Domain 0 owns the low ways; the SMT sibling (domain 1) owns the
+    // NoMo-reserved high ways.
+    return domain == 0 ? own : (all & ~own);
+}
+
+CacheLine &
+Cache::line(unsigned set, unsigned way)
+{
+    return lines_[static_cast<std::size_t>(set) * cfg_.ways + way];
+}
+
+const CacheLine &
+Cache::line(unsigned set, unsigned way) const
+{
+    return lines_[static_cast<std::size_t>(set) * cfg_.ways + way];
+}
+
+const CacheLine *
+Cache::probe(Addr line_addr) const
+{
+    const unsigned set = index_->set(line_addr);
+    for (unsigned way = 0; way < cfg_.ways; ++way) {
+        const CacheLine &candidate = line(set, way);
+        if (candidate.valid && candidate.lineAddr == line_addr)
+            return &candidate;
+    }
+    return nullptr;
+}
+
+CacheLine *
+Cache::probeMutable(Addr line_addr)
+{
+    return const_cast<CacheLine *>(probe(line_addr));
+}
+
+bool
+Cache::present(Addr line_addr, Cycle now) const
+{
+    const CacheLine *hit = probe(line_addr);
+    return hit != nullptr && hit->fillCycle <= now;
+}
+
+void
+Cache::touch(Addr line_addr)
+{
+    const unsigned set = index_->set(line_addr);
+    for (unsigned way = 0; way < cfg_.ways; ++way) {
+        if (line(set, way).valid && line(set, way).lineAddr == line_addr) {
+            repl_->touch(set, way);
+            return;
+        }
+    }
+}
+
+FillResult
+Cache::install(Addr line_addr, Cycle fill_cycle, bool speculative,
+               SeqNum installer, unsigned domain)
+{
+    const unsigned set = index_->set(line_addr);
+    const std::uint64_t mask = allowedMask(domain);
+
+    FillResult result;
+    result.set = set;
+
+    // Prefer an invalid allowed way.
+    unsigned chosen = cfg_.ways;
+    for (unsigned way = 0; way < cfg_.ways; ++way) {
+        if ((mask & (1ull << way)) && !line(set, way).valid) {
+            chosen = way;
+            break;
+        }
+    }
+    if (chosen == cfg_.ways) {
+        chosen = repl_->victim(set, mask);
+        CacheLine &victim = line(set, chosen);
+        result.victimLine = victim.lineAddr;
+        result.victimValid = true;
+        result.victimDirty = victim.dirty;
+        result.victimSpeculative = victim.speculative;
+        ++evictions_;
+    }
+
+    CacheLine &slot = line(set, chosen);
+    slot.lineAddr = line_addr;
+    slot.valid = true;
+    slot.dirty = false;
+    slot.speculative = speculative;
+    slot.installer = speculative ? installer : kSeqNone;
+    slot.fillCycle = fill_cycle;
+    slot.coh = CohState::Exclusive;
+    slot.pendingDowngrade = false;
+    repl_->fill(set, chosen);
+
+    result.way = chosen;
+    return result;
+}
+
+void
+Cache::installAt(unsigned set, unsigned way, Addr line_addr, bool dirty,
+                 Cycle fill_cycle)
+{
+    if (set >= numSets_ || way >= cfg_.ways)
+        panic("Cache::installAt out of range");
+    CacheLine &slot = line(set, way);
+    slot.lineAddr = line_addr;
+    slot.valid = true;
+    slot.dirty = dirty;
+    slot.speculative = false;
+    slot.installer = kSeqNone;
+    slot.fillCycle = fill_cycle;
+    slot.coh = dirty ? CohState::Modified : CohState::Exclusive;
+    slot.pendingDowngrade = false;
+    repl_->fill(set, way);
+}
+
+bool
+Cache::invalidate(Addr line_addr)
+{
+    const unsigned set = index_->set(line_addr);
+    for (unsigned way = 0; way < cfg_.ways; ++way) {
+        CacheLine &candidate = line(set, way);
+        if (candidate.valid && candidate.lineAddr == line_addr) {
+            candidate.reset();
+            ++invalidations_;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+Cache::invalidateAt(unsigned set, unsigned way, Addr line_addr)
+{
+    if (set >= numSets_ || way >= cfg_.ways)
+        panic("Cache::invalidateAt out of range");
+    CacheLine &candidate = line(set, way);
+    if (candidate.valid && candidate.lineAddr == line_addr) {
+        candidate.reset();
+        ++invalidations_;
+        return true;
+    }
+    return false;
+}
+
+void
+Cache::markDirty(Addr line_addr)
+{
+    if (CacheLine *hit = probeMutable(line_addr)) {
+        hit->dirty = true;
+        hit->coh = CohState::Modified;
+    }
+}
+
+void
+Cache::commitSpeculative(Addr line_addr, SeqNum installer)
+{
+    CacheLine *hit = probeMutable(line_addr);
+    if (hit != nullptr && hit->speculative && hit->installer == installer) {
+        hit->speculative = false;
+        hit->installer = kSeqNone;
+        // Apply the coherence downgrade CleanupSpec delayed while the
+        // installer was speculative.
+        if (hit->pendingDowngrade) {
+            hit->coh = CohState::Shared;
+            hit->pendingDowngrade = false;
+        }
+    }
+}
+
+unsigned
+Cache::setOf(Addr line_addr) const
+{
+    return index_->set(line_addr);
+}
+
+unsigned
+Cache::setOccupancy(unsigned set) const
+{
+    unsigned occupancy = 0;
+    for (unsigned way = 0; way < cfg_.ways; ++way) {
+        if (line(set, way).valid)
+            ++occupancy;
+    }
+    return occupancy;
+}
+
+std::vector<Addr>
+Cache::residentLines() const
+{
+    std::vector<Addr> resident;
+    for (const auto &candidate : lines_) {
+        if (candidate.valid)
+            resident.push_back(candidate.lineAddr);
+    }
+    std::sort(resident.begin(), resident.end());
+    return resident;
+}
+
+void
+Cache::reset()
+{
+    for (auto &slot : lines_)
+        slot.reset();
+    mshr_.clear();
+}
+
+} // namespace unxpec

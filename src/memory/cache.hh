@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Set-associative cache array (tags + state only; data is functional
+ * and lives in MainMemory). Supports the mechanisms CleanupSpec needs:
+ * speculative-install marking, targeted invalidation, restoration of a
+ * victim into the exact way a transient fill displaced it from, NoMo
+ * way partitioning, random replacement, and randomized (CEASER-style)
+ * indexing.
+ */
+
+#ifndef UNXPEC_MEMORY_CACHE_HH
+#define UNXPEC_MEMORY_CACHE_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "memory/address_map.hh"
+#include "memory/cache_line.hh"
+#include "memory/mshr.hh"
+#include "memory/replacement.hh"
+#include "sim/config.hh"
+#include "sim/rng.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace unxpec {
+
+/** Result of installing a fill. */
+struct FillResult
+{
+    unsigned set = 0;
+    unsigned way = 0;
+    Addr victimLine = kAddrInvalid;
+    bool victimValid = false;
+    bool victimDirty = false;
+    bool victimSpeculative = false;
+};
+
+/** One level of the cache hierarchy. */
+class Cache
+{
+  public:
+    Cache(const CacheConfig &cfg, Rng &rng, std::uint64_t index_key);
+
+    /** Line lookup without side effects (nullptr on miss). */
+    const CacheLine *probe(Addr line_addr) const;
+    CacheLine *probeMutable(Addr line_addr);
+
+    /** True when the line is resident and its fill has landed. */
+    bool present(Addr line_addr, Cycle now) const;
+
+    /** Record a hit for the replacement policy. */
+    void touch(Addr line_addr);
+
+    /**
+     * Install a line, evicting a victim if every allowed way is valid.
+     * Invalid ways are preferred; the NoMo partition restricts the
+     * candidate ways per security domain: domain 0 (the owning
+     * thread) may not touch the reserved ways, which belong to
+     * domain 1 (the SMT sibling). With no reservation both domains
+     * share every way.
+     */
+    FillResult install(Addr line_addr, Cycle fill_cycle, bool speculative,
+                       SeqNum installer, unsigned domain = 0);
+
+    /** Place a line into a specific way (restoration / inflight undo). */
+    void installAt(unsigned set, unsigned way, Addr line_addr, bool dirty,
+                   Cycle fill_cycle);
+
+    /** Invalidate a resident line. @return true when it was present. */
+    bool invalidate(Addr line_addr);
+
+    /** Invalidate the line in a specific way if it still matches. */
+    bool invalidateAt(unsigned set, unsigned way, Addr line_addr);
+
+    /** Mark a resident line dirty (write hit). */
+    void markDirty(Addr line_addr);
+
+    /** Clear the speculative bit once the installer commits. */
+    void commitSpeculative(Addr line_addr, SeqNum installer);
+
+    /** Set index of a line address under this cache's index function. */
+    unsigned setOf(Addr line_addr) const;
+
+    /** Number of valid lines currently in a set. */
+    unsigned setOccupancy(unsigned set) const;
+
+    /** All resident line addresses, sorted (for snapshot testing). */
+    std::vector<Addr> residentLines() const;
+
+    /** Drop all content and outstanding misses (cold cache). */
+    void reset();
+
+    MshrFile &mshr() { return mshr_; }
+    const MshrFile &mshr() const { return mshr_; }
+    const CacheConfig &config() const { return cfg_; }
+    StatGroup &stats() { return stats_; }
+
+    Counter &hits() { return hits_; }
+    Counter &misses() { return misses_; }
+
+  private:
+    std::uint64_t allowedMask(unsigned domain) const;
+    CacheLine &line(unsigned set, unsigned way);
+    const CacheLine &line(unsigned set, unsigned way) const;
+
+    CacheConfig cfg_;
+    unsigned numSets_;
+    std::vector<CacheLine> lines_;
+    std::unique_ptr<ReplacementPolicy> repl_;
+    std::unique_ptr<IndexFunction> index_;
+    MshrFile mshr_;
+
+    StatGroup stats_;
+    Counter &hits_;
+    Counter &misses_;
+    Counter &evictions_;
+    Counter &invalidations_;
+    Counter &restores_;
+
+    friend class MemoryHierarchy;
+};
+
+} // namespace unxpec
+
+#endif // UNXPEC_MEMORY_CACHE_HH

@@ -1,0 +1,329 @@
+#include "memory/hierarchy.hh"
+
+#include <algorithm>
+
+#include "sim/log.hh"
+
+namespace unxpec {
+
+MemoryHierarchy::MemoryHierarchy(const SystemConfig &cfg, Rng &rng)
+    : cfg_(cfg),
+      rng_(rng),
+      mem_(cfg.memory, rng),
+      l1i_(cfg.l1i, rng, cfg.seed * 0x9e37u + 1),
+      l1d_(cfg.l1d, rng, cfg.seed * 0x9e37u + 2),
+      l2_(cfg.l2, rng, cfg.seed * 0x9e37u + 3)
+{
+}
+
+MemAccessRecord
+MemoryHierarchy::access(Addr addr, Cycle now, bool write, bool speculative,
+                        SeqNum seq)
+{
+    const Addr line = lineAlign(addr);
+
+    MemAccessRecord record;
+    record.lineAddr = line;
+    record.write = write;
+    record.speculative = speculative;
+    record.seq = seq;
+    record.issued = now;
+
+    l1d_.mshr().release(now);
+    l2_.mshr().release(now);
+
+    // --- L1D lookup ------------------------------------------------
+    if (const CacheLine *hit = l1d_.probe(line)) {
+        if (hit->fillCycle <= now) {
+            // Plain hit.
+            record.l1Hit = true;
+            record.ready = now + cfg_.l1d.hitLatency;
+            ++l1d_.hits();
+            l1d_.touch(line);
+            if (write)
+                l1d_.markDirty(line);
+            return record;
+        }
+        // Line is inflight: merge with the outstanding fill.
+        if (MshrEntry *entry = l1d_.mshr().find(line)) {
+            ++entry->targets;
+            record.merged = true;
+            record.ready = std::max(entry->readyCycle,
+                                    now + cfg_.l1d.hitLatency);
+            ++l1d_.misses();
+            if (write)
+                l1d_.markDirty(line);
+            return record;
+        }
+        // Inflight line whose MSHR entry was displaced: wait for the
+        // fill directly.
+        record.merged = true;
+        record.ready = std::max(hit->fillCycle, now + cfg_.l1d.hitLatency);
+        ++l1d_.misses();
+        if (write)
+            l1d_.markDirty(line);
+        return record;
+    }
+
+    ++l1d_.misses();
+
+    // MSHR back-pressure: a full file delays the new miss until the
+    // earliest outstanding fill retires.
+    Cycle base = now;
+    if (l1d_.mshr().full()) {
+        base = std::max(base, l1d_.mshr().earliestReady());
+        l1d_.mshr().release(base);
+    }
+
+    Cycle fill_ready = base + cfg_.l1d.hitLatency; // L1 lookup cost
+
+    // --- L2 lookup --------------------------------------------------
+    if (const CacheLine *l2hit = l2_.probe(line)) {
+        if (l2hit->fillCycle <= base + cfg_.l1d.hitLatency) {
+            record.l2Hit = true;
+            fill_ready += cfg_.l2.hitLatency;
+            ++l2_.hits();
+            l2_.touch(line);
+        } else if (MshrEntry *entry = l2_.mshr().find(line)) {
+            ++entry->targets;
+            record.merged = true;
+            fill_ready = std::max(entry->readyCycle,
+                                  fill_ready + cfg_.l2.hitLatency);
+            ++l2_.misses();
+        } else {
+            // Inflight L2 line whose MSHR entry was displaced.
+            record.merged = true;
+            fill_ready = std::max(l2hit->fillCycle,
+                                  fill_ready + cfg_.l2.hitLatency);
+            ++l2_.misses();
+        }
+    } else {
+        ++l2_.misses();
+        if (l2_.mshr().full()) {
+            const Cycle wait = l2_.mshr().earliestReady();
+            fill_ready = std::max(fill_ready, wait);
+            l2_.mshr().release(fill_ready);
+        }
+        fill_ready += cfg_.l2.hitLatency + mem_.accessLatency();
+
+        // Install into L2 (eagerly; fillCycle marks actual arrival).
+        const FillResult l2fill = l2_.install(line, fill_ready, speculative,
+                                              seq);
+        record.l2Installed = true;
+        record.l2Set = l2fill.set;
+        record.l2Way = l2fill.way;
+        record.l2Victim = l2fill.victimLine;
+        record.l2VictimValid = l2fill.victimValid;
+        if (!l2_.mshr().full())
+            l2_.mshr().allocate(line, fill_ready, speculative, seq);
+    }
+
+    // --- L1D fill ---------------------------------------------------
+    const FillResult l1fill = l1d_.install(line, fill_ready, speculative,
+                                           seq);
+    record.l1Installed = true;
+    record.l1Set = l1fill.set;
+    record.l1Way = l1fill.way;
+    record.l1Victim = l1fill.victimLine;
+    record.l1VictimValid = l1fill.victimValid;
+    record.l1VictimDirty = l1fill.victimDirty;
+    if (!l1d_.mshr().full()) {
+        MshrEntry &entry = l1d_.mshr().allocate(line, fill_ready,
+                                                speculative, seq);
+        entry.victimLine = l1fill.victimLine;
+        entry.victimValid = l1fill.victimValid;
+        entry.victimDirty = l1fill.victimDirty;
+    }
+
+    if (write)
+        l1d_.markDirty(line);
+
+    record.ready = fill_ready;
+    return record;
+}
+
+MemAccessRecord
+MemoryHierarchy::accessInvisible(Addr addr, Cycle now, SeqNum seq)
+{
+    const Addr line = lineAlign(addr);
+
+    MemAccessRecord record;
+    record.lineAddr = line;
+    record.speculative = true;
+    record.invisible = true;
+    record.seq = seq;
+    record.issued = now;
+
+    if (const CacheLine *hit = l1d_.probe(line);
+        hit != nullptr && hit->fillCycle <= now) {
+        record.l1Hit = true;
+        record.ready = now + cfg_.l1d.hitLatency;
+        return record;
+    }
+    Cycle ready = now + cfg_.l1d.hitLatency;
+    if (const CacheLine *hit = l2_.probe(line);
+        hit != nullptr && hit->fillCycle <= now) {
+        record.l2Hit = true;
+        record.ready = ready + cfg_.l2.hitLatency;
+        return record;
+    }
+    record.ready = ready + cfg_.l2.hitLatency + mem_.accessLatency();
+    return record;
+}
+
+Cycle
+MemoryHierarchy::fetchReady(Addr addr, Cycle now)
+{
+    const Addr line = lineAlign(addr);
+
+    if (const CacheLine *hit = l1i_.probe(line)) {
+        // Resident (possibly still filling): data at the later of the
+        // lookup and the fill arrival.
+        ++l1i_.hits();
+        l1i_.touch(line);
+        return std::max(now + cfg_.l1i.hitLatency, hit->fillCycle);
+    }
+    ++l1i_.misses();
+
+    Cycle ready = now + cfg_.l1i.hitLatency;
+    if (const CacheLine *l2hit = l2_.probe(line)) {
+        ready = std::max(ready + cfg_.l2.hitLatency, l2hit->fillCycle);
+        ++l2_.hits();
+        l2_.touch(line);
+    } else {
+        ++l2_.misses();
+        ready += cfg_.l2.hitLatency + mem_.accessLatency();
+        l2_.install(line, ready, false, kSeqNone);
+    }
+    l1i_.install(line, ready, false, kSeqNone);
+    return ready;
+}
+
+bool
+MemoryHierarchy::flushLine(Addr addr)
+{
+    const Addr line = lineAlign(addr);
+    bool dirty = false;
+    if (const CacheLine *hit = l1d_.probe(line))
+        dirty = dirty || hit->dirty;
+    if (const CacheLine *hit = l2_.probe(line))
+        dirty = dirty || hit->dirty;
+    l1d_.invalidate(line);
+    l2_.invalidate(line);
+    l1i_.invalidate(line);
+    l1d_.mshr().squash(line);
+    l2_.mshr().squash(line);
+    return dirty;
+}
+
+void
+MemoryHierarchy::commitInstall(const MemAccessRecord &record)
+{
+    if (record.l1Installed)
+        l1d_.commitSpeculative(record.lineAddr, record.seq);
+    if (record.l2Installed)
+        l2_.commitSpeculative(record.lineAddr, record.seq);
+}
+
+void
+MemoryHierarchy::undoInflight(const MemAccessRecord &record)
+{
+    if (record.l1Installed &&
+        l1d_.invalidateAt(record.l1Set, record.l1Way, record.lineAddr)) {
+        if (record.l1VictimValid) {
+            l1d_.installAt(record.l1Set, record.l1Way, record.l1Victim,
+                           record.l1VictimDirty, 0);
+        }
+    }
+    if (record.l2Installed &&
+        l2_.invalidateAt(record.l2Set, record.l2Way, record.lineAddr)) {
+        if (record.l2VictimValid)
+            l2_.installAt(record.l2Set, record.l2Way, record.l2Victim,
+                          false, 0);
+    }
+    l1d_.mshr().squash(record.lineAddr);
+    l2_.mshr().squash(record.lineAddr);
+}
+
+bool
+MemoryHierarchy::cleanupInvalidateL1(const MemAccessRecord &record)
+{
+    return l1d_.invalidateAt(record.l1Set, record.l1Way, record.lineAddr);
+}
+
+bool
+MemoryHierarchy::cleanupInvalidateL2(const MemAccessRecord &record)
+{
+    return l2_.invalidateAt(record.l2Set, record.l2Way, record.lineAddr);
+}
+
+void
+MemoryHierarchy::cleanupRestoreL1(const MemAccessRecord &record, Cycle now)
+{
+    // The victim's data is refetched from L2/memory; only the tag state
+    // matters here. Put it back into the way the transient fill used.
+    l1d_.installAt(record.l1Set, record.l1Way, record.l1Victim,
+                   record.l1VictimDirty, now);
+    ++l1d_.stats().counter("restores");
+}
+
+MemoryHierarchy::CrossCoreProbe
+MemoryHierarchy::crossCoreRead(Addr addr, Cycle now)
+{
+    const Addr line = lineAlign(addr);
+    const bool protections =
+        cfg_.cleanupMode != CleanupMode::UnsafeBaseline;
+    const Cycle miss_latency =
+        cfg_.l1d.hitLatency + cfg_.l2.hitLatency + mem_.accessLatency();
+
+    CrossCoreProbe probe;
+    auto serve_from = [&](Cache &cache, Cycle hit_latency) -> bool {
+        CacheLine *hit = cache.probeMutable(line);
+        if (hit == nullptr || hit->fillCycle > now)
+            return false;
+        if (protections && hit->speculative) {
+            // Dummy cache miss + delayed downgrade (§II-B).
+            hit->pendingDowngrade = true;
+            probe.hit = false;
+            probe.dummyMiss = true;
+            probe.ready = now + miss_latency;
+            probe.observed = CohState::Invalid;
+            return true;
+        }
+        if (hit->coh == CohState::Modified ||
+            hit->coh == CohState::Exclusive) {
+            hit->coh = CohState::Shared;
+        }
+        probe.hit = true;
+        probe.ready = now + hit_latency;
+        probe.observed = hit->coh;
+        return true;
+    };
+
+    if (serve_from(l1d_, cfg_.l1d.hitLatency))
+        return probe;
+    if (serve_from(l2_, cfg_.l1d.hitLatency + cfg_.l2.hitLatency))
+        return probe;
+
+    probe.hit = false;
+    probe.ready = now + miss_latency;
+    probe.observed = CohState::Invalid;
+    return probe;
+}
+
+void
+MemoryHierarchy::cleanupRestoreL2(const MemAccessRecord &record, Cycle now)
+{
+    l2_.installAt(record.l2Set, record.l2Way, record.l2Victim, false, now);
+    ++l2_.stats().counter("restores");
+}
+
+void
+MemoryHierarchy::resetCaches()
+{
+    l1i_.reset();
+    l1d_.reset();
+    l2_.reset();
+}
+
+} // namespace unxpec

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * The full memory hierarchy of Table I: private L1I, private L1D,
+ * shared L2, DRAM. Produces, for every data access, a MemAccessRecord
+ * describing exactly which levels hit, what was installed where, and
+ * which victims were displaced — the raw material CleanupSpec's
+ * rollback engine (and thus the unXpec timing channel) operates on.
+ */
+
+#ifndef UNXPEC_MEMORY_HIERARCHY_HH
+#define UNXPEC_MEMORY_HIERARCHY_HH
+
+#include <cstdint>
+
+#include "memory/cache.hh"
+#include "memory/main_memory.hh"
+#include "sim/config.hh"
+#include "sim/rng.hh"
+#include "sim/types.hh"
+
+namespace unxpec {
+
+/** Full account of one data-side access through the hierarchy. */
+struct MemAccessRecord
+{
+    Addr lineAddr = kAddrInvalid;
+    bool write = false;
+    bool speculative = false;
+    SeqNum seq = kSeqNone;
+
+    bool l1Hit = false;
+    bool l2Hit = false;
+    bool merged = false;        //!< satisfied by an outstanding MSHR fill
+    /** Served invisibly (InvisiSpec): nothing was installed; the data
+     *  went to the shadow buffer and must be exposed at commit. */
+    bool invisible = false;
+
+    Cycle issued = 0;
+    Cycle ready = 0;            //!< data available to the requester
+
+    bool l1Installed = false;
+    unsigned l1Set = 0;
+    unsigned l1Way = 0;
+    Addr l1Victim = kAddrInvalid;
+    bool l1VictimValid = false;
+    bool l1VictimDirty = false;
+
+    bool l2Installed = false;
+    unsigned l2Set = 0;
+    unsigned l2Way = 0;
+    Addr l2Victim = kAddrInvalid;
+    bool l2VictimValid = false;
+
+    /** Latency seen by the requesting instruction. */
+    Cycle latency() const { return ready - issued; }
+};
+
+/**
+ * Composed cache hierarchy with a single requester (the paper's model:
+ * sender and receiver share one thread on one core).
+ */
+class MemoryHierarchy
+{
+  public:
+    MemoryHierarchy(const SystemConfig &cfg, Rng &rng);
+
+    /**
+     * Timing + state access for a data load or store at cycle `now`.
+     * Write allocates like a read and dirties the L1 line; functional
+     * data movement is the caller's job (via mem()).
+     */
+    MemAccessRecord access(Addr addr, Cycle now, bool write,
+                           bool speculative, SeqNum seq);
+
+    /**
+     * InvisiSpec load path: compute the data latency without touching
+     * any cache state — no install, no replacement update, no MSHR.
+     * The fill goes to the core's shadow buffer; the caches only learn
+     * about the line if the load commits (exposure via access()).
+     */
+    MemAccessRecord accessInvisible(Addr addr, Cycle now, SeqNum seq);
+
+    /** Instruction-fetch path through the L1I (never speculativly tracked). */
+    Cycle fetchReady(Addr addr, Cycle now);
+
+    /**
+     * clflush semantics: evict the line from every level. @return true
+     * when a dirty copy had to be written back.
+     */
+    bool flushLine(Addr addr);
+
+    /** Clear the speculative marking once the installing load commits. */
+    void commitInstall(const MemAccessRecord &record);
+
+    /**
+     * Undo an install whose fill had not landed by squash time: the
+     * line silently never arrives and its victim never left (models
+     * CleanupSpec's T3 MSHR purge of inflight transient loads).
+     */
+    void undoInflight(const MemAccessRecord &record);
+
+    /** CleanupSpec T5a: invalidate a transiently installed line. */
+    bool cleanupInvalidateL1(const MemAccessRecord &record);
+    bool cleanupInvalidateL2(const MemAccessRecord &record);
+
+    /** CleanupSpec T5b: restore the L1 victim a transient fill evicted. */
+    void cleanupRestoreL1(const MemAccessRecord &record, Cycle now);
+
+    /** Cleanup_FULL only: restore the L2 victim as well (CleanupSpec
+     *  itself never does this — too costly; see CleanupMode). */
+    void cleanupRestoreL2(const MemAccessRecord &record, Cycle now);
+
+    /** What a cross-core (or SMT sibling) read request observes. */
+    struct CrossCoreProbe
+    {
+        bool hit = false;        //!< served from this core's caches
+        Cycle ready = 0;         //!< when the requester gets data
+        CohState observed = CohState::Invalid;
+        bool dummyMiss = false;  //!< protection served a fake miss
+    };
+
+    /**
+     * A read request from another core/thread for `addr` (paper
+     * §II-B): with protections on, a hit on a speculatively installed
+     * line is served as a *dummy miss* and the M/E->S downgrade is
+     * *delayed* until the installer commits; on the unsafe baseline
+     * the hit (and the downgrade) happen immediately — the leak the
+     * strategies exist to close.
+     */
+    CrossCoreProbe crossCoreRead(Addr addr, Cycle now);
+
+    /** Cold-start every cache (backing store is preserved). */
+    void resetCaches();
+
+    Cache &l1i() { return l1i_; }
+    Cache &l1d() { return l1d_; }
+    Cache &l2() { return l2_; }
+    MainMemory &mem() { return mem_; }
+    const SystemConfig &config() const { return cfg_; }
+
+  private:
+    SystemConfig cfg_;
+    Rng &rng_;
+    MainMemory mem_;
+    Cache l1i_;
+    Cache l1d_;
+    Cache l2_;
+};
+
+} // namespace unxpec
+
+#endif // UNXPEC_MEMORY_HIERARCHY_HH

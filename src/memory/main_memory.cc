@@ -1,0 +1,78 @@
+#include "memory/main_memory.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/log.hh"
+
+namespace unxpec {
+
+MainMemory::Page &
+MainMemory::page(Addr addr)
+{
+    const Addr page_number = addr / kPageBytes;
+    auto it = pages_.find(page_number);
+    if (it == pages_.end())
+        it = pages_.emplace(page_number, Page{}).first;
+    return it->second;
+}
+
+const MainMemory::Page *
+MainMemory::findPage(Addr addr) const
+{
+    auto it = pages_.find(addr / kPageBytes);
+    return it == pages_.end() ? nullptr : &it->second;
+}
+
+std::uint8_t
+MainMemory::read8(Addr addr) const
+{
+    const Page *p = findPage(addr);
+    return p == nullptr ? 0 : (*p)[addr % kPageBytes];
+}
+
+void
+MainMemory::write8(Addr addr, std::uint8_t value)
+{
+    page(addr)[addr % kPageBytes] = value;
+}
+
+std::uint64_t
+MainMemory::read64(Addr addr) const
+{
+    return read(addr, 8);
+}
+
+void
+MainMemory::write64(Addr addr, std::uint64_t value)
+{
+    write(addr, value, 8);
+}
+
+std::uint64_t
+MainMemory::read(Addr addr, unsigned size) const
+{
+    std::uint64_t value = 0;
+    for (unsigned i = 0; i < size; ++i)
+        value |= static_cast<std::uint64_t>(read8(addr + i)) << (8 * i);
+    return value;
+}
+
+void
+MainMemory::write(Addr addr, std::uint64_t value, unsigned size)
+{
+    for (unsigned i = 0; i < size; ++i)
+        write8(addr + i, static_cast<std::uint8_t>(value >> (8 * i)));
+}
+
+Cycle
+MainMemory::accessLatency()
+{
+    double latency = cfg_.accessLatency;
+    if (cfg_.jitterSigma > 0.0)
+        latency += rng_.gaussian(0.0, cfg_.jitterSigma);
+    latency = std::max(1.0, latency);
+    return static_cast<Cycle>(std::llround(latency));
+}
+
+} // namespace unxpec

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Functional backing store plus DRAM timing. Function and timing are
+ * split: every load reads its value from here regardless of cache
+ * state, so caches stay tag-only and rollback can never corrupt data.
+ * The timing side models a fixed access latency (Table I: 50 ns after
+ * L2) with optional gaussian jitter for noisy-host experiments.
+ */
+
+#ifndef UNXPEC_MEMORY_MAIN_MEMORY_HH
+#define UNXPEC_MEMORY_MAIN_MEMORY_HH
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+
+#include "sim/config.hh"
+#include "sim/rng.hh"
+#include "sim/types.hh"
+
+namespace unxpec {
+
+/** Flat byte-addressable memory with sparse page allocation. */
+class MainMemory
+{
+  public:
+    MainMemory(const MemoryConfig &cfg, Rng &rng) : cfg_(cfg), rng_(rng) {}
+
+    std::uint8_t read8(Addr addr) const;
+    void write8(Addr addr, std::uint8_t value);
+
+    std::uint64_t read64(Addr addr) const;
+    void write64(Addr addr, std::uint64_t value);
+
+    /** Read `size` bytes little-endian (size in {1, 2, 4, 8}). */
+    std::uint64_t read(Addr addr, unsigned size) const;
+    void write(Addr addr, std::uint64_t value, unsigned size);
+
+    /** One DRAM access latency in cycles (jitter applied if enabled). */
+    Cycle accessLatency();
+
+    /** Adjust the base latency at run time (models DVFS/thermal drift
+     *  shifting the cycles-per-DRAM-access ratio between rounds). */
+    void setAccessLatency(unsigned cycles) { cfg_.accessLatency = cycles; }
+
+    const MemoryConfig &config() const { return cfg_; }
+
+    /** Drop all contents (fresh address space). */
+    void clear() { pages_.clear(); }
+
+  private:
+    static constexpr unsigned kPageBytes = 4096;
+    using Page = std::array<std::uint8_t, kPageBytes>;
+
+    Page &page(Addr addr);
+    const Page *findPage(Addr addr) const;
+
+    MemoryConfig cfg_;
+    Rng &rng_;
+    std::unordered_map<Addr, Page> pages_;
+};
+
+} // namespace unxpec
+
+#endif // UNXPEC_MEMORY_MAIN_MEMORY_HH

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Miss Status Holding Registers. An MSHR entry tracks one outstanding
+ * line fill: its completion cycle, whether the requester was
+ * speculative, and which line the fill displaced. CleanupSpec mines
+ * exactly this bookkeeping during rollback — the addresses of evicted
+ * victims come from the MSHR (paper §II-B), and T3 of the timeline is
+ * "request MSHR to clean inflight mis-speculated loads".
+ */
+
+#ifndef UNXPEC_MEMORY_MSHR_HH
+#define UNXPEC_MEMORY_MSHR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace unxpec {
+
+/** One outstanding miss. */
+struct MshrEntry
+{
+    Addr lineAddr = kAddrInvalid;
+    Cycle readyCycle = kCycleNever; //!< fill (and data) arrival
+    bool speculative = false;       //!< first requester not yet committed
+    SeqNum installer = kSeqNone;    //!< first requester
+    unsigned targets = 0;           //!< merged requesters
+    /** Victim displaced by this fill (for CleanupSpec restoration). */
+    Addr victimLine = kAddrInvalid;
+    bool victimValid = false;
+    bool victimDirty = false;
+};
+
+/**
+ * Fixed-capacity MSHR file. Completed entries are retired lazily by
+ * release(); a full file back-pressures the requester (the cache adds
+ * a retry delay).
+ */
+class MshrFile
+{
+  public:
+    explicit MshrFile(unsigned capacity) : capacity_(capacity) {}
+
+    /** Retire every entry whose fill has landed by `now`. */
+    void release(Cycle now);
+
+    /** Find the outstanding entry for a line, or nullptr. */
+    MshrEntry *find(Addr line_addr);
+    const MshrEntry *find(Addr line_addr) const;
+
+    /** Allocate a new entry; the file must not be full. */
+    MshrEntry &allocate(Addr line_addr, Cycle ready, bool speculative,
+                        SeqNum installer);
+
+    /** Drop the entry for a line (CleanupSpec T3 inflight purge). */
+    bool squash(Addr line_addr);
+
+    bool full() const { return entries_.size() >= capacity_; }
+    std::size_t inflight() const { return entries_.size(); }
+    unsigned capacity() const { return capacity_; }
+
+    /** Earliest completion among outstanding entries (kCycleNever if none). */
+    Cycle earliestReady() const;
+
+    const std::vector<MshrEntry> &entries() const { return entries_; }
+
+    void clear() { entries_.clear(); }
+
+  private:
+    unsigned capacity_;
+    std::vector<MshrEntry> entries_;
+};
+
+} // namespace unxpec
+
+#endif // UNXPEC_MEMORY_MSHR_HH

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Replacement policies. CleanupSpec mandates *random* replacement in
+ * the L1 D-cache (hiding replacement-metadata side channels exploited
+ * by speculative interference attacks); other levels default to LRU.
+ * NoMo-style way partitioning is expressed through an allowed-way mask
+ * supplied by the cache.
+ */
+
+#ifndef UNXPEC_MEMORY_REPLACEMENT_HH
+#define UNXPEC_MEMORY_REPLACEMENT_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/config.hh"
+#include "sim/rng.hh"
+#include "sim/types.hh"
+
+namespace unxpec {
+
+/**
+ * Abstract replacement policy over a (numSets x ways) array.
+ * Invalid ways are always preferred as victims by the cache itself;
+ * the policy is consulted only when every allowed way is valid.
+ */
+class ReplacementPolicy
+{
+  public:
+    ReplacementPolicy(unsigned num_sets, unsigned ways)
+        : numSets_(num_sets), ways_(ways) {}
+    virtual ~ReplacementPolicy() = default;
+
+    /** Record a hit on (set, way). */
+    virtual void touch(unsigned set, unsigned way) = 0;
+
+    /** Record a fill into (set, way). */
+    virtual void fill(unsigned set, unsigned way) = 0;
+
+    /**
+     * Choose a victim way within `set` among ways whose bit is set in
+     * `allowed_mask` (never zero).
+     */
+    virtual unsigned victim(unsigned set, std::uint64_t allowed_mask) = 0;
+
+    unsigned numSets() const { return numSets_; }
+    unsigned ways() const { return ways_; }
+
+    /** Factory for the policy named in a CacheConfig. */
+    static std::unique_ptr<ReplacementPolicy>
+    create(ReplPolicy policy, unsigned num_sets, unsigned ways, Rng &rng);
+
+  protected:
+    unsigned numSets_;
+    unsigned ways_;
+};
+
+/** Least-recently-used via per-way timestamps. */
+class LruPolicy : public ReplacementPolicy
+{
+  public:
+    LruPolicy(unsigned num_sets, unsigned ways);
+
+    void touch(unsigned set, unsigned way) override;
+    void fill(unsigned set, unsigned way) override;
+    unsigned victim(unsigned set, std::uint64_t allowed_mask) override;
+
+  private:
+    std::uint64_t tick_ = 0;
+    std::vector<std::uint64_t> stamps_; // numSets * ways
+};
+
+/** Uniformly random victim among allowed ways (CleanupSpec L1). */
+class RandomPolicy : public ReplacementPolicy
+{
+  public:
+    RandomPolicy(unsigned num_sets, unsigned ways, Rng &rng)
+        : ReplacementPolicy(num_sets, ways), rng_(rng) {}
+
+    void touch(unsigned, unsigned) override {}
+    void fill(unsigned, unsigned) override {}
+    unsigned victim(unsigned set, std::uint64_t allowed_mask) override;
+
+  private:
+    Rng &rng_;
+};
+
+} // namespace unxpec
+
+#endif // UNXPEC_MEMORY_REPLACEMENT_HH

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * System configuration. Defaults reproduce Table I of the unXpec paper
+ * (the CleanupSpec gem5 setup): 1 core @ 2 GHz, out-of-order 192-entry
+ * ROB, 32 KB 4-way L1I, 32 KB 8-way 64-set L1D, 2 MB 16-way shared L2,
+ * 50 ns round trip to memory after L2.
+ */
+
+#ifndef UNXPEC_SIM_CONFIG_HH
+#define UNXPEC_SIM_CONFIG_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace unxpec {
+
+/** Cache replacement policy selector. */
+enum class ReplPolicy
+{
+    LRU,    //!< classic least-recently-used
+    Random, //!< CleanupSpec's L1 policy (hides replacement-state channels)
+};
+
+/** Index (set-mapping) function selector. */
+enum class IndexPolicy
+{
+    Modulo, //!< conventional set index = line bits mod numSets
+    Ceaser, //!< CEASER-style keyed/randomized index (CleanupSpec L2)
+};
+
+/**
+ * Speculation-safety scheme. The Undo modes mirror the open-source
+ * CleanupSpec scheme names used by the paper's artifact; InvisiSpec is
+ * the representative *Invisible* defense (Yan et al., MICRO'18) the
+ * paper contrasts Undo against: speculative loads fill a shadow buffer
+ * instead of the caches and are exposed/validated at commit.
+ */
+enum class CleanupMode
+{
+    UnsafeBaseline,    //!< no rollback: transient installs persist
+    Cleanup_FOR_L1,    //!< invalidate/restore in the L1 D-cache only
+    Cleanup_FOR_L1L2,  //!< additionally invalidate L2 installs (paper cfg)
+    Cleanup_FULL,      //!< hypothetical: restore L2 victims as well.
+                       //!< CleanupSpec rejects this for cost (§III-A);
+                       //!< it also *widens* the unXpec channel — more
+                       //!< rollback work means more secret-dependent
+                       //!< time (our ablation)
+    InvisiSpec,        //!< Invisible: buffer speculative fills, expose
+                       //!< and validate at commit
+    DelayOnMiss,       //!< Invisible: serve speculative L1 hits, delay
+                       //!< speculative misses until the speculation
+                       //!< resolves (Sakalis et al., ISCA'19)
+};
+
+/** Human-readable name for a cleanup mode. */
+const char *toString(CleanupMode mode);
+
+/** Geometry and policies of one cache level. */
+struct CacheConfig
+{
+    std::string name = "cache";
+    unsigned sizeBytes = 32 * 1024;
+    unsigned ways = 8;
+    unsigned hitLatency = 2;       //!< cycles from access to data on a hit
+    unsigned mshrs = 16;           //!< outstanding-miss registers
+    ReplPolicy repl = ReplPolicy::LRU;
+    IndexPolicy index = IndexPolicy::Modulo;
+    /** NoMo way partitioning: ways reserved away from this security
+     *  domain (0 disables partitioning). */
+    unsigned nomoReservedWays = 0;
+
+    unsigned numSets() const { return sizeBytes / (ways * kLineBytes); }
+};
+
+/**
+ * Latency model for the CleanupSpec rollback engine (T3-T5 of the
+ * paper's Fig. 1 timeline). Invalidation walks are pipelined per cache
+ * level and the two levels proceed in parallel; restoration fetches
+ * evicted victims back into L1 from L2 and is also pipelined.
+ *
+ * The defaults are calibrated (tests/calibration_test.cc pins them) so
+ * that a single squashed transient load costs ~22 cycles of rollback in
+ * Cleanup_FOR_L1L2 mode, and ~32 cycles when one L1 victim must be
+ * restored, matching the paper's headline measurements.
+ */
+struct CleanupTiming
+{
+    double mshrCleanCost = 4.0;   //!< T3: purge inflight transient loads
+    double invFirstL1 = 4.0;      //!< first L1 invalidation
+    double invNextL1 = 0.5;       //!< each further L1 invalidation
+    double invFirstL2 = 18.0;     //!< first L2 invalidation (L2 walk)
+    double invNextL2 = 0.5;       //!< each further L2 invalidation
+    double restoreFirst = 10.0;   //!< first L1 restoration (refill from L2)
+    double restoreNext = 4.2;     //!< each further restoration
+    double restoreL2First = 30.0; //!< first L2 restoration (from memory;
+                                  //!< Cleanup_FULL only)
+    double restoreL2Next = 12.0;  //!< each further L2 restoration
+    /** Constant-time rollback: stall at least this many cycles on every
+     *  squash (0 disables the countermeasure). Implements the paper's
+     *  "relaxed" strategy: stall = max(actual, constant). */
+    unsigned constantTimeCycles = 0;
+    /** Dummy-cleanup mitigation (paper §VII future work): add a random
+     *  stall uniform in [0, fuzzyMaxCycles] to every squash. */
+    unsigned fuzzyMaxCycles = 0;
+};
+
+/** Branch-direction predictor flavor. */
+enum class PredictorKind
+{
+    Bimodal, //!< per-PC 2-bit counters (default)
+    Gshare,  //!< global-history XOR PC
+};
+
+/** Core pipeline and memory latency parameters. */
+struct CoreConfig
+{
+    PredictorKind predictor = PredictorKind::Bimodal;
+    unsigned fetchWidth = 4;
+    unsigned issueWidth = 4;
+    unsigned commitWidth = 4;
+    unsigned robEntries = 192;    //!< Table I
+    unsigned lsqEntries = 64;
+    unsigned intAluLatency = 1;
+    unsigned mulLatency = 3;
+    unsigned branchRedirectPenalty = 3; //!< fetch bubble after squash
+    unsigned clflushLatency = 30;       //!< core-visible clflush cost
+    unsigned decodeDepth = 3;           //!< fetch-to-dispatch stages
+};
+
+/** Main-memory (DRAM) model parameters. */
+struct MemoryConfig
+{
+    unsigned accessLatency = 100; //!< 50 ns at 2 GHz (Table I)
+    double jitterSigma = 0.0;     //!< gaussian latency jitter (cycles)
+};
+
+/** Complete system configuration (Table I defaults). */
+struct SystemConfig
+{
+    double clockGHz = 2.0;
+    CoreConfig core;
+    CacheConfig l1i;
+    CacheConfig l1d;
+    CacheConfig l2;
+    MemoryConfig memory;
+    CleanupMode cleanupMode = CleanupMode::Cleanup_FOR_L1L2;
+    CleanupTiming cleanupTiming;
+    std::uint64_t seed = 1;
+
+    /** Table I configuration, CleanupSpec protections on. */
+    static SystemConfig makeDefault();
+
+    /** Same geometry with the defense disabled (UnsafeBaseline). */
+    static SystemConfig makeUnsafeBaseline();
+
+    /** Same geometry under the InvisiSpec-style Invisible defense. */
+    static SystemConfig makeInvisiSpec();
+
+    /** Same geometry under the delay-on-miss Invisible defense. */
+    static SystemConfig makeDelayOnMiss();
+
+    /**
+     * "Noisy host" profile approximating the paper's Intel i7-8550U
+     * robustness experiment (§VI-D): longer memory latency and DRAM
+     * jitter so measurements carry realistic noise.
+     */
+    static SystemConfig makeNoisyHost();
+
+    /** Pretty-print the configuration as a Table-I style table. */
+    void print(std::ostream &os) const;
+
+    /** Sanity-check the configuration; fatal() on user errors. */
+    void validate() const;
+};
+
+} // namespace unxpec
+
+#endif // UNXPEC_SIM_CONFIG_HH

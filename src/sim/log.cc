@@ -1,0 +1,48 @@
+#include "sim/log.hh"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace unxpec {
+
+namespace {
+LogLevel g_level = LogLevel::Warn;
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level = level;
+}
+
+LogLevel
+logLevel()
+{
+    return g_level;
+}
+
+namespace detail {
+
+void
+panicImpl(const std::string &msg)
+{
+    std::cerr << "panic: " << msg << std::endl;
+    std::abort();
+}
+
+void
+fatalImpl(const std::string &msg)
+{
+    std::cerr << "fatal: " << msg << std::endl;
+    std::exit(1);
+}
+
+void
+emit(LogLevel level, const char *tag, const std::string &msg)
+{
+    if (static_cast<int>(level) <= static_cast<int>(g_level))
+        std::cerr << tag << ": " << msg << "\n";
+}
+
+} // namespace detail
+} // namespace unxpec

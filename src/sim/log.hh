@@ -1,0 +1,80 @@
+/**
+ * @file
+ * gem5-style status reporting: panic/fatal for errors, warn/inform for
+ * status. panic() flags simulator bugs (aborts); fatal() flags user
+ * errors such as bad configuration (exits cleanly with an error code).
+ */
+
+#ifndef UNXPEC_SIM_LOG_HH
+#define UNXPEC_SIM_LOG_HH
+
+#include <sstream>
+#include <string>
+
+namespace unxpec {
+
+/** Verbosity levels for status messages. */
+enum class LogLevel { Quiet, Warn, Inform, Debug };
+
+/** Global verbosity threshold (default: Warn). */
+void setLogLevel(LogLevel level);
+LogLevel logLevel();
+
+namespace detail {
+[[noreturn]] void panicImpl(const std::string &msg);
+[[noreturn]] void fatalImpl(const std::string &msg);
+void emit(LogLevel level, const char *tag, const std::string &msg);
+
+template <typename... Args>
+std::string
+format(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << args);
+    return oss.str();
+}
+} // namespace detail
+
+/** Abort on an internal simulator bug. */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    detail::panicImpl(detail::format(std::forward<Args>(args)...));
+}
+
+/** Exit on an unrecoverable user/configuration error. */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    detail::fatalImpl(detail::format(std::forward<Args>(args)...));
+}
+
+/** Warn about suspect but survivable conditions. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::emit(LogLevel::Warn, "warn", detail::format(std::forward<Args>(args)...));
+}
+
+/** Informational status message. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::emit(LogLevel::Inform, "info", detail::format(std::forward<Args>(args)...));
+}
+
+/** High-volume debug message. */
+template <typename... Args>
+void
+debugLog(Args &&...args)
+{
+    detail::emit(LogLevel::Debug, "debug", detail::format(std::forward<Args>(args)...));
+}
+
+} // namespace unxpec
+
+#endif // UNXPEC_SIM_LOG_HH

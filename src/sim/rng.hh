@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for the simulator.
+ *
+ * All stochastic behaviour in the simulator (random replacement, CEASER
+ * index keys, DRAM jitter, noise spikes, workload generation) draws from
+ * an explicitly seeded Xoshiro256** generator so every experiment is
+ * reproducible from its seed.
+ */
+
+#ifndef UNXPEC_SIM_RNG_HH
+#define UNXPEC_SIM_RNG_HH
+
+#include <cstdint>
+
+namespace unxpec {
+
+/**
+ * Xoshiro256** PRNG (Blackman & Vigna). Small, fast, and good enough
+ * statistical quality for microarchitectural simulation.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed, expanded via SplitMix64. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Re-seed the generator, fully resetting its state. */
+    void seed(std::uint64_t seed);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound), bound > 0. Debiased via rejection. */
+    std::uint64_t range(std::uint64_t bound);
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Standard normal variate (Box-Muller, cached pair). */
+    double gaussian();
+
+    /** Gaussian with explicit mean and standard deviation. */
+    double gaussian(double mean, double sigma) { return mean + sigma * gaussian(); }
+
+    /** Bernoulli trial with probability p of returning true. */
+    bool chance(double p) { return uniform() < p; }
+
+  private:
+    std::uint64_t state_[4];
+    double cachedGaussian_ = 0.0;
+    bool hasCachedGaussian_ = false;
+};
+
+} // namespace unxpec
+
+#endif // UNXPEC_SIM_RNG_HH

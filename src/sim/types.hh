@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every simulator module.
+ */
+
+#ifndef UNXPEC_SIM_TYPES_HH
+#define UNXPEC_SIM_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace unxpec {
+
+/** Simulated processor cycle count. */
+using Cycle = std::uint64_t;
+
+/** Byte address in the simulated flat (SE-mode style) address space. */
+using Addr = std::uint64_t;
+
+/** Monotonic per-core dynamic instruction sequence number. */
+using SeqNum = std::uint64_t;
+
+/** Architectural register index. */
+using RegIndex = std::uint8_t;
+
+/** Sentinel for "no cycle scheduled". */
+inline constexpr Cycle kCycleNever = std::numeric_limits<Cycle>::max();
+
+/** Sentinel for "no address". */
+inline constexpr Addr kAddrInvalid = std::numeric_limits<Addr>::max();
+
+/** Sentinel for "no sequence number". */
+inline constexpr SeqNum kSeqNone = std::numeric_limits<SeqNum>::max();
+
+/** Cache line size in bytes. Fixed at 64 B throughout, as in Table I. */
+inline constexpr unsigned kLineBytes = 64;
+
+/** Shift to convert a byte address into a line address. */
+inline constexpr unsigned kLineShift = 6;
+
+/** Mask off the sub-line offset bits of an address. */
+constexpr Addr
+lineAlign(Addr addr)
+{
+    return addr & ~static_cast<Addr>(kLineBytes - 1);
+}
+
+/** Line number (address >> 6) of a byte address. */
+constexpr Addr
+lineNumber(Addr addr)
+{
+    return addr >> kLineShift;
+}
+
+} // namespace unxpec
+
+#endif // UNXPEC_SIM_TYPES_HH

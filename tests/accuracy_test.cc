@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Unit tests for channel-quality metrics and leakage-rate arithmetic.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/accuracy.hh"
+
+namespace unxpec {
+namespace {
+
+TEST(BitChannelReportTest, ConfusionMatrix)
+{
+    const std::vector<int> secret = {0, 0, 0, 1, 1, 1, 1, 0};
+    const std::vector<int> guesses = {0, 1, 0, 1, 1, 0, 1, 0};
+    const auto report = BitChannelReport::of(guesses, secret);
+    EXPECT_EQ(report.true0, 3u);
+    EXPECT_EQ(report.false1, 1u);
+    EXPECT_EQ(report.true1, 3u);
+    EXPECT_EQ(report.false0, 1u);
+    EXPECT_EQ(report.total(), 8u);
+    EXPECT_DOUBLE_EQ(report.accuracy(), 0.75);
+    EXPECT_DOUBLE_EQ(report.errorRate(), 0.25);
+    EXPECT_DOUBLE_EQ(report.zeroErrorRate(), 0.25);
+    EXPECT_DOUBLE_EQ(report.oneErrorRate(), 0.25);
+}
+
+TEST(BitChannelReportTest, PerfectChannel)
+{
+    const std::vector<int> bits = {0, 1, 1, 0};
+    const auto report = BitChannelReport::of(bits, bits);
+    EXPECT_DOUBLE_EQ(report.accuracy(), 1.0);
+    EXPECT_DOUBLE_EQ(report.zeroErrorRate(), 0.0);
+}
+
+TEST(BitChannelReportTest, EmptyIsSafe)
+{
+    const auto report = BitChannelReport::of({}, {});
+    EXPECT_DOUBLE_EQ(report.accuracy(), 0.0);
+    EXPECT_EQ(report.total(), 0u);
+}
+
+TEST(LeakageRateTest, PaperArithmetic)
+{
+    // The paper: ~140,000 samples/s on a 2 GHz CPU -> one sample every
+    // ~14,286 cycles; one sample per bit -> 140 Kbps.
+    const double cycles_per_sample = 2e9 / 140000.0;
+    EXPECT_NEAR(LeakageRate::samplesPerSecond(cycles_per_sample, 2.0),
+                140000.0, 1.0);
+    EXPECT_NEAR(LeakageRate::bitsPerSecond(cycles_per_sample, 2.0, 1),
+                140000.0, 1.0);
+    EXPECT_NEAR(LeakageRate::bitsPerSecond(cycles_per_sample, 2.0, 4),
+                35000.0, 1.0);
+}
+
+TEST(LeakageRateTest, DegenerateInputs)
+{
+    EXPECT_DOUBLE_EQ(LeakageRate::samplesPerSecond(0.0, 2.0), 0.0);
+    EXPECT_DOUBLE_EQ(LeakageRate::bitsPerSecond(100.0, 2.0, 0), 0.0);
+}
+
+} // namespace
+} // namespace unxpec

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Tests for the adaptive decoder, including the end-to-end drift
+ * scenario: DVFS-style latency drift defeats the calibrated-once
+ * threshold but not the adaptive receiver.
+ */
+
+#include <gtest/gtest.h>
+
+#include "attack/adaptive.hh"
+#include "attack/channel.hh"
+#include "attack/unxpec.hh"
+#include "sim/rng.hh"
+
+namespace unxpec {
+namespace {
+
+TEST(AdaptiveDecoderTest, MatchesStaticOnStationaryData)
+{
+    Rng rng(1);
+    AdaptiveDecoder adaptive(171.0, 22.0);
+    int correct = 0;
+    const int bits = 2000;
+    for (int i = 0; i < bits; ++i) {
+        const int secret = static_cast<int>(rng.range(2));
+        const double latency = rng.gaussian(secret ? 182.0 : 160.0, 6.0);
+        if (adaptive.decode(latency) == secret)
+            ++correct;
+    }
+    EXPECT_GT(correct, bits * 0.9);
+    EXPECT_NEAR(adaptive.mean0(), 160.0, 4.0);
+    EXPECT_NEAR(adaptive.mean1(), 182.0, 4.0);
+}
+
+TEST(AdaptiveDecoderTest, TracksDriftingBaseline)
+{
+    Rng rng(2);
+    AdaptiveDecoder adaptive(171.0, 22.0);
+    const double static_threshold = 171.0;
+    int adaptive_correct = 0, static_correct = 0;
+    const int bits = 2000;
+    for (int i = 0; i < bits; ++i) {
+        const double drift = 0.03 * i; // +60 cycles over the run
+        const int secret = static_cast<int>(rng.range(2));
+        const double latency =
+            rng.gaussian((secret ? 182.0 : 160.0) + drift, 6.0);
+        if (adaptive.decode(latency) == secret)
+            ++adaptive_correct;
+        if (CovertChannel::decode(latency, static_threshold) == secret)
+            ++static_correct;
+    }
+    // The fixed threshold collapses to "everything is 1" (~50 %);
+    // the adaptive decoder keeps following the midpoint.
+    EXPECT_LT(static_correct, bits * 0.70);
+    EXPECT_GT(adaptive_correct, bits * 0.85);
+}
+
+TEST(AdaptiveDecoderTest, OutlierSpikesDoNotYankBoundary)
+{
+    AdaptiveDecoder adaptive(171.0, 22.0);
+    for (int i = 0; i < 20; ++i) {
+        adaptive.decode(160.0);
+        adaptive.decode(182.0);
+    }
+    const double before = adaptive.threshold();
+    adaptive.decode(2500.0); // interrupt spike
+    EXPECT_LT(adaptive.threshold() - before, 10.0);
+}
+
+TEST(AdaptiveDecoderTest, EndToEndDvfsDrift)
+{
+    // Real pipeline: leak bits while the memory latency creeps up 1
+    // cycle every few bits (cumulative +25 ~ a full channel width).
+    Core core(SystemConfig::makeDefault());
+    UnxpecAttack attack(core);
+    const double threshold = attack.calibrate(6);
+    AdaptiveDecoder adaptive(threshold, 22.0);
+
+    Rng rng(7);
+    const unsigned base_latency = core.config().memory.accessLatency;
+    int adaptive_correct = 0, static_correct = 0;
+    const int bits = 100;
+    for (int i = 0; i < bits; ++i) {
+        core.mem().setAccessLatency(base_latency + i / 4);
+        const int secret = static_cast<int>(rng.range(2));
+        attack.setSecret(secret);
+        const double latency = attack.measureOnce();
+        if (adaptive.decode(latency) == secret)
+            ++adaptive_correct;
+        if (CovertChannel::decode(latency, threshold) == secret)
+            ++static_correct;
+    }
+    EXPECT_GT(adaptive_correct, bits * 0.9);
+    EXPECT_GT(adaptive_correct, static_correct);
+}
+
+} // namespace
+} // namespace unxpec

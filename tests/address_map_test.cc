@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Unit tests for modulo and CEASER-style set indexing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "memory/address_map.hh"
+
+namespace unxpec {
+namespace {
+
+TEST(ModuloIndexTest, UsesLineNumberModSets)
+{
+    ModuloIndex index(64);
+    EXPECT_EQ(index.set(0), 0u);
+    EXPECT_EQ(index.set(64), 1u);
+    EXPECT_EQ(index.set(64 * 64), 0u);
+    EXPECT_EQ(index.set(64 * 65), 1u);
+}
+
+TEST(ModuloIndexTest, OffsetBitsIrrelevant)
+{
+    ModuloIndex index(64);
+    EXPECT_EQ(index.set(lineAlign(0x12345)), index.set(lineAlign(0x1237f)));
+}
+
+TEST(CeaserIndexTest, PermutationIsBijective)
+{
+    CeaserIndex index(2048, 0x1234);
+    std::set<std::uint64_t> images;
+    for (std::uint64_t line = 0; line < 4096; ++line)
+        images.insert(index.permute(line));
+    EXPECT_EQ(images.size(), 4096u);
+}
+
+TEST(CeaserIndexTest, KeyChangesMapping)
+{
+    CeaserIndex a(2048, 1);
+    CeaserIndex b(2048, 2);
+    unsigned differing = 0;
+    for (Addr line = 0; line < 512; ++line) {
+        if (a.set(line << kLineShift) != b.set(line << kLineShift))
+            ++differing;
+    }
+    EXPECT_GT(differing, 400u);
+}
+
+TEST(CeaserIndexTest, BreaksContiguousSetPattern)
+{
+    // Consecutive lines map to consecutive sets under modulo but
+    // should scatter under CEASER.
+    CeaserIndex ceaser(2048, 0xabcd);
+    unsigned consecutive = 0;
+    for (Addr line = 0; line + 1 < 256; ++line) {
+        const unsigned a = ceaser.set(line << kLineShift);
+        const unsigned b = ceaser.set((line + 1) << kLineShift);
+        if ((a + 1) % 2048 == b)
+            ++consecutive;
+    }
+    EXPECT_LT(consecutive, 8u);
+}
+
+TEST(CeaserIndexTest, SetsRoughlyBalanced)
+{
+    CeaserIndex ceaser(64, 0x5555);
+    std::map<unsigned, unsigned> counts;
+    const unsigned lines = 64 * 64;
+    for (Addr line = 0; line < lines; ++line)
+        ++counts[ceaser.set(line << kLineShift)];
+    for (const auto &[set, count] : counts) {
+        EXPECT_GT(count, 64u / 3);
+        EXPECT_LT(count, 64u * 3);
+    }
+}
+
+TEST(FactoryTest, CreatesRequestedIndex)
+{
+    auto modulo = IndexFunction::create(IndexPolicy::Modulo, 64, 0);
+    auto ceaser = IndexFunction::create(IndexPolicy::Ceaser, 64, 1);
+    EXPECT_NE(dynamic_cast<ModuloIndex *>(modulo.get()), nullptr);
+    EXPECT_NE(dynamic_cast<CeaserIndex *>(ceaser.get()), nullptr);
+}
+
+TEST(CeaserIndexTest, DeterministicForSameKey)
+{
+    CeaserIndex a(2048, 77);
+    CeaserIndex b(2048, 77);
+    for (Addr line = 0; line < 256; ++line)
+        EXPECT_EQ(a.set(line << kLineShift), b.set(line << kLineShift));
+}
+
+} // namespace
+} // namespace unxpec

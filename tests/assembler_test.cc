@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Tests of the text assembler: syntax coverage, labels, data
+ * directives, round-trip against Program::listing(), and execution of
+ * assembled programs on the core.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/assembler.hh"
+#include "cpu/core.hh"
+
+namespace unxpec {
+namespace {
+
+TEST(AssemblerTest, BasicArithmeticProgramRuns)
+{
+    const Program p = Assembler::assemble(R"(
+        li r1, 6
+        li r2, 7
+        mul r3, r1, r2
+        addi r4, r3, -2
+        halt
+    )");
+    Core core(SystemConfig::makeDefault());
+    const RunResult r = core.run(p);
+    EXPECT_EQ(r.reg(3), 42u);
+    EXPECT_EQ(r.reg(4), 40u);
+}
+
+TEST(AssemblerTest, LabelsAndLoops)
+{
+    const Program p = Assembler::assemble(R"(
+        li r1, 0
+        li r2, 0
+        li r3, 10
+    loop:
+        add r2, r2, r1
+        addi r1, r1, 1
+        blt r1, r3, loop
+        halt
+    )");
+    Core core(SystemConfig::makeDefault());
+    EXPECT_EQ(core.run(p).reg(2), 45u);
+}
+
+TEST(AssemblerTest, ForwardBranchTargets)
+{
+    const Program p = Assembler::assemble(R"(
+        li r1, 1
+        li r2, 2
+        blt r1, r2, skip
+        li r3, 111
+    skip:
+        li r4, 222
+        halt
+    )");
+    Core core(SystemConfig::makeDefault());
+    const RunResult r = core.run(p);
+    EXPECT_EQ(r.reg(3), 0u);
+    EXPECT_EQ(r.reg(4), 222u);
+}
+
+TEST(AssemblerTest, DataDirectivesAndMemoryOps)
+{
+    std::map<std::string, Addr> symbols;
+    const Program p = Assembler::assemble(R"(
+        .data buf 64
+        .word buf 0 1000
+        .byte buf 8 0x2a
+        li r1, buf
+        load8 r2, [r1+0]
+        load1 r3, [r1+8]
+        addi r2, r2, 1
+        store8 [r1+16], r2
+        halt
+    )", symbols);
+    ASSERT_TRUE(symbols.count("buf"));
+
+    Core core(SystemConfig::makeDefault());
+    const RunResult r = core.run(p);
+    EXPECT_EQ(r.reg(2), 1001u);
+    EXPECT_EQ(r.reg(3), 0x2au);
+    EXPECT_EQ(core.mem().read64(symbols["buf"] + 16), 1001u);
+}
+
+TEST(AssemblerTest, CommentsAndWhitespaceIgnored)
+{
+    const Program p = Assembler::assemble(R"(
+        ; a comment-only line
+        li r1, 3   # trailing comment
+
+        halt       ; done
+    )");
+    EXPECT_EQ(p.size(), 2u);
+}
+
+TEST(AssemblerTest, NumericTargetsMatchListingSyntax)
+{
+    const Program p = Assembler::assemble(R"(
+        li r1, 1
+        li r2, 2
+        blt r1, r2, @4
+        li r3, 111
+        halt
+    )");
+    EXPECT_EQ(p.at(2).target, 4);
+}
+
+TEST(AssemblerTest, ListingRoundTrip)
+{
+    // Assemble, list, re-assemble the listing: identical encodings.
+    const Program original = Assembler::assemble(R"(
+        .data buf 64
+        li r1, buf
+        li r2, 0
+    loop:
+        load8 r3, [r1+0]
+        clflush [r1+0]
+        fence
+        rdtscp r4
+        addi r2, r2, 1
+        li r5, 3
+        blt r2, r5, loop
+        store8 [r1+8], r4
+        jmp end
+        nop
+    end:
+        halt
+    )");
+    const Program reparsed = Assembler::assemble(original.listing());
+    ASSERT_EQ(original.size(), reparsed.size());
+    for (std::size_t pc = 0; pc < original.size(); ++pc) {
+        EXPECT_EQ(disassemble(original.at(pc)),
+                  disassemble(reparsed.at(pc)))
+            << "at pc " << pc;
+    }
+}
+
+TEST(AssemblerTest, FullAttackGadgetExecutes)
+{
+    // A hand-written Spectre-style gadget in assembly, run against
+    // CleanupSpec: the transient install must be rolled back.
+    std::map<std::string, Addr> symbols;
+    const Program p = Assembler::assemble(R"(
+        .data bound 64
+        .data probe 64
+        .word bound 0 10
+        li r1, 50            ; out-of-bounds index
+        li r5, bound
+        li r6, probe
+        clflush [r5+0]
+        load8 r2, [r5+0]
+        addi r2, r2, 0
+        addi r2, r2, 0
+        addi r2, r2, 0
+        addi r2, r2, 0
+        addi r2, r2, 0
+        addi r2, r2, 0
+        addi r2, r2, 0
+        addi r2, r2, 0
+        bge r1, r2, skip
+        load8 r7, [r6+0]     ; transient
+    skip:
+        halt
+    )", symbols);
+
+    Core core(SystemConfig::makeDefault());
+    core.run(p);
+    core.predictor().reset();
+    core.run(p); // warm I-cache round actually exercises the install
+    EXPECT_FALSE(core.hierarchy().l1d().present(
+        lineAlign(symbols["probe"]), core.now()));
+    EXPECT_GE(
+        core.cleanup().stats().findCounter("invalidationsL1")->value(),
+        1u);
+}
+
+TEST(AssemblerDeathTest, RejectsBadSyntax)
+{
+    EXPECT_DEATH({ Assembler::assemble("frobnicate r1, r2"); },
+                 "unknown mnemonic");
+    EXPECT_DEATH({ Assembler::assemble("li r99, 1"); }, "register");
+    EXPECT_DEATH({ Assembler::assemble("blt r1, r2, nowhere"); },
+                 "unknown label");
+    EXPECT_DEATH({ Assembler::assemble("load8 r1, r2"); }, "expected");
+    EXPECT_DEATH({ Assembler::assemble(".word nothing 0 1"); },
+                 "unknown data symbol");
+}
+
+} // namespace
+} // namespace unxpec

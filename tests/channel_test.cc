@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Unit tests for covert-channel calibration and decoding.
+ */
+
+#include <gtest/gtest.h>
+
+#include "attack/channel.hh"
+#include "sim/rng.hh"
+
+namespace unxpec {
+namespace {
+
+TEST(ChannelTest, ThresholdSeparatesDisjointClasses)
+{
+    const std::vector<double> zeros = {150, 152, 155, 158};
+    const std::vector<double> ones = {180, 182, 185, 190};
+    const double threshold =
+        CovertChannel::calibrateThreshold(zeros, ones);
+    EXPECT_GE(threshold, 158.0);
+    EXPECT_LT(threshold, 180.0);
+    for (const double z : zeros)
+        EXPECT_EQ(CovertChannel::decode(z, threshold), 0);
+    for (const double o : ones)
+        EXPECT_EQ(CovertChannel::decode(o, threshold), 1);
+}
+
+TEST(ChannelTest, ThresholdMinimizesErrorOnOverlap)
+{
+    Rng rng(1);
+    std::vector<double> zeros, ones;
+    for (int i = 0; i < 2000; ++i) {
+        zeros.push_back(rng.gaussian(160, 9));
+        ones.push_back(rng.gaussian(182, 9));
+    }
+    const double threshold =
+        CovertChannel::calibrateThreshold(zeros, ones);
+    // The optimum of two equal-variance gaussians is the midpoint.
+    EXPECT_NEAR(threshold, 171.0, 4.0);
+}
+
+TEST(ChannelTest, DecodeBoundary)
+{
+    EXPECT_EQ(CovertChannel::decode(100.0, 100.0), 0);
+    EXPECT_EQ(CovertChannel::decode(100.1, 100.0), 1);
+}
+
+TEST(ChannelTest, MajorityVote)
+{
+    EXPECT_EQ(CovertChannel::decodeMajority({90, 110, 120}, 100), 1);
+    EXPECT_EQ(CovertChannel::decodeMajority({90, 95, 120}, 100), 0);
+    // Even split favors 0.
+    EXPECT_EQ(CovertChannel::decodeMajority({90, 120}, 100), 0);
+}
+
+TEST(ChannelTest, AccuracyComputation)
+{
+    const std::vector<int> guesses = {1, 0, 1, 1};
+    const std::vector<int> secret = {1, 0, 0, 1};
+    EXPECT_DOUBLE_EQ(CovertChannel::accuracy(guesses, secret), 0.75);
+}
+
+TEST(ChannelTest, MultiSampleBeatsSingleSampleOnNoisyChannel)
+{
+    // §VI-D third point: more samples per secret suppress noise.
+    Rng rng(2);
+    const double threshold = 171.0;
+    int single_correct = 0, multi_correct = 0;
+    const int bits = 500;
+    for (int i = 0; i < bits; ++i) {
+        const int secret = static_cast<int>(rng.range(2));
+        const double mean = secret ? 182.0 : 160.0;
+        std::vector<double> samples;
+        for (int s = 0; s < 5; ++s)
+            samples.push_back(rng.gaussian(mean, 15));
+        if (CovertChannel::decode(samples[0], threshold) == secret)
+            ++single_correct;
+        if (CovertChannel::decodeMajority(samples, threshold) == secret)
+            ++multi_correct;
+    }
+    EXPECT_GT(multi_correct, single_correct);
+}
+
+} // namespace
+} // namespace unxpec

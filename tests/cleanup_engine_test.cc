@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Unit tests for the rollback engine: state effects per mode, timing
+ * formula, constant-time and fuzzy countermeasures, logging.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cleanup/cleanup_engine.hh"
+
+namespace unxpec {
+namespace {
+
+class CleanupEngineTest : public ::testing::Test
+{
+  protected:
+    CleanupEngineTest()
+        : cfg_(SystemConfig::makeDefault()), rng_(1), hier_(cfg_, rng_)
+    {
+    }
+
+    /** Issue a speculative access whose fill lands at its ready cycle. */
+    MemAccessRecord specAccess(Addr addr, Cycle now, SeqNum seq)
+    {
+        return hier_.access(addr, now, false, true, seq);
+    }
+
+    CleanupJob jobOf(Cycle squash, std::vector<MemAccessRecord> records)
+    {
+        return SpecTracker::buildJob(squash, records);
+    }
+
+    SystemConfig cfg_;
+    Rng rng_;
+    MemoryHierarchy hier_;
+};
+
+TEST_F(CleanupEngineTest, EmptyJobStallsZero)
+{
+    CleanupEngine engine(CleanupMode::Cleanup_FOR_L1L2, CleanupTiming{},
+                         rng_);
+    const CleanupJob job = jobOf(1000, {});
+    EXPECT_EQ(engine.rollback(hier_, job, 0), 1000u);
+    EXPECT_EQ(engine.lastStall(), 0u);
+}
+
+TEST_F(CleanupEngineTest, SingleLandedLoadCostsTwentyTwo)
+{
+    CleanupEngine engine(CleanupMode::Cleanup_FOR_L1L2, CleanupTiming{},
+                         rng_);
+    const auto record = specAccess(0x10000, 100, 1);
+    const CleanupJob job = jobOf(record.ready + 10, {record});
+    const Cycle until = engine.rollback(hier_, job, 0);
+    EXPECT_EQ(until - job.squashCycle, 22u);
+    // State rolled back.
+    EXPECT_EQ(hier_.l1d().probe(record.lineAddr), nullptr);
+    EXPECT_EQ(hier_.l2().probe(record.lineAddr), nullptr);
+}
+
+TEST_F(CleanupEngineTest, RestoreAddsTenCycles)
+{
+    CleanupEngine engine(CleanupMode::Cleanup_FOR_L1L2, CleanupTiming{},
+                         rng_);
+    // Fill an L1 set so a speculative access must evict.
+    const unsigned sets = cfg_.l1d.numSets();
+    Cycle now = 100;
+    for (unsigned i = 0; i < cfg_.l1d.ways; ++i)
+        now = hier_.access(0x300000 + i * sets * kLineBytes, now, false,
+                           false, i).ready + 1;
+    const auto record =
+        specAccess(0x300000 + cfg_.l1d.ways * sets * kLineBytes, now, 99);
+    ASSERT_TRUE(record.l1VictimValid);
+    const CleanupJob job = jobOf(record.ready + 5, {record});
+    const Cycle until = engine.rollback(hier_, job, 0);
+    EXPECT_EQ(until - job.squashCycle, 32u);
+    // Victim back, intruder gone.
+    EXPECT_NE(hier_.l1d().probe(record.l1Victim), nullptr);
+    EXPECT_EQ(hier_.l1d().probe(record.lineAddr), nullptr);
+}
+
+TEST_F(CleanupEngineTest, UnsafeBaselineLeavesFootprint)
+{
+    CleanupEngine engine(CleanupMode::UnsafeBaseline, CleanupTiming{},
+                         rng_);
+    const auto record = specAccess(0x10000, 100, 1);
+    const CleanupJob job = jobOf(record.ready + 10, {record});
+    const Cycle until = engine.rollback(hier_, job, 0);
+    EXPECT_EQ(until, job.squashCycle);
+    const CacheLine *line = hier_.l1d().probe(record.lineAddr);
+    ASSERT_NE(line, nullptr);
+    EXPECT_FALSE(line->speculative); // unmarked, but still present
+}
+
+TEST_F(CleanupEngineTest, ForL1ModeKeepsL2Line)
+{
+    CleanupEngine engine(CleanupMode::Cleanup_FOR_L1, CleanupTiming{},
+                         rng_);
+    const auto record = specAccess(0x10000, 100, 1);
+    const CleanupJob job = jobOf(record.ready + 10, {record});
+    const Cycle until = engine.rollback(hier_, job, 0);
+    // Only the L1 walk: trigger (4) + L1 first (4) = 8.
+    EXPECT_EQ(until - job.squashCycle, 8u);
+    EXPECT_EQ(hier_.l1d().probe(record.lineAddr), nullptr);
+    EXPECT_NE(hier_.l2().probe(record.lineAddr), nullptr);
+}
+
+TEST_F(CleanupEngineTest, InflightJobScrubbedCheaply)
+{
+    CleanupEngine engine(CleanupMode::Cleanup_FOR_L1L2, CleanupTiming{},
+                         rng_);
+    const auto record = specAccess(0x10000, 100, 1);
+    // Squash before the fill lands.
+    const CleanupJob job = jobOf(record.ready - 50, {record});
+    ASSERT_EQ(job.inflight.size(), 1u);
+    const Cycle until = engine.rollback(hier_, job, 0);
+    EXPECT_EQ(until - job.squashCycle,
+              static_cast<Cycle>(CleanupTiming{}.mshrCleanCost));
+    // The eager install was undone.
+    EXPECT_EQ(hier_.l1d().probe(record.lineAddr), nullptr);
+}
+
+TEST_F(CleanupEngineTest, T4WaitsForOlderLoads)
+{
+    CleanupEngine engine(CleanupMode::Cleanup_FOR_L1L2, CleanupTiming{},
+                         rng_);
+    const auto record = specAccess(0x10000, 100, 1);
+    const Cycle squash = record.ready + 10;
+    const Cycle older_drain = squash + 40;
+    const CleanupJob job = jobOf(squash, {record});
+    const Cycle until = engine.rollback(hier_, job, older_drain);
+    EXPECT_EQ(until, older_drain + 22);
+}
+
+TEST_F(CleanupEngineTest, ConstantTimeFloorsStall)
+{
+    CleanupTiming timing;
+    timing.constantTimeCycles = 45;
+    CleanupEngine engine(CleanupMode::Cleanup_FOR_L1L2, timing, rng_);
+    // Squash with no footprint: still stalls the full constant.
+    const CleanupJob empty = jobOf(500, {});
+    EXPECT_EQ(engine.rollback(hier_, empty, 0), 545u);
+    EXPECT_EQ(
+        engine.stats().findCounter("extraCleanupSquashTimeCycles")->value(),
+        45u);
+}
+
+TEST_F(CleanupEngineTest, ConstantTimeRelaxedWhenWorkExceedsIt)
+{
+    CleanupTiming timing;
+    timing.constantTimeCycles = 25;
+    CleanupEngine engine(CleanupMode::Cleanup_FOR_L1L2, timing, rng_);
+    const auto record = specAccess(0x10000, 100, 1);
+    const CleanupJob job = jobOf(record.ready + 10, {record});
+    // Natural cost 22 < 25: padded to the constant.
+    EXPECT_EQ(engine.rollback(hier_, job, 0) - job.squashCycle, 25u);
+    EXPECT_EQ(
+        engine.stats().findCounter("extraCleanupSquashTimeCycles")->value(),
+        3u);
+}
+
+TEST_F(CleanupEngineTest, FuzzyAddsBoundedNoise)
+{
+    CleanupTiming timing;
+    timing.fuzzyMaxCycles = 16;
+    CleanupEngine engine(CleanupMode::Cleanup_FOR_L1L2, timing, rng_);
+    bool varied = false;
+    Cycle first_stall = kCycleNever;
+    for (int i = 0; i < 32; ++i) {
+        const CleanupJob job = jobOf(1000 + i * 100, {});
+        const Cycle until = engine.rollback(hier_, job, 0);
+        const Cycle stall = until - job.squashCycle;
+        EXPECT_LE(stall, 16u);
+        if (first_stall == kCycleNever)
+            first_stall = stall;
+        varied = varied || stall != first_stall;
+    }
+    EXPECT_TRUE(varied);
+}
+
+TEST_F(CleanupEngineTest, DurationFormulaPipelines)
+{
+    CleanupEngine engine(CleanupMode::Cleanup_FOR_L1L2, CleanupTiming{},
+                         rng_);
+    const double one = engine.rollbackDuration(1, 1, 0);
+    const double eight = engine.rollbackDuration(8, 8, 0);
+    EXPECT_DOUBLE_EQ(one, 22.0);
+    // Growth is slow: ~0.5/line on the dominating L2 walk.
+    EXPECT_NEAR(eight - one, 3.5, 0.01);
+    // Restoration grows much faster.
+    const double with_restores = engine.rollbackDuration(8, 8, 8);
+    EXPECT_NEAR(with_restores - eight, 10.0 + 7 * 4.2, 0.01);
+}
+
+TEST_F(CleanupEngineTest, LogRecordsSquashes)
+{
+    CleanupEngine engine(CleanupMode::Cleanup_FOR_L1L2, CleanupTiming{},
+                         rng_);
+    engine.enableLog(true);
+    const auto record = specAccess(0x10000, 100, 1);
+    const CleanupJob job = jobOf(record.ready + 10, {record});
+    engine.rollback(hier_, job, 0);
+    ASSERT_EQ(engine.log().size(), 1u);
+    EXPECT_EQ(engine.log()[0].stall, 22u);
+    EXPECT_EQ(engine.log()[0].l1Invalidations, 1u);
+    engine.clearLog();
+    EXPECT_TRUE(engine.log().empty());
+}
+
+TEST_F(CleanupEngineTest, StatsAccumulate)
+{
+    CleanupEngine engine(CleanupMode::Cleanup_FOR_L1L2, CleanupTiming{},
+                         rng_);
+    const auto r1 = specAccess(0x10000, 100, 1);
+    const auto r2 = specAccess(0x20000, 100, 2);
+    const Cycle squash = std::max(r1.ready, r2.ready) + 1;
+    engine.rollback(hier_, jobOf(squash, {r1, r2}), 0);
+    EXPECT_EQ(engine.stats().findCounter("squashes")->value(), 1u);
+    EXPECT_EQ(engine.stats().findCounter("invalidationsL1")->value(), 2u);
+    EXPECT_EQ(engine.stats().findCounter("invalidationsL2")->value(), 2u);
+    EXPECT_GT(engine.stats().findCounter("cycles")->value(), 0u);
+}
+
+} // namespace
+} // namespace unxpec

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Tests for the §II-B in-window protections: MESI-ish state tracking,
+ * dummy-miss service for cross-core hits on speculative lines, and
+ * delayed M/E->S downgrades.
+ */
+
+#include <gtest/gtest.h>
+
+#include "memory/hierarchy.hh"
+
+namespace unxpec {
+namespace {
+
+class CoherenceTest : public ::testing::Test
+{
+  protected:
+    CoherenceTest()
+        : cfg_(SystemConfig::makeDefault()), rng_(1), hier_(cfg_, rng_)
+    {
+    }
+
+    SystemConfig cfg_;
+    Rng rng_;
+    MemoryHierarchy hier_;
+};
+
+TEST_F(CoherenceTest, CleanFillIsExclusive)
+{
+    const auto record = hier_.access(0x10000, 100, false, false, 1);
+    const CacheLine *line = hier_.l1d().probe(record.lineAddr);
+    ASSERT_NE(line, nullptr);
+    EXPECT_EQ(line->coh, CohState::Exclusive);
+}
+
+TEST_F(CoherenceTest, WriteUpgradesToModified)
+{
+    const auto record = hier_.access(0x10000, 100, true, false, 1);
+    EXPECT_EQ(hier_.l1d().probe(record.lineAddr)->coh,
+              CohState::Modified);
+}
+
+TEST_F(CoherenceTest, CrossCoreReadDowngradesCommittedLine)
+{
+    const auto record = hier_.access(0x10000, 100, true, false, 1);
+    const auto probe = hier_.crossCoreRead(0x10000, record.ready + 1);
+    EXPECT_TRUE(probe.hit);
+    EXPECT_FALSE(probe.dummyMiss);
+    EXPECT_EQ(probe.observed, CohState::Shared);
+    EXPECT_EQ(hier_.l1d().probe(record.lineAddr)->coh, CohState::Shared);
+}
+
+TEST_F(CoherenceTest, SpeculativeLineServedAsDummyMiss)
+{
+    const auto record = hier_.access(0x10000, 100, true, true, 7);
+    const auto probe = hier_.crossCoreRead(0x10000, record.ready + 1);
+    EXPECT_FALSE(probe.hit);
+    EXPECT_TRUE(probe.dummyMiss);
+    // Miss latency: the prober cannot tell the line is present.
+    EXPECT_EQ(probe.ready - (record.ready + 1),
+              cfg_.l1d.hitLatency + cfg_.l2.hitLatency +
+                  cfg_.memory.accessLatency);
+    // And the downgrade was NOT applied.
+    EXPECT_EQ(hier_.l1d().probe(record.lineAddr)->coh,
+              CohState::Modified);
+}
+
+TEST_F(CoherenceTest, DelayedDowngradeAppliedAtCommit)
+{
+    const auto record = hier_.access(0x10000, 100, true, true, 7);
+    hier_.crossCoreRead(0x10000, record.ready + 1);
+    EXPECT_TRUE(hier_.l1d().probe(record.lineAddr)->pendingDowngrade);
+    hier_.commitInstall(record);
+    const CacheLine *line = hier_.l1d().probe(record.lineAddr);
+    EXPECT_EQ(line->coh, CohState::Shared);
+    EXPECT_FALSE(line->pendingDowngrade);
+}
+
+TEST_F(CoherenceTest, UnsafeBaselineLeaksSpeculativeHit)
+{
+    SystemConfig cfg = SystemConfig::makeUnsafeBaseline();
+    Rng rng(2);
+    MemoryHierarchy unsafe(cfg, rng);
+    const auto record = unsafe.access(0x10000, 100, false, true, 7);
+    const auto probe = unsafe.crossCoreRead(0x10000, record.ready + 1);
+    // No protection: the speculative line is visible immediately.
+    EXPECT_TRUE(probe.hit);
+    EXPECT_FALSE(probe.dummyMiss);
+}
+
+TEST_F(CoherenceTest, AbsentLineIsAnHonestMiss)
+{
+    const auto probe = hier_.crossCoreRead(0x77000, 100);
+    EXPECT_FALSE(probe.hit);
+    EXPECT_FALSE(probe.dummyMiss);
+    EXPECT_EQ(probe.observed, CohState::Invalid);
+}
+
+TEST_F(CoherenceTest, ProbeTimingHidesSpeculativePresence)
+{
+    // The attacker-facing property: probing a speculative line and
+    // probing an absent line take exactly the same time.
+    const auto record = hier_.access(0x10000, 100, false, true, 7);
+    const Cycle when = record.ready + 1;
+    const auto spec_probe = hier_.crossCoreRead(0x10000, when);
+    const auto absent_probe = hier_.crossCoreRead(0x99000, when);
+    EXPECT_EQ(spec_probe.ready - when, absent_probe.ready - when);
+}
+
+} // namespace
+} // namespace unxpec

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Tests that the default configuration reproduces Table I.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/config.hh"
+
+namespace unxpec {
+namespace {
+
+TEST(ConfigTest, TableOneGeometry)
+{
+    const SystemConfig cfg = SystemConfig::makeDefault();
+    EXPECT_DOUBLE_EQ(cfg.clockGHz, 2.0);
+    EXPECT_EQ(cfg.core.robEntries, 192u);
+
+    EXPECT_EQ(cfg.l1i.sizeBytes, 32u * 1024);
+    EXPECT_EQ(cfg.l1i.ways, 4u);
+    EXPECT_EQ(cfg.l1i.numSets(), 128u);
+
+    EXPECT_EQ(cfg.l1d.sizeBytes, 32u * 1024);
+    EXPECT_EQ(cfg.l1d.ways, 8u);
+    EXPECT_EQ(cfg.l1d.numSets(), 64u);
+
+    EXPECT_EQ(cfg.l2.sizeBytes, 2u * 1024 * 1024);
+    EXPECT_EQ(cfg.l2.ways, 16u);
+    EXPECT_EQ(cfg.l2.numSets(), 2048u);
+
+    // 50 ns at 2 GHz.
+    EXPECT_EQ(cfg.memory.accessLatency, 100u);
+}
+
+TEST(ConfigTest, CleanupSpecPoliciesOnByDefault)
+{
+    const SystemConfig cfg = SystemConfig::makeDefault();
+    EXPECT_EQ(cfg.cleanupMode, CleanupMode::Cleanup_FOR_L1L2);
+    EXPECT_EQ(cfg.l1d.repl, ReplPolicy::Random);
+    EXPECT_EQ(cfg.l2.index, IndexPolicy::Ceaser);
+}
+
+TEST(ConfigTest, UnsafeBaselineDisablesProtections)
+{
+    const SystemConfig cfg = SystemConfig::makeUnsafeBaseline();
+    EXPECT_EQ(cfg.cleanupMode, CleanupMode::UnsafeBaseline);
+    EXPECT_EQ(cfg.l1d.repl, ReplPolicy::LRU);
+    EXPECT_EQ(cfg.l2.index, IndexPolicy::Modulo);
+}
+
+TEST(ConfigTest, NoisyHostIsSlowerAndJittery)
+{
+    const SystemConfig host = SystemConfig::makeNoisyHost();
+    const SystemConfig base = SystemConfig::makeDefault();
+    EXPECT_GT(host.memory.accessLatency, base.memory.accessLatency);
+    EXPECT_GT(host.memory.jitterSigma, 0.0);
+}
+
+TEST(ConfigTest, CleanupTimingDefaultsMatchHeadlineNumbers)
+{
+    const CleanupTiming t;
+    // One landed transient load in Cleanup_FOR_L1L2:
+    // trigger + max(L1 walk, L2 walk) = 4 + 18 = 22 cycles.
+    EXPECT_DOUBLE_EQ(t.mshrCleanCost + t.invFirstL2, 22.0);
+    // Plus one restoration: 32 cycles.
+    EXPECT_DOUBLE_EQ(t.mshrCleanCost + t.invFirstL2 + t.restoreFirst, 32.0);
+}
+
+TEST(ConfigTest, ModeNames)
+{
+    EXPECT_STREQ(toString(CleanupMode::UnsafeBaseline), "UnsafeBaseline");
+    EXPECT_STREQ(toString(CleanupMode::Cleanup_FOR_L1), "Cleanup_FOR_L1");
+    EXPECT_STREQ(toString(CleanupMode::Cleanup_FOR_L1L2),
+                 "Cleanup_FOR_L1L2");
+}
+
+TEST(ConfigTest, ValidateAcceptsAllPresets)
+{
+    SystemConfig::makeDefault().validate();
+    SystemConfig::makeUnsafeBaseline().validate();
+    SystemConfig::makeInvisiSpec().validate();
+    SystemConfig::makeDelayOnMiss().validate();
+    SystemConfig::makeNoisyHost().validate();
+}
+
+TEST(ConfigDeathTest, ValidateRejectsBadGeometry)
+{
+    SystemConfig bad_ways = SystemConfig::makeDefault();
+    bad_ways.l1d.ways = 0;
+    EXPECT_DEATH({ bad_ways.validate(); }, "ways");
+
+    SystemConfig bad_size = SystemConfig::makeDefault();
+    bad_size.l2.sizeBytes = 1000; // not a multiple of ways x 64
+    EXPECT_DEATH({ bad_size.validate(); }, "multiple");
+
+    SystemConfig bad_nomo = SystemConfig::makeDefault();
+    bad_nomo.l1d.nomoReservedWays = 8;
+    EXPECT_DEATH({ bad_nomo.validate(); }, "NoMo");
+
+    SystemConfig bad_width = SystemConfig::makeDefault();
+    bad_width.core.issueWidth = 0;
+    EXPECT_DEATH({ bad_width.validate(); }, "width");
+}
+
+TEST(ConfigTest, PrintMentionsEveryModule)
+{
+    std::ostringstream oss;
+    SystemConfig::makeDefault().print(oss);
+    const std::string text = oss.str();
+    EXPECT_NE(text.find("Processor"), std::string::npos);
+    EXPECT_NE(text.find("L1 I cache"), std::string::npos);
+    EXPECT_NE(text.find("L1 D cache"), std::string::npos);
+    EXPECT_NE(text.find("L2 cache"), std::string::npos);
+    EXPECT_NE(text.find("Memory"), std::string::npos);
+}
+
+} // namespace
+} // namespace unxpec

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Cross-module integration tests: full attack rounds end-to-end, the
+ * Spectre-vs-unXpec contrast, leak of long bit strings under noise,
+ * and leakage-rate sanity.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "attack/channel.hh"
+#include "attack/noise.hh"
+#include "attack/spectre_v1.hh"
+#include "attack/unxpec.hh"
+#include "analysis/accuracy.hh"
+
+namespace unxpec {
+namespace {
+
+TEST(IntegrationTest, UnxpecLeaksWhereSpectreFails)
+{
+    // The paper's whole premise in one test: on a CleanupSpec machine
+    // the classic cache covert channel is closed, but the rollback
+    // *timing* channel is wide open.
+    Core core(SystemConfig::makeDefault());
+
+    SpectreV1 spectre(core);
+    spectre.setSecretByte(42);
+    EXPECT_FALSE(spectre.leakByte().cacheHitSignal);
+
+    UnxpecAttack attack(core);
+    const double threshold = attack.calibrate(4);
+    const std::vector<int> secret = {1, 0, 1, 1, 0, 1, 0, 0};
+    const LeakResult result = attack.leak(secret, threshold);
+    EXPECT_DOUBLE_EQ(result.accuracy, 1.0);
+}
+
+TEST(IntegrationTest, LongLeakUnderEvaluationNoise)
+{
+    SystemConfig cfg = SystemConfig::makeDefault();
+    const NoiseProfile noise = NoiseProfile::evaluation();
+    noise.applyTo(cfg);
+    Core core(cfg);
+    noise.applyTo(core);
+
+    UnxpecAttack attack(core);
+    const double threshold = attack.calibrate(100);
+
+    Rng rng(2024);
+    std::vector<int> secret;
+    for (int i = 0; i < 200; ++i)
+        secret.push_back(static_cast<int>(rng.range(2)));
+    const LeakResult result = attack.leak(secret, threshold);
+    // Paper: 86.7 % with one sample per bit. Require comfortably
+    // above chance here (small sample size).
+    EXPECT_GT(result.accuracy, 0.75);
+}
+
+TEST(IntegrationTest, EvictionSetsImproveNoisyAccuracy)
+{
+    auto run_variant = [](bool evset) {
+        SystemConfig cfg = SystemConfig::makeDefault();
+        const NoiseProfile noise = NoiseProfile::evaluation();
+        noise.applyTo(cfg);
+        Core core(cfg);
+        noise.applyTo(core);
+        UnxpecConfig ucfg;
+        ucfg.useEvictionSets = evset;
+        UnxpecAttack attack(core, ucfg);
+        const double threshold = attack.calibrate(120);
+        Rng rng(7);
+        std::vector<int> secret;
+        for (int i = 0; i < 250; ++i)
+            secret.push_back(static_cast<int>(rng.range(2)));
+        return attack.leak(secret, threshold).accuracy;
+    };
+    const double plain = run_variant(false);
+    const double optimized = run_variant(true);
+    EXPECT_GT(optimized, plain - 0.02); // at least comparable
+    EXPECT_GT(optimized, 0.85);
+}
+
+TEST(IntegrationTest, LeakageRateOrderOfMagnitude)
+{
+    Core core(SystemConfig::makeDefault());
+    UnxpecAttack attack(core);
+    attack.collect(0, 5);
+    attack.collect(1, 5);
+    const double rate_kbps = LeakageRate::bitsPerSecond(
+        attack.cyclesPerSample(), core.config().clockGHz) / 1000.0;
+    // The paper reports 140 Kbps with its (heavier) round structure;
+    // our leaner default round should be the same order or faster.
+    EXPECT_GT(rate_kbps, 100.0);
+    EXPECT_LT(rate_kbps, 5000.0);
+}
+
+TEST(IntegrationTest, RollbackKeepsEvictionSetsPrimedAcrossRounds)
+{
+    // §VI-B: priming once suffices in a quiet machine because the
+    // rollback itself restores the primed lines. Alternating secrets
+    // must decode perfectly without re-priming.
+    Core core(SystemConfig::makeDefault());
+    UnxpecConfig cfg;
+    cfg.useEvictionSets = true;
+    UnxpecAttack attack(core, cfg);
+    const double threshold = attack.calibrate(4);
+    for (int round = 0; round < 10; ++round) {
+        const int secret = round % 2;
+        attack.setSecret(secret);
+        const double latency = attack.measureOnce();
+        EXPECT_EQ(CovertChannel::decode(latency, threshold), secret)
+            << "round " << round;
+        if (secret == 1) {
+            EXPECT_GE(attack.lastDetail().restores, 1u);
+        }
+    }
+}
+
+TEST(IntegrationTest, CleanupForL1ChannelSmallerButPresent)
+{
+    SystemConfig cfg = SystemConfig::makeDefault();
+    cfg.cleanupMode = CleanupMode::Cleanup_FOR_L1;
+    Core core(cfg);
+    UnxpecAttack attack(core);
+    attack.setSecret(0);
+    attack.measureOnce();
+    const double zero = attack.measureOnce();
+    attack.setSecret(1);
+    attack.measureOnce();
+    const double one = attack.measureOnce();
+    const double delta = one - zero;
+    EXPECT_GT(delta, 4.0);   // channel still exists...
+    EXPECT_LT(delta, 22.0);  // ...but smaller than Cleanup_FOR_L1L2
+}
+
+TEST(IntegrationTest, StatsDumpHasArtifactCounters)
+{
+    Core core(SystemConfig::makeDefault());
+    UnxpecAttack attack(core);
+    attack.collect(1, 2);
+    std::ostringstream oss;
+    core.stats().dump(oss);
+    core.cleanup().stats().dump(oss);
+    const std::string text = oss.str();
+    EXPECT_NE(text.find("cpu.sim_ticks"), std::string::npos);
+    EXPECT_NE(text.find("cleanup.extraCleanupSquashTimeCycles"),
+              std::string::npos);
+    EXPECT_NE(text.find("cleanup.restores"), std::string::npos);
+}
+
+TEST(IntegrationTest, FuzzyMitigationDegradesAccuracyAtLowCost)
+{
+    // The paper's §VII sketch: random dummy cleanup should hurt the
+    // attacker more cheaply than constant-time rollback.
+    SystemConfig cfg = SystemConfig::makeDefault();
+    cfg.cleanupTiming.fuzzyMaxCycles = 60;
+    Core core(cfg);
+    UnxpecAttack attack(core);
+    const double threshold = attack.calibrate(60);
+    Rng rng(5);
+    std::vector<int> secret;
+    for (int i = 0; i < 200; ++i)
+        secret.push_back(static_cast<int>(rng.range(2)));
+    const LeakResult result = attack.leak(secret, threshold);
+    EXPECT_LT(result.accuracy, 0.85); // attack noticeably degraded
+}
+
+} // namespace
+} // namespace unxpec

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Unit tests for opcode classification and disassembly.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/isa.hh"
+
+namespace unxpec {
+namespace {
+
+TEST(IsaTest, LoadStoreClassification)
+{
+    EXPECT_TRUE(isLoad(Opcode::LOAD));
+    EXPECT_FALSE(isLoad(Opcode::STORE));
+    EXPECT_TRUE(isStore(Opcode::STORE));
+    EXPECT_FALSE(isStore(Opcode::LOAD));
+}
+
+TEST(IsaTest, MemClassIncludesFenceAndFlush)
+{
+    EXPECT_TRUE(isMem(Opcode::LOAD));
+    EXPECT_TRUE(isMem(Opcode::STORE));
+    EXPECT_TRUE(isMem(Opcode::CLFLUSH));
+    EXPECT_TRUE(isMem(Opcode::FENCE));
+    EXPECT_FALSE(isMem(Opcode::ADD));
+    EXPECT_FALSE(isMem(Opcode::RDTSCP));
+}
+
+TEST(IsaTest, BranchClassification)
+{
+    for (const Opcode op :
+         {Opcode::BLT, Opcode::BGE, Opcode::BEQ, Opcode::BNE}) {
+        EXPECT_TRUE(isCondBranch(op));
+        EXPECT_TRUE(isBranch(op));
+    }
+    EXPECT_FALSE(isCondBranch(Opcode::JMP));
+    EXPECT_TRUE(isBranch(Opcode::JMP));
+    EXPECT_FALSE(isBranch(Opcode::ADD));
+}
+
+TEST(IsaTest, RegisterWriters)
+{
+    EXPECT_TRUE(writesReg(Opcode::LI));
+    EXPECT_TRUE(writesReg(Opcode::LOAD));
+    EXPECT_TRUE(writesReg(Opcode::RDTSCP));
+    EXPECT_FALSE(writesReg(Opcode::STORE));
+    EXPECT_FALSE(writesReg(Opcode::BLT));
+    EXPECT_FALSE(writesReg(Opcode::FENCE));
+    EXPECT_FALSE(writesReg(Opcode::CLFLUSH));
+}
+
+TEST(IsaTest, SourceOperands)
+{
+    EXPECT_TRUE(readsRs1(Opcode::LOAD));
+    EXPECT_FALSE(readsRs2(Opcode::LOAD));
+    EXPECT_TRUE(readsRs1(Opcode::STORE));
+    EXPECT_TRUE(readsRs2(Opcode::STORE));
+    EXPECT_TRUE(readsRs1(Opcode::BLT));
+    EXPECT_TRUE(readsRs2(Opcode::BLT));
+    EXPECT_FALSE(readsRs1(Opcode::LI));
+    EXPECT_FALSE(readsRs1(Opcode::RDTSCP));
+    EXPECT_TRUE(readsRs1(Opcode::CLFLUSH));
+    EXPECT_FALSE(readsRs2(Opcode::CLFLUSH));
+}
+
+TEST(IsaTest, EveryOpcodeHasAName)
+{
+    for (int op = 0; op <= static_cast<int>(Opcode::RDTSCP); ++op) {
+        EXPECT_STRNE(opcodeName(static_cast<Opcode>(op)), "?");
+    }
+}
+
+TEST(IsaTest, DisassembleLoad)
+{
+    Instruction inst;
+    inst.op = Opcode::LOAD;
+    inst.rd = 3;
+    inst.rs1 = 4;
+    inst.imm = 64;
+    inst.size = 8;
+    EXPECT_EQ(disassemble(inst), "load8 r3, [r4+64]");
+}
+
+TEST(IsaTest, DisassembleBranch)
+{
+    Instruction inst;
+    inst.op = Opcode::BGE;
+    inst.rs1 = 1;
+    inst.rs2 = 2;
+    inst.target = 17;
+    EXPECT_EQ(disassemble(inst), "bge r1, r2, @17");
+}
+
+} // namespace
+} // namespace unxpec

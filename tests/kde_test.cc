@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Unit tests for kernel density estimation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/kde.hh"
+#include "sim/rng.hh"
+
+namespace unxpec {
+namespace {
+
+TEST(KdeTest, BandwidthPositiveAndScalesWithSpread)
+{
+    const std::vector<double> tight = {10, 10.5, 11, 10.2, 10.8, 10.4};
+    std::vector<double> wide;
+    for (const double v : tight)
+        wide.push_back(v * 20);
+    const double bw_tight = Kde::silvermanBandwidth(tight);
+    const double bw_wide = Kde::silvermanBandwidth(wide);
+    EXPECT_GT(bw_tight, 0.0);
+    EXPECT_GT(bw_wide, bw_tight);
+}
+
+TEST(KdeTest, DensityPeaksAtSampleMass)
+{
+    const std::vector<double> samples = {100, 100, 100, 100, 200};
+    const double bw = 5.0;
+    EXPECT_GT(Kde::evaluate(samples, bw, 100),
+              Kde::evaluate(samples, bw, 200));
+    EXPECT_GT(Kde::evaluate(samples, bw, 200),
+              Kde::evaluate(samples, bw, 150));
+}
+
+TEST(KdeTest, DensityIntegratesToOne)
+{
+    Rng rng(1);
+    std::vector<double> samples;
+    for (int i = 0; i < 500; ++i)
+        samples.push_back(rng.gaussian(170, 10));
+    const auto curve = Kde::curve(samples, 100, 240, 281);
+    double integral = 0.0;
+    const double step = curve.x[1] - curve.x[0];
+    for (const double d : curve.density)
+        integral += d * step;
+    EXPECT_NEAR(integral, 1.0, 0.02);
+}
+
+TEST(KdeTest, CurveGridIsRegular)
+{
+    const std::vector<double> samples = {1, 2, 3};
+    const auto curve = Kde::curve(samples, 0, 10, 11);
+    ASSERT_EQ(curve.x.size(), 11u);
+    EXPECT_DOUBLE_EQ(curve.x.front(), 0.0);
+    EXPECT_DOUBLE_EQ(curve.x.back(), 10.0);
+    EXPECT_DOUBLE_EQ(curve.x[1] - curve.x[0], 1.0);
+}
+
+TEST(KdeTest, RecoversGaussianMode)
+{
+    Rng rng(2);
+    std::vector<double> samples;
+    for (int i = 0; i < 2000; ++i)
+        samples.push_back(rng.gaussian(160, 8));
+    const auto curve = Kde::curve(samples, 120, 200, 161);
+    double best_x = 0, best_d = -1;
+    for (std::size_t i = 0; i < curve.x.size(); ++i) {
+        if (curve.density[i] > best_d) {
+            best_d = curve.density[i];
+            best_x = curve.x[i];
+        }
+    }
+    EXPECT_NEAR(best_x, 160.0, 3.0);
+}
+
+TEST(KdeTest, EmptySamplesYieldZeroDensity)
+{
+    EXPECT_DOUBLE_EQ(Kde::evaluate({}, 1.0, 5.0), 0.0);
+}
+
+} // namespace
+} // namespace unxpec

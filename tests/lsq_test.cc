@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Unit tests for load/store queue ordering policy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/lsq.hh"
+
+namespace unxpec {
+namespace {
+
+RobEntry
+makeEntry(SeqNum seq, Opcode op)
+{
+    RobEntry entry;
+    entry.seq = seq;
+    entry.inst.op = op;
+    return entry;
+}
+
+RobEntry
+makeStore(SeqNum seq, Addr addr, std::uint64_t value, unsigned size,
+          bool done)
+{
+    RobEntry entry = makeEntry(seq, Opcode::STORE);
+    entry.effAddr = addr;
+    entry.storeValue = value;
+    entry.inst.size = static_cast<std::uint8_t>(size);
+    entry.done = done;
+    return entry;
+}
+
+TEST(LsqTest, LoadProceedsWithNoOlderStores)
+{
+    ReorderBuffer rob(8);
+    rob.push(makeEntry(0, Opcode::LOAD));
+    const auto gate = LoadStoreQueue::gateLoad(rob, 0, 0x1000, 8);
+    EXPECT_EQ(gate.gate, LoadGate::Proceed);
+}
+
+TEST(LsqTest, UnresolvedOlderStoreBlocksLoad)
+{
+    ReorderBuffer rob(8);
+    rob.push(makeStore(0, 0, 0, 8, /*done=*/false));
+    rob.push(makeEntry(1, Opcode::LOAD));
+    const auto gate = LoadStoreQueue::gateLoad(rob, 1, 0x1000, 8);
+    EXPECT_EQ(gate.gate, LoadGate::Blocked);
+}
+
+TEST(LsqTest, CoveringStoreForwards)
+{
+    ReorderBuffer rob(8);
+    rob.push(makeStore(0, 0x1000, 0xdeadbeef12345678ull, 8, true));
+    rob.push(makeEntry(1, Opcode::LOAD));
+    const auto gate = LoadStoreQueue::gateLoad(rob, 1, 0x1000, 8);
+    EXPECT_EQ(gate.gate, LoadGate::Forward);
+    EXPECT_EQ(gate.forwardValue, 0xdeadbeef12345678ull);
+}
+
+TEST(LsqTest, ForwardSubsetWithShiftAndMask)
+{
+    ReorderBuffer rob(8);
+    rob.push(makeStore(0, 0x1000, 0xdeadbeef12345678ull, 8, true));
+    rob.push(makeEntry(1, Opcode::LOAD));
+    // Little-endian: bytes 2..3 of 0x...12345678 are 0x34, 0x12.
+    const auto gate = LoadStoreQueue::gateLoad(rob, 1, 0x1002, 2);
+    EXPECT_EQ(gate.gate, LoadGate::Forward);
+    EXPECT_EQ(gate.forwardValue, 0x1234ull);
+}
+
+TEST(LsqTest, PartialOverlapBlocks)
+{
+    ReorderBuffer rob(8);
+    rob.push(makeStore(0, 0x1004, 0xffff, 8, true));
+    rob.push(makeEntry(1, Opcode::LOAD));
+    // Load [0x1000, 0x1008) overlaps the store's first half only.
+    const auto gate = LoadStoreQueue::gateLoad(rob, 1, 0x1000, 8);
+    EXPECT_EQ(gate.gate, LoadGate::Blocked);
+}
+
+TEST(LsqTest, DisjointStoreIgnored)
+{
+    ReorderBuffer rob(8);
+    rob.push(makeStore(0, 0x2000, 7, 8, true));
+    rob.push(makeEntry(1, Opcode::LOAD));
+    const auto gate = LoadStoreQueue::gateLoad(rob, 1, 0x1000, 8);
+    EXPECT_EQ(gate.gate, LoadGate::Proceed);
+}
+
+TEST(LsqTest, LatestOlderStoreWins)
+{
+    ReorderBuffer rob(8);
+    rob.push(makeStore(0, 0x1000, 1, 8, true));
+    rob.push(makeStore(1, 0x1000, 2, 8, true));
+    rob.push(makeEntry(2, Opcode::LOAD));
+    const auto gate = LoadStoreQueue::gateLoad(rob, 2, 0x1000, 8);
+    EXPECT_EQ(gate.gate, LoadGate::Forward);
+    EXPECT_EQ(gate.forwardValue, 2u);
+}
+
+TEST(LsqTest, PendingFenceBlocksLoad)
+{
+    ReorderBuffer rob(8);
+    rob.push(makeEntry(0, Opcode::FENCE));
+    rob.push(makeEntry(1, Opcode::LOAD));
+    EXPECT_EQ(LoadStoreQueue::gateLoad(rob, 1, 0x1000, 8).gate,
+              LoadGate::Blocked);
+    rob.find(0)->done = true;
+    EXPECT_EQ(LoadStoreQueue::gateLoad(rob, 1, 0x1000, 8).gate,
+              LoadGate::Proceed);
+}
+
+TEST(LsqTest, FenceWaitsForOlderMemOps)
+{
+    ReorderBuffer rob(8);
+    RobEntry load = makeEntry(0, Opcode::LOAD);
+    rob.push(load);
+    rob.push(makeEntry(1, Opcode::FENCE));
+    EXPECT_FALSE(LoadStoreQueue::fenceReady(rob, 1));
+    rob.find(0)->done = true;
+    EXPECT_TRUE(LoadStoreQueue::fenceReady(rob, 1));
+}
+
+TEST(LsqTest, FenceIgnoresAluOps)
+{
+    ReorderBuffer rob(8);
+    rob.push(makeEntry(0, Opcode::MUL)); // not done, but not memory
+    rob.push(makeEntry(1, Opcode::FENCE));
+    EXPECT_TRUE(LoadStoreQueue::fenceReady(rob, 1));
+}
+
+TEST(LsqTest, OlderLoadsDrainCycle)
+{
+    ReorderBuffer rob(8);
+    RobEntry l0 = makeEntry(0, Opcode::LOAD);
+    l0.issued = true;
+    l0.readyCycle = 500;
+    rob.push(l0);
+    RobEntry l1 = makeEntry(1, Opcode::LOAD);
+    l1.issued = true;
+    l1.done = true; // already finished: excluded
+    l1.readyCycle = 900;
+    rob.push(l1);
+    rob.push(makeEntry(2, Opcode::BGE));
+    EXPECT_EQ(LoadStoreQueue::olderLoadsDrainCycle(rob, 2), 500u);
+    // Nothing older than seq 0.
+    EXPECT_EQ(LoadStoreQueue::olderLoadsDrainCycle(rob, 0), 0u);
+}
+
+TEST(LsqTest, OccupancyCountsMemOps)
+{
+    ReorderBuffer rob(8);
+    rob.push(makeEntry(0, Opcode::LOAD));
+    rob.push(makeEntry(1, Opcode::ADD));
+    rob.push(makeEntry(2, Opcode::STORE));
+    rob.push(makeEntry(3, Opcode::FENCE));
+    EXPECT_EQ(LoadStoreQueue::occupancy(rob), 3u);
+}
+
+} // namespace
+} // namespace unxpec

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Unit tests for the functional backing store and DRAM timing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "memory/main_memory.hh"
+
+namespace unxpec {
+namespace {
+
+class MainMemoryTest : public ::testing::Test
+{
+  protected:
+    MainMemoryTest() : rng_(1), mem_(MemoryConfig{}, rng_) {}
+
+    Rng rng_;
+    MainMemory mem_;
+};
+
+TEST_F(MainMemoryTest, UninitializedReadsZero)
+{
+    EXPECT_EQ(mem_.read8(0x123456), 0u);
+    EXPECT_EQ(mem_.read64(0xdeadbeef), 0u);
+}
+
+TEST_F(MainMemoryTest, ByteRoundTrip)
+{
+    mem_.write8(0x1000, 0xAB);
+    EXPECT_EQ(mem_.read8(0x1000), 0xABu);
+    EXPECT_EQ(mem_.read8(0x1001), 0u);
+}
+
+TEST_F(MainMemoryTest, Word64RoundTrip)
+{
+    mem_.write64(0x2000, 0x0123456789abcdefull);
+    EXPECT_EQ(mem_.read64(0x2000), 0x0123456789abcdefull);
+}
+
+TEST_F(MainMemoryTest, LittleEndianLayout)
+{
+    mem_.write64(0x3000, 0x0123456789abcdefull);
+    EXPECT_EQ(mem_.read8(0x3000), 0xEFu);
+    EXPECT_EQ(mem_.read8(0x3007), 0x01u);
+}
+
+TEST_F(MainMemoryTest, PartialSizes)
+{
+    mem_.write(0x4000, 0xBEEF, 2);
+    EXPECT_EQ(mem_.read(0x4000, 2), 0xBEEFu);
+    EXPECT_EQ(mem_.read(0x4000, 1), 0xEFu);
+    EXPECT_EQ(mem_.read(0x4000, 4), 0xBEEFu);
+}
+
+TEST_F(MainMemoryTest, CrossPageAccess)
+{
+    const Addr boundary = 4096 - 4;
+    mem_.write64(boundary, 0x1122334455667788ull);
+    EXPECT_EQ(mem_.read64(boundary), 0x1122334455667788ull);
+}
+
+TEST_F(MainMemoryTest, ClearForgetsContents)
+{
+    mem_.write64(0x5000, 7);
+    mem_.clear();
+    EXPECT_EQ(mem_.read64(0x5000), 0u);
+}
+
+TEST_F(MainMemoryTest, FixedLatencyWithoutJitter)
+{
+    for (int i = 0; i < 20; ++i)
+        EXPECT_EQ(mem_.accessLatency(), MemoryConfig{}.accessLatency);
+}
+
+TEST(MainMemoryJitterTest, JitterVariesLatency)
+{
+    Rng rng(2);
+    MemoryConfig cfg;
+    cfg.jitterSigma = 8.0;
+    MainMemory mem(cfg, rng);
+    double sum = 0.0;
+    bool varied = false;
+    Cycle first = mem.accessLatency();
+    for (int i = 0; i < 500; ++i) {
+        const Cycle latency = mem.accessLatency();
+        EXPECT_GE(latency, 1u);
+        varied = varied || latency != first;
+        sum += static_cast<double>(latency);
+    }
+    EXPECT_TRUE(varied);
+    EXPECT_NEAR(sum / 500.0, cfg.accessLatency, 2.0);
+}
+
+} // namespace
+} // namespace unxpec

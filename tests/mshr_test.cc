@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Unit tests for the MSHR file.
+ */
+
+#include <gtest/gtest.h>
+
+#include "memory/mshr.hh"
+
+namespace unxpec {
+namespace {
+
+TEST(MshrTest, AllocateAndFind)
+{
+    MshrFile file(4);
+    file.allocate(0x1000, 50, true, 7);
+    const MshrEntry *entry = file.find(0x1000);
+    ASSERT_NE(entry, nullptr);
+    EXPECT_EQ(entry->readyCycle, 50u);
+    EXPECT_TRUE(entry->speculative);
+    EXPECT_EQ(entry->installer, 7u);
+    EXPECT_EQ(file.find(0x2000), nullptr);
+}
+
+TEST(MshrTest, FullBackpressure)
+{
+    MshrFile file(2);
+    file.allocate(0x0, 10, false, 0);
+    EXPECT_FALSE(file.full());
+    file.allocate(0x40, 20, false, 1);
+    EXPECT_TRUE(file.full());
+}
+
+TEST(MshrTest, ReleaseRetiresCompletedFills)
+{
+    MshrFile file(4);
+    file.allocate(0x0, 10, false, 0);
+    file.allocate(0x40, 20, false, 1);
+    file.release(15);
+    EXPECT_EQ(file.inflight(), 1u);
+    EXPECT_EQ(file.find(0x0), nullptr);
+    EXPECT_NE(file.find(0x40), nullptr);
+}
+
+TEST(MshrTest, ReleaseIsInclusive)
+{
+    MshrFile file(4);
+    file.allocate(0x0, 10, false, 0);
+    file.release(10);
+    EXPECT_EQ(file.inflight(), 0u);
+}
+
+TEST(MshrTest, SquashDropsEntry)
+{
+    MshrFile file(4);
+    file.allocate(0x0, 10, false, 0);
+    EXPECT_TRUE(file.squash(0x0));
+    EXPECT_FALSE(file.squash(0x0));
+    EXPECT_EQ(file.inflight(), 0u);
+}
+
+TEST(MshrTest, EarliestReady)
+{
+    MshrFile file(4);
+    EXPECT_EQ(file.earliestReady(), kCycleNever);
+    file.allocate(0x0, 30, false, 0);
+    file.allocate(0x40, 20, false, 1);
+    file.allocate(0x80, 40, false, 2);
+    EXPECT_EQ(file.earliestReady(), 20u);
+}
+
+TEST(MshrTest, VictimBookkeeping)
+{
+    MshrFile file(4);
+    MshrEntry &entry = file.allocate(0x1000, 99, true, 3);
+    entry.victimLine = 0x2000;
+    entry.victimValid = true;
+    entry.victimDirty = true;
+    const MshrEntry *found = file.find(0x1000);
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(found->victimLine, 0x2000u);
+    EXPECT_TRUE(found->victimValid);
+    EXPECT_TRUE(found->victimDirty);
+}
+
+TEST(MshrTest, ClearEmptiesFile)
+{
+    MshrFile file(2);
+    file.allocate(0x0, 10, false, 0);
+    file.clear();
+    EXPECT_EQ(file.inflight(), 0u);
+    EXPECT_FALSE(file.full());
+}
+
+} // namespace
+} // namespace unxpec

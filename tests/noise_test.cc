@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Unit tests for the noise profiles.
+ */
+
+#include <gtest/gtest.h>
+
+#include "attack/noise.hh"
+#include "cpu/core.hh"
+
+namespace unxpec {
+namespace {
+
+TEST(NoiseTest, QuietProfileIsSilent)
+{
+    const NoiseProfile quiet = NoiseProfile::quiet();
+    EXPECT_EQ(quiet.interruptProbPerCycle, 0.0);
+    EXPECT_EQ(quiet.dramJitterSigma, 0.0);
+}
+
+TEST(NoiseTest, EvaluationProfileHasBothComponents)
+{
+    const NoiseProfile eval = NoiseProfile::evaluation();
+    EXPECT_GT(eval.interruptProbPerCycle, 0.0);
+    EXPECT_GT(eval.dramJitterSigma, 0.0);
+    EXPECT_GT(eval.interruptStallMax, eval.interruptStallMin);
+}
+
+TEST(NoiseTest, NoisyHostLouderThanEvaluation)
+{
+    const NoiseProfile eval = NoiseProfile::evaluation();
+    const NoiseProfile host = NoiseProfile::noisyHost();
+    EXPECT_GT(host.interruptProbPerCycle, eval.interruptProbPerCycle);
+    EXPECT_GT(host.dramJitterSigma, eval.dramJitterSigma);
+}
+
+TEST(NoiseTest, ApplyToConfigSetsJitter)
+{
+    SystemConfig cfg = SystemConfig::makeDefault();
+    NoiseProfile::evaluation().applyTo(cfg);
+    EXPECT_DOUBLE_EQ(cfg.memory.jitterSigma,
+                     NoiseProfile::evaluation().dramJitterSigma);
+}
+
+TEST(NoiseTest, AppliedNoiseSlowsExecution)
+{
+    ProgramBuilder b;
+    b.li(1, 0);
+    b.li(2, 3000);
+    const int top = b.label();
+    b.bind(top);
+    b.addi(1, 1, 1);
+    b.blt(1, 2, top);
+    b.halt();
+    const Program p = b.build();
+
+    Core quiet(SystemConfig::makeDefault());
+    const Cycle base = quiet.run(p).cycles;
+
+    Core noisy(SystemConfig::makeDefault());
+    NoiseProfile profile = NoiseProfile::noisyHost();
+    profile.interruptProbPerCycle = 0.02; // force events in a short run
+    profile.applyTo(noisy);
+    EXPECT_GT(noisy.run(p).cycles, base);
+}
+
+} // namespace
+} // namespace unxpec

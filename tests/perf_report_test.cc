@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Tests for the derived performance report and the commit trace.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "analysis/perf_report.hh"
+#include "cpu/core.hh"
+#include "workload/synth_spec.hh"
+
+namespace unxpec {
+namespace {
+
+TEST(PerfReportTest, BasicMetricsConsistent)
+{
+    Core core(SystemConfig::makeDefault());
+    const Program p = SynthSpec::generate(SynthSpec::profile("gcc_r"), 3);
+    RunOptions options;
+    options.maxInstructions = 20000;
+    const RunResult r = core.run(p, options);
+    const PerfReport report = PerfReport::of(core, r);
+
+    EXPECT_EQ(report.cycles, r.cycles);
+    EXPECT_EQ(report.instructions, r.instructions);
+    EXPECT_NEAR(report.cpi * report.ipc, 1.0, 1e-9);
+    EXPECT_GT(report.cpi, 0.3);
+    EXPECT_LT(report.cpi, 20.0);
+    EXPECT_GT(report.branchMpki, 1.0);
+    EXPECT_GT(report.l1dMissRatePct, 0.0);
+    EXPECT_LT(report.l1dMissRatePct, 60.0);
+    EXPECT_GT(report.squashes, 10u);
+}
+
+TEST(PerfReportTest, CleanupShareNonzeroOnBranchyWorkload)
+{
+    Core core(SystemConfig::makeDefault());
+    core.cleanup().timing().constantTimeCycles = 65;
+    const Program p =
+        SynthSpec::generate(SynthSpec::profile("leela_r"), 3);
+    RunOptions options;
+    options.maxInstructions = 20000;
+    const RunResult r = core.run(p, options);
+    const PerfReport report = PerfReport::of(core, r);
+    EXPECT_GT(report.cleanupCyclePct, 10.0);
+}
+
+TEST(PerfReportTest, PrintContainsHeadlineRows)
+{
+    Core core(SystemConfig::makeDefault());
+    ProgramBuilder b;
+    b.li(1, 1);
+    b.halt();
+    const RunResult r = core.run(b.build());
+    std::ostringstream oss;
+    PerfReport::of(core, r).print(oss);
+    const std::string text = oss.str();
+    EXPECT_NE(text.find("CPI"), std::string::npos);
+    EXPECT_NE(text.find("MPKI"), std::string::npos);
+    EXPECT_NE(text.find("cleanup cycles"), std::string::npos);
+}
+
+TEST(TraceTest, OneLinePerCommittedInstruction)
+{
+    Core core(SystemConfig::makeDefault());
+    std::ostringstream trace;
+    core.setTrace(&trace);
+    ProgramBuilder b;
+    b.li(1, 5);
+    b.addi(2, 1, 3);
+    b.mul(3, 1, 2);
+    b.halt();
+    const RunResult r = core.run(b.build());
+    core.setTrace(nullptr);
+
+    const std::string text = trace.str();
+    // HALT commits silently; every other instruction traces one line.
+    EXPECT_EQ(std::count(text.begin(), text.end(), '\n'),
+              static_cast<long>(r.instructions) - 1);
+    EXPECT_NE(text.find("li r1, 5 = 5"), std::string::npos);
+    EXPECT_NE(text.find("mul r3, r1, r2 = 40"), std::string::npos);
+}
+
+TEST(TraceTest, SquashedInstructionsNeverTrace)
+{
+    Core core(SystemConfig::makeDefault());
+    std::ostringstream trace;
+    core.setTrace(&trace);
+    ProgramBuilder b;
+    const Addr bound = b.alloc(64);
+    b.initWord64(bound, 10);
+    const int skip = b.label();
+    b.li(1, 50);
+    b.li(5, static_cast<std::int64_t>(bound));
+    b.clflush(5, 0);
+    b.load(2, 5, 0);
+    b.bge(1, 2, skip);
+    b.li(3, 0xBAD); // transient only
+    b.bind(skip);
+    b.halt();
+    core.run(b.build());
+    EXPECT_EQ(trace.str().find("0xBAD"), std::string::npos);
+    EXPECT_EQ(trace.str().find("li r3"), std::string::npos);
+}
+
+} // namespace
+} // namespace unxpec

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Unit tests for the program builder: labels, allocation, data images.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/program.hh"
+#include "memory/main_memory.hh"
+#include "sim/rng.hh"
+
+namespace unxpec {
+namespace {
+
+TEST(ProgramBuilderTest, AllocationIsAlignedAndDisjoint)
+{
+    ProgramBuilder b;
+    const Addr a = b.alloc(10);
+    const Addr c = b.alloc(100);
+    EXPECT_EQ(a % kLineBytes, 0u);
+    EXPECT_EQ(c % kLineBytes, 0u);
+    EXPECT_GE(c, a + 10);
+}
+
+TEST(ProgramBuilderTest, CustomAlignment)
+{
+    ProgramBuilder b;
+    b.alloc(3);
+    const Addr a = b.alloc(8, 4096);
+    EXPECT_EQ(a % 4096, 0u);
+}
+
+TEST(ProgramBuilderTest, ForwardLabelPatched)
+{
+    ProgramBuilder b;
+    const int skip = b.label();
+    b.li(1, 0);
+    b.beq(1, 1, skip);
+    b.addi(1, 1, 1);
+    b.bind(skip);
+    b.halt();
+    const Program p = b.build();
+    EXPECT_EQ(p.at(1).target, 3);
+}
+
+TEST(ProgramBuilderTest, BackwardLabelPatched)
+{
+    ProgramBuilder b;
+    const int top = b.label();
+    b.bind(top);
+    b.nop();
+    b.jmp(top);
+    const Program p = b.build();
+    EXPECT_EQ(p.at(1).target, 0);
+}
+
+TEST(ProgramBuilderTest, DataImageAppliesToMemory)
+{
+    ProgramBuilder b;
+    const Addr addr = b.alloc(16);
+    b.initWord64(addr, 0xfeedfacecafebeefull);
+    b.initByte(addr + 8, 0x5A);
+    b.halt();
+    const Program p = b.build();
+
+    Rng rng(1);
+    MainMemory mem(MemoryConfig{}, rng);
+    p.loadInitialData(mem);
+    EXPECT_EQ(mem.read64(addr), 0xfeedfacecafebeefull);
+    EXPECT_EQ(mem.read8(addr + 8), 0x5Au);
+}
+
+TEST(ProgramBuilderTest, PcToAddrUsesCodeBase)
+{
+    EXPECT_EQ(Program::pcToAddr(0), Program::kCodeBase);
+    EXPECT_EQ(Program::pcToAddr(3),
+              Program::kCodeBase + 3 * Program::kInstBytes);
+}
+
+TEST(ProgramBuilderTest, ListingHasOneLinePerInstruction)
+{
+    ProgramBuilder b;
+    b.li(1, 5);
+    b.addi(1, 1, 1);
+    b.halt();
+    const Program p = b.build();
+    const std::string listing = p.listing();
+    EXPECT_EQ(std::count(listing.begin(), listing.end(), '\n'), 3);
+    EXPECT_NE(listing.find("li r1, 5"), std::string::npos);
+}
+
+TEST(ProgramBuilderTest, EmittersEncodeFields)
+{
+    ProgramBuilder b;
+    b.load(7, 8, -16, 1);
+    b.store(9, 32, 10, 2);
+    b.shl(11, 12, 6);
+    const Program p = b.build();
+    EXPECT_EQ(p.at(0).rd, 7);
+    EXPECT_EQ(p.at(0).imm, -16);
+    EXPECT_EQ(p.at(0).size, 1);
+    EXPECT_EQ(p.at(1).rs2, 10);
+    EXPECT_EQ(p.at(1).size, 2);
+    EXPECT_EQ(p.at(2).imm, 6);
+}
+
+} // namespace
+} // namespace unxpec

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Unit tests for LRU and Random replacement, including the NoMo-style
+ * allowed-way masking.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "memory/replacement.hh"
+
+namespace unxpec {
+namespace {
+
+TEST(LruTest, EvictsLeastRecentlyUsed)
+{
+    LruPolicy lru(4, 4);
+    for (unsigned way = 0; way < 4; ++way)
+        lru.fill(0, way);
+    lru.touch(0, 0); // way 1 becomes the oldest
+    EXPECT_EQ(lru.victim(0, 0xF), 1u);
+}
+
+TEST(LruTest, FillCountsAsUse)
+{
+    LruPolicy lru(1, 3);
+    lru.fill(0, 0);
+    lru.fill(0, 1);
+    lru.fill(0, 2);
+    lru.fill(0, 0); // refreshed
+    EXPECT_EQ(lru.victim(0, 0x7), 1u);
+}
+
+TEST(LruTest, SetsAreIndependent)
+{
+    LruPolicy lru(2, 2);
+    lru.fill(0, 0);
+    lru.fill(0, 1);
+    lru.fill(1, 1);
+    lru.fill(1, 0);
+    EXPECT_EQ(lru.victim(0, 0x3), 0u);
+    EXPECT_EQ(lru.victim(1, 0x3), 1u);
+}
+
+TEST(LruTest, RespectsAllowedMask)
+{
+    LruPolicy lru(1, 4);
+    lru.fill(0, 0);
+    lru.fill(0, 1);
+    lru.fill(0, 2);
+    lru.fill(0, 3);
+    // Way 0 is the LRU way but not allowed.
+    EXPECT_EQ(lru.victim(0, 0b1110), 1u);
+}
+
+TEST(RandomTest, OnlyPicksAllowedWays)
+{
+    Rng rng(1);
+    RandomPolicy random(1, 8, rng);
+    for (int i = 0; i < 200; ++i) {
+        const unsigned way = random.victim(0, 0b00111100);
+        EXPECT_GE(way, 2u);
+        EXPECT_LE(way, 5u);
+    }
+}
+
+TEST(RandomTest, CoversAllAllowedWays)
+{
+    Rng rng(2);
+    RandomPolicy random(1, 8, rng);
+    std::set<unsigned> seen;
+    for (int i = 0; i < 500; ++i)
+        seen.insert(random.victim(0, 0xFF));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RandomTest, RoughlyUniform)
+{
+    Rng rng(3);
+    RandomPolicy random(1, 4, rng);
+    unsigned counts[4] = {0, 0, 0, 0};
+    const int trials = 8000;
+    for (int i = 0; i < trials; ++i)
+        ++counts[random.victim(0, 0xF)];
+    for (const unsigned count : counts)
+        EXPECT_NEAR(count, trials / 4.0, trials * 0.05);
+}
+
+TEST(FactoryTest, CreatesRequestedPolicy)
+{
+    Rng rng(4);
+    auto lru = ReplacementPolicy::create(ReplPolicy::LRU, 2, 2, rng);
+    auto rnd = ReplacementPolicy::create(ReplPolicy::Random, 2, 2, rng);
+    EXPECT_NE(dynamic_cast<LruPolicy *>(lru.get()), nullptr);
+    EXPECT_NE(dynamic_cast<RandomPolicy *>(rnd.get()), nullptr);
+}
+
+} // namespace
+} // namespace unxpec

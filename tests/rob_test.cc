@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Unit tests for the reorder buffer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/rob.hh"
+
+namespace unxpec {
+namespace {
+
+RobEntry
+makeEntry(SeqNum seq, Opcode op = Opcode::ADD)
+{
+    RobEntry entry;
+    entry.seq = seq;
+    entry.inst.op = op;
+    return entry;
+}
+
+TEST(RobTest, PushPopFifoOrder)
+{
+    ReorderBuffer rob(8);
+    rob.push(makeEntry(0));
+    rob.push(makeEntry(1));
+    EXPECT_EQ(rob.front().seq, 0u);
+    rob.popFront();
+    EXPECT_EQ(rob.front().seq, 1u);
+}
+
+TEST(RobTest, CapacityTracked)
+{
+    ReorderBuffer rob(2);
+    EXPECT_FALSE(rob.full());
+    rob.push(makeEntry(0));
+    rob.push(makeEntry(1));
+    EXPECT_TRUE(rob.full());
+    rob.popFront();
+    EXPECT_FALSE(rob.full());
+}
+
+TEST(RobTest, FindBySeqIsExact)
+{
+    ReorderBuffer rob(8);
+    for (SeqNum s = 10; s < 15; ++s)
+        rob.push(makeEntry(s));
+    // ReorderBuffer numbering starts wherever the caller starts it —
+    // but must stay consecutive.
+    ASSERT_NE(rob.find(12), nullptr);
+    EXPECT_EQ(rob.find(12)->seq, 12u);
+    EXPECT_EQ(rob.find(9), nullptr);
+    EXPECT_EQ(rob.find(15), nullptr);
+    rob.popFront();
+    EXPECT_EQ(rob.find(10), nullptr);
+    EXPECT_NE(rob.find(11), nullptr);
+}
+
+TEST(RobTest, SquashRemovesYoungerOnly)
+{
+    ReorderBuffer rob(8);
+    for (SeqNum s = 0; s < 6; ++s)
+        rob.push(makeEntry(s));
+    const auto squashed = rob.squashYoungerThan(2);
+    ASSERT_EQ(squashed.size(), 3u);
+    // Oldest-first ordering of the squashed entries.
+    EXPECT_EQ(squashed[0].seq, 3u);
+    EXPECT_EQ(squashed[2].seq, 5u);
+    EXPECT_EQ(rob.size(), 3u);
+    EXPECT_NE(rob.find(2), nullptr);
+    EXPECT_EQ(rob.find(3), nullptr);
+}
+
+TEST(RobTest, SquashYoungestIsNoop)
+{
+    ReorderBuffer rob(8);
+    rob.push(makeEntry(0));
+    rob.push(makeEntry(1));
+    EXPECT_TRUE(rob.squashYoungerThan(1).empty());
+    EXPECT_EQ(rob.size(), 2u);
+}
+
+TEST(RobTest, OlderUnresolvedBranchDetection)
+{
+    ReorderBuffer rob(8);
+    rob.push(makeEntry(0, Opcode::ADD));
+    RobEntry branch = makeEntry(1, Opcode::BLT);
+    rob.push(branch);
+    rob.push(makeEntry(2, Opcode::LOAD));
+
+    EXPECT_TRUE(rob.olderUnresolvedBranch(2));
+    EXPECT_FALSE(rob.olderUnresolvedBranch(1));
+    rob.find(1)->done = true;
+    EXPECT_FALSE(rob.olderUnresolvedBranch(2));
+}
+
+TEST(RobTest, JmpIsNotCondBranchForSpeculation)
+{
+    ReorderBuffer rob(8);
+    rob.push(makeEntry(0, Opcode::JMP));
+    rob.push(makeEntry(1, Opcode::LOAD));
+    EXPECT_FALSE(rob.olderUnresolvedBranch(1));
+}
+
+} // namespace
+} // namespace unxpec

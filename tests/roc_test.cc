@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Unit tests for the ROC analysis of the covert channel.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/roc.hh"
+#include "sim/rng.hh"
+
+namespace unxpec {
+namespace {
+
+TEST(RocTest, PerfectSeparationHasUnitAuc)
+{
+    const std::vector<double> zeros = {150, 152, 155};
+    const std::vector<double> ones = {180, 182, 185};
+    const RocCurve curve = RocCurve::of(zeros, ones);
+    EXPECT_NEAR(curve.auc(), 1.0, 1e-9);
+    const RocPoint best = curve.best();
+    EXPECT_DOUBLE_EQ(best.tpr, 1.0);
+    EXPECT_DOUBLE_EQ(best.fpr, 0.0);
+    EXPECT_GE(best.threshold, 155.0);
+    EXPECT_LT(best.threshold, 180.0);
+}
+
+TEST(RocTest, IdenticalDistributionsNearChance)
+{
+    Rng rng(1);
+    std::vector<double> zeros, ones;
+    for (int i = 0; i < 3000; ++i) {
+        zeros.push_back(rng.gaussian(170, 10));
+        ones.push_back(rng.gaussian(170, 10));
+    }
+    EXPECT_NEAR(RocCurve::of(zeros, ones).auc(), 0.5, 0.03);
+}
+
+TEST(RocTest, CurveEndsAtCorners)
+{
+    const RocCurve curve = RocCurve::of({1, 2, 3}, {2, 3, 4});
+    ASSERT_GE(curve.points().size(), 2u);
+    EXPECT_DOUBLE_EQ(curve.points().front().tpr, 0.0);
+    EXPECT_DOUBLE_EQ(curve.points().front().fpr, 0.0);
+    EXPECT_DOUBLE_EQ(curve.points().back().tpr, 1.0);
+    EXPECT_DOUBLE_EQ(curve.points().back().fpr, 1.0);
+}
+
+TEST(RocTest, AucTracksSeparation)
+{
+    Rng rng(2);
+    auto auc_for_delta = [&rng](double delta) {
+        std::vector<double> zeros, ones;
+        for (int i = 0; i < 2000; ++i) {
+            zeros.push_back(rng.gaussian(160, 9));
+            ones.push_back(rng.gaussian(160 + delta, 9));
+        }
+        return RocCurve::of(zeros, ones).auc();
+    };
+    const double auc22 = auc_for_delta(22); // the plain channel
+    const double auc32 = auc_for_delta(32); // with eviction sets
+    EXPECT_GT(auc22, 0.90);
+    EXPECT_GT(auc32, auc22);
+}
+
+TEST(RocTest, MonotoneTprAlongCurve)
+{
+    Rng rng(3);
+    std::vector<double> zeros, ones;
+    for (int i = 0; i < 500; ++i) {
+        zeros.push_back(rng.gaussian(160, 9));
+        ones.push_back(rng.gaussian(182, 9));
+    }
+    const RocCurve curve = RocCurve::of(zeros, ones);
+    for (std::size_t i = 1; i < curve.points().size(); ++i) {
+        EXPECT_GE(curve.points()[i].tpr, curve.points()[i - 1].tpr);
+        EXPECT_GE(curve.points()[i].fpr, curve.points()[i - 1].fpr);
+    }
+}
+
+} // namespace
+} // namespace unxpec

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Unit tests for the speculative-footprint tracker.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cleanup/spec_tracker.hh"
+
+namespace unxpec {
+namespace {
+
+MemAccessRecord
+makeRecord(Addr line, Cycle ready, bool l1_installed, bool l2_installed,
+           bool victim_valid = false)
+{
+    MemAccessRecord record;
+    record.lineAddr = line;
+    record.ready = ready;
+    record.l1Installed = l1_installed;
+    record.l2Installed = l2_installed;
+    record.l1VictimValid = victim_valid;
+    if (victim_valid)
+        record.l1Victim = line + 0x100000;
+    return record;
+}
+
+TEST(SpecTrackerTest, HitsProduceEmptyJob)
+{
+    std::vector<MemAccessRecord> records = {
+        makeRecord(0x1000, 50, false, false),
+        makeRecord(0x2000, 60, false, false),
+    };
+    const CleanupJob job = SpecTracker::buildJob(100, records);
+    EXPECT_TRUE(job.empty());
+    EXPECT_EQ(job.l1Invalidations, 0u);
+    EXPECT_EQ(job.restoreCount(), 0u);
+}
+
+TEST(SpecTrackerTest, LandedInstallCounted)
+{
+    std::vector<MemAccessRecord> records = {
+        makeRecord(0x1000, 90, true, true),
+    };
+    const CleanupJob job = SpecTracker::buildJob(100, records);
+    EXPECT_EQ(job.landed.size(), 1u);
+    EXPECT_TRUE(job.inflight.empty());
+    EXPECT_EQ(job.l1Invalidations, 1u);
+    EXPECT_EQ(job.l2Invalidations, 1u);
+}
+
+TEST(SpecTrackerTest, InflightSeparated)
+{
+    std::vector<MemAccessRecord> records = {
+        makeRecord(0x1000, 90, true, true),   // landed
+        makeRecord(0x2000, 150, true, true),  // still in flight
+    };
+    const CleanupJob job = SpecTracker::buildJob(100, records);
+    EXPECT_EQ(job.landed.size(), 1u);
+    EXPECT_EQ(job.inflight.size(), 1u);
+    EXPECT_EQ(job.l1Invalidations, 1u);
+}
+
+TEST(SpecTrackerTest, BoundaryFillAtSquashCycleCountsAsLanded)
+{
+    std::vector<MemAccessRecord> records = {
+        makeRecord(0x1000, 100, true, true),
+    };
+    const CleanupJob job = SpecTracker::buildJob(100, records);
+    EXPECT_EQ(job.landed.size(), 1u);
+}
+
+TEST(SpecTrackerTest, VictimsBecomeRestores)
+{
+    std::vector<MemAccessRecord> records = {
+        makeRecord(0x1000, 90, true, true, /*victim=*/true),
+        makeRecord(0x2000, 90, true, true, /*victim=*/false),
+    };
+    const CleanupJob job = SpecTracker::buildJob(100, records);
+    EXPECT_EQ(job.restoreCount(), 1u);
+    EXPECT_EQ(job.restores[0].l1Victim, 0x1000u + 0x100000);
+}
+
+TEST(SpecTrackerTest, InflightVictimNotRestored)
+{
+    std::vector<MemAccessRecord> records = {
+        makeRecord(0x1000, 200, true, true, /*victim=*/true),
+    };
+    const CleanupJob job = SpecTracker::buildJob(100, records);
+    EXPECT_EQ(job.restoreCount(), 0u);
+    EXPECT_EQ(job.inflight.size(), 1u);
+}
+
+TEST(SpecTrackerTest, L2OnlyInstall)
+{
+    // An L1-merged access that installed only in L2 (possible when the
+    // L1 copy came from another requester).
+    std::vector<MemAccessRecord> records = {
+        makeRecord(0x1000, 90, false, true),
+    };
+    const CleanupJob job = SpecTracker::buildJob(100, records);
+    EXPECT_EQ(job.l1Invalidations, 0u);
+    EXPECT_EQ(job.l2Invalidations, 1u);
+}
+
+} // namespace
+} // namespace unxpec

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Tests of the Spectre-v1 baseline: leaks on the unsafe baseline,
+ * defeated by CleanupSpec — the motivation for unXpec.
+ */
+
+#include <gtest/gtest.h>
+
+#include "attack/spectre_v1.hh"
+
+namespace unxpec {
+namespace {
+
+TEST(SpectreV1Test, LeaksByteOnUnsafeBaseline)
+{
+    Core core(SystemConfig::makeUnsafeBaseline());
+    SpectreV1 spectre(core);
+    spectre.setSecretByte(42);
+    const SpectreResult result = spectre.leakByte();
+    EXPECT_EQ(result.guessedByte, 42);
+    EXPECT_TRUE(result.cacheHitSignal);
+}
+
+TEST(SpectreV1Test, LeaksDifferentBytes)
+{
+    Core core(SystemConfig::makeUnsafeBaseline());
+    SpectreV1 spectre(core);
+    for (const std::uint8_t secret : {7, 99, 200, 255}) {
+        spectre.setSecretByte(secret);
+        const SpectreResult result = spectre.leakByte();
+        EXPECT_EQ(result.guessedByte, secret);
+    }
+}
+
+TEST(SpectreV1Test, DefeatedByCleanupSpec)
+{
+    Core core(SystemConfig::makeDefault());
+    SpectreV1 spectre(core);
+    spectre.setSecretByte(42);
+    const SpectreResult result = spectre.leakByte();
+    // The transient install was rolled back: no probe entry shows a
+    // cache hit, so the Flush+Reload receiver learns nothing.
+    EXPECT_FALSE(result.cacheHitSignal);
+}
+
+TEST(SpectreV1Test, DefeatedByCleanupL1WithRandomizedL2)
+{
+    SystemConfig cfg = SystemConfig::makeDefault();
+    cfg.cleanupMode = CleanupMode::Cleanup_FOR_L1;
+    Core core(cfg);
+    SpectreV1 spectre(core);
+    spectre.setSecretByte(42);
+    const SpectreResult result = spectre.leakByte();
+    // L1 copy invalidated; the L2 copy remains but an L2 hit is still
+    // far from an L1 hit... the Flush+Reload threshold here is "below
+    // memory", so the L2 residue is visible: Cleanup_FOR_L1 relies on
+    // L2 index randomization to stop *eviction-based* L2 attacks, not
+    // Flush+Reload on the probe line itself. Document that residue.
+    EXPECT_EQ(result.guessedByte, 42);
+}
+
+TEST(SpectreV1Test, ProbeLatenciesSeparateHitFromMiss)
+{
+    Core core(SystemConfig::makeUnsafeBaseline());
+    SpectreV1 spectre(core);
+    spectre.setSecretByte(123);
+    const SpectreResult result = spectre.leakByte();
+    const double hit = result.probeLatencies[123];
+    double others = 0.0;
+    unsigned count = 0;
+    for (unsigned j = 1; j < result.probeLatencies.size(); ++j) {
+        if (j == 123)
+            continue;
+        others += result.probeLatencies[j];
+        ++count;
+    }
+    EXPECT_LT(hit * 5, others / count);
+}
+
+TEST(SpectreV1Test, RepeatedLeaksStayCorrect)
+{
+    Core core(SystemConfig::makeUnsafeBaseline());
+    SpectreV1 spectre(core);
+    for (int round = 0; round < 3; ++round) {
+        const std::uint8_t secret =
+            static_cast<std::uint8_t>(17 + round * 40);
+        spectre.setSecretByte(secret);
+        EXPECT_EQ(spectre.leakByte().guessedByte, secret);
+    }
+}
+
+} // namespace
+} // namespace unxpec

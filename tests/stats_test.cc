@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Unit tests for counters, distributions, and stat groups.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/stats.hh"
+
+namespace unxpec {
+namespace {
+
+TEST(CounterTest, IncrementAndAdd)
+{
+    Counter c("c", "desc");
+    ++c;
+    c += 10;
+    EXPECT_EQ(c.value(), 11u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(DistributionTest, MomentsAreCorrect)
+{
+    Distribution d("d", "");
+    for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        d.sample(v);
+    EXPECT_EQ(d.count(), 8u);
+    EXPECT_DOUBLE_EQ(d.mean(), 5.0);
+    EXPECT_NEAR(d.stddev(), 2.138, 0.001);
+    EXPECT_DOUBLE_EQ(d.min(), 2.0);
+    EXPECT_DOUBLE_EQ(d.max(), 9.0);
+}
+
+TEST(DistributionTest, KeepsSamplesWhenAsked)
+{
+    Distribution d("d", "", true);
+    d.sample(1.0);
+    d.sample(2.0);
+    ASSERT_EQ(d.samples().size(), 2u);
+    EXPECT_DOUBLE_EQ(d.samples()[1], 2.0);
+}
+
+TEST(DistributionTest, DropsSamplesByDefault)
+{
+    Distribution d("d", "");
+    d.sample(1.0);
+    EXPECT_TRUE(d.samples().empty());
+}
+
+TEST(DistributionTest, ResetClearsEverything)
+{
+    Distribution d("d", "", true);
+    d.sample(5.0);
+    d.reset();
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+    EXPECT_TRUE(d.samples().empty());
+}
+
+TEST(StatGroupTest, CounterIsSharedByName)
+{
+    StatGroup group("grp");
+    Counter &a = group.counter("hits");
+    Counter &b = group.counter("hits");
+    ++a;
+    EXPECT_EQ(b.value(), 1u);
+    EXPECT_EQ(&a, &b);
+}
+
+TEST(StatGroupTest, PrefixAppliedToNames)
+{
+    StatGroup group("cpu");
+    Counter &c = group.counter("sim_ticks");
+    EXPECT_EQ(c.name(), "cpu.sim_ticks");
+}
+
+TEST(StatGroupTest, FindCounterReturnsNullWhenAbsent)
+{
+    StatGroup group("g");
+    EXPECT_EQ(group.findCounter("nothing"), nullptr);
+    group.counter("something");
+    EXPECT_NE(group.findCounter("something"), nullptr);
+}
+
+TEST(StatGroupTest, ResetAllZeroesCounters)
+{
+    StatGroup group;
+    group.counter("a") += 5;
+    group.distribution("d").sample(3.0);
+    group.resetAll();
+    EXPECT_EQ(group.findCounter("a")->value(), 0u);
+    EXPECT_EQ(group.distribution("d").count(), 0u);
+}
+
+TEST(StatGroupTest, DumpContainsNamesAndValues)
+{
+    StatGroup group("sys");
+    group.counter("ticks", "total ticks") += 123;
+    std::ostringstream oss;
+    group.dump(oss);
+    const std::string text = oss.str();
+    EXPECT_NE(text.find("sys.ticks"), std::string::npos);
+    EXPECT_NE(text.find("123"), std::string::npos);
+    EXPECT_NE(text.find("total ticks"), std::string::npos);
+}
+
+} // namespace
+} // namespace unxpec

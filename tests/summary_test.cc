@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Unit tests for descriptive statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/summary.hh"
+
+namespace unxpec {
+namespace {
+
+TEST(SummaryTest, BasicMoments)
+{
+    const Summary s = Summary::of({2, 4, 4, 4, 5, 5, 7, 9});
+    EXPECT_EQ(s.count, 8u);
+    EXPECT_DOUBLE_EQ(s.mean, 5.0);
+    EXPECT_NEAR(s.stddev, 2.138, 0.001);
+    EXPECT_DOUBLE_EQ(s.min, 2.0);
+    EXPECT_DOUBLE_EQ(s.max, 9.0);
+}
+
+TEST(SummaryTest, MedianOddAndEven)
+{
+    EXPECT_DOUBLE_EQ(Summary::of({1, 2, 3}).median, 2.0);
+    EXPECT_DOUBLE_EQ(Summary::of({1, 2, 3, 4}).median, 2.5);
+}
+
+TEST(SummaryTest, PercentileInterpolation)
+{
+    const std::vector<double> v = {10, 20, 30, 40, 50};
+    EXPECT_DOUBLE_EQ(Summary::percentile(v, 0.0), 10.0);
+    EXPECT_DOUBLE_EQ(Summary::percentile(v, 1.0), 50.0);
+    EXPECT_DOUBLE_EQ(Summary::percentile(v, 0.5), 30.0);
+    EXPECT_DOUBLE_EQ(Summary::percentile(v, 0.25), 20.0);
+    EXPECT_DOUBLE_EQ(Summary::percentile(v, 0.375), 25.0);
+}
+
+TEST(SummaryTest, PercentileUnsortedInput)
+{
+    EXPECT_DOUBLE_EQ(Summary::percentile({50, 10, 30, 20, 40}, 0.5), 30.0);
+}
+
+TEST(SummaryTest, EmptyInputSafe)
+{
+    const Summary s = Summary::of({});
+    EXPECT_EQ(s.count, 0u);
+    EXPECT_DOUBLE_EQ(s.mean, 0.0);
+    EXPECT_DOUBLE_EQ(Summary::percentile({}, 0.5), 0.0);
+}
+
+TEST(SummaryTest, SingleSample)
+{
+    const Summary s = Summary::of({42});
+    EXPECT_DOUBLE_EQ(s.mean, 42.0);
+    EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+    EXPECT_DOUBLE_EQ(s.median, 42.0);
+}
+
+} // namespace
+} // namespace unxpec

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Tests of the synthetic SPEC-like workload generators.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/core.hh"
+#include "workload/synth_spec.hh"
+
+namespace unxpec {
+namespace {
+
+TEST(SynthSpecTest, SuiteHasTwelveNamedBenchmarks)
+{
+    const auto suite = SynthSpec::suite();
+    EXPECT_EQ(suite.size(), 12u);
+    bool has_mcf = false, has_imagick = false;
+    for (const auto &profile : suite) {
+        if (profile.name == "mcf_r")
+            has_mcf = true;
+        if (profile.name == "imagick_r")
+            has_imagick = true;
+    }
+    EXPECT_TRUE(has_mcf);
+    EXPECT_TRUE(has_imagick);
+}
+
+TEST(SynthSpecTest, ProfileLookup)
+{
+    EXPECT_EQ(SynthSpec::profile("leela_r").name, "leela_r");
+    EXPECT_DEATH({ SynthSpec::profile("nonexistent"); }, "");
+}
+
+TEST(SynthSpecTest, GenerationIsDeterministic)
+{
+    const auto profile = SynthSpec::profile("gcc_r");
+    const Program a = SynthSpec::generate(profile, 42);
+    const Program b = SynthSpec::generate(profile, 42);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t pc = 0; pc < a.size(); ++pc)
+        EXPECT_EQ(disassemble(a.at(pc)), disassemble(b.at(pc)));
+}
+
+TEST(SynthSpecTest, SeedChangesSchedule)
+{
+    const auto profile = SynthSpec::profile("gcc_r");
+    const Program a = SynthSpec::generate(profile, 1);
+    const Program b = SynthSpec::generate(profile, 2);
+    bool differs = a.size() != b.size();
+    for (std::size_t pc = 0; !differs && pc < a.size(); ++pc)
+        differs = disassemble(a.at(pc)) != disassemble(b.at(pc));
+    EXPECT_TRUE(differs);
+}
+
+TEST(SynthSpecTest, RunsForRequestedInstructionCount)
+{
+    Core core(SystemConfig::makeUnsafeBaseline());
+    const Program p = SynthSpec::generate(SynthSpec::profile("x264_r"), 7);
+    RunOptions options;
+    options.maxInstructions = 20000;
+    const RunResult r = core.run(p, options);
+    EXPECT_GE(r.instructions, 20000u);
+    EXPECT_GT(r.cycles, 0u);
+}
+
+TEST(SynthSpecTest, BranchyProfileMispredictsMore)
+{
+    RunOptions options;
+    options.maxInstructions = 30000;
+
+    Core branchy_core(SystemConfig::makeUnsafeBaseline());
+    const Program branchy =
+        SynthSpec::generate(SynthSpec::profile("leela_r"), 7);
+    branchy_core.run(branchy, options);
+    const double branchy_mpki =
+        1000.0 *
+        branchy_core.stats().findCounter("mispredicts")->value() / 30000;
+
+    Core calm_core(SystemConfig::makeUnsafeBaseline());
+    const Program calm =
+        SynthSpec::generate(SynthSpec::profile("imagick_r"), 7);
+    calm_core.run(calm, options);
+    const double calm_mpki =
+        1000.0 *
+        calm_core.stats().findCounter("mispredicts")->value() / 30000;
+
+    EXPECT_GT(branchy_mpki, 5 * calm_mpki);
+    EXPECT_GT(branchy_mpki, 8.0);
+    EXPECT_LT(calm_mpki, 3.0);
+}
+
+TEST(SynthSpecTest, LargeWorkingSetMissesMoreInL2)
+{
+    // In steady state a small working set is L2-resident (compulsory
+    // misses only) while mcf's 8 MB stream keeps missing in the 2 MB
+    // L2. Run long enough for the compulsory phase to wash out.
+    RunOptions options;
+    options.maxInstructions = 300000;
+
+    Core big_core(SystemConfig::makeUnsafeBaseline());
+    big_core.run(SynthSpec::generate(SynthSpec::profile("mcf_r"), 7),
+                 options);
+    const auto big_misses =
+        big_core.hierarchy().l2().stats().findCounter("misses");
+
+    Core small_core(SystemConfig::makeUnsafeBaseline());
+    small_core.run(
+        SynthSpec::generate(SynthSpec::profile("exchange2_r"), 7),
+        options);
+    const auto small_misses =
+        small_core.hierarchy().l2().stats().findCounter("misses");
+
+    ASSERT_NE(big_misses, nullptr);
+    ASSERT_NE(small_misses, nullptr);
+    EXPECT_GT(big_misses->value(), 3 * small_misses->value() / 2);
+}
+
+TEST(SynthSpecTest, ConstantTimeRollbackSlowsBranchyWorkload)
+{
+    const Program p = SynthSpec::generate(SynthSpec::profile("leela_r"), 7);
+    RunOptions options;
+    options.maxInstructions = 30000;
+
+    Core plain(SystemConfig::makeDefault());
+    const Cycle base = plain.run(p, options).cycles;
+
+    SystemConfig cfg = SystemConfig::makeDefault();
+    cfg.cleanupTiming.constantTimeCycles = 65;
+    Core constant(cfg);
+    const Cycle padded = constant.run(p, options).cycles;
+
+    EXPECT_GT(static_cast<double>(padded), 1.3 * base);
+}
+
+} // namespace
+} // namespace unxpec

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Unit tests for the text presentation helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "analysis/table.hh"
+
+namespace unxpec {
+namespace {
+
+TEST(TextTableTest, AlignsColumns)
+{
+    TextTable table({"name", "value"});
+    table.addRow({"alpha", "1"});
+    table.addRow({"b", "22222"});
+    std::ostringstream oss;
+    table.print(oss);
+    const std::string text = oss.str();
+    EXPECT_NE(text.find("name"), std::string::npos);
+    EXPECT_NE(text.find("alpha"), std::string::npos);
+    EXPECT_NE(text.find("22222"), std::string::npos);
+    // Header rule present.
+    EXPECT_NE(text.find("---"), std::string::npos);
+}
+
+TEST(TextTableTest, NumFormatsPrecision)
+{
+    EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TextTable::num(10.0, 0), "10");
+}
+
+TEST(PrintDensityTest, RendersTwoCurves)
+{
+    DensityCurve a, b;
+    for (int i = 0; i < 40; ++i) {
+        a.x.push_back(i);
+        b.x.push_back(i);
+        a.density.push_back(i < 20 ? i : 40 - i);
+        b.density.push_back(i > 10 ? 40 - i : i);
+    }
+    std::ostringstream oss;
+    printDensity(oss, a, "zero", b, "one", 6);
+    const std::string text = oss.str();
+    EXPECT_NE(text.find("o=zero"), std::string::npos);
+    EXPECT_NE(text.find("*=one"), std::string::npos);
+    EXPECT_NE(text.find('|'), std::string::npos);
+}
+
+TEST(PrintDensityTest, MismatchedCurvesHandled)
+{
+    DensityCurve a, b;
+    a.x = {1, 2};
+    a.density = {0.1, 0.2};
+    std::ostringstream oss;
+    printDensity(oss, a, "a", b, "b");
+    EXPECT_NE(oss.str().find("unavailable"), std::string::npos);
+}
+
+TEST(PrintSeriesTest, OneRowPerPoint)
+{
+    std::ostringstream oss;
+    printSeries(oss, "series", {1, 2, 3}, {10, 20, 30});
+    const std::string text = oss.str();
+    EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 4);
+}
+
+} // namespace
+} // namespace unxpec
