@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attack_tuning.dir/attack_tuning.cc.o"
+  "CMakeFiles/attack_tuning.dir/attack_tuning.cc.o.d"
+  "attack_tuning"
+  "attack_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attack_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

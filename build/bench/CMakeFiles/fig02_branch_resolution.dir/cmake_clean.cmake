@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_branch_resolution.dir/fig02_branch_resolution.cc.o"
+  "CMakeFiles/fig02_branch_resolution.dir/fig02_branch_resolution.cc.o.d"
+  "fig02_branch_resolution"
+  "fig02_branch_resolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_branch_resolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_timing_difference.dir/fig03_timing_difference.cc.o"
+  "CMakeFiles/fig03_timing_difference.dir/fig03_timing_difference.cc.o.d"
+  "fig03_timing_difference"
+  "fig03_timing_difference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_timing_difference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_timing_difference_evset.dir/fig06_timing_difference_evset.cc.o"
+  "CMakeFiles/fig06_timing_difference_evset.dir/fig06_timing_difference_evset.cc.o.d"
+  "fig06_timing_difference_evset"
+  "fig06_timing_difference_evset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_timing_difference_evset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

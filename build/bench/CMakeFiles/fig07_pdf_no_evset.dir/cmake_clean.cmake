@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_pdf_no_evset.dir/fig07_pdf_no_evset.cc.o"
+  "CMakeFiles/fig07_pdf_no_evset.dir/fig07_pdf_no_evset.cc.o.d"
+  "fig07_pdf_no_evset"
+  "fig07_pdf_no_evset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_pdf_no_evset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_pdf_evset.dir/fig08_pdf_evset.cc.o"
+  "CMakeFiles/fig08_pdf_evset.dir/fig08_pdf_evset.cc.o.d"
+  "fig08_pdf_evset"
+  "fig08_pdf_evset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_pdf_evset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

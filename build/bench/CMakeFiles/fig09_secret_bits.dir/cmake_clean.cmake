@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_secret_bits.dir/fig09_secret_bits.cc.o"
+  "CMakeFiles/fig09_secret_bits.dir/fig09_secret_bits.cc.o.d"
+  "fig09_secret_bits"
+  "fig09_secret_bits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_secret_bits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

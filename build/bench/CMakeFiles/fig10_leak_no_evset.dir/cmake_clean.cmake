@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_leak_no_evset.dir/fig10_leak_no_evset.cc.o"
+  "CMakeFiles/fig10_leak_no_evset.dir/fig10_leak_no_evset.cc.o.d"
+  "fig10_leak_no_evset"
+  "fig10_leak_no_evset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_leak_no_evset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_leak_evset.dir/fig11_leak_evset.cc.o"
+  "CMakeFiles/fig11_leak_evset.dir/fig11_leak_evset.cc.o.d"
+  "fig11_leak_evset"
+  "fig11_leak_evset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_leak_evset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_const_rollback_overhead.dir/fig12_const_rollback_overhead.cc.o"
+  "CMakeFiles/fig12_const_rollback_overhead.dir/fig12_const_rollback_overhead.cc.o.d"
+  "fig12_const_rollback_overhead"
+  "fig12_const_rollback_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_const_rollback_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

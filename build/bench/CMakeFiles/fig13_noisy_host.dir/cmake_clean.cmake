@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_noisy_host.dir/fig13_noisy_host.cc.o"
+  "CMakeFiles/fig13_noisy_host.dir/fig13_noisy_host.cc.o.d"
+  "fig13_noisy_host"
+  "fig13_noisy_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_noisy_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

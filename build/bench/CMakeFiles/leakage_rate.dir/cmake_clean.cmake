@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leakage_rate.dir/leakage_rate.cc.o"
+  "CMakeFiles/leakage_rate.dir/leakage_rate.cc.o.d"
+  "leakage_rate"
+  "leakage_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leakage_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

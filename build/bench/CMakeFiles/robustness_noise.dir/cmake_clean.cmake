@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robustness_noise.dir/robustness_noise.cc.o"
+  "CMakeFiles/robustness_noise.dir/robustness_noise.cc.o.d"
+  "robustness_noise"
+  "robustness_noise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robustness_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

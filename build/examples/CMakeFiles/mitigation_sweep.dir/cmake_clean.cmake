@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mitigation_sweep.dir/mitigation_sweep.cpp.o"
+  "CMakeFiles/mitigation_sweep.dir/mitigation_sweep.cpp.o.d"
+  "mitigation_sweep"
+  "mitigation_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mitigation_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spectre_vs_cleanup.dir/spectre_vs_cleanup.cpp.o"
+  "CMakeFiles/spectre_vs_cleanup.dir/spectre_vs_cleanup.cpp.o.d"
+  "spectre_vs_cleanup"
+  "spectre_vs_cleanup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spectre_vs_cleanup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

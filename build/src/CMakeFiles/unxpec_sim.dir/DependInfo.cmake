@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/accuracy.cc" "src/CMakeFiles/unxpec_sim.dir/analysis/accuracy.cc.o" "gcc" "src/CMakeFiles/unxpec_sim.dir/analysis/accuracy.cc.o.d"
+  "/root/repo/src/analysis/kde.cc" "src/CMakeFiles/unxpec_sim.dir/analysis/kde.cc.o" "gcc" "src/CMakeFiles/unxpec_sim.dir/analysis/kde.cc.o.d"
+  "/root/repo/src/analysis/perf_report.cc" "src/CMakeFiles/unxpec_sim.dir/analysis/perf_report.cc.o" "gcc" "src/CMakeFiles/unxpec_sim.dir/analysis/perf_report.cc.o.d"
+  "/root/repo/src/analysis/roc.cc" "src/CMakeFiles/unxpec_sim.dir/analysis/roc.cc.o" "gcc" "src/CMakeFiles/unxpec_sim.dir/analysis/roc.cc.o.d"
+  "/root/repo/src/analysis/summary.cc" "src/CMakeFiles/unxpec_sim.dir/analysis/summary.cc.o" "gcc" "src/CMakeFiles/unxpec_sim.dir/analysis/summary.cc.o.d"
+  "/root/repo/src/analysis/table.cc" "src/CMakeFiles/unxpec_sim.dir/analysis/table.cc.o" "gcc" "src/CMakeFiles/unxpec_sim.dir/analysis/table.cc.o.d"
+  "/root/repo/src/attack/adaptive.cc" "src/CMakeFiles/unxpec_sim.dir/attack/adaptive.cc.o" "gcc" "src/CMakeFiles/unxpec_sim.dir/attack/adaptive.cc.o.d"
+  "/root/repo/src/attack/channel.cc" "src/CMakeFiles/unxpec_sim.dir/attack/channel.cc.o" "gcc" "src/CMakeFiles/unxpec_sim.dir/attack/channel.cc.o.d"
+  "/root/repo/src/attack/eviction_set.cc" "src/CMakeFiles/unxpec_sim.dir/attack/eviction_set.cc.o" "gcc" "src/CMakeFiles/unxpec_sim.dir/attack/eviction_set.cc.o.d"
+  "/root/repo/src/attack/noise.cc" "src/CMakeFiles/unxpec_sim.dir/attack/noise.cc.o" "gcc" "src/CMakeFiles/unxpec_sim.dir/attack/noise.cc.o.d"
+  "/root/repo/src/attack/spectre_v1.cc" "src/CMakeFiles/unxpec_sim.dir/attack/spectre_v1.cc.o" "gcc" "src/CMakeFiles/unxpec_sim.dir/attack/spectre_v1.cc.o.d"
+  "/root/repo/src/attack/unxpec.cc" "src/CMakeFiles/unxpec_sim.dir/attack/unxpec.cc.o" "gcc" "src/CMakeFiles/unxpec_sim.dir/attack/unxpec.cc.o.d"
+  "/root/repo/src/cleanup/cleanup_engine.cc" "src/CMakeFiles/unxpec_sim.dir/cleanup/cleanup_engine.cc.o" "gcc" "src/CMakeFiles/unxpec_sim.dir/cleanup/cleanup_engine.cc.o.d"
+  "/root/repo/src/cleanup/spec_tracker.cc" "src/CMakeFiles/unxpec_sim.dir/cleanup/spec_tracker.cc.o" "gcc" "src/CMakeFiles/unxpec_sim.dir/cleanup/spec_tracker.cc.o.d"
+  "/root/repo/src/cpu/assembler.cc" "src/CMakeFiles/unxpec_sim.dir/cpu/assembler.cc.o" "gcc" "src/CMakeFiles/unxpec_sim.dir/cpu/assembler.cc.o.d"
+  "/root/repo/src/cpu/branch_predictor.cc" "src/CMakeFiles/unxpec_sim.dir/cpu/branch_predictor.cc.o" "gcc" "src/CMakeFiles/unxpec_sim.dir/cpu/branch_predictor.cc.o.d"
+  "/root/repo/src/cpu/core.cc" "src/CMakeFiles/unxpec_sim.dir/cpu/core.cc.o" "gcc" "src/CMakeFiles/unxpec_sim.dir/cpu/core.cc.o.d"
+  "/root/repo/src/cpu/isa.cc" "src/CMakeFiles/unxpec_sim.dir/cpu/isa.cc.o" "gcc" "src/CMakeFiles/unxpec_sim.dir/cpu/isa.cc.o.d"
+  "/root/repo/src/cpu/lsq.cc" "src/CMakeFiles/unxpec_sim.dir/cpu/lsq.cc.o" "gcc" "src/CMakeFiles/unxpec_sim.dir/cpu/lsq.cc.o.d"
+  "/root/repo/src/cpu/program.cc" "src/CMakeFiles/unxpec_sim.dir/cpu/program.cc.o" "gcc" "src/CMakeFiles/unxpec_sim.dir/cpu/program.cc.o.d"
+  "/root/repo/src/cpu/rob.cc" "src/CMakeFiles/unxpec_sim.dir/cpu/rob.cc.o" "gcc" "src/CMakeFiles/unxpec_sim.dir/cpu/rob.cc.o.d"
+  "/root/repo/src/memory/address_map.cc" "src/CMakeFiles/unxpec_sim.dir/memory/address_map.cc.o" "gcc" "src/CMakeFiles/unxpec_sim.dir/memory/address_map.cc.o.d"
+  "/root/repo/src/memory/cache.cc" "src/CMakeFiles/unxpec_sim.dir/memory/cache.cc.o" "gcc" "src/CMakeFiles/unxpec_sim.dir/memory/cache.cc.o.d"
+  "/root/repo/src/memory/hierarchy.cc" "src/CMakeFiles/unxpec_sim.dir/memory/hierarchy.cc.o" "gcc" "src/CMakeFiles/unxpec_sim.dir/memory/hierarchy.cc.o.d"
+  "/root/repo/src/memory/main_memory.cc" "src/CMakeFiles/unxpec_sim.dir/memory/main_memory.cc.o" "gcc" "src/CMakeFiles/unxpec_sim.dir/memory/main_memory.cc.o.d"
+  "/root/repo/src/memory/mshr.cc" "src/CMakeFiles/unxpec_sim.dir/memory/mshr.cc.o" "gcc" "src/CMakeFiles/unxpec_sim.dir/memory/mshr.cc.o.d"
+  "/root/repo/src/memory/replacement.cc" "src/CMakeFiles/unxpec_sim.dir/memory/replacement.cc.o" "gcc" "src/CMakeFiles/unxpec_sim.dir/memory/replacement.cc.o.d"
+  "/root/repo/src/sim/config.cc" "src/CMakeFiles/unxpec_sim.dir/sim/config.cc.o" "gcc" "src/CMakeFiles/unxpec_sim.dir/sim/config.cc.o.d"
+  "/root/repo/src/sim/log.cc" "src/CMakeFiles/unxpec_sim.dir/sim/log.cc.o" "gcc" "src/CMakeFiles/unxpec_sim.dir/sim/log.cc.o.d"
+  "/root/repo/src/sim/rng.cc" "src/CMakeFiles/unxpec_sim.dir/sim/rng.cc.o" "gcc" "src/CMakeFiles/unxpec_sim.dir/sim/rng.cc.o.d"
+  "/root/repo/src/sim/stats.cc" "src/CMakeFiles/unxpec_sim.dir/sim/stats.cc.o" "gcc" "src/CMakeFiles/unxpec_sim.dir/sim/stats.cc.o.d"
+  "/root/repo/src/workload/synth_spec.cc" "src/CMakeFiles/unxpec_sim.dir/workload/synth_spec.cc.o" "gcc" "src/CMakeFiles/unxpec_sim.dir/workload/synth_spec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cleanup_engine_test.dir/cleanup_engine_test.cc.o"
+  "CMakeFiles/cleanup_engine_test.dir/cleanup_engine_test.cc.o.d"
+  "cleanup_engine_test"
+  "cleanup_engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cleanup_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

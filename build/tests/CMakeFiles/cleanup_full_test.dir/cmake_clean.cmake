@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cleanup_full_test.dir/cleanup_full_test.cc.o"
+  "CMakeFiles/cleanup_full_test.dir/cleanup_full_test.cc.o.d"
+  "cleanup_full_test"
+  "cleanup_full_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cleanup_full_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

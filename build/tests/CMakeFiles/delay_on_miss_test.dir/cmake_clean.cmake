@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delay_on_miss_test.dir/delay_on_miss_test.cc.o"
+  "CMakeFiles/delay_on_miss_test.dir/delay_on_miss_test.cc.o.d"
+  "delay_on_miss_test"
+  "delay_on_miss_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delay_on_miss_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eviction_set_test.dir/eviction_set_test.cc.o"
+  "CMakeFiles/eviction_set_test.dir/eviction_set_test.cc.o.d"
+  "eviction_set_test"
+  "eviction_set_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eviction_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

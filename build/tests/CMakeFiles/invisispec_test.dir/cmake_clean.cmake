@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/invisispec_test.dir/invisispec_test.cc.o"
+  "CMakeFiles/invisispec_test.dir/invisispec_test.cc.o.d"
+  "invisispec_test"
+  "invisispec_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/invisispec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

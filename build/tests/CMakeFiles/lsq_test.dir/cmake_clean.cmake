@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsq_test.dir/lsq_test.cc.o"
+  "CMakeFiles/lsq_test.dir/lsq_test.cc.o.d"
+  "lsq_test"
+  "lsq_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsq_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

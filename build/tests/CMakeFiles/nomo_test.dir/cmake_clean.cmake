@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nomo_test.dir/nomo_test.cc.o"
+  "CMakeFiles/nomo_test.dir/nomo_test.cc.o.d"
+  "nomo_test"
+  "nomo_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nomo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

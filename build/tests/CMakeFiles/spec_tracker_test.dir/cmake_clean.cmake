@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spec_tracker_test.dir/spec_tracker_test.cc.o"
+  "CMakeFiles/spec_tracker_test.dir/spec_tracker_test.cc.o.d"
+  "spec_tracker_test"
+  "spec_tracker_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spec_tracker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

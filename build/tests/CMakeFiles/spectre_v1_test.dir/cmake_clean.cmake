@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spectre_v1_test.dir/spectre_v1_test.cc.o"
+  "CMakeFiles/spectre_v1_test.dir/spectre_v1_test.cc.o.d"
+  "spectre_v1_test"
+  "spectre_v1_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spectre_v1_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unxpec_test.dir/unxpec_test.cc.o"
+  "CMakeFiles/unxpec_test.dir/unxpec_test.cc.o.d"
+  "unxpec_test"
+  "unxpec_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unxpec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
