@@ -18,9 +18,9 @@
 
 #include "analysis/table.hh"
 #include "attack/spectre_v1.hh"
-#include "attack/unxpec.hh"
-#include "cpu/core.hh"
-#include "sim/config.hh"
+#include "harness/cli.hh"
+#include "harness/session.hh"
+#include "sim/rng.hh"
 #include "workload/synth_spec.hh"
 
 using namespace unxpec;
@@ -28,8 +28,9 @@ using namespace unxpec;
 namespace {
 
 bool
-spectreLeaks(const SystemConfig &cfg)
+spectreLeaks(SystemConfig cfg, std::uint64_t seed)
 {
+    cfg.seed = seed;
     Core core(cfg);
     SpectreV1 spectre(core);
     spectre.setSecretByte(42);
@@ -38,10 +39,10 @@ spectreLeaks(const SystemConfig &cfg)
 }
 
 double
-unxpecDelta(const SystemConfig &cfg)
+unxpecDelta(const ExperimentSpec &spec, std::uint64_t seed)
 {
-    Core core(cfg);
-    UnxpecAttack attack(core);
+    Session session(spec, seed);
+    UnxpecAttack &attack = session.unxpec();
     double zeros = 0.0, ones = 0.0;
     for (int r = 0; r < 3; ++r) {
         attack.setSecret(0);
@@ -53,7 +54,7 @@ unxpecDelta(const SystemConfig &cfg)
 }
 
 double
-workloadOverhead(const SystemConfig &cfg)
+workloadOverhead(const SystemConfig &cfg, std::uint64_t seed)
 {
     const std::vector<const char *> picks = {"mcf_r", "leela_r", "gcc_r",
                                              "imagick_r"};
@@ -63,9 +64,13 @@ workloadOverhead(const SystemConfig &cfg)
     double total = 0.0;
     for (const char *name : picks) {
         const Program p = SynthSpec::generate(SynthSpec::profile(name), 42);
-        Core unsafe(SystemConfig::makeUnsafeBaseline());
+        SystemConfig base_cfg = makeDefense("unsafe");
+        base_cfg.seed = seed;
+        Core unsafe(base_cfg);
         const RunResult base = unsafe.run(p, options);
-        Core core(cfg);
+        SystemConfig run_cfg = cfg;
+        run_cfg.seed = seed;
+        Core core(run_cfg);
         const RunResult run = core.run(p, options);
         total += static_cast<double>(run.cycles - run.warmupCycles) /
                  (base.cycles - base.warmupCycles);
@@ -76,50 +81,60 @@ workloadOverhead(const SystemConfig &cfg)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    HarnessCli cli("ablation_defenses",
+                   "Defense-landscape ablation: Spectre v1, unXpec delta, "
+                   "and workload overhead per scheme");
+    const HarnessOptions opt = cli.parse(argc, argv);
+
+    const std::vector<std::pair<const char *, const char *>> schemes = {
+        {"unsafe", "UnsafeBaseline"},
+        {"invisispec", "InvisiSpec (Invisible)"},
+        {"delay_on_miss", "DelayOnMiss (Invisible)"},
+        {"cleanup_l1", "Cleanup_FOR_L1 (Undo)"},
+        {"cleanup_l1l2", "Cleanup_FOR_L1L2 (Undo)"},
+        {"cleanup_full", "Cleanup_FULL (hypoth. L2 restore)"},
+        {"cleanup_const65", "Cleanup + const-65 rollback"},
+        {"cleanup_fuzzy40", "Cleanup + fuzzy<=40 (SVII)"},
+    };
+
+    std::vector<ExperimentSpec> specs;
+    for (std::size_t i = 0; i < schemes.size(); ++i) {
+        ExperimentSpec spec = cli.baseSpec(opt);
+        spec.label = schemes[i].second;
+        spec.defense = schemes[i].first;
+        spec.with("scheme", static_cast<double>(i));
+        specs.push_back(std::move(spec));
+    }
+
+    const ExperimentResult result = runExperiment(
+        cli, opt, specs, [](const TrialContext &ctx) {
+            // Each probe gets its own sub-seed so adding a probe never
+            // perturbs the others.
+            const SystemConfig cfg = Session::configFor(
+                ctx.spec, Rng::deriveSeed(ctx.seed, 0));
+            TrialOutput out;
+            out.metric("spectre_leaks",
+                       spectreLeaks(cfg, Rng::deriveSeed(ctx.seed, 1))
+                           ? 1.0
+                           : 0.0);
+            out.metric("unxpec_delta",
+                       unxpecDelta(ctx.spec, Rng::deriveSeed(ctx.seed, 2)));
+            out.metric("workload_overhead_pct",
+                       workloadOverhead(cfg, Rng::deriveSeed(ctx.seed, 3)));
+            return out;
+        });
+
     std::cout << "=== Defense-landscape ablation ===\n\n";
     TextTable table({"scheme", "Spectre v1", "unXpec delta (cyc)",
                      "workload overhead"});
-
-    struct Row
-    {
-        const char *name;
-        SystemConfig cfg;
-    };
-    std::vector<Row> rows;
-    rows.push_back({"UnsafeBaseline", SystemConfig::makeUnsafeBaseline()});
-    rows.push_back({"InvisiSpec (Invisible)",
-                    SystemConfig::makeInvisiSpec()});
-    rows.push_back({"DelayOnMiss (Invisible)",
-                    SystemConfig::makeDelayOnMiss()});
-    {
-        SystemConfig cfg = SystemConfig::makeDefault();
-        cfg.cleanupMode = CleanupMode::Cleanup_FOR_L1;
-        rows.push_back({"Cleanup_FOR_L1 (Undo)", cfg});
-    }
-    rows.push_back({"Cleanup_FOR_L1L2 (Undo)", SystemConfig::makeDefault()});
-    {
-        SystemConfig cfg = SystemConfig::makeDefault();
-        cfg.cleanupMode = CleanupMode::Cleanup_FULL;
-        rows.push_back({"Cleanup_FULL (hypoth. L2 restore)", cfg});
-    }
-    {
-        SystemConfig cfg = SystemConfig::makeDefault();
-        cfg.cleanupTiming.constantTimeCycles = 65;
-        rows.push_back({"Cleanup + const-65 rollback", cfg});
-    }
-    {
-        SystemConfig cfg = SystemConfig::makeDefault();
-        cfg.cleanupTiming.fuzzyMaxCycles = 40;
-        rows.push_back({"Cleanup + fuzzy<=40 (SVII)", cfg});
-    }
-
-    for (const Row &row : rows) {
-        table.addRow({row.name,
-                      spectreLeaks(row.cfg) ? "LEAKS" : "blocked",
-                      TextTable::num(unxpecDelta(row.cfg)),
-                      TextTable::num(workloadOverhead(row.cfg)) + "%"});
+    for (const ResultRow &row : result.rows) {
+        table.addRow({row.label,
+                      row.mean("spectre_leaks") > 0.5 ? "LEAKS" : "blocked",
+                      TextTable::num(row.mean("unxpec_delta")),
+                      TextTable::num(row.mean("workload_overhead_pct")) +
+                          "%"});
     }
     table.print(std::cout);
 
@@ -129,5 +144,5 @@ main()
                  "at real performance cost.\n(unXpec delta under fuzzy "
                  "noise is a noisy mean: the channel is blurred, not "
                  "shifted.)\n";
-    return 0;
+    return finishExperiment(result, opt);
 }

@@ -12,70 +12,79 @@
 
 #include "analysis/accuracy.hh"
 #include "analysis/table.hh"
-#include "attack/noise.hh"
-#include "attack/unxpec.hh"
+#include "harness/cli.hh"
+#include "harness/session.hh"
 #include "sim/rng.hh"
 
 using namespace unxpec;
 
 namespace {
 
-struct Operating
-{
-    double accuracy = 0.0;
-    double rate_kbps = 0.0;
-    double goodput_kbps = 0.0; //!< rate x accuracy (crude but telling)
-};
+/** Seed of the fixed random secret (same pattern as the seed bench). */
+constexpr std::uint64_t kSecretSeed = 31337;
 
-Operating
-evaluate(unsigned loads, bool evsets, unsigned bits)
-{
-    SystemConfig cfg = SystemConfig::makeDefault();
-    const NoiseProfile noise = NoiseProfile::evaluation();
-    noise.applyTo(cfg);
-    Core core(cfg);
-    noise.applyTo(core);
-
-    UnxpecConfig ucfg;
-    ucfg.inBranchLoads = loads;
-    ucfg.useEvictionSets = evsets;
-    UnxpecAttack attack(core, ucfg);
-    const double threshold = attack.calibrate(100);
-
-    Rng rng(31337);
-    std::vector<int> secret;
-    for (unsigned i = 0; i < bits; ++i)
-        secret.push_back(static_cast<int>(rng.range(2)));
-    const LeakResult result = attack.leak(secret, threshold);
-
-    Operating op;
-    op.accuracy = result.accuracy;
-    op.rate_kbps = LeakageRate::bitsPerSecond(
-        attack.cyclesPerSample(), core.config().clockGHz) / 1000.0;
-    op.goodput_kbps = op.rate_kbps * op.accuracy;
-    return op;
-}
+constexpr unsigned kCalibrationSamples = 100;
 
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    const unsigned bits = argc > 1 ? std::atoi(argv[1]) : 200;
+    HarnessCli cli("attack_tuning",
+                   "SV-C attack parameterization: loads and POISON length "
+                   "vs rate and accuracy");
+    cli.defaultNoise("evaluation").scaleOption("secret bits per point", 200);
+    const HarnessOptions opt = cli.parse(argc, argv);
+    const unsigned bits = static_cast<unsigned>(opt.scale);
+
+    std::vector<ExperimentSpec> specs;
+    for (const bool evsets : {false, true}) {
+        for (const unsigned loads : {1u, 2u, 4u, 8u}) {
+            ExperimentSpec spec = cli.baseSpec(opt);
+            spec.label = std::string(evsets ? "evset" : "plain") +
+                         "/loads=" + std::to_string(loads);
+            spec.attack = evsets ? "unxpec-evset" : "unxpec";
+            spec.attackCfg.inBranchLoads = loads;
+            spec.with("evset", evsets ? 1 : 0).with("loads", loads);
+            specs.push_back(std::move(spec));
+        }
+    }
+
+    const ExperimentResult result = runExperiment(
+        cli, opt, specs, [bits](const TrialContext &ctx) {
+            Session session(ctx.spec, ctx.seed);
+            UnxpecAttack &attack = session.unxpec();
+            const double threshold = attack.calibrate(kCalibrationSamples);
+
+            Rng rng(kSecretSeed);
+            std::vector<int> secret;
+            for (unsigned i = 0; i < bits; ++i)
+                secret.push_back(static_cast<int>(rng.range(2)));
+            const LeakResult leak = attack.leak(secret, threshold);
+
+            const double rate_kbps =
+                LeakageRate::bitsPerSecond(
+                    attack.cyclesPerSample(),
+                    session.core().config().clockGHz) /
+                1000.0;
+            TrialOutput out;
+            out.metric("accuracy", leak.accuracy);
+            out.metric("rate_kbps", rate_kbps);
+            out.metric("goodput_kbps", rate_kbps * leak.accuracy);
+            return out;
+        });
+
     std::cout << "=== SV-C attack parameterization (" << bits
               << " bits/point, evaluation noise) ===\n\n";
 
     TextTable table({"variant", "loads", "accuracy", "rate (Kbps)",
                      "goodput (Kbps)"});
-    for (const bool evsets : {false, true}) {
-        for (const unsigned loads : {1u, 2u, 4u, 8u}) {
-            const Operating op = evaluate(loads, evsets, bits);
-            table.addRow({evsets ? "eviction sets" : "plain",
-                          std::to_string(loads),
-                          TextTable::num(op.accuracy * 100) + "%",
-                          TextTable::num(op.rate_kbps),
-                          TextTable::num(op.goodput_kbps)});
-        }
+    for (const ResultRow &row : result.rows) {
+        table.addRow({row.param("evset") != 0 ? "eviction sets" : "plain",
+                      TextTable::num(row.param("loads"), 0),
+                      TextTable::num(row.mean("accuracy") * 100) + "%",
+                      TextTable::num(row.mean("rate_kbps")),
+                      TextTable::num(row.mean("goodput_kbps"))});
     }
     table.print(std::cout);
 
@@ -84,5 +93,5 @@ main(int argc, char **argv)
                  "maximizes goodput; eviction sets turn extra loads "
                  "into real margin (Fig. 6),\nwhich pays off only when "
                  "noise would otherwise dominate.\n";
-    return 0;
+    return finishExperiment(result, opt);
 }

@@ -14,18 +14,54 @@
 #include <iostream>
 
 #include "analysis/table.hh"
-#include "attack/unxpec.hh"
-#include "sim/config.hh"
+#include "harness/cli.hh"
+#include "harness/session.hh"
 
 using namespace unxpec;
 
 int
-main()
+main(int argc, char **argv)
 {
+    HarnessCli cli("fig02_branch_resolution",
+                   "Figure 2: branch resolution time vs f(N) accesses, "
+                   "in-branch loads, and secret");
+    const HarnessOptions opt = cli.parse(argc, argv);
+
+    std::vector<ExperimentSpec> specs;
+    for (unsigned accesses = 1; accesses <= 3; ++accesses) {
+        for (int secret = 0; secret <= 1; ++secret) {
+            for (unsigned loads = 1; loads <= 5; ++loads) {
+                ExperimentSpec spec = cli.baseSpec(opt);
+                spec.label = "N=" + std::to_string(accesses) +
+                             " secret=" + std::to_string(secret) +
+                             " loads=" + std::to_string(loads);
+                spec.attackCfg.inBranchLoads = loads;
+                spec.attackCfg.conditionAccesses = accesses;
+                spec.with("accesses", accesses)
+                    .with("secret", secret)
+                    .with("loads", loads);
+                specs.push_back(spec);
+            }
+        }
+    }
+
+    const ExperimentResult result =
+        runExperiment(cli, opt, specs, [](const TrialContext &ctx) {
+            Session session(ctx.spec, ctx.seed);
+            UnxpecAttack &attack = session.unxpec();
+            attack.setSecret(static_cast<int>(ctx.spec.param("secret")));
+            attack.measureOnce(); // warm round
+            attack.measureOnce();
+            TrialOutput out;
+            out.metric("branch_resolution",
+                       static_cast<double>(
+                           attack.lastDetail().branchResolution));
+            return out;
+        });
+
     std::cout << "=== Figure 2: branch resolution time (cycles) ===\n"
               << "rows: f(N) memory accesses x secret; "
               << "cols: loads inside branch\n\n";
-
     TextTable table({"condition", "secret", "1 load", "2", "3", "4", "5"});
     for (unsigned accesses = 1; accesses <= 3; ++accesses) {
         for (int secret = 0; secret <= 1; ++secret) {
@@ -34,16 +70,12 @@ main()
                     (accesses > 1 ? "es" : ""),
                 std::to_string(secret)};
             for (unsigned loads = 1; loads <= 5; ++loads) {
-                Core core(SystemConfig::makeDefault());
-                UnxpecConfig cfg;
-                cfg.inBranchLoads = loads;
-                cfg.conditionAccesses = accesses;
-                UnxpecAttack attack(core, cfg);
-                attack.setSecret(secret);
-                attack.measureOnce(); // warm round
-                attack.measureOnce();
-                row.push_back(std::to_string(
-                    attack.lastDetail().branchResolution));
+                const ResultRow &point = result.rowAt(
+                    {{"accesses", static_cast<double>(accesses)},
+                     {"secret", static_cast<double>(secret)},
+                     {"loads", static_cast<double>(loads)}});
+                row.push_back(TextTable::num(
+                    point.mean("branch_resolution"), 0));
             }
             table.addRow(row);
         }
@@ -51,5 +83,5 @@ main()
     table.print(std::cout);
     std::cout << "\nClaims reproduced: constant across in-branch loads "
                  "and secret; linear in f(N) accesses.\n";
-    return 0;
+    return finishExperiment(result, opt);
 }

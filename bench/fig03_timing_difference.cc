@@ -3,54 +3,65 @@
  * Figure 3: secret-dependent timing difference of the rollback vs the
  * number of squashed transient loads, without eviction sets.
  * Paper: ~22 cycles at one load, growing slowly to ~25 at eight.
+ *
+ * Harness-driven: one ExperimentSpec per load count, `--reps` trials
+ * each, fanned out by the TrialRunner (`--threads`); `--json`/`--csv`
+ * emit the machine-readable artifact.
  */
 
 #include <iostream>
 
 #include "analysis/table.hh"
-#include "attack/unxpec.hh"
-#include "sim/config.hh"
+#include "harness/cli.hh"
+#include "harness/session.hh"
 
 using namespace unxpec;
 
-namespace {
-
-double
-meanDelta(unsigned loads, bool evsets, unsigned reps)
-{
-    Core core(SystemConfig::makeDefault());
-    UnxpecConfig cfg;
-    cfg.inBranchLoads = loads;
-    cfg.useEvictionSets = evsets;
-    UnxpecAttack attack(core, cfg);
-    double zeros = 0.0, ones = 0.0;
-    for (unsigned r = 0; r < reps; ++r) {
-        attack.setSecret(0);
-        zeros += attack.measureOnce();
-        attack.setSecret(1);
-        ones += attack.measureOnce();
-    }
-    return (ones - zeros) / reps;
-}
-
-} // namespace
-
 int
-main()
+main(int argc, char **argv)
 {
+    HarnessCli cli("fig03_timing_difference",
+                   "Figure 3: rollback timing difference vs squashed "
+                   "transient loads, no eviction sets");
+    cli.defaultReps(5);
+    const HarnessOptions opt = cli.parse(argc, argv);
+
+    std::vector<ExperimentSpec> specs;
+    for (unsigned loads = 1; loads <= 8; ++loads) {
+        ExperimentSpec spec = cli.baseSpec(opt);
+        spec.label = "loads=" + std::to_string(loads);
+        spec.attackCfg.inBranchLoads = loads;
+        spec.with("loads", loads);
+        specs.push_back(spec);
+    }
+
+    const ExperimentResult result =
+        runExperiment(cli, opt, specs, [](const TrialContext &ctx) {
+            Session session(ctx.spec, ctx.seed);
+            UnxpecAttack &attack = session.unxpec();
+            attack.setSecret(0);
+            const double zero = attack.measureOnce();
+            attack.setSecret(1);
+            const double one = attack.measureOnce();
+            TrialOutput out;
+            out.metric("delta_cycles", one - zero);
+            return out;
+        });
+
     std::cout << "=== Figure 3: rollback timing difference, "
                  "no eviction sets ===\n\n";
     TextTable table({"squashed loads", "timing difference (cycles)",
                      "paper (approx)"});
     const double paper[8] = {22, 21, 22, 23, 23, 24, 25, 25};
     for (unsigned loads = 1; loads <= 8; ++loads) {
+        const ResultRow &row = result.row(loads - 1);
         table.addRow({std::to_string(loads),
-                      TextTable::num(meanDelta(loads, false, 5)),
+                      TextTable::num(row.mean("delta_cycles")),
                       TextTable::num(paper[loads - 1], 0)});
     }
     table.print(std::cout);
     std::cout << "\nClaim reproduced: a single transient load yields a "
                  "~22-cycle difference;\ngrowth with more loads is slow "
                  "(pipelined invalidation).\n";
-    return 0;
+    return finishExperiment(result, opt);
 }

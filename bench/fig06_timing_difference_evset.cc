@@ -3,63 +3,77 @@
  * Figure 6: timing difference with eviction sets priming the target L1
  * sets, forcing one restoration per squashed load.
  * Paper: ~32 cycles at one load up to ~64 at eight.
- * Also prints the invalidation-vs-restoration split (our ablation).
+ * Also prints the invalidation-vs-restoration split (our ablation),
+ * computed from a parallel sweep over both variants.
  */
 
 #include <iostream>
 
 #include "analysis/table.hh"
-#include "attack/unxpec.hh"
-#include "sim/config.hh"
+#include "harness/cli.hh"
+#include "harness/session.hh"
 
 using namespace unxpec;
 
-namespace {
-
-struct Point
-{
-    double delta = 0.0;
-    unsigned restores = 0;
-    Cycle stall = 0;
-};
-
-Point
-measure(unsigned loads, bool evsets, unsigned reps)
-{
-    Core core(SystemConfig::makeDefault());
-    UnxpecConfig cfg;
-    cfg.inBranchLoads = loads;
-    cfg.useEvictionSets = evsets;
-    UnxpecAttack attack(core, cfg);
-    Point point;
-    double zeros = 0.0, ones = 0.0;
-    for (unsigned r = 0; r < reps; ++r) {
-        attack.setSecret(0);
-        zeros += attack.measureOnce();
-        attack.setSecret(1);
-        ones += attack.measureOnce();
-        point.restores = attack.lastDetail().restores;
-        point.stall = attack.lastDetail().cleanupStall;
-    }
-    point.delta = (ones - zeros) / reps;
-    return point;
-}
-
-} // namespace
-
 int
-main()
+main(int argc, char **argv)
 {
+    HarnessCli cli("fig06_timing_difference_evset",
+                   "Figure 6: rollback timing difference vs squashed "
+                   "loads, with eviction sets (+ ablation split)");
+    cli.defaultReps(5);
+    const HarnessOptions opt = cli.parse(argc, argv);
+
+    std::vector<ExperimentSpec> specs;
+    for (const bool evsets : {true, false}) {
+        for (unsigned loads = 1; loads <= 8; ++loads) {
+            ExperimentSpec spec = cli.baseSpec(opt);
+            spec.label = std::string(evsets ? "evset" : "plain") +
+                         " loads=" + std::to_string(loads);
+            spec.attack = evsets ? "unxpec-evset" : "unxpec";
+            spec.attackCfg.inBranchLoads = loads;
+            spec.with("evset", evsets).with("loads", loads);
+            specs.push_back(spec);
+        }
+    }
+
+    const ExperimentResult result =
+        runExperiment(cli, opt, specs, [](const TrialContext &ctx) {
+            Session session(ctx.spec, ctx.seed);
+            UnxpecAttack &attack = session.unxpec();
+            attack.setSecret(0);
+            const double zero = attack.measureOnce();
+            attack.setSecret(1);
+            const double one = attack.measureOnce();
+            TrialOutput out;
+            out.metric("delta_cycles", one - zero);
+            out.metric("restores",
+                       static_cast<double>(attack.lastDetail().restores));
+            out.metric("rollback_stall",
+                       static_cast<double>(
+                           attack.lastDetail().cleanupStall));
+            return out;
+        });
+
+    auto delta = [&result](bool evsets, unsigned loads) {
+        return result
+            .rowAt({{"evset", evsets ? 1.0 : 0.0},
+                    {"loads", static_cast<double>(loads)}})
+            .mean("delta_cycles");
+    };
+
     std::cout << "=== Figure 6: rollback timing difference, "
                  "with eviction sets ===\n\n";
     TextTable table({"squashed loads", "difference (cycles)",
                      "restores/round", "rollback stall", "paper (approx)"});
     const double paper[8] = {32, 37, 41, 46, 51, 55, 60, 64};
     for (unsigned loads = 1; loads <= 8; ++loads) {
-        const Point point = measure(loads, true, 5);
-        table.addRow({std::to_string(loads), TextTable::num(point.delta),
-                      std::to_string(point.restores),
-                      std::to_string(point.stall),
+        const ResultRow &row = result.rowAt(
+            {{"evset", 1.0}, {"loads", static_cast<double>(loads)}});
+        table.addRow({std::to_string(loads),
+                      TextTable::num(row.mean("delta_cycles")),
+                      TextTable::num(row.mean("restores"), 0),
+                      TextTable::num(row.mean("rollback_stall"), 0),
                       TextTable::num(paper[loads - 1], 0)});
     }
     table.print(std::cout);
@@ -67,8 +81,8 @@ main()
     // Ablation: restoration's contribution = with-evset minus plain.
     std::cout << "\nAblation (restoration contribution at n loads):\n";
     for (unsigned loads : {1u, 4u, 8u}) {
-        const double with_es = measure(loads, true, 3).delta;
-        const double without = measure(loads, false, 3).delta;
+        const double with_es = delta(true, loads);
+        const double without = delta(false, loads);
         std::cout << "  n=" << loads << ": invalidation "
                   << TextTable::num(without) << " + restoration "
                   << TextTable::num(with_es - without) << " = "
@@ -76,7 +90,6 @@ main()
     }
     std::cout << "\nClaim reproduced: eviction sets enlarge the channel "
                  "from ~22 to 32.."
-              << TextTable::num(measure(8, true, 3).delta, 0)
-              << " cycles.\n";
-    return 0;
+              << TextTable::num(delta(true, 8), 0) << " cycles.\n";
+    return finishExperiment(result, opt);
 }

@@ -5,61 +5,15 @@
  * secret. Paper: ~22-cycle mean separation, decode threshold 178.
  */
 
-#include <iostream>
-
-#include "analysis/kde.hh"
-#include "analysis/roc.hh"
-#include "analysis/summary.hh"
-#include "analysis/table.hh"
-#include "attack/channel.hh"
-#include "attack/noise.hh"
-#include "attack/unxpec.hh"
+#include "pdf_figure.hh"
 
 using namespace unxpec;
 
 int
 main(int argc, char **argv)
 {
-    const unsigned samples = argc > 1 ? std::atoi(argv[1]) : 1000;
-    std::cout << "=== Figure 7: latency PDF, no eviction sets ("
-              << samples << " samples/secret) ===\n\n";
-
-    SystemConfig cfg = SystemConfig::makeDefault();
-    const NoiseProfile noise = NoiseProfile::evaluation();
-    noise.applyTo(cfg);
-    Core core(cfg);
-    noise.applyTo(core);
-
-    UnxpecAttack attack(core, UnxpecConfig{});
-    const auto zeros = attack.collect(0, samples);
-    const auto ones = attack.collect(1, samples);
-
-    const Summary s0 = Summary::of(zeros);
-    const Summary s1 = Summary::of(ones);
-    const double threshold = CovertChannel::calibrateThreshold(zeros, ones);
-
-    TextTable table({"secret", "mean", "stdev", "median", "p25", "p75"});
-    table.addRow({"0", TextTable::num(s0.mean), TextTable::num(s0.stddev),
-                  TextTable::num(s0.median), TextTable::num(s0.p25),
-                  TextTable::num(s0.p75)});
-    table.addRow({"1", TextTable::num(s1.mean), TextTable::num(s1.stddev),
-                  TextTable::num(s1.median), TextTable::num(s1.p25),
-                  TextTable::num(s1.p75)});
-    table.print(std::cout);
-
-    std::cout << "\nmean timing difference: "
-              << TextTable::num(s1.mean - s0.mean)
-              << " cycles (paper: 22)\n";
-    std::cout << "calibrated threshold:   " << TextTable::num(threshold)
-              << " (paper: 178)\n";
-    const RocCurve roc = RocCurve::of(zeros, ones);
-    std::cout << "channel AUC:            "
-              << TextTable::num(roc.auc(), 3) << " (0.5 = blind, 1 = "
-              << "perfect; best J at threshold "
-              << TextTable::num(roc.best().threshold) << ")\n\n";
-
-    const auto curve0 = Kde::curve(zeros, 130, 250, 100);
-    const auto curve1 = Kde::curve(ones, 130, 250, 100);
-    printDensity(std::cout, curve0, "secret=0", curve1, "secret=1");
-    return 0;
+    HarnessCli cli("fig07_pdf_no_evset",
+                   "Figure 7: latency PDF per secret, no eviction sets");
+    return runPdfFigure(cli, argc, argv, "unxpec",
+                        "Figure 7: latency PDF, no eviction sets", 22, 178);
 }

@@ -5,63 +5,16 @@
  * Paper: ~32-cycle mean separation, decode threshold 183.
  */
 
-#include <iostream>
-
-#include "analysis/kde.hh"
-#include "analysis/roc.hh"
-#include "analysis/summary.hh"
-#include "analysis/table.hh"
-#include "attack/channel.hh"
-#include "attack/noise.hh"
-#include "attack/unxpec.hh"
+#include "pdf_figure.hh"
 
 using namespace unxpec;
 
 int
 main(int argc, char **argv)
 {
-    const unsigned samples = argc > 1 ? std::atoi(argv[1]) : 1000;
-    std::cout << "=== Figure 8: latency PDF, with eviction sets ("
-              << samples << " samples/secret) ===\n\n";
-
-    SystemConfig cfg = SystemConfig::makeDefault();
-    const NoiseProfile noise = NoiseProfile::evaluation();
-    noise.applyTo(cfg);
-    Core core(cfg);
-    noise.applyTo(core);
-
-    UnxpecConfig ucfg;
-    ucfg.useEvictionSets = true;
-    UnxpecAttack attack(core, ucfg);
-    const auto zeros = attack.collect(0, samples);
-    const auto ones = attack.collect(1, samples);
-
-    const Summary s0 = Summary::of(zeros);
-    const Summary s1 = Summary::of(ones);
-    const double threshold = CovertChannel::calibrateThreshold(zeros, ones);
-
-    TextTable table({"secret", "mean", "stdev", "median", "p25", "p75"});
-    table.addRow({"0", TextTable::num(s0.mean), TextTable::num(s0.stddev),
-                  TextTable::num(s0.median), TextTable::num(s0.p25),
-                  TextTable::num(s0.p75)});
-    table.addRow({"1", TextTable::num(s1.mean), TextTable::num(s1.stddev),
-                  TextTable::num(s1.median), TextTable::num(s1.p25),
-                  TextTable::num(s1.p75)});
-    table.print(std::cout);
-
-    std::cout << "\nmean timing difference: "
-              << TextTable::num(s1.mean - s0.mean)
-              << " cycles (paper: 32)\n";
-    std::cout << "calibrated threshold:   " << TextTable::num(threshold)
-              << " (paper: 183)\n";
-    const RocCurve roc = RocCurve::of(zeros, ones);
-    std::cout << "channel AUC:            "
-              << TextTable::num(roc.auc(), 3) << " (0.5 = blind, 1 = "
-              << "perfect; best J at threshold "
-              << TextTable::num(roc.best().threshold) << ")\n\n";
-
-    const auto curve0 = Kde::curve(zeros, 130, 250, 100);
-    const auto curve1 = Kde::curve(ones, 130, 250, 100);
-    printDensity(std::cout, curve0, "secret=0", curve1, "secret=1");
-    return 0;
+    HarnessCli cli("fig08_pdf_evset",
+                   "Figure 8: latency PDF per secret, with eviction sets");
+    return runPdfFigure(cli, argc, argv, "unxpec-evset",
+                        "Figure 8: latency PDF, with eviction sets", 32,
+                        183);
 }

@@ -3,11 +3,13 @@
  * Figure 9: the 1,000-bit randomly generated secret used by the
  * secret-leakage experiments (Figures 10/11). The paper hardcodes one
  * instance; we generate it from a fixed seed so Figures 10/11 leak the
- * exact pattern printed here.
+ * exact pattern printed here. `--json` emits the bit vector as a
+ * machine-readable artifact.
  */
 
 #include <iostream>
 
+#include "harness/cli.hh"
 #include "sim/rng.hh"
 
 using namespace unxpec;
@@ -16,20 +18,41 @@ using namespace unxpec;
 static constexpr std::uint64_t kSecretSeed = 20220402; // HPCA'22 vibes
 
 int
-main()
+main(int argc, char **argv)
 {
-    std::cout << "=== Figure 9: 1,000-bit random secret (seed "
-              << kSecretSeed << ") ===\n\n";
-    Rng rng(kSecretSeed);
+    HarnessCli cli("fig09_secret_bits",
+                   "Figure 9: the fixed 1,000-bit random secret leaked "
+                   "by Figures 10/11");
+    cli.defaultSeed(kSecretSeed).scaleOption("number of secret bits", 1000);
+    const HarnessOptions opt = cli.parse(argc, argv);
+    const unsigned bits = static_cast<unsigned>(opt.scale);
+
+    // Generation is pure Rng work — one "trial" whose seed is the
+    // master seed itself, so the pattern matches Figures 10/11.
+    const ExperimentResult result = runExperiment(
+        cli, opt, {cli.baseSpec(opt).with("bits", bits)},
+        [bits](const TrialContext &ctx) {
+            Rng rng(ctx.masterSeed);
+            std::vector<double> pattern;
+            for (unsigned i = 0; i < bits; ++i)
+                pattern.push_back(static_cast<double>(rng.range(2)));
+            TrialOutput out;
+            out.samples("bits", std::move(pattern));
+            return out;
+        });
+
+    const std::vector<double> &pattern = result.row(0).values("bits");
+    std::cout << "=== Figure 9: " << bits << "-bit random secret (seed "
+              << opt.seed << ") ===\n\n";
     unsigned ones = 0;
-    for (int i = 0; i < 1000; ++i) {
-        const int bit = static_cast<int>(rng.range(2));
+    for (unsigned i = 0; i < pattern.size(); ++i) {
+        const int bit = static_cast<int>(pattern[i]);
         ones += bit;
         std::cout << bit;
         if (i % 100 == 99)
             std::cout << "\n";
     }
-    std::cout << "\npopulation: " << ones << " ones / " << 1000 - ones
-              << " zeros\n";
-    return 0;
+    std::cout << "\npopulation: " << ones << " ones / "
+              << pattern.size() - ones << " zeros\n";
+    return finishExperiment(result, opt);
 }

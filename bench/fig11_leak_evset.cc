@@ -4,65 +4,17 @@
  * Paper: 916/1000 bits correct (91.6 %).
  */
 
-#include <iostream>
-
-#include "analysis/accuracy.hh"
-#include "analysis/summary.hh"
-#include "analysis/table.hh"
-#include "attack/noise.hh"
-#include "attack/unxpec.hh"
+#include "leak_figure.hh"
 
 using namespace unxpec;
-
-static constexpr std::uint64_t kSecretSeed = 20220402;
 
 int
 main(int argc, char **argv)
 {
-    const unsigned bits = argc > 1 ? std::atoi(argv[1]) : 1000;
-    std::cout << "=== Figure 11: secret leakage, with eviction sets ("
-              << bits << " bits, 1 sample/bit) ===\n\n";
-
-    SystemConfig cfg = SystemConfig::makeDefault();
-    const NoiseProfile noise = NoiseProfile::evaluation();
-    noise.applyTo(cfg);
-    Core core(cfg);
-    noise.applyTo(core);
-
-    UnxpecConfig ucfg;
-    ucfg.useEvictionSets = true;
-    UnxpecAttack attack(core, ucfg);
-    const double threshold = attack.calibrate(300);
-
-    Rng rng(kSecretSeed);
-    std::vector<int> secret;
-    for (unsigned i = 0; i < bits; ++i)
-        secret.push_back(static_cast<int>(rng.range(2)));
-
-    const LeakResult result = attack.leak(secret, threshold);
-    const auto report = BitChannelReport::of(result.guesses, secret);
-
-    std::cout << "decode threshold: " << TextTable::num(threshold)
-              << " cycles\n\n";
-    std::cout << "first 100 bits (secret / guess / latency):\n";
-    for (unsigned i = 0; i < std::min<unsigned>(100, bits); ++i) {
-        std::cout << "  bit " << i << ": " << secret[i] << " / "
-                  << result.guesses[i] << " / " << result.latencies[i]
-                  << (secret[i] != result.guesses[i] ? "   <-- error" : "")
-                  << "\n";
-    }
-
-    const Summary lat = Summary::of(result.latencies);
-    std::cout << "\nobserved latency: mean " << TextTable::num(lat.mean)
-              << ", min " << TextTable::num(lat.min) << ", max "
-              << TextTable::num(lat.max) << "\n";
-    std::cout << "correct bits: " << report.true0 + report.true1 << "/"
-              << bits << "\n";
-    std::cout << "accuracy: " << TextTable::num(report.accuracy() * 100)
-              << " % (paper: 91.6 %)\n";
-    std::cout << "per-class error: secret0 "
-              << TextTable::num(report.zeroErrorRate() * 100)
-              << " %, secret1 "
-              << TextTable::num(report.oneErrorRate() * 100) << " %\n";
-    return 0;
+    HarnessCli cli("fig11_leak_evset",
+                   "Figure 11: leak the 1,000-bit secret, one sample per "
+                   "bit, with eviction sets");
+    return runLeakFigure(cli, argc, argv, "unxpec-evset",
+                         "Figure 11: secret leakage, with eviction sets",
+                         "91.6");
 }

@@ -10,67 +10,111 @@
  * artifact excludes them too); see DESIGN.md for the substitution.
  */
 
-#include <cstdlib>
 #include <iostream>
 #include <vector>
 
 #include "analysis/table.hh"
-#include "cpu/core.hh"
-#include "sim/config.hh"
+#include "harness/cli.hh"
+#include "harness/session.hh"
 #include "workload/synth_spec.hh"
 
 using namespace unxpec;
 
+namespace {
+
+/** Program-generation seed shared with the seed version of the bench. */
+constexpr std::uint64_t kProgramSeed = 42;
+
+constexpr unsigned kConstants[] = {0, 25, 30, 35, 45, 65};
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
-    const std::uint64_t max_inst = argc > 1 ? std::atoll(argv[1]) : 100000;
+    HarnessCli cli("fig12_const_rollback_overhead",
+                   "Figure 12: constant-time rollback overhead over the "
+                   "synthetic SPEC-2017 suite");
+    cli.scaleOption("instructions per benchmark", 100000);
+    const HarnessOptions opt = cli.parse(argc, argv);
+    const std::uint64_t max_inst = opt.scale;
     const std::uint64_t warmup = max_inst / 5;
-    const std::vector<unsigned> constants = {0, 25, 30, 35, 45, 65};
+
+    std::vector<ExperimentSpec> specs;
+    const std::vector<WorkloadProfile> suite = SynthSpec::suite();
+    for (std::size_t w = 0; w < suite.size(); ++w) {
+        for (std::size_t c = 0; c < std::size(kConstants); ++c) {
+            const unsigned constant = kConstants[c];
+            ExperimentSpec spec = cli.baseSpec(opt);
+            spec.label = suite[w].name + "/const=" +
+                         std::to_string(constant);
+            spec.workload = suite[w].name;
+            spec.attack = "none";
+            spec.tweak = [constant](SystemConfig &cfg) {
+                cfg.cleanupTiming.constantTimeCycles = constant;
+            };
+            spec.with("workload", static_cast<double>(w))
+                .with("constant", constant);
+            specs.push_back(std::move(spec));
+        }
+    }
+
+    const ExperimentResult result = runExperiment(
+        cli, opt, specs, [max_inst, warmup](const TrialContext &ctx) {
+            const Program program = SynthSpec::generate(
+                SynthSpec::profile(ctx.spec.workload), kProgramSeed);
+            RunOptions options;
+            options.maxInstructions = max_inst;
+            options.warmupInstructions = warmup;
+
+            // The unsafe baseline shares the trial seed so jittered
+            // components (if any) see the same randomness.
+            SystemConfig unsafe_cfg = makeDefense("unsafe");
+            unsafe_cfg.seed = ctx.seed;
+            Core unsafe(unsafe_cfg);
+            const RunResult base_run = unsafe.run(program, options);
+            const double base = static_cast<double>(base_run.cycles -
+                                                    base_run.warmupCycles);
+
+            Session session(ctx.spec, ctx.seed);
+            const RunResult run = session.core().run(program, options);
+            const double measured =
+                static_cast<double>(run.cycles - run.warmupCycles);
+
+            TrialOutput out;
+            out.metric("overhead_pct", (measured / base - 1.0) * 100.0);
+            out.metric("cycles", measured);
+            out.metric("baseline_cycles", base);
+            return out;
+        });
 
     std::cout << "=== Figure 12: constant-time rollback overhead "
-              << "(" << max_inst << " insts/benchmark, "
-              << warmup << " warmup) ===\n\n";
+              << "(" << max_inst << " insts/benchmark, " << warmup
+              << " warmup) ===\n\n";
 
     TextTable table({"benchmark", "no const", "const=25", "const=30",
                      "const=35", "const=45", "const=65"});
-    std::vector<double> sums(constants.size(), 0.0);
-    unsigned count = 0;
-
-    for (const auto &profile : SynthSpec::suite()) {
-        const Program program = SynthSpec::generate(profile, 42);
-        RunOptions options;
-        options.maxInstructions = max_inst;
-        options.warmupInstructions = warmup;
-
-        Core unsafe(SystemConfig::makeUnsafeBaseline());
-        const RunResult base_run = unsafe.run(program, options);
-        const double base =
-            static_cast<double>(base_run.cycles - base_run.warmupCycles);
-
-        std::vector<std::string> row = {profile.name};
-        for (std::size_t i = 0; i < constants.size(); ++i) {
-            SystemConfig cfg = SystemConfig::makeDefault();
-            cfg.cleanupTiming.constantTimeCycles = constants[i];
-            Core core(cfg);
-            const RunResult run = core.run(program, options);
-            const double measured =
-                static_cast<double>(run.cycles - run.warmupCycles);
-            const double overhead = (measured / base - 1.0) * 100.0;
-            sums[i] += overhead;
+    std::vector<double> sums(std::size(kConstants), 0.0);
+    for (std::size_t w = 0; w < suite.size(); ++w) {
+        std::vector<std::string> row = {suite[w].name};
+        for (std::size_t c = 0; c < std::size(kConstants); ++c) {
+            const double overhead =
+                result.rowAt({{"workload", static_cast<double>(w)},
+                              {"constant", kConstants[c]}})
+                    .mean("overhead_pct");
+            sums[c] += overhead;
             row.push_back(TextTable::num(overhead) + "%");
         }
         table.addRow(row);
-        ++count;
     }
 
     std::vector<std::string> avg = {"AVERAGE"};
     for (const double sum : sums)
-        avg.push_back(TextTable::num(sum / count) + "%");
+        avg.push_back(TextTable::num(sum / suite.size()) + "%");
     table.addRow(avg);
     table.print(std::cout);
 
     std::cout << "\npaper averages: 22.4% (const=25) ... 72.8% (const=65); "
                  "plain CleanupSpec ~5%\n";
-    return 0;
+    return finishExperiment(result, opt);
 }

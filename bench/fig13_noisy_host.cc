@@ -9,52 +9,58 @@
 
 #include <iostream>
 
-#include "analysis/summary.hh"
 #include "analysis/table.hh"
-#include "attack/noise.hh"
-#include "attack/unxpec.hh"
-#include "sim/config.hh"
+#include "harness/cli.hh"
+#include "harness/session.hh"
 
 using namespace unxpec;
-
-namespace {
-
-Summary
-resolutionStats(unsigned accesses, unsigned loads, int secret,
-                unsigned reps)
-{
-    SystemConfig cfg = SystemConfig::makeNoisyHost();
-    const NoiseProfile noise = NoiseProfile::noisyHost();
-    noise.applyTo(cfg);
-    Core core(cfg);
-    noise.applyTo(core);
-
-    UnxpecConfig ucfg;
-    ucfg.inBranchLoads = loads;
-    ucfg.conditionAccesses = accesses;
-    UnxpecAttack attack(core, ucfg);
-    attack.setSecret(secret);
-    attack.measureOnce(); // warmup
-
-    std::vector<double> resolutions;
-    for (unsigned r = 0; r < reps; ++r) {
-        attack.measureOnce();
-        if (attack.lastDetail().valid) {
-            resolutions.push_back(
-                static_cast<double>(attack.lastDetail().branchResolution));
-        }
-    }
-    return Summary::of(resolutions);
-}
-
-} // namespace
 
 int
 main(int argc, char **argv)
 {
-    const unsigned reps = argc > 1 ? std::atoi(argv[1]) : 20;
+    HarnessCli cli("fig13_noisy_host",
+                   "Figure 13: branch resolution on a noisy host "
+                   "(i7-8550U stand-in)");
+    cli.defaultReps(20).defaultMode("noisy_host").defaultNoise("noisy_host");
+    const HarnessOptions opt = cli.parse(argc, argv);
+
+    std::vector<ExperimentSpec> specs;
+    for (unsigned accesses = 1; accesses <= 3; ++accesses) {
+        for (int secret = 0; secret <= 1; ++secret) {
+            for (unsigned loads = 1; loads <= 5; ++loads) {
+                ExperimentSpec spec = cli.baseSpec(opt);
+                spec.label = std::to_string(accesses) + "acc/s" +
+                             std::to_string(secret) + "/" +
+                             std::to_string(loads) + "ld";
+                spec.attackCfg.conditionAccesses = accesses;
+                spec.attackCfg.inBranchLoads = loads;
+                spec.with("accesses", accesses)
+                    .with("secret", secret)
+                    .with("loads", loads);
+                specs.push_back(std::move(spec));
+            }
+        }
+    }
+
+    const ExperimentResult result = runExperiment(
+        cli, opt, specs, [](const TrialContext &ctx) {
+            Session session(ctx.spec, ctx.seed);
+            UnxpecAttack &attack = session.unxpec();
+            attack.setSecret(
+                static_cast<int>(ctx.spec.param("secret")));
+            attack.measureOnce(); // warmup
+            attack.measureOnce();
+            TrialOutput out;
+            if (attack.lastDetail().valid) {
+                out.metric("branch_resolution",
+                           static_cast<double>(
+                               attack.lastDetail().branchResolution));
+            }
+            return out;
+        });
+
     std::cout << "=== Figure 13: branch resolution on a noisy host "
-                 "(i7-8550U stand-in; mean of " << reps
+                 "(i7-8550U stand-in; mean of " << opt.reps
               << " rounds) ===\n\n";
 
     TextTable table({"condition", "secret", "1 load", "2", "3", "4", "5"});
@@ -65,10 +71,14 @@ main(int argc, char **argv)
                     (accesses > 1 ? "es" : ""),
                 std::to_string(secret)};
             for (unsigned loads = 1; loads <= 5; ++loads) {
-                const Summary s =
-                    resolutionStats(accesses, loads, secret, reps);
-                row.push_back(TextTable::num(s.mean, 0) + "±" +
-                              TextTable::num(s.stddev, 0));
+                const ResultRow &res = result.rowAt(
+                    {{"accesses", static_cast<double>(accesses)},
+                     {"secret", static_cast<double>(secret)},
+                     {"loads", static_cast<double>(loads)}});
+                const MetricSeries *s = res.metric("branch_resolution");
+                row.push_back(s ? TextTable::num(s->summary.mean, 0) + "±" +
+                                      TextTable::num(s->summary.stddev, 0)
+                                : std::string("n/a"));
             }
             table.addRow(row);
         }
@@ -78,5 +88,5 @@ main(int argc, char **argv)
                  "resolution time is flat across loads/secrets\n"
                  "and scales with f(N) — the channel's premise survives "
                  "on real machines (§VI-D).\n";
-    return 0;
+    return finishExperiment(result, opt);
 }

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Shared driver for Figures 10 and 11: leak the fixed 1,000-bit secret
+ * of Figure 9, one sample per bit. The harness splits the bit string
+ * into `--reps` contiguous slices; each trial calibrates its own
+ * receiver on its own Core and leaks its slice, and the slices are
+ * reassembled in order — so the decoded string (and accuracy) is
+ * independent of `--threads`.
+ */
+
+#ifndef UNXPEC_BENCH_LEAK_FIGURE_HH
+#define UNXPEC_BENCH_LEAK_FIGURE_HH
+
+#include <algorithm>
+#include <iostream>
+
+#include "analysis/accuracy.hh"
+#include "analysis/summary.hh"
+#include "analysis/table.hh"
+#include "harness/cli.hh"
+#include "harness/session.hh"
+#include "sim/rng.hh"
+
+namespace unxpec {
+
+/** Seed of the Figure-9 secret, shared across Figures 9/10/11. */
+inline constexpr std::uint64_t kSecretSeed = 20220402;
+
+/** Per-trial receiver-training samples per secret value. */
+inline constexpr unsigned kLeakCalibration = 150;
+
+inline int
+runLeakFigure(HarnessCli &cli, int argc, char **argv, const char *attack,
+              const char *title, const char *paper_accuracy)
+{
+    cli.defaultReps(8)
+        .defaultNoise("evaluation")
+        .scaleOption("secret bits to leak", 1000);
+    const HarnessOptions opt = cli.parse(argc, argv);
+    const unsigned bits = static_cast<unsigned>(opt.scale);
+
+    Rng rng(kSecretSeed);
+    std::vector<int> secret;
+    for (unsigned i = 0; i < bits; ++i)
+        secret.push_back(static_cast<int>(rng.range(2)));
+
+    ExperimentSpec spec = cli.baseSpec(opt);
+    spec.label = "leak";
+    spec.attack = attack;
+    spec.with("bits", bits);
+
+    const unsigned chunk = (bits + opt.reps - 1) / opt.reps;
+    const ExperimentResult result = runExperiment(
+        cli, opt, {spec}, [&secret, chunk, bits](const TrialContext &ctx) {
+            const unsigned begin = std::min(bits, ctx.rep * chunk);
+            const unsigned end = std::min(bits, begin + chunk);
+            TrialOutput out;
+            if (begin == end)
+                return out;
+
+            Session session(ctx.spec, ctx.seed);
+            UnxpecAttack &attack = session.unxpec();
+            const double threshold = attack.calibrate(kLeakCalibration);
+            const std::vector<int> slice(secret.begin() + begin,
+                                         secret.begin() + end);
+            const LeakResult leak = attack.leak(slice, threshold);
+
+            out.metric("threshold", threshold);
+            std::vector<double> guesses(leak.guesses.begin(),
+                                        leak.guesses.end());
+            out.samples("guess", std::move(guesses));
+            out.samples("latency", leak.latencies);
+            return out;
+        });
+
+    const ResultRow &row = result.row(0);
+    const std::vector<double> &guess_values = row.values("guess");
+    const std::vector<double> &latencies = row.values("latency");
+    std::vector<int> guesses;
+    for (const double g : guess_values)
+        guesses.push_back(static_cast<int>(g));
+    const auto report = BitChannelReport::of(guesses, secret);
+
+    std::cout << "=== " << title << " (" << bits
+              << " bits, 1 sample/bit) ===\n\n";
+    std::cout << "decode threshold (mean over " << opt.reps
+              << " receivers): " << TextTable::num(row.mean("threshold"))
+              << " cycles\n\n";
+    std::cout << "first 100 bits (secret / guess / latency):\n";
+    for (unsigned i = 0; i < std::min<unsigned>(100, bits); ++i) {
+        std::cout << "  bit " << i << ": " << secret[i] << " / "
+                  << guesses[i] << " / " << latencies[i]
+                  << (secret[i] != guesses[i] ? "   <-- error" : "")
+                  << "\n";
+    }
+
+    const Summary lat = Summary::of(latencies);
+    std::cout << "\nobserved latency: mean " << TextTable::num(lat.mean)
+              << ", min " << TextTable::num(lat.min) << ", max "
+              << TextTable::num(lat.max) << "\n";
+    std::cout << "correct bits: " << report.true0 + report.true1 << "/"
+              << bits << "\n";
+    std::cout << "accuracy: " << TextTable::num(report.accuracy() * 100)
+              << " % (paper: " << paper_accuracy << " %)\n";
+    std::cout << "per-class error: secret0 "
+              << TextTable::num(report.zeroErrorRate() * 100)
+              << " %, secret1 "
+              << TextTable::num(report.oneErrorRate() * 100) << " %\n";
+    return finishExperiment(result, opt);
+}
+
+} // namespace unxpec
+
+#endif // UNXPEC_BENCH_LEAK_FIGURE_HH

@@ -11,48 +11,61 @@
 
 #include "analysis/accuracy.hh"
 #include "analysis/table.hh"
-#include "attack/unxpec.hh"
-#include "sim/config.hh"
+#include "harness/cli.hh"
+#include "harness/session.hh"
 
 using namespace unxpec;
 
-namespace {
-
-double
-cyclesPerSample(bool evsets, unsigned mistrain, unsigned samples)
-{
-    Core core(SystemConfig::makeDefault());
-    UnxpecConfig cfg;
-    cfg.useEvictionSets = evsets;
-    cfg.mistrainIterations = mistrain;
-    UnxpecAttack attack(core, cfg);
-    attack.collect(0, samples / 2);
-    attack.collect(1, samples - samples / 2);
-    return attack.cyclesPerSample();
-}
-
-} // namespace
-
 int
-main()
+main(int argc, char **argv)
 {
+    HarnessCli cli("leakage_rate",
+                   "Leakage rate (paper §VI-B): cycles per covert-channel "
+                   "sample and resulting bits/s");
+    cli.scaleOption("samples per measurement", 20);
+    const HarnessOptions opt = cli.parse(argc, argv);
+    const unsigned samples = static_cast<unsigned>(opt.scale);
+
+    std::vector<ExperimentSpec> specs;
+    for (const bool evsets : {false, true}) {
+        for (const unsigned mistrain : {8u, 16u, 32u, 56u}) {
+            ExperimentSpec spec = cli.baseSpec(opt);
+            spec.label = std::string(evsets ? "eviction sets" : "plain") +
+                         "/mistrain=" + std::to_string(mistrain);
+            spec.attack = evsets ? "unxpec-evset" : "unxpec";
+            spec.attackCfg.mistrainIterations = mistrain;
+            spec.with("evset", evsets ? 1 : 0).with("mistrain", mistrain);
+            specs.push_back(std::move(spec));
+        }
+    }
+
     const double clock_ghz = SystemConfig::makeDefault().clockGHz;
+    const ExperimentResult result = runExperiment(
+        cli, opt, specs, [samples, clock_ghz](const TrialContext &ctx) {
+            Session session(ctx.spec, ctx.seed);
+            UnxpecAttack &attack = session.unxpec();
+            attack.collect(0, samples / 2);
+            attack.collect(1, samples - samples / 2);
+            const double cycles = attack.cyclesPerSample();
+            TrialOutput out;
+            out.metric("cycles_per_sample", cycles);
+            out.metric("samples_per_sec",
+                       LeakageRate::samplesPerSecond(cycles, clock_ghz));
+            return out;
+        });
+
     std::cout << "=== Leakage rate (§VI-B), " << clock_ghz
               << " GHz clock ===\n\n";
 
     TextTable table({"variant", "mistrain iters", "cycles/sample",
                      "samples/s", "Kbps (1 sample/bit)"});
-    for (const bool evsets : {false, true}) {
-        for (const unsigned mistrain : {8u, 16u, 32u, 56u}) {
-            const double cycles = cyclesPerSample(evsets, mistrain, 20);
-            const double rate =
-                LeakageRate::samplesPerSecond(cycles, clock_ghz);
-            table.addRow({evsets ? "eviction sets" : "plain",
-                          std::to_string(mistrain),
-                          TextTable::num(cycles, 0),
-                          TextTable::num(rate, 0),
-                          TextTable::num(rate / 1000.0)});
-        }
+    for (const ResultRow &row : result.rows) {
+        const double rate = row.mean("samples_per_sec");
+        table.addRow({row.param("evset") != 0 ? "eviction sets" : "plain",
+                      TextTable::num(row.param("mistrain"), 0),
+                      TextTable::num(row.mean("cycles_per_sample"), 0),
+                      TextTable::num(rate, 0),
+                      TextTable::num(rate / 1000.0)});
     }
     table.print(std::cout);
 
@@ -62,5 +75,5 @@ main()
                  "point corresponds to the heavier\nPOISON loop "
                  "(~56 in-bounds trainings/round). Leaner rounds leak "
                  "proportionally faster.\n";
-    return 0;
+    return finishExperiment(result, opt);
 }

@@ -9,6 +9,7 @@
 #include <benchmark/benchmark.h>
 
 #include "attack/unxpec.hh"
+#include "harness/spec.hh"
 #include "cpu/core.hh"
 #include "memory/hierarchy.hh"
 #include "sim/config.hh"
@@ -19,7 +20,7 @@ using namespace unxpec;
 static void
 BM_CacheAccess(benchmark::State &state)
 {
-    SystemConfig cfg = SystemConfig::makeDefault();
+    SystemConfig cfg = makeDefense("cleanup_l1l2");
     Rng rng(1);
     MemoryHierarchy hier(cfg, rng);
     Cycle now = 0;
@@ -37,7 +38,7 @@ BENCHMARK(BM_CacheAccess);
 static void
 BM_CacheHit(benchmark::State &state)
 {
-    SystemConfig cfg = SystemConfig::makeDefault();
+    SystemConfig cfg = makeDefense("cleanup_l1l2");
     Rng rng(1);
     MemoryHierarchy hier(cfg, rng);
     hier.access(0x1000, 0, false, false, 0);
@@ -54,7 +55,7 @@ BENCHMARK(BM_CacheHit);
 static void
 BM_CoreInstructionThroughput(benchmark::State &state)
 {
-    Core core(SystemConfig::makeUnsafeBaseline());
+    Core core(makeDefense("unsafe"));
     const Program program =
         SynthSpec::generate(SynthSpec::profile("x264_r"), 1);
     std::uint64_t instructions = 0;
@@ -71,7 +72,7 @@ BENCHMARK(BM_CoreInstructionThroughput)->Unit(benchmark::kMillisecond);
 static void
 BM_UnxpecRound(benchmark::State &state)
 {
-    Core core(SystemConfig::makeDefault());
+    Core core(makeDefense("cleanup_l1l2"));
     UnxpecAttack attack(core);
     attack.setSecret(1);
     for (auto _ : state)
@@ -83,7 +84,7 @@ BENCHMARK(BM_UnxpecRound)->Unit(benchmark::kMicrosecond);
 static void
 BM_WorkloadSimulation(benchmark::State &state)
 {
-    Core core(SystemConfig::makeDefault());
+    Core core(makeDefense("cleanup_l1l2"));
     const Program program =
         SynthSpec::generate(SynthSpec::profile("mcf_r"), 1);
     std::uint64_t cycles = 0;

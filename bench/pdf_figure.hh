@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Shared driver for Figures 7 and 8: collect latency samples for both
+ * secrets through the harness (each trial contributes an equal slice
+ * of the sample budget from its own Core), then print summary stats,
+ * the calibrated threshold, the ROC AUC, and the ASCII KDE curves.
+ */
+
+#ifndef UNXPEC_BENCH_PDF_FIGURE_HH
+#define UNXPEC_BENCH_PDF_FIGURE_HH
+
+#include <iostream>
+#include <string>
+
+#include "analysis/kde.hh"
+#include "analysis/roc.hh"
+#include "analysis/summary.hh"
+#include "analysis/table.hh"
+#include "attack/channel.hh"
+#include "harness/cli.hh"
+#include "harness/session.hh"
+
+namespace unxpec {
+
+inline int
+runPdfFigure(HarnessCli &cli, int argc, char **argv, const char *attack,
+             const char *title, double paper_delta, int paper_threshold)
+{
+    cli.defaultReps(8)
+        .defaultNoise("evaluation")
+        .scaleOption("latency samples per secret", 1000);
+    const HarnessOptions opt = cli.parse(argc, argv);
+
+    ExperimentSpec spec = cli.baseSpec(opt);
+    spec.label = "pdf";
+    spec.attack = attack;
+    // Split the sample budget evenly over the trials; the merged
+    // series is deterministic because trials concatenate in rep order.
+    const unsigned per_trial = static_cast<unsigned>(
+        (opt.scale + opt.reps - 1) / opt.reps);
+
+    const ExperimentResult result = runExperiment(
+        cli, opt, {spec}, [per_trial](const TrialContext &ctx) {
+            Session session(ctx.spec, ctx.seed);
+            UnxpecAttack &attack = session.unxpec();
+            TrialOutput out;
+            out.samples("latency_secret0", attack.collect(0, per_trial));
+            out.samples("latency_secret1", attack.collect(1, per_trial));
+            return out;
+        });
+
+    const ResultRow &row = result.row(0);
+    const std::vector<double> &zeros = row.values("latency_secret0");
+    const std::vector<double> &ones = row.values("latency_secret1");
+    const Summary s0 = row.metric("latency_secret0")->summary;
+    const Summary s1 = row.metric("latency_secret1")->summary;
+    const double threshold = CovertChannel::calibrateThreshold(zeros, ones);
+
+    std::cout << "=== " << title << " (" << zeros.size()
+              << " samples/secret) ===\n\n";
+    TextTable table({"secret", "mean", "stdev", "median", "p25", "p75"});
+    table.addRow({"0", TextTable::num(s0.mean), TextTable::num(s0.stddev),
+                  TextTable::num(s0.median), TextTable::num(s0.p25),
+                  TextTable::num(s0.p75)});
+    table.addRow({"1", TextTable::num(s1.mean), TextTable::num(s1.stddev),
+                  TextTable::num(s1.median), TextTable::num(s1.p25),
+                  TextTable::num(s1.p75)});
+    table.print(std::cout);
+
+    std::cout << "\nmean timing difference: "
+              << TextTable::num(s1.mean - s0.mean) << " cycles (paper: "
+              << TextTable::num(paper_delta, 0) << ")\n";
+    std::cout << "calibrated threshold:   " << TextTable::num(threshold)
+              << " (paper: " << paper_threshold << ")\n";
+    const RocCurve roc = RocCurve::of(zeros, ones);
+    std::cout << "channel AUC:            "
+              << TextTable::num(roc.auc(), 3) << " (0.5 = blind, 1 = "
+              << "perfect; best J at threshold "
+              << TextTable::num(roc.best().threshold) << ")\n\n";
+
+    const auto curve0 = Kde::curve(zeros, 130, 250, 100);
+    const auto curve1 = Kde::curve(ones, 130, 250, 100);
+    printDensity(std::cout, curve0, "secret=0", curve1, "secret=1");
+    return finishExperiment(result, opt);
+}
+
+} // namespace unxpec
+
+#endif // UNXPEC_BENCH_PDF_FIGURE_HH

@@ -10,68 +10,93 @@
 #include <iostream>
 
 #include "analysis/table.hh"
-#include "attack/noise.hh"
-#include "attack/unxpec.hh"
+#include "harness/cli.hh"
+#include "harness/session.hh"
 #include "sim/rng.hh"
 
 using namespace unxpec;
 
 namespace {
 
-double
-accuracyUnder(const NoiseProfile &noise, bool evsets,
-              unsigned samples_per_bit, unsigned bits)
-{
-    SystemConfig cfg = SystemConfig::makeDefault();
-    noise.applyTo(cfg);
-    Core core(cfg);
-    noise.applyTo(core);
+/** Seed of the fixed random secret (same pattern as the seed bench). */
+constexpr std::uint64_t kSecretSeed = 4242;
 
-    UnxpecConfig ucfg;
-    ucfg.useEvictionSets = evsets;
-    UnxpecAttack attack(core, ucfg);
-    const double threshold = attack.calibrate(120);
-
-    Rng rng(4242);
-    std::vector<int> secret;
-    for (unsigned i = 0; i < bits; ++i)
-        secret.push_back(static_cast<int>(rng.range(2)));
-    const LeakResult result = samples_per_bit <= 1
-        ? attack.leak(secret, threshold)
-        : attack.leakMultiSample(secret, threshold, samples_per_bit);
-    return result.accuracy;
-}
+constexpr unsigned kCalibrationSamples = 120;
 
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    const unsigned bits = argc > 1 ? std::atoi(argv[1]) : 150;
+    HarnessCli cli("robustness_noise",
+                   "SVI-D robustness: decode accuracy vs noise level and "
+                   "samples per bit");
+    cli.scaleOption("secret bits per point", 150);
+    const HarnessOptions opt = cli.parse(argc, argv);
+    const unsigned bits = static_cast<unsigned>(opt.scale);
+
+    const std::vector<std::pair<const char *, const char *>> levels = {
+        {"quiet", "quiet"},
+        {"evaluation", "evaluation"},
+        {"noisy host", "noisy_host"},
+    };
+
+    std::vector<ExperimentSpec> specs;
+    for (std::size_t n = 0; n < levels.size(); ++n) {
+        for (const bool evsets : {false, true}) {
+            for (const unsigned samples : {1u, 3u, 5u}) {
+                ExperimentSpec spec = cli.baseSpec(opt);
+                spec.label = std::string(levels[n].first) + "/" +
+                             (evsets ? "evset" : "plain") + "/" +
+                             std::to_string(samples) + "spb";
+                spec.noise = levels[n].second;
+                spec.attack = evsets ? "unxpec-evset" : "unxpec";
+                spec.with("noise_level", static_cast<double>(n))
+                    .with("evset", evsets ? 1 : 0)
+                    .with("samples_per_bit", samples);
+                specs.push_back(std::move(spec));
+            }
+        }
+    }
+
+    const ExperimentResult result = runExperiment(
+        cli, opt, specs, [bits](const TrialContext &ctx) {
+            Session session(ctx.spec, ctx.seed);
+            UnxpecAttack &attack = session.unxpec();
+            const double threshold = attack.calibrate(kCalibrationSamples);
+
+            Rng rng(kSecretSeed);
+            std::vector<int> secret;
+            for (unsigned i = 0; i < bits; ++i)
+                secret.push_back(static_cast<int>(rng.range(2)));
+            const unsigned samples = static_cast<unsigned>(
+                ctx.spec.param("samples_per_bit", 1));
+            const LeakResult leak = samples <= 1
+                ? attack.leak(secret, threshold)
+                : attack.leakMultiSample(secret, threshold, samples);
+            TrialOutput out;
+            out.metric("accuracy", leak.accuracy);
+            return out;
+        });
+
     std::cout << "=== SVI-D robustness: accuracy vs noise and "
                  "samples/bit (" << bits << " bits) ===\n\n";
 
-    struct Level
-    {
-        const char *name;
-        NoiseProfile profile;
-    };
-    const Level levels[] = {
-        {"quiet", NoiseProfile::quiet()},
-        {"evaluation", NoiseProfile::evaluation()},
-        {"noisy host", NoiseProfile::noisyHost()},
-    };
-
     TextTable table({"noise", "variant", "1 sample", "3 samples",
                      "5 samples"});
-    for (const Level &level : levels) {
+    for (std::size_t n = 0; n < levels.size(); ++n) {
         for (const bool evsets : {false, true}) {
             std::vector<std::string> row = {
-                level.name, evsets ? "eviction sets" : "plain"};
+                levels[n].first, evsets ? "eviction sets" : "plain"};
             for (const unsigned samples : {1u, 3u, 5u}) {
-                row.push_back(TextTable::num(
-                    accuracyUnder(level.profile, evsets, samples, bits) *
-                    100.0) + "%");
+                const double accuracy =
+                    result
+                        .rowAt({{"noise_level", static_cast<double>(n)},
+                                {"evset", evsets ? 1.0 : 0.0},
+                                {"samples_per_bit",
+                                 static_cast<double>(samples)}})
+                        .mean("accuracy");
+                row.push_back(TextTable::num(accuracy * 100.0) + "%");
             }
             table.addRow(row);
         }
@@ -82,5 +107,5 @@ main(int argc, char **argv)
                  "noise the eviction-set variant's\nlarger margin wins; "
                  "majority voting recovers accuracy at proportional "
                  "rate cost.\n";
-    return 0;
+    return finishExperiment(result, opt);
 }

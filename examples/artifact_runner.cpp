@@ -14,7 +14,8 @@
  * on stdout (the artifact logs lines 29-1028 of its .txt files; here
  * every line is a measurement), and gem5-style counters for the
  * ConstantTime runs (sim_ticks, startCycles,
- * extraCleanupSquashTimeCycles).
+ * extraCleanupSquashTimeCycles). Machines are built through the
+ * harness session layer, the same one the bench/ figures use.
  */
 
 #include <cstring>
@@ -23,15 +24,15 @@
 
 #include "analysis/accuracy.hh"
 #include "attack/channel.hh"
-#include "attack/noise.hh"
-#include "attack/unxpec.hh"
-#include "cpu/core.hh"
-#include "sim/config.hh"
+#include "harness/session.hh"
+#include "sim/rng.hh"
 #include "workload/synth_spec.hh"
 
 using namespace unxpec;
 
 namespace {
+
+constexpr std::uint64_t kSeed = 1;
 
 bool
 hasFlag(int argc, char **argv, const char *flag)
@@ -43,22 +44,20 @@ hasFlag(int argc, char **argv, const char *flag)
     return false;
 }
 
-SystemConfig
-evaluationConfig()
+ExperimentSpec
+evaluationSpec(bool evsets)
 {
-    SystemConfig cfg = SystemConfig::makeDefault();
-    NoiseProfile::evaluation().applyTo(cfg);
-    return cfg;
+    ExperimentSpec spec;
+    spec.noise = "evaluation";
+    spec.attack = evsets ? "unxpec-evset" : "unxpec";
+    return spec;
 }
 
 int
 runTimingDifference(bool evsets)
 {
-    Core core(evaluationConfig());
-    NoiseProfile::evaluation().applyTo(core);
-    UnxpecConfig cfg;
-    cfg.useEvictionSets = evsets;
-    UnxpecAttack attack(core, cfg);
+    Session session(evaluationSpec(evsets), kSeed);
+    UnxpecAttack &attack = session.unxpec();
     for (const int secret : {0, 1}) {
         std::cout << "# secret " << secret << " (1000 measurements)\n";
         for (const double v : attack.collect(secret, 1000))
@@ -70,14 +69,14 @@ runTimingDifference(bool evsets)
 int
 runLeakageRate()
 {
-    Core core(SystemConfig::makeDefault());
-    UnxpecConfig cfg;
-    cfg.mistrainIterations = 56; // the paper's operating point
-    UnxpecAttack attack(core, cfg);
+    ExperimentSpec spec;
+    spec.attackCfg.mistrainIterations = 56; // the paper's operating point
+    Session session(spec, kSeed);
+    UnxpecAttack &attack = session.unxpec();
     attack.collect(0, 10);
     attack.collect(1, 10);
     const double rate = LeakageRate::samplesPerSecond(
-        attack.cyclesPerSample(), core.config().clockGHz);
+        attack.cyclesPerSample(), session.core().config().clockGHz);
     std::cout << "cycles per sample: " << attack.cyclesPerSample()
               << "\nsample rate: " << rate << " samples/s\n"
               << "leakage rate (1 sample/bit): " << rate / 1000.0
@@ -88,11 +87,8 @@ runLeakageRate()
 int
 runSecretLeakage(bool evsets)
 {
-    Core core(evaluationConfig());
-    NoiseProfile::evaluation().applyTo(core);
-    UnxpecConfig cfg;
-    cfg.useEvictionSets = evsets;
-    UnxpecAttack attack(core, cfg);
+    Session session(evaluationSpec(evsets), kSeed);
+    UnxpecAttack &attack = session.unxpec();
     const double threshold = attack.calibrate(300);
 
     Rng rng(20220402);
@@ -112,21 +108,18 @@ runSecretLeakage(bool evsets)
 int
 runNoiseInsensitivity()
 {
-    SystemConfig cfg = SystemConfig::makeNoisyHost();
-    const NoiseProfile noise = NoiseProfile::noisyHost();
-    noise.applyTo(cfg);
-    Core core(cfg);
-    noise.applyTo(core);
-
     for (unsigned accesses = 1; accesses <= 3; ++accesses) {
         for (int secret = 0; secret <= 1; ++secret) {
             std::cout << "f(N)=" << accesses << " secret=" << secret
                       << ":";
             for (unsigned loads = 1; loads <= 5; ++loads) {
-                UnxpecConfig ucfg;
-                ucfg.inBranchLoads = loads;
-                ucfg.conditionAccesses = accesses;
-                UnxpecAttack attack(core, ucfg);
+                ExperimentSpec spec;
+                spec.defense = "noisy_host";
+                spec.noise = "noisy_host";
+                spec.attackCfg.inBranchLoads = loads;
+                spec.attackCfg.conditionAccesses = accesses;
+                Session session(spec, kSeed);
+                UnxpecAttack &attack = session.unxpec();
                 attack.setSecret(secret);
                 double total = 0.0;
                 for (int r = 0; r < 10; ++r) {
@@ -167,16 +160,18 @@ runConstantTime(const std::string &benchmark, std::uint64_t maxinst,
         }
     };
 
-    Core unsafe(SystemConfig::makeUnsafeBaseline());
+    Core unsafe(makeDefense("unsafe"));
     const RunResult base = unsafe.run(program, options);
     report("UnsafeBaseline", unsafe, base);
     const double base_cycles =
         static_cast<double>(base.cycles - base.warmupCycles);
 
     for (const unsigned constant : {0u, 25u, 30u, 35u, 45u, 65u}) {
-        SystemConfig cfg = SystemConfig::makeDefault();
-        cfg.cleanupTiming.constantTimeCycles = constant;
-        Core core(cfg);
+        ExperimentSpec spec;
+        spec.tweak = [constant](SystemConfig &cfg) {
+            cfg.cleanupTiming.constantTimeCycles = constant;
+        };
+        Core core(Session::configFor(spec, kSeed));
         const RunResult run = core.run(program, options);
         const std::string label = constant == 0
             ? "Cleanup_FOR_L1L2 (no const)"

@@ -3,9 +3,11 @@
  * Leak an ASCII message through the unXpec rollback-timing covert
  * channel, bit by bit, across the CleanupSpec "protection". This is
  * the paper's §VI-C experiment dressed up as the classic covert-
- * channel demo.
+ * channel demo — and a tour of the harness: the message is split into
+ * per-rep slices, each rep leaks its slice on its own Core (in
+ * parallel across --threads), and the decode is reassembled in order.
  *
- *   $ ./covert_message [message]
+ *   $ ./covert_message [message] [--reps N] [--threads T] [--json out]
  */
 
 #include <iostream>
@@ -15,61 +17,92 @@
 #include "analysis/accuracy.hh"
 #include "analysis/table.hh"
 #include "attack/channel.hh"
-#include "attack/noise.hh"
-#include "attack/unxpec.hh"
+#include "harness/cli.hh"
+#include "harness/session.hh"
 
 using namespace unxpec;
+
+namespace {
+
+constexpr unsigned kSamplesPerBit = 3;
+constexpr unsigned kCalibrationSamples = 200;
+
+} // namespace
 
 int
 main(int argc, char **argv)
 {
-    const std::string message =
-        argc > 1 ? argv[1] : "unXpec breaks Undo!";
-
-    // A lightly noisy CleanupSpec machine (the paper's §VI setting).
-    SystemConfig cfg = SystemConfig::makeDefault();
-    const NoiseProfile noise = NoiseProfile::evaluation();
-    noise.applyTo(cfg);
-    Core core(cfg);
-    noise.applyTo(core);
+    HarnessCli cli("covert_message",
+                   "Leak an ASCII message through the rollback-timing "
+                   "covert channel");
+    cli.defaultReps(4)
+        .defaultNoise("evaluation")
+        .textArg("message to leak", "unXpec breaks Undo!");
+    const HarnessOptions opt = cli.parse(argc, argv);
+    const std::string message = opt.text;
 
     // Eviction-set variant for the better accuracy, three samples per
     // bit with majority vote to push the error rate down.
-    UnxpecConfig ucfg;
-    ucfg.useEvictionSets = true;
-    UnxpecAttack attack(core, ucfg);
+    ExperimentSpec spec = cli.baseSpec(opt);
+    spec.label = "message";
+    spec.attack = "unxpec-evset";
+    spec.with("chars", static_cast<double>(message.size()));
 
-    std::cout << "calibrating the receiver threshold...\n";
-    const double threshold = attack.calibrate(200);
-    std::cout << "threshold: " << threshold << " cycles\n\n";
+    // Each rep leaks a contiguous slice of characters on its own core.
+    const unsigned chars = static_cast<unsigned>(message.size());
+    const unsigned chunk = (chars + opt.reps - 1) / opt.reps;
+    const ExperimentResult result = runExperiment(
+        cli, opt, {spec}, [&message, chars, chunk](const TrialContext &ctx) {
+            const unsigned begin = std::min(chars, ctx.rep * chunk);
+            const unsigned end = std::min(chars, begin + chunk);
+            TrialOutput out;
+            if (begin == end)
+                return out;
 
-    const unsigned samples_per_bit = 3;
+            Session session(ctx.spec, ctx.seed);
+            UnxpecAttack &attack = session.unxpec();
+            const double threshold = attack.calibrate(kCalibrationSamples);
+            out.metric("threshold", threshold);
+
+            std::vector<double> bits;
+            for (unsigned c = begin; c < end; ++c) {
+                for (int bit = 7; bit >= 0; --bit) {
+                    const int secret = (message[c] >> bit) & 1;
+                    attack.setSecret(secret);
+                    std::vector<double> samples;
+                    for (unsigned s = 0; s < kSamplesPerBit; ++s)
+                        samples.push_back(attack.measureOnce());
+                    bits.push_back(CovertChannel::decodeMajority(
+                        samples, threshold));
+                }
+            }
+            out.samples("guess_bits", std::move(bits));
+            out.metric("cycles_per_sample", attack.cyclesPerSample());
+            return out;
+        });
+
+    const ResultRow &row = result.row(0);
+    const std::vector<double> &bits = row.values("guess_bits");
     std::string received;
     unsigned bit_errors = 0;
-
-    for (const char ch : message) {
+    for (unsigned c = 0; c < chars; ++c) {
         int decoded = 0;
         for (int bit = 7; bit >= 0; --bit) {
-            const int secret = (ch >> bit) & 1;
-            attack.setSecret(secret);
-            std::vector<double> samples;
-            for (unsigned s = 0; s < samples_per_bit; ++s)
-                samples.push_back(attack.measureOnce());
-            const int guess =
-                CovertChannel::decodeMajority(samples, threshold);
-            bit_errors += guess != secret;
+            const int guess = static_cast<int>(bits[c * 8 + (7 - bit)]);
+            bit_errors += guess != ((message[c] >> bit) & 1);
             decoded = (decoded << 1) | guess;
         }
         received.push_back(static_cast<char>(decoded));
-        std::cout << "sent '" << ch << "' -> received '"
+        std::cout << "sent '" << message[c] << "' -> received '"
                   << static_cast<char>(decoded) << "'\n";
     }
 
-    const unsigned total_bits =
-        static_cast<unsigned>(message.size()) * 8;
-    const double rate_kbps = LeakageRate::bitsPerSecond(
-        attack.cyclesPerSample(), core.config().clockGHz,
-        samples_per_bit) / 1000.0;
+    const unsigned total_bits = chars * 8;
+    const double clock_ghz = makeDefense(result.mode).clockGHz;
+    const double rate_kbps =
+        LeakageRate::bitsPerSecond(row.mean("cycles_per_sample"),
+                                   clock_ghz, kSamplesPerBit) /
+        1000.0;
 
     std::cout << "\nmessage sent:     \"" << message << "\"\n";
     std::cout << "message received: \"" << received << "\"\n";
@@ -77,8 +110,8 @@ main(int argc, char **argv)
               << TextTable::num(100.0 * (total_bits - bit_errors) /
                                 total_bits)
               << " % accuracy)\n";
-    std::cout << "effective rate at " << core.config().clockGHz
-              << " GHz with " << samples_per_bit << " samples/bit: "
+    std::cout << "effective rate at " << clock_ghz << " GHz with "
+              << kSamplesPerBit << " samples/bit: "
               << TextTable::num(rate_kbps) << " Kbps\n";
-    return 0;
+    return finishExperiment(result, opt);
 }

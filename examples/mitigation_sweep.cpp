@@ -3,47 +3,50 @@
  * Countermeasure exploration (paper §VI-E and §VII): sweep relaxed
  * constant-time rollback and the fuzzy dummy-cleanup mitigation, and
  * chart the security/performance trade-off: attack accuracy on one
- * axis, workload slowdown on the other.
+ * axis, workload slowdown on the other. Every mitigation is one
+ * ExperimentSpec; the TrialRunner measures them in parallel.
  *
- *   $ ./mitigation_sweep
+ *   $ ./mitigation_sweep [--reps N] [--threads T] [--json out]
  */
 
 #include <iostream>
 #include <vector>
 
 #include "analysis/table.hh"
-#include "attack/noise.hh"
-#include "attack/unxpec.hh"
-#include "cpu/core.hh"
-#include "sim/config.hh"
+#include "harness/cli.hh"
+#include "harness/session.hh"
+#include "sim/rng.hh"
 #include "workload/synth_spec.hh"
 
 using namespace unxpec;
 
 namespace {
 
-/** Attack accuracy over `bits` random bits under a mitigation. */
-double
-attackAccuracy(const SystemConfig &base_cfg, unsigned bits)
-{
-    SystemConfig cfg = base_cfg;
-    const NoiseProfile noise = NoiseProfile::evaluation();
-    noise.applyTo(cfg);
-    Core core(cfg);
-    noise.applyTo(core);
+/** Seed of the fixed random secret (same pattern as the seed bench). */
+constexpr std::uint64_t kSecretSeed = 99;
 
-    UnxpecAttack attack(core, UnxpecConfig{});
+constexpr unsigned kBits = 150;
+
+/** Attack accuracy over kBits random bits under the spec's mitigation
+ *  (evaluation noise, like the paper's §VI setting). */
+double
+attackAccuracy(const ExperimentSpec &spec, std::uint64_t seed)
+{
+    ExperimentSpec noisy = spec;
+    noisy.noise = "evaluation";
+    Session session(noisy, seed);
+    UnxpecAttack &attack = session.unxpec();
     const double threshold = attack.calibrate(100);
-    Rng rng(99);
+    Rng rng(kSecretSeed);
     std::vector<int> secret;
-    for (unsigned i = 0; i < bits; ++i)
+    for (unsigned i = 0; i < kBits; ++i)
         secret.push_back(static_cast<int>(rng.range(2)));
     return attack.leak(secret, threshold).accuracy;
 }
 
 /** Mean slowdown of a small workload sample vs the unsafe baseline. */
 double
-workloadSlowdown(const SystemConfig &cfg)
+workloadSlowdown(const SystemConfig &cfg, std::uint64_t seed)
 {
     const std::vector<const char *> picks = {"mcf_r", "leela_r",
                                              "imagick_r"};
@@ -54,9 +57,13 @@ workloadSlowdown(const SystemConfig &cfg)
     double total = 0.0;
     for (const char *name : picks) {
         const Program p = SynthSpec::generate(SynthSpec::profile(name), 42);
-        Core unsafe(SystemConfig::makeUnsafeBaseline());
+        SystemConfig base_cfg = makeDefense("unsafe");
+        base_cfg.seed = seed;
+        Core unsafe(base_cfg);
         const RunResult base = unsafe.run(p, options);
-        Core core(cfg);
+        SystemConfig run_cfg = cfg;
+        run_cfg.seed = seed;
+        Core core(run_cfg);
         const RunResult run = core.run(p, options);
         total += static_cast<double>(run.cycles - run.warmupCycles) /
                  (base.cycles - base.warmupCycles);
@@ -67,34 +74,60 @@ workloadSlowdown(const SystemConfig &cfg)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    std::cout << "=== Mitigation trade-off: accuracy vs overhead ===\n\n";
-    TextTable table({"mitigation", "attack accuracy", "workload overhead"});
+    HarnessCli cli("mitigation_sweep",
+                   "Mitigation trade-off: attack accuracy vs workload "
+                   "overhead per countermeasure");
+    const HarnessOptions opt = cli.parse(argc, argv);
 
-    const unsigned bits = 150;
-
+    std::vector<ExperimentSpec> specs;
     {
-        const SystemConfig cfg = SystemConfig::makeDefault();
-        table.addRow({"none (plain CleanupSpec)",
-                      TextTable::num(attackAccuracy(cfg, bits) * 100) + "%",
-                      TextTable::num(workloadSlowdown(cfg)) + "%"});
+        ExperimentSpec spec = cli.baseSpec(opt);
+        spec.label = "none (plain CleanupSpec)";
+        specs.push_back(std::move(spec));
     }
     for (const unsigned constant : {25u, 45u, 65u}) {
-        SystemConfig cfg = SystemConfig::makeDefault();
-        cfg.cleanupTiming.constantTimeCycles = constant;
-        table.addRow({"constant-time " + std::to_string(constant) +
-                          " cycles",
-                      TextTable::num(attackAccuracy(cfg, bits) * 100) + "%",
-                      TextTable::num(workloadSlowdown(cfg)) + "%"});
+        ExperimentSpec spec = cli.baseSpec(opt);
+        spec.label = "constant-time " + std::to_string(constant) +
+                     " cycles";
+        spec.tweak = [constant](SystemConfig &cfg) {
+            cfg.cleanupTiming.constantTimeCycles = constant;
+        };
+        spec.with("constant", constant);
+        specs.push_back(std::move(spec));
     }
     for (const unsigned fuzzy : {20u, 40u, 80u}) {
-        SystemConfig cfg = SystemConfig::makeDefault();
-        cfg.cleanupTiming.fuzzyMaxCycles = fuzzy;
-        table.addRow({"fuzzy dummy-cleanup <=" + std::to_string(fuzzy) +
-                          " cycles",
-                      TextTable::num(attackAccuracy(cfg, bits) * 100) + "%",
-                      TextTable::num(workloadSlowdown(cfg)) + "%"});
+        ExperimentSpec spec = cli.baseSpec(opt);
+        spec.label = "fuzzy dummy-cleanup <=" + std::to_string(fuzzy) +
+                     " cycles";
+        spec.tweak = [fuzzy](SystemConfig &cfg) {
+            cfg.cleanupTiming.fuzzyMaxCycles = fuzzy;
+        };
+        spec.with("fuzzy", fuzzy);
+        specs.push_back(std::move(spec));
+    }
+
+    const ExperimentResult result = runExperiment(
+        cli, opt, specs, [](const TrialContext &ctx) {
+            TrialOutput out;
+            out.metric("accuracy",
+                       attackAccuracy(ctx.spec,
+                                      Rng::deriveSeed(ctx.seed, 0)));
+            out.metric("overhead_pct",
+                       workloadSlowdown(
+                           Session::configFor(ctx.spec,
+                                              Rng::deriveSeed(ctx.seed, 1)),
+                           Rng::deriveSeed(ctx.seed, 1)));
+            return out;
+        });
+
+    std::cout << "=== Mitigation trade-off: accuracy vs overhead ===\n\n";
+    TextTable table({"mitigation", "attack accuracy", "workload overhead"});
+    for (const ResultRow &row : result.rows) {
+        table.addRow({row.label,
+                      TextTable::num(row.mean("accuracy") * 100) + "%",
+                      TextTable::num(row.mean("overhead_pct")) + "%"});
     }
     table.print(std::cout);
 
@@ -103,5 +136,5 @@ main()
                  "paper's §VII fuzzy-cleanup idea degrades the attack at "
                  "a fraction of the cost\n(more samples per bit would "
                  "recover some accuracy — see §VI-D).\n";
-    return 0;
+    return finishExperiment(result, opt);
 }

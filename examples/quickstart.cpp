@@ -2,9 +2,13 @@
  * @file
  * Quickstart: build a tiny program with the ProgramBuilder, run it on
  * the simulated out-of-order core behind a CleanupSpec-protected cache
- * hierarchy, and read back registers, memory, and statistics.
+ * hierarchy, and read back registers, memory, and statistics. The
+ * defense is picked from the harness registry, so the same walkthrough
+ * runs on any scheme:
  *
- *   $ ./quickstart
+ *   $ ./quickstart                # CleanupSpec (Cleanup_FOR_L1L2)
+ *   $ ./quickstart --mode invisispec
+ *   $ ./quickstart --list-modes
  */
 
 #include <iostream>
@@ -12,16 +16,23 @@
 #include "analysis/perf_report.hh"
 #include "cpu/assembler.hh"
 #include "cpu/core.hh"
-#include "sim/config.hh"
+#include "harness/cli.hh"
+#include "harness/session.hh"
 
 using namespace unxpec;
 
 int
-main()
+main(int argc, char **argv)
 {
+    HarnessCli cli("quickstart",
+                   "Assemble, run, and inspect a tiny program on a "
+                   "defense picked from the registry");
+    const HarnessOptions opt = cli.parse(argc, argv);
+
     // 1. Configure the Table-I system (1 core @ 2 GHz, 192-entry ROB,
-    //    32 KB L1s, 2 MB L2, CleanupSpec in Cleanup_FOR_L1L2 mode).
-    const SystemConfig cfg = SystemConfig::makeDefault();
+    //    32 KB L1s, 2 MB L2) with the selected defense — by default
+    //    CleanupSpec in Cleanup_FOR_L1L2 mode.
+    const SystemConfig cfg = Session::configFor(cli.baseSpec(opt), opt.seed);
     cfg.print(std::cout);
     Core core(cfg);
 

@@ -3,17 +3,19 @@
  * The paper's story in one run: Spectre v1 with Flush+Reload leaks a
  * byte per round on the unsafe baseline; CleanupSpec's Undo rollback
  * defeats it; unXpec then re-opens a channel on the very same
- * CleanupSpec machine by timing the rollback itself.
+ * CleanupSpec machine by timing the rollback itself. The defended
+ * machine comes from the harness registry, so other schemes can be
+ * auditioned for Acts 2 and 3:
  *
- *   $ ./spectre_vs_cleanup
+ *   $ ./spectre_vs_cleanup [--mode cleanup_full]
  */
 
 #include <iostream>
 
 #include "attack/channel.hh"
 #include "attack/spectre_v1.hh"
-#include "attack/unxpec.hh"
-#include "sim/config.hh"
+#include "harness/cli.hh"
+#include "harness/session.hh"
 
 using namespace unxpec;
 
@@ -40,19 +42,24 @@ runSpectre(const char *label, const SystemConfig &cfg)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    HarnessCli cli("spectre_vs_cleanup",
+                   "Spectre v1 vs CleanupSpec vs unXpec, in three acts");
+    const HarnessOptions opt = cli.parse(argc, argv);
+    ExperimentSpec spec = cli.baseSpec(opt);
+    spec.attack = "unxpec-evset";
+
     std::cout << "--- Act 1: Spectre v1 vs the unprotected cache ---\n";
-    runSpectre("unsafe baseline", SystemConfig::makeUnsafeBaseline());
+    runSpectre("unsafe baseline", makeDefense("unsafe"));
 
-    std::cout << "\n--- Act 2: Spectre v1 vs CleanupSpec ---\n";
-    runSpectre("Cleanup_FOR_L1L2", SystemConfig::makeDefault());
+    std::cout << "\n--- Act 2: Spectre v1 vs " << spec.defense << " ---\n";
+    runSpectre(spec.defense.c_str(), Session::configFor(spec, opt.seed));
 
-    std::cout << "\n--- Act 3: unXpec vs the same CleanupSpec machine ---\n";
-    Core core(SystemConfig::makeDefault());
-    UnxpecConfig ucfg;
-    ucfg.useEvictionSets = true;
-    UnxpecAttack attack(core, ucfg);
+    std::cout << "\n--- Act 3: unXpec vs the same " << spec.defense
+              << " machine ---\n";
+    Session session(spec, opt.seed);
+    UnxpecAttack &attack = session.unxpec();
     const double threshold = attack.calibrate(6);
 
     const std::uint8_t secret = 0x5A;

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Machine-readable experiment results. Every harness-driven bench
+ * aggregates its trials into an ExperimentResult — a list of rows, one
+ * per experiment point, each carrying ordered parameters and metric
+ * sample vectors with summary statistics — and emits it as JSON
+ * (schema "unxpec-experiment-v1") and/or CSV alongside the existing
+ * TextTable output, so every figure produces an artifact that later
+ * runs and CI can diff and track.
+ */
+
+#ifndef UNXPEC_ANALYSIS_RESULT_SINK_HH
+#define UNXPEC_ANALYSIS_RESULT_SINK_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/summary.hh"
+
+namespace unxpec {
+
+/** One metric of one experiment point: raw per-trial values + stats. */
+struct MetricSeries
+{
+    std::vector<double> values;
+    Summary summary;
+
+    static MetricSeries of(std::vector<double> values);
+};
+
+/** One experiment point (one row of the figure being reproduced). */
+struct ResultRow
+{
+    std::string label;
+    /** Ordered sweep coordinates, e.g. {"loads", 3}, {"evset", 1}. */
+    std::vector<std::pair<std::string, double>> params;
+    /** Ordered named metrics. */
+    std::vector<std::pair<std::string, MetricSeries>> metrics;
+
+    /** Metric by name; nullptr when absent. */
+    const MetricSeries *metric(const std::string &name) const;
+    /** Mean of a metric; fatal() when the metric is absent. */
+    double mean(const std::string &name) const;
+    /** All raw values of a metric; fatal() when absent. */
+    const std::vector<double> &values(const std::string &name) const;
+    /** Parameter value; `fallback` when absent. */
+    double param(const std::string &name, double fallback = 0.0) const;
+};
+
+/** A full experiment: provenance header plus one row per point. */
+struct ExperimentResult
+{
+    std::string experiment;     //!< e.g. "fig03_timing_difference"
+    std::string description;
+    std::uint64_t masterSeed = 1;
+    unsigned reps = 1;
+    unsigned threads = 1;
+    std::string mode;           //!< defense registry key (or "mixed")
+    std::vector<ResultRow> rows;
+
+    /** Row by index; fatal() when out of range. */
+    const ResultRow &row(std::size_t index) const;
+    /** First row whose params match all of `coords`; fatal() if none. */
+    const ResultRow &
+    rowAt(const std::vector<std::pair<std::string, double>> &coords) const;
+};
+
+/**
+ * Emit the result as JSON. `includeValues` controls whether raw
+ * per-trial vectors accompany the summaries (they dominate file size
+ * for sample-heavy experiments). Non-finite numbers become null.
+ */
+void writeJson(std::ostream &os, const ExperimentResult &result,
+               bool includeValues = true);
+
+/** Emit one line per row: params then mean/stddev/count per metric. */
+void writeCsv(std::ostream &os, const ExperimentResult &result);
+
+/**
+ * Write the artifacts requested by the caller-supplied paths (empty
+ * path = skip) and report each written file on `status`. Returns false
+ * if any file could not be opened.
+ */
+bool emitArtifacts(const ExperimentResult &result,
+                   const std::string &json_path,
+                   const std::string &csv_path, std::ostream &status);
+
+} // namespace unxpec
+
+#endif // UNXPEC_ANALYSIS_RESULT_SINK_HH

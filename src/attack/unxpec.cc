@@ -36,6 +36,30 @@ constexpr RegIndex rT1 = 25;      // second timestamp
 
 } // namespace
 
+const std::vector<UnxpecVariant> &
+unxpecVariants()
+{
+    static const std::vector<UnxpecVariant> variants = {
+        {"unxpec", "plain rollback-timing channel (~22-cycle delta)",
+         [](UnxpecConfig &) {}},
+        {"unxpec-evset",
+         "eviction sets prime the target L1 sets, forcing restorations "
+         "(~32-cycle delta, SV-B)",
+         [](UnxpecConfig &cfg) { cfg.useEvictionSets = true; }},
+        {"unxpec-wide",
+         "eviction-set variant with 8 in-branch loads: maximum margin "
+         "at proportional rate cost (SV-C)",
+         [](UnxpecConfig &cfg) {
+             cfg.useEvictionSets = true;
+             cfg.inBranchLoads = 8;
+         }},
+        {"unxpec-fast",
+         "short POISON loop (8 mistrainings): maximum sample rate",
+         [](UnxpecConfig &cfg) { cfg.mistrainIterations = 8; }},
+    };
+    return variants;
+}
+
 UnxpecAttack::UnxpecAttack(Core &core, const UnxpecConfig &cfg)
     : core_(core), cfg_(cfg)
 {

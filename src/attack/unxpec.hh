@@ -50,6 +50,22 @@ struct UnxpecConfig
     unsigned mistrainIterations = 16;
 };
 
+/**
+ * Named preset of the attack, registered for selection by name from
+ * the experiment harness (`--mode`-style CLI flags, ExperimentSpec
+ * files). New variants defined here become selectable everywhere
+ * without touching the harness.
+ */
+struct UnxpecVariant
+{
+    const char *name;        //!< registry key, e.g. "unxpec-evset"
+    const char *description; //!< one-line help text
+    void (*apply)(UnxpecConfig &cfg); //!< configure a base UnxpecConfig
+};
+
+/** Built-in attack variants (paper §V-B/§V-C operating points). */
+const std::vector<UnxpecVariant> &unxpecVariants();
+
 /** Per-round instrumentation extracted from the cleanup log. */
 struct RoundDetail
 {

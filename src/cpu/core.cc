@@ -66,7 +66,13 @@ Core::run(const Program &program, const RunOptions &options)
 
     while (!halted_ && committed_ < options.maxInstructions) {
         if (now_ - run_start >= options.maxCycles) {
-            warn("Core::run: cycle budget exhausted");
+            result.cycleLimitReached = true;
+            warn("Core::run: cycle budget exhausted after ",
+                 options.maxCycles, " cycles with only ", committed_,
+                 " of ", options.maxInstructions,
+                 " instructions committed (no HALT reached); returning a "
+                 "partial RunResult — raise RunOptions::maxCycles if the "
+                 "program legitimately runs this long");
             break;
         }
         ++now_;

@@ -45,8 +45,14 @@ struct RunOptions
     bool resetMicroarch = false;
     /** Apply the program's initial data image to memory first. */
     bool loadData = true;
-    /** Safety valve against runaway programs. */
-    std::uint64_t maxCycles = 1ull << 32;
+    /**
+     * Safety valve against runaway programs (infinite loops, missing
+     * HALT). When the budget trips, run() warns with the committed
+     * instruction count and sets RunResult::cycleLimitReached so
+     * callers can tell a partial result from a finished one.
+     */
+    static constexpr std::uint64_t kDefaultMaxCycles = 1ull << 32;
+    std::uint64_t maxCycles = kDefaultMaxCycles;
 };
 
 /** Outcome of one program execution. */
@@ -56,6 +62,8 @@ struct RunResult
     std::uint64_t instructions = 0;
     Cycle warmupCycles = 0;       //!< cycle at warmupInstructions commits
     bool halted = false;
+    /** RunOptions::maxCycles tripped: the result is partial. */
+    bool cycleLimitReached = false;
     std::array<std::uint64_t, kNumRegs> regs{};
 
     std::uint64_t reg(RegIndex index) const { return regs[index]; }

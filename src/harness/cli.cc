@@ -1,0 +1,216 @@
+#include "harness/cli.hh"
+
+#include <cstdlib>
+#include <iostream>
+
+#include "sim/log.hh"
+
+namespace unxpec {
+
+namespace {
+
+bool
+isInteger(const std::string &s)
+{
+    if (s.empty())
+        return false;
+    for (const char c : s) {
+        if (c < '0' || c > '9')
+            return false;
+    }
+    return true;
+}
+
+std::uint64_t
+parseU64(const std::string &flag, const std::string &value)
+{
+    if (!isInteger(value))
+        fatal(flag, " expects a non-negative integer, got '", value, "'");
+    return std::strtoull(value.c_str(), nullptr, 10);
+}
+
+void
+printRegistry(std::ostream &os, const char *title,
+              const std::vector<std::pair<std::string, std::string>> &names)
+{
+    os << title << ":\n";
+    for (const auto &[name, description] : names)
+        os << "  " << name << "\n      " << description << "\n";
+}
+
+} // namespace
+
+HarnessCli::HarnessCli(std::string name, std::string description)
+    : name_(std::move(name)), description_(std::move(description))
+{
+}
+
+HarnessCli &
+HarnessCli::defaultReps(unsigned reps)
+{
+    reps_ = reps;
+    return *this;
+}
+
+HarnessCli &
+HarnessCli::defaultSeed(std::uint64_t seed)
+{
+    seed_ = seed;
+    return *this;
+}
+
+HarnessCli &
+HarnessCli::scaleOption(std::string help, std::uint64_t value)
+{
+    hasScale_ = true;
+    scaleHelp_ = std::move(help);
+    scale_ = value;
+    return *this;
+}
+
+HarnessCli &
+HarnessCli::textArg(std::string help, std::string value)
+{
+    hasText_ = true;
+    textHelp_ = std::move(help);
+    text_ = std::move(value);
+    return *this;
+}
+
+HarnessCli &
+HarnessCli::defaultMode(std::string mode)
+{
+    mode_ = std::move(mode);
+    return *this;
+}
+
+HarnessCli &
+HarnessCli::defaultNoise(std::string noise)
+{
+    noise_ = std::move(noise);
+    return *this;
+}
+
+void
+HarnessCli::usage(std::ostream &os) const
+{
+    os << name_ << " — " << description_ << "\n\n"
+       << "usage: " << name_ << " [options]";
+    if (hasScale_)
+        os << " [scale]";
+    if (hasText_)
+        os << " [" << textHelp_ << "]";
+    os << "\n\n"
+       << "  --reps N       replications per experiment point (default "
+       << reps_ << ")\n"
+       << "  --seed S       master seed; per-trial seeds derive from it "
+          "(default "
+       << seed_ << ")\n"
+       << "  --threads T    trial-pool width; 0 = hardware concurrency "
+          "(default 0)\n"
+       << "  --mode NAME    defense (default " << mode_ << ")\n"
+       << "  --noise NAME   noise profile (default " << noise_ << ")\n";
+    if (hasScale_) {
+        os << "  --scale N      " << scaleHelp_ << " (default " << scale_
+           << ")\n";
+    }
+    os << "  --json PATH    write the result as JSON "
+          "(schema unxpec-experiment-v1)\n"
+       << "  --csv PATH     write the result as CSV\n"
+       << "  --list-modes   list registered defenses, noise profiles, "
+          "and attacks\n"
+       << "  --help         this text\n";
+}
+
+HarnessOptions
+HarnessCli::parse(int argc, char **argv) const
+{
+    HarnessOptions options;
+    options.reps = reps_;
+    options.seed = seed_;
+    options.scale = scale_;
+    options.text = text_;
+
+    bool sawPositionalInt = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc)
+                fatal(arg, " expects a value (see --help)");
+            return argv[++i];
+        };
+        if (arg == "--help" || arg == "-h") {
+            usage(std::cout);
+            std::exit(0);
+        } else if (arg == "--list-modes") {
+            printRegistry(std::cout, "defenses (--mode)", defenseNames());
+            printRegistry(std::cout, "noise profiles (--noise)",
+                          noiseNames());
+            printRegistry(std::cout, "attack variants", attackNames());
+            std::exit(0);
+        } else if (arg == "--reps") {
+            options.reps = static_cast<unsigned>(parseU64(arg, value()));
+            if (options.reps == 0)
+                fatal("--reps must be >= 1");
+        } else if (arg == "--seed") {
+            options.seed = parseU64(arg, value());
+        } else if (arg == "--threads") {
+            options.threads = static_cast<unsigned>(parseU64(arg, value()));
+        } else if (arg == "--mode") {
+            options.mode = value();
+            if (!knownDefense(options.mode))
+                fatal("unknown --mode '", options.mode,
+                      "' (see --list-modes)");
+        } else if (arg == "--noise") {
+            options.noise = value();
+            if (!knownNoise(options.noise))
+                fatal("unknown --noise '", options.noise,
+                      "' (see --list-modes)");
+        } else if (arg == "--scale" && hasScale_) {
+            options.scale = parseU64(arg, value());
+        } else if (arg == "--json") {
+            options.jsonPath = value();
+        } else if (arg == "--csv") {
+            options.csvPath = value();
+        } else if (hasScale_ && !sawPositionalInt && isInteger(arg)) {
+            options.scale = parseU64("scale", arg);
+            sawPositionalInt = true;
+        } else if (hasText_ && arg[0] != '-') {
+            options.text = arg;
+        } else {
+            usage(std::cerr);
+            fatal("unknown argument '", arg, "'");
+        }
+    }
+    return options;
+}
+
+ExperimentSpec
+HarnessCli::baseSpec(const HarnessOptions &options) const
+{
+    ExperimentSpec spec;
+    spec.defense = options.mode.empty() ? mode_ : options.mode;
+    spec.noise = options.noise.empty() ? noise_ : options.noise;
+    return spec;
+}
+
+ExperimentResult
+runExperiment(const HarnessCli &cli, const HarnessOptions &options,
+              const std::vector<ExperimentSpec> &specs, const TrialFn &fn)
+{
+    const TrialRunner runner(options.threads);
+    return runner.runAll(cli.name(), cli.description(), specs, options.reps,
+                         options.seed, fn);
+}
+
+int
+finishExperiment(const ExperimentResult &result,
+                 const HarnessOptions &options)
+{
+    return emitArtifacts(result, options.jsonPath, options.csvPath,
+                         std::cout)
+               ? 0
+               : 1;
+}
+
+} // namespace unxpec

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * The shared bench/example command line. Every harness-driven binary
+ * accepts the same flags:
+ *
+ *   --reps N       replications per experiment point
+ *   --seed S       master seed (per-trial seeds derive from it)
+ *   --threads T    trial-pool width (0 or omitted = hardware)
+ *   --mode NAME    defense registry key overriding the bench default
+ *   --noise NAME   noise-profile registry key overriding the default
+ *   --scale N      bench-specific size knob (samples, bits, insts...)
+ *   --json PATH    write the machine-readable result as JSON
+ *   --csv PATH     write the result as CSV
+ *   --list-modes   print registered defenses/noises/attacks and exit
+ *   --help         usage
+ *
+ * A bare positional integer is accepted as an alias for --scale,
+ * preserving the seed benches' `fig07 1000` style invocations.
+ */
+
+#ifndef UNXPEC_HARNESS_CLI_HH
+#define UNXPEC_HARNESS_CLI_HH
+
+#include <cstdint>
+#include <string>
+
+#include "harness/spec.hh"
+#include "harness/trial_runner.hh"
+
+namespace unxpec {
+
+/** Parsed harness options. */
+struct HarnessOptions
+{
+    unsigned reps = 1;
+    std::uint64_t seed = 1;
+    unsigned threads = 0;      //!< 0 = hardware concurrency
+    std::string mode;          //!< empty = bench default defense
+    std::string noise;         //!< empty = bench default noise
+    std::uint64_t scale = 0;   //!< bench-specific size knob
+    std::string text;          //!< free-form positional (messages etc.)
+    std::string jsonPath;
+    std::string csvPath;
+};
+
+/** Declarative CLI parser shared by all benches and examples. */
+class HarnessCli
+{
+  public:
+    HarnessCli(std::string name, std::string description);
+
+    /** Default replication count (before --reps). Chainable. */
+    HarnessCli &defaultReps(unsigned reps);
+    /** Default master seed (before --seed). Chainable. */
+    HarnessCli &defaultSeed(std::uint64_t seed);
+    /** Enable --scale with per-bench meaning and default. Chainable. */
+    HarnessCli &scaleOption(std::string help, std::uint64_t value);
+    /** Accept a free-form positional string (e.g. a message). */
+    HarnessCli &textArg(std::string help, std::string value);
+    /** Default defense registry key (before --mode). Chainable. */
+    HarnessCli &defaultMode(std::string mode);
+    /** Default noise registry key (before --noise). Chainable. */
+    HarnessCli &defaultNoise(std::string noise);
+
+    /**
+     * Parse. Exits the process on --help, --list-modes, or malformed
+     * or unknown arguments; otherwise returns the resolved options
+     * with all defaults applied and registry names validated.
+     */
+    HarnessOptions parse(int argc, char **argv) const;
+
+    /**
+     * An ExperimentSpec preloaded with this run's defense and noise
+     * (the CLI overrides when given, the bench defaults otherwise).
+     */
+    ExperimentSpec baseSpec(const HarnessOptions &options) const;
+
+    const std::string &name() const { return name_; }
+    const std::string &description() const { return description_; }
+
+  private:
+    void usage(std::ostream &os) const;
+
+    std::string name_;
+    std::string description_;
+    unsigned reps_ = 1;
+    std::uint64_t seed_ = 1;
+    std::string mode_ = "cleanup_l1l2";
+    std::string noise_ = "quiet";
+    bool hasScale_ = false;
+    std::string scaleHelp_;
+    std::uint64_t scale_ = 0;
+    bool hasText_ = false;
+    std::string textHelp_;
+    std::string text_;
+};
+
+/**
+ * Convenience driver: build a TrialRunner from the options, execute
+ * the specs, and stamp the result with the CLI's provenance.
+ */
+ExperimentResult runExperiment(const HarnessCli &cli,
+                               const HarnessOptions &options,
+                               const std::vector<ExperimentSpec> &specs,
+                               const TrialFn &fn);
+
+/**
+ * Emit --json/--csv artifacts (no-op when neither was given). Returns
+ * the process exit code: 0 on success, 1 when a file failed to open.
+ */
+int finishExperiment(const ExperimentResult &result,
+                     const HarnessOptions &options);
+
+} // namespace unxpec
+
+#endif // UNXPEC_HARNESS_CLI_HH

@@ -1,0 +1,43 @@
+#include "harness/session.hh"
+
+namespace unxpec {
+
+SystemConfig
+Session::configFor(const ExperimentSpec &spec, std::uint64_t seed)
+{
+    SystemConfig cfg = makeDefense(spec.defense);
+    noiseProfile(spec.noise).applyTo(cfg); // DRAM-jitter component
+    cfg.seed = seed;
+    if (spec.tweak)
+        spec.tweak(cfg);
+    return cfg;
+}
+
+Session::Session(const ExperimentSpec &spec, std::uint64_t seed)
+    : spec_(spec), seed_(seed), cfg_(configFor(spec, seed)),
+      core_(std::make_unique<Core>(cfg_))
+{
+    noiseProfile(spec_.noise).applyTo(*core_); // interrupt component
+}
+
+UnxpecAttack &
+Session::unxpec()
+{
+    if (!unxpec_) {
+        UnxpecConfig cfg = spec_.attackCfg;
+        applyAttackVariant(spec_.attack, cfg);
+        unxpec_ = std::make_unique<UnxpecAttack>(*core_, cfg);
+    }
+    return *unxpec_;
+}
+
+SpectreV1 &
+Session::spectre()
+{
+    if (!spectre_) {
+        spectre_ = std::make_unique<SpectreV1>(*core_);
+    }
+    return *spectre_;
+}
+
+} // namespace unxpec

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * One trial's worth of simulation state, built declaratively from an
+ * ExperimentSpec (the SimEng CoreInstance pattern): defense config
+ * from the registry, noise profile folded in, the per-trial seed
+ * installed, the Core constructed, and the attack objects built lazily
+ * on first use. Each trial owns its own Session — Core is non-copyable
+ * and self-contained — which is what lets the TrialRunner fan trials
+ * out across threads with no sharing.
+ */
+
+#ifndef UNXPEC_HARNESS_SESSION_HH
+#define UNXPEC_HARNESS_SESSION_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "attack/spectre_v1.hh"
+#include "attack/unxpec.hh"
+#include "cpu/core.hh"
+#include "harness/spec.hh"
+
+namespace unxpec {
+
+/** A fully built simulation instance for one trial. */
+class Session
+{
+  public:
+    /** Build the spec's machine with an explicit seed. */
+    Session(const ExperimentSpec &spec, std::uint64_t seed);
+
+    /**
+     * The SystemConfig a Session would run with, without building the
+     * Core — for benches that need bare Cores (e.g. baseline runs).
+     */
+    static SystemConfig configFor(const ExperimentSpec &spec,
+                                  std::uint64_t seed);
+
+    Core &core() { return *core_; }
+    const ExperimentSpec &spec() const { return spec_; }
+    const SystemConfig &config() const { return cfg_; }
+    std::uint64_t seed() const { return seed_; }
+
+    /** The spec's unXpec attack (variant + attackCfg), built lazily. */
+    UnxpecAttack &unxpec();
+
+    /** A Spectre-v1 attack on this core, built lazily. */
+    SpectreV1 &spectre();
+
+  private:
+    ExperimentSpec spec_;
+    std::uint64_t seed_;
+    SystemConfig cfg_;
+    std::unique_ptr<Core> core_;
+    std::unique_ptr<UnxpecAttack> unxpec_;
+    std::unique_ptr<SpectreV1> spectre_;
+};
+
+} // namespace unxpec
+
+#endif // UNXPEC_HARNESS_SESSION_HH

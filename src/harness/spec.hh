@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Declarative experiment specification plus the name-based registries
+ * that make defenses, noise profiles, and attack variants selectable
+ * from the command line (SimEng's CoreInstance idiom: a session layer
+ * builds simulations from configs instead of every bench hand-rolling
+ * its own Core construction).
+ *
+ * A bench describes each point of its sweep as an ExperimentSpec; the
+ * TrialRunner replicates every spec `reps` times on a thread pool,
+ * building one Core per trial from a per-trial seed derived from the
+ * master seed (Rng::deriveSeed), so parallel results are bit-identical
+ * to serial ones.
+ */
+
+#ifndef UNXPEC_HARNESS_SPEC_HH
+#define UNXPEC_HARNESS_SPEC_HH
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "attack/noise.hh"
+#include "attack/unxpec.hh"
+#include "sim/config.hh"
+
+namespace unxpec {
+
+/** One point of an experiment sweep: how to build and attack a core. */
+struct ExperimentSpec
+{
+    /** Row label for tables and result artifacts. */
+    std::string label;
+    /** Defense registry key (see defenseNames()). */
+    std::string defense = "cleanup_l1l2";
+    /** Noise registry key (see noiseNames()). */
+    std::string noise = "quiet";
+    /** Attack registry key (see attackNames()). */
+    std::string attack = "unxpec";
+    /** Base attack knobs; the variant's apply() runs on top of these. */
+    UnxpecConfig attackCfg;
+    /** Synthetic-workload name for workload-driven experiments. */
+    std::string workload;
+    /** Optional final tweak to the built SystemConfig (e.g. the
+     *  constant-time-rollback sweep). Runs after defense + noise. */
+    std::function<void(SystemConfig &)> tweak;
+    /** Ordered sweep coordinates, echoed into the result rows. */
+    std::vector<std::pair<std::string, double>> params;
+
+    /** Append a sweep coordinate (chainable). */
+    ExperimentSpec &with(const std::string &key, double value);
+    /** Coordinate by name; `fallback` when absent. */
+    double param(const std::string &key, double fallback = 0.0) const;
+};
+
+// --- defense registry ---------------------------------------------------
+
+using DefenseFactory = std::function<SystemConfig()>;
+
+/** Register (or replace) a defense configuration by name. */
+void registerDefense(const std::string &name, const std::string &description,
+                     DefenseFactory factory);
+
+/** Build the SystemConfig for a registered defense; fatal() on unknown. */
+SystemConfig makeDefense(const std::string &name);
+
+/** True when `name` is registered. */
+bool knownDefense(const std::string &name);
+
+/** Registered names with descriptions, registration order. */
+std::vector<std::pair<std::string, std::string>> defenseNames();
+
+// --- noise registry -----------------------------------------------------
+
+/** Register (or replace) a noise profile by name. */
+void registerNoise(const std::string &name, const std::string &description,
+                   const NoiseProfile &profile);
+
+/** Look up a registered noise profile; fatal() on unknown. */
+NoiseProfile noiseProfile(const std::string &name);
+
+/** True when `name` is registered. */
+bool knownNoise(const std::string &name);
+
+/** Registered names with descriptions, registration order. */
+std::vector<std::pair<std::string, std::string>> noiseNames();
+
+// --- attack registry ----------------------------------------------------
+
+/** Apply a registered attack variant's knobs; fatal() on unknown. */
+void applyAttackVariant(const std::string &name, UnxpecConfig &cfg);
+
+/** True when `name` is registered. */
+bool knownAttack(const std::string &name);
+
+/** Registered names with descriptions, registration order. */
+std::vector<std::pair<std::string, std::string>> attackNames();
+
+} // namespace unxpec
+
+#endif // UNXPEC_HARNESS_SPEC_HH

@@ -1,0 +1,157 @@
+#include "harness/trial_runner.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "sim/log.hh"
+#include "sim/rng.hh"
+
+namespace unxpec {
+
+void
+TrialOutput::metric(const std::string &name, double value)
+{
+    metrics.emplace_back(name, value);
+}
+
+void
+TrialOutput::samples(const std::string &name, std::vector<double> values)
+{
+    series.emplace_back(name, std::move(values));
+}
+
+TrialRunner::TrialRunner(unsigned threads) : threads_(threads)
+{
+    if (threads_ == 0) {
+        threads_ = std::thread::hardware_concurrency();
+        if (threads_ == 0)
+            threads_ = 1;
+    }
+}
+
+std::vector<std::vector<TrialOutput>>
+TrialRunner::run(const std::vector<ExperimentSpec> &specs, unsigned reps,
+                 std::uint64_t master_seed, const TrialFn &fn) const
+{
+    if (reps == 0)
+        fatal("TrialRunner: reps must be >= 1");
+
+    std::vector<std::vector<TrialOutput>> outputs(specs.size());
+    for (auto &per_spec : outputs)
+        per_spec.resize(reps);
+
+    const std::size_t jobs = specs.size() * reps;
+    auto work = [&](std::size_t job) {
+        const std::size_t spec_index = job / reps;
+        const unsigned rep = static_cast<unsigned>(job % reps);
+        TrialContext ctx{specs[spec_index], spec_index, rep,
+                         Rng::deriveSeed(master_seed, job), master_seed};
+        outputs[spec_index][rep] = fn(ctx);
+    };
+
+    const unsigned pool =
+        static_cast<unsigned>(std::min<std::size_t>(threads_, jobs));
+    if (pool <= 1) {
+        for (std::size_t job = 0; job < jobs; ++job)
+            work(job);
+        return outputs;
+    }
+
+    // Every trial is self-contained (its own Core, its own derived
+    // seed) and writes a distinct slot, so a bare atomic work counter
+    // is all the coordination needed — and results cannot depend on
+    // scheduling order.
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> workers;
+    workers.reserve(pool);
+    for (unsigned t = 0; t < pool; ++t) {
+        workers.emplace_back([&] {
+            for (;;) {
+                const std::size_t job =
+                    next.fetch_add(1, std::memory_order_relaxed);
+                if (job >= jobs)
+                    return;
+                work(job);
+            }
+        });
+    }
+    for (std::thread &worker : workers)
+        worker.join();
+    return outputs;
+}
+
+namespace {
+
+/** Merge one spec's rep outputs into a ResultRow. */
+ResultRow
+aggregateRow(const ExperimentSpec &spec,
+             const std::vector<TrialOutput> &reps)
+{
+    ResultRow row;
+    row.label = spec.label;
+    row.params = spec.params;
+
+    // Scalar metrics: one value per rep that reported them, in rep
+    // order. Series: concatenation across reps in rep order. Names are
+    // collected first-occurrence-first so row layout is stable.
+    std::vector<std::string> names;
+    auto remember = [&names](const std::string &name) {
+        for (const std::string &seen : names) {
+            if (seen == name)
+                return;
+        }
+        names.push_back(name);
+    };
+    for (const TrialOutput &output : reps) {
+        for (const auto &[name, value] : output.metrics)
+            remember(name);
+        for (const auto &[name, values] : output.series)
+            remember(name);
+    }
+
+    for (const std::string &name : names) {
+        std::vector<double> merged;
+        for (const TrialOutput &output : reps) {
+            for (const auto &[key, value] : output.metrics) {
+                if (key == name)
+                    merged.push_back(value);
+            }
+            for (const auto &[key, values] : output.series) {
+                if (key == name)
+                    merged.insert(merged.end(), values.begin(),
+                                  values.end());
+            }
+        }
+        row.metrics.emplace_back(name, MetricSeries::of(std::move(merged)));
+    }
+    return row;
+}
+
+} // namespace
+
+ExperimentResult
+TrialRunner::runAll(const std::string &experiment,
+                    const std::string &description,
+                    const std::vector<ExperimentSpec> &specs, unsigned reps,
+                    std::uint64_t master_seed, const TrialFn &fn) const
+{
+    const auto outputs = run(specs, reps, master_seed, fn);
+
+    ExperimentResult result;
+    result.experiment = experiment;
+    result.description = description;
+    result.masterSeed = master_seed;
+    result.reps = reps;
+    result.threads = threads_;
+    result.mode = specs.empty() ? "" : specs.front().defense;
+    for (const ExperimentSpec &spec : specs) {
+        if (spec.defense != result.mode)
+            result.mode = "mixed";
+    }
+    for (std::size_t i = 0; i < specs.size(); ++i)
+        result.rows.push_back(aggregateRow(specs[i], outputs[i]));
+    return result;
+}
+
+} // namespace unxpec

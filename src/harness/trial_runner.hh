@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Replicated-trial execution engine. A bench hands the runner a list
+ * of ExperimentSpecs (the sweep points) and a trial function; the
+ * runner executes specs x reps independent trials on a std::thread
+ * pool. Each trial builds its own simulation (typically via Session)
+ * from a deterministic per-trial seed — Rng::deriveSeed(master,
+ * specIndex * reps + rep) — and writes into a preallocated result
+ * slot, so the aggregated output is bit-identical whether the pool has
+ * one thread or sixteen.
+ */
+
+#ifndef UNXPEC_HARNESS_TRIAL_RUNNER_HH
+#define UNXPEC_HARNESS_TRIAL_RUNNER_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/result_sink.hh"
+#include "harness/spec.hh"
+
+namespace unxpec {
+
+/** Everything one trial needs to build and run its simulation. */
+struct TrialContext
+{
+    const ExperimentSpec &spec;
+    std::size_t specIndex = 0;
+    unsigned rep = 0;
+    /** Per-trial seed derived from the master seed; feed to Session. */
+    std::uint64_t seed = 0;
+    std::uint64_t masterSeed = 0;
+};
+
+/** One trial's measurements: scalar metrics and/or sample series. */
+struct TrialOutput
+{
+    std::vector<std::pair<std::string, double>> metrics;
+    std::vector<std::pair<std::string, std::vector<double>>> series;
+
+    /** Record a scalar metric (one value per trial). */
+    void metric(const std::string &name, double value);
+    /** Record a sample vector (concatenated across trials in order). */
+    void samples(const std::string &name, std::vector<double> values);
+};
+
+using TrialFn = std::function<TrialOutput(const TrialContext &)>;
+
+/** Executes replicated trials on a thread pool. */
+class TrialRunner
+{
+  public:
+    /** `threads` == 0 selects the hardware concurrency. */
+    explicit TrialRunner(unsigned threads = 0);
+
+    /** Actual pool width trials run on. */
+    unsigned threads() const { return threads_; }
+
+    /**
+     * Run `reps` trials of every spec. Returns outputs[specIndex][rep],
+     * identical for any thread count.
+     */
+    std::vector<std::vector<TrialOutput>>
+    run(const std::vector<ExperimentSpec> &specs, unsigned reps,
+        std::uint64_t master_seed, const TrialFn &fn) const;
+
+    /**
+     * run() + aggregation: one ResultRow per spec, whose metrics carry
+     * the per-rep values (scalar metrics) or the in-order
+     * concatenation of all reps' samples (series), each summarized.
+     */
+    ExperimentResult
+    runAll(const std::string &experiment, const std::string &description,
+           const std::vector<ExperimentSpec> &specs, unsigned reps,
+           std::uint64_t master_seed, const TrialFn &fn) const;
+
+  private:
+    unsigned threads_;
+};
+
+} // namespace unxpec
+
+#endif // UNXPEC_HARNESS_TRIAL_RUNNER_HH

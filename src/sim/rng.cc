@@ -29,6 +29,15 @@ Rng::Rng(std::uint64_t s)
     seed(s);
 }
 
+std::uint64_t
+Rng::deriveSeed(std::uint64_t master, std::uint64_t stream)
+{
+    // SplitMix64's k-th output is a pure function of its state:
+    // out_k = mix(master + (k+1) * gamma). Jump straight to it.
+    std::uint64_t x = master + stream * 0x9e3779b97f4a7c15ull;
+    return splitMix64(x);
+}
+
 void
 Rng::seed(std::uint64_t s)
 {

@@ -28,6 +28,18 @@ class Rng
     /** Re-seed the generator, fully resetting its state. */
     void seed(std::uint64_t seed);
 
+    /**
+     * Derive the seed of an independent stream from a master seed.
+     * Stream k receives the k-th output of a SplitMix64 generator
+     * seeded with `master`, so per-trial generators are decorrelated
+     * yet fully reproducible: the same (master, stream) pair always
+     * yields the same seed, regardless of derivation order — the
+     * property the parallel TrialRunner relies on for bit-identical
+     * serial and multi-threaded results.
+     */
+    static std::uint64_t deriveSeed(std::uint64_t master,
+                                    std::uint64_t stream);
+
     /** Next raw 64-bit value. */
     std::uint64_t next();
 

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Unit tests for the structured result sink: row/metric accessors and
+ * the JSON/CSV emitters benches expose through --json/--csv.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "analysis/result_sink.hh"
+
+namespace unxpec {
+namespace {
+
+ExperimentResult
+sampleResult()
+{
+    ExperimentResult result;
+    result.experiment = "fig_test";
+    result.description = "test experiment";
+    result.masterSeed = 7;
+    result.reps = 2;
+    result.threads = 1;
+    result.mode = "cleanup_l1l2";
+
+    ResultRow row;
+    row.label = "loads=1";
+    row.params = {{"loads", 1.0}};
+    row.metrics.emplace_back("delta",
+                             MetricSeries::of({22.0, 24.0}));
+    result.rows.push_back(row);
+
+    ResultRow other;
+    other.label = "loads=2";
+    other.params = {{"loads", 2.0}};
+    other.metrics.emplace_back("delta",
+                               MetricSeries::of({23.0, 25.0}));
+    result.rows.push_back(other);
+    return result;
+}
+
+TEST(MetricSeriesTest, SummarizesValues)
+{
+    const MetricSeries series = MetricSeries::of({1.0, 2.0, 3.0});
+    EXPECT_DOUBLE_EQ(series.summary.mean, 2.0);
+    EXPECT_EQ(series.values.size(), 3u);
+}
+
+TEST(ResultRowTest, Accessors)
+{
+    const ExperimentResult result = sampleResult();
+    const ResultRow &row = result.row(0);
+    EXPECT_DOUBLE_EQ(row.mean("delta"), 23.0);
+    EXPECT_DOUBLE_EQ(row.param("loads"), 1.0);
+    EXPECT_DOUBLE_EQ(row.param("missing", -1.0), -1.0);
+    EXPECT_EQ(row.metric("nope"), nullptr);
+}
+
+TEST(ResultRowTest, RowAtMatchesCoordinates)
+{
+    const ExperimentResult result = sampleResult();
+    EXPECT_DOUBLE_EQ(result.rowAt({{"loads", 2.0}}).mean("delta"), 24.0);
+}
+
+TEST(WriteJsonTest, ContainsSchemaAndData)
+{
+    std::ostringstream os;
+    writeJson(os, sampleResult());
+    const std::string json = os.str();
+    EXPECT_NE(json.find("\"schema\": \"unxpec-experiment-v1\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"experiment\": \"fig_test\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"master_seed\": 7"), std::string::npos);
+    EXPECT_NE(json.find("\"loads\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"mean\": 23"), std::string::npos);
+    EXPECT_NE(json.find("\"values\": [22, 24]"), std::string::npos);
+    // Balanced braces/brackets — a cheap structural validity check on
+    // top of the CI smoke test's real `python3 -m json.tool` parse.
+    EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+              std::count(json.begin(), json.end(), '}'));
+    EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+              std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(WriteJsonTest, ValuesCanBeOmitted)
+{
+    std::ostringstream os;
+    writeJson(os, sampleResult(), false);
+    EXPECT_EQ(os.str().find("\"values\""), std::string::npos);
+}
+
+TEST(WriteJsonTest, NonFiniteBecomesNull)
+{
+    ExperimentResult result = sampleResult();
+    result.rows[0].metrics[0].second.values[0] =
+        std::numeric_limits<double>::quiet_NaN();
+    result.rows[0].metrics[0].second.summary.mean =
+        std::numeric_limits<double>::infinity();
+    std::ostringstream os;
+    writeJson(os, result);
+    const std::string json = os.str();
+    EXPECT_NE(json.find("null"), std::string::npos);
+    EXPECT_EQ(json.find("nan"), std::string::npos);
+    EXPECT_EQ(json.find("inf"), std::string::npos);
+}
+
+TEST(WriteCsvTest, OneLinePerRow)
+{
+    std::ostringstream os;
+    writeCsv(os, sampleResult());
+    const std::string csv = os.str();
+    EXPECT_NE(csv.find("label,loads,delta:mean,delta:stddev,delta:count"),
+              std::string::npos);
+    EXPECT_NE(csv.find("loads=1,1,23,"), std::string::npos);
+    EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3); // header + 2
+}
+
+TEST(EmitArtifactsTest, WritesRequestedFiles)
+{
+    const ExperimentResult result = sampleResult();
+    const std::string json_path = "/tmp/unxpec_result_sink_test.json";
+    const std::string csv_path = "/tmp/unxpec_result_sink_test.csv";
+    std::ostringstream status;
+    EXPECT_TRUE(emitArtifacts(result, json_path, csv_path, status));
+    EXPECT_NE(status.str().find(json_path), std::string::npos);
+
+    std::ifstream json(json_path);
+    ASSERT_TRUE(json.good());
+    std::stringstream buf;
+    buf << json.rdbuf();
+    EXPECT_NE(buf.str().find("unxpec-experiment-v1"), std::string::npos);
+    std::remove(json_path.c_str());
+    std::remove(csv_path.c_str());
+}
+
+} // namespace
+} // namespace unxpec
