@@ -52,7 +52,7 @@ main(int argc, char **argv)
 
     const ExperimentResult result = runExperiment(
         cli, opt, specs, [bits](const TrialContext &ctx) {
-            Session session(ctx.spec, ctx.seed);
+            Session session(ctx);
             UnxpecAttack &attack = session.unxpec();
             const double threshold = attack.calibrate(kCalibrationSamples);
 

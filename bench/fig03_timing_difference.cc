@@ -37,7 +37,7 @@ main(int argc, char **argv)
 
     const ExperimentResult result =
         runExperiment(cli, opt, specs, [](const TrialContext &ctx) {
-            Session session(ctx.spec, ctx.seed);
+            Session session(ctx);
             UnxpecAttack &attack = session.unxpec();
             attack.setSecret(0);
             const double zero = attack.measureOnce();

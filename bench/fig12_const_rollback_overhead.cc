@@ -76,7 +76,7 @@ main(int argc, char **argv)
             const double base = static_cast<double>(base_run.cycles -
                                                     base_run.warmupCycles);
 
-            Session session(ctx.spec, ctx.seed);
+            Session session(ctx);
             const RunResult run = session.core().run(program, options);
             const double measured =
                 static_cast<double>(run.cycles - run.warmupCycles);

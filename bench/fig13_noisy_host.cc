@@ -44,7 +44,7 @@ main(int argc, char **argv)
 
     const ExperimentResult result = runExperiment(
         cli, opt, specs, [](const TrialContext &ctx) {
-            Session session(ctx.spec, ctx.seed);
+            Session session(ctx);
             UnxpecAttack &attack = session.unxpec();
             attack.setSecret(
                 static_cast<int>(ctx.spec.param("secret")));

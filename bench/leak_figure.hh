@@ -58,7 +58,7 @@ runLeakFigure(HarnessCli &cli, int argc, char **argv, const char *attack,
             if (begin == end)
                 return out;
 
-            Session session(ctx.spec, ctx.seed);
+            Session session(ctx);
             UnxpecAttack &attack = session.unxpec();
             const double threshold = attack.calibrate(kLeakCalibration);
             const std::vector<int> slice(secret.begin() + begin,

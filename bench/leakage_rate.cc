@@ -42,7 +42,7 @@ main(int argc, char **argv)
     const double clock_ghz = SystemConfig::makeDefault().clockGHz;
     const ExperimentResult result = runExperiment(
         cli, opt, specs, [samples, clock_ghz](const TrialContext &ctx) {
-            Session session(ctx.spec, ctx.seed);
+            Session session(ctx);
             UnxpecAttack &attack = session.unxpec();
             attack.collect(0, samples / 2);
             attack.collect(1, samples - samples / 2);

@@ -41,7 +41,7 @@ runPdfFigure(HarnessCli &cli, int argc, char **argv, const char *attack,
 
     const ExperimentResult result = runExperiment(
         cli, opt, {spec}, [per_trial](const TrialContext &ctx) {
-            Session session(ctx.spec, ctx.seed);
+            Session session(ctx);
             UnxpecAttack &attack = session.unxpec();
             TrialOutput out;
             out.samples("latency_secret0", attack.collect(0, per_trial));

@@ -59,7 +59,7 @@ main(int argc, char **argv)
             if (begin == end)
                 return out;
 
-            Session session(ctx.spec, ctx.seed);
+            Session session(ctx);
             UnxpecAttack &attack = session.unxpec();
             const double threshold = attack.calibrate(kCalibrationSamples);
             out.metric("threshold", threshold);

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+#
+# Run the hot-path kernel benchmarks (bench/kernel_throughput.cc) in a
+# Release build and emit BENCH_kernel.json at the repo root — the
+# tracked perf baseline. The JSON is google-benchmark's standard
+# --benchmark_out format; the counters to track are
+# BM_AttackRound.sim_cycles_per_sec (simulated cycles retired per
+# wall-second) and BM_TrialRunner{FreshCores,Pooled}.trials_per_sec
+# (end-to-end trial fan-out throughput, fresh-Core baseline vs the
+# pooled runner).
+#
+#   $ scripts/bench_kernel.sh            # full run
+#   $ SMOKE=1 scripts/bench_kernel.sh    # CI: reduced iterations
+#
+# Environment:
+#   BUILD_DIR  Release build tree        (default: build-release)
+#   OUT        output JSON path          (default: BENCH_kernel.json)
+#   SMOKE      nonempty = short run      (default: unset)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build-release}
+OUT=${OUT:-BENCH_kernel.json}
+
+if [ ! -x "$BUILD_DIR/bench/kernel_throughput" ]; then
+    cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+    cmake --build "$BUILD_DIR" -j "$(nproc)" --target kernel_throughput
+fi
+
+ARGS=(--benchmark_out="$OUT" --benchmark_out_format=json)
+if [ -n "${SMOKE:-}" ]; then
+    ARGS+=(--benchmark_min_time=0.05)
+fi
+
+"$BUILD_DIR/bench/kernel_throughput" "${ARGS[@]}"
+echo "wrote $OUT"

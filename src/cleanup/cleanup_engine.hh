@@ -90,6 +90,21 @@ class CleanupEngine
     void clearLog() { log_.clear(); }
     const std::vector<SquashLog> &log() const { return log_; }
 
+    /**
+     * Restore freshly-constructed state (Core::reset): mode and timing
+     * back to the configured values, statistics zeroed, logging off.
+     */
+    void
+    reset(CleanupMode mode, const CleanupTiming &timing)
+    {
+        mode_ = mode;
+        timing_ = timing;
+        stats_.resetAll();
+        lastStall_ = 0;
+        logEnabled_ = false;
+        log_.clear();
+    }
+
   private:
     CleanupMode mode_;
     CleanupTiming timing_;

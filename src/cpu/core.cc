@@ -30,6 +30,37 @@ Core::Core(const SystemConfig &cfg)
 }
 
 void
+Core::reset(std::uint64_t seed)
+{
+    cfg_.seed = seed;
+    rng_.seed(seed);
+    hier_.reseed(seed);
+    predictor_->reset();
+    cleanup_.reset(cfg_.cleanupMode, cfg_.cleanupTiming);
+    stats_.resetAll();
+
+    program_ = nullptr;
+    regs_.fill(0);
+    rat_.fill(kSeqNone);
+    rob_.clear();
+    decodeQueue_.clear();
+    fetchPC_ = 0;
+    fetchStopped_ = false;
+    fetchResumeCycle_ = 0;
+    stallUntil_ = 0;
+    commitStallUntil_ = 0;
+    halted_ = false;
+    nextSeq_ = 0;
+    committed_ = 0;
+    now_ = 0;
+
+    interruptProb_ = 0.0;
+    interruptMin_ = 0;
+    interruptMax_ = 0;
+    trace_ = nullptr;
+}
+
+void
 Core::setInterruptNoise(double per_cycle_probability, unsigned min_stall,
                         unsigned max_stall)
 {
@@ -183,14 +214,19 @@ void
 Core::tickIssue()
 {
     unsigned issued = 0;
-    for (auto &entry : rob_) {
+    // Walk the not-yet-issued side list (ascending seq, same order as
+    // a full ROB scan). rob_.markIssued erases the current element, so
+    // the index only advances on skip.
+    const std::vector<SeqNum> &window = rob_.unissued();
+    for (std::size_t i = 0; i < window.size();) {
         if (issued >= cfg_.core.issueWidth)
             break;
-        if (entry.issued || entry.done)
-            continue;
+        RobEntry &entry = *rob_.find(window[i]);
         tryWakeup(entry);
-        if (!operandsReady(entry))
+        if (!operandsReady(entry)) {
+            ++i;
             continue;
+        }
 
         const Opcode op = entry.inst.op;
 
@@ -199,8 +235,10 @@ Core::tickIssue()
                 entry.srcValue[0] + static_cast<Addr>(entry.inst.imm);
             const auto gate = LoadStoreQueue::gateLoad(
                 rob_, entry.seq, addr, entry.inst.size);
-            if (gate.gate == LoadGate::Blocked)
+            if (gate.gate == LoadGate::Blocked) {
+                ++i;
                 continue;
+            }
             const bool speculative =
                 gate.gate == LoadGate::Proceed &&
                 rob_.olderUnresolvedBranch(entry.seq);
@@ -210,10 +248,11 @@ Core::tickIssue()
                 // Delay-on-miss: a speculative L1 miss simply waits
                 // until the speculation resolves; L1 hits are served
                 // (they change no cache state).
+                ++i;
                 continue;
             }
             entry.effAddr = addr;
-            entry.issued = true;
+            rob_.markIssued(entry);
             entry.issueCycle = now_;
             ++loads_;
             if (gate.gate == LoadGate::Forward) {
@@ -244,7 +283,7 @@ Core::tickIssue()
             entry.effAddr =
                 entry.srcValue[0] + static_cast<Addr>(entry.inst.imm);
             entry.storeValue = entry.srcValue[1];
-            entry.issued = true;
+            rob_.markIssued(entry);
             entry.issueCycle = now_;
             entry.readyCycle = now_ + 1;
             ++issued;
@@ -254,15 +293,16 @@ Core::tickIssue()
         if (op == Opcode::CLFLUSH) {
             // clflush is ordered: it only executes non-speculatively,
             // after all older memory operations have completed.
-            if (rob_.olderUnresolvedBranch(entry.seq))
+            if (rob_.olderUnresolvedBranch(entry.seq) ||
+                !LoadStoreQueue::fenceReady(rob_, entry.seq)) {
+                ++i;
                 continue;
-            if (!LoadStoreQueue::fenceReady(rob_, entry.seq))
-                continue;
+            }
             const Addr addr =
                 entry.srcValue[0] + static_cast<Addr>(entry.inst.imm);
             entry.effAddr = addr;
             hier_.flushLine(addr);
-            entry.issued = true;
+            rob_.markIssued(entry);
             entry.issueCycle = now_;
             entry.readyCycle = now_ + cfg_.core.clflushLatency;
             ++issued;
@@ -270,9 +310,11 @@ Core::tickIssue()
         }
 
         if (op == Opcode::FENCE) {
-            if (!LoadStoreQueue::fenceReady(rob_, entry.seq))
+            if (!LoadStoreQueue::fenceReady(rob_, entry.seq)) {
+                ++i;
                 continue;
-            entry.issued = true;
+            }
+            rob_.markIssued(entry);
             entry.issueCycle = now_;
             entry.readyCycle = now_ + 1;
             ++issued;
@@ -280,20 +322,18 @@ Core::tickIssue()
         }
 
         if (op == Opcode::RDTSCP) {
-            // Serializing: waits for every older instruction.
-            bool all_older_done = true;
-            for (const auto &older : rob_) {
-                if (older.seq >= entry.seq)
-                    break;
-                if (!older.done) {
-                    all_older_done = false;
-                    break;
-                }
-            }
-            if (!all_older_done)
+            // Serializing: waits for every older instruction. An older
+            // not-done entry is either still unissued (then it sits
+            // before us in `window`) or issued-but-outstanding.
+            const std::vector<SeqNum> &outst = rob_.outstanding();
+            const bool all_older_done =
+                i == 0 && (outst.empty() || outst.front() >= entry.seq);
+            if (!all_older_done) {
+                ++i;
                 continue;
+            }
             entry.result = now_;
-            entry.issued = true;
+            rob_.markIssued(entry);
             entry.issueCycle = now_;
             entry.readyCycle = now_ + 1;
             ++issued;
@@ -302,7 +342,7 @@ Core::tickIssue()
 
         // ALU ops and conditional branches.
         executeEntry(entry);
-        entry.issued = true;
+        rob_.markIssued(entry);
         entry.issueCycle = now_;
         const unsigned latency = op == Opcode::MUL
             ? cfg_.core.mulLatency : cfg_.core.intAluLatency;
@@ -315,14 +355,22 @@ void
 Core::tickWriteback(const Program &program)
 {
     (void)program;
-    for (auto &entry : rob_) {
-        if (!entry.issued || entry.done || entry.readyCycle > now_)
+    // Walk the issued-but-not-done side list (ascending seq, same
+    // order as a full ROB scan). rob_.markDone erases the current
+    // element, so the index only advances on skip.
+    const std::vector<SeqNum> &outstanding = rob_.outstanding();
+    for (std::size_t i = 0; i < outstanding.size();) {
+        RobEntry &entry = *rob_.find(outstanding[i]);
+        if (entry.readyCycle > now_) {
+            ++i;
             continue;
-        entry.done = true;
+        }
+        rob_.markDone(entry);
         if (isCondBranch(entry.inst.op)) {
             resolveBranch(entry);
             if (entry.mispredicted) {
-                // Younger entries are gone; the iterator is invalid.
+                // Younger entries are gone (and trimmed off the side
+                // lists); nothing left to complete this cycle.
                 break;
             }
         }

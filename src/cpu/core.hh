@@ -83,6 +83,14 @@ class Core
     /** Execute a program to completion (HALT or instruction budget). */
     RunResult run(const Program &program, const RunOptions &options = {});
 
+    /**
+     * Restore freshly-constructed state for a new seed without
+     * reallocating caches, ROB, or memory pages: bit-identical to
+     * constructing Core(cfg) with cfg.seed == seed, but allocation-free
+     * so a pooled Core can be reused across trials (TrialRunner).
+     */
+    void reset(std::uint64_t seed);
+
     MemoryHierarchy &hierarchy() { return hier_; }
     BranchPredictor &predictor() { return *predictor_; }
     CleanupEngine &cleanup() { return cleanup_; }

@@ -4,109 +4,6 @@
 
 namespace unxpec {
 
-bool
-isLoad(Opcode op)
-{
-    return op == Opcode::LOAD;
-}
-
-bool
-isStore(Opcode op)
-{
-    return op == Opcode::STORE;
-}
-
-bool
-isMem(Opcode op)
-{
-    return op == Opcode::LOAD || op == Opcode::STORE ||
-           op == Opcode::CLFLUSH || op == Opcode::FENCE;
-}
-
-bool
-isCondBranch(Opcode op)
-{
-    return op == Opcode::BLT || op == Opcode::BGE || op == Opcode::BEQ ||
-           op == Opcode::BNE;
-}
-
-bool
-isBranch(Opcode op)
-{
-    return isCondBranch(op) || op == Opcode::JMP;
-}
-
-bool
-writesReg(Opcode op)
-{
-    switch (op) {
-      case Opcode::LI:
-      case Opcode::MOV:
-      case Opcode::ADD:
-      case Opcode::ADDI:
-      case Opcode::SUB:
-      case Opcode::MUL:
-      case Opcode::AND:
-      case Opcode::OR:
-      case Opcode::XOR:
-      case Opcode::SHL:
-      case Opcode::SHR:
-      case Opcode::LOAD:
-      case Opcode::RDTSCP:
-        return true;
-      default:
-        return false;
-    }
-}
-
-bool
-readsRs1(Opcode op)
-{
-    switch (op) {
-      case Opcode::MOV:
-      case Opcode::ADD:
-      case Opcode::ADDI:
-      case Opcode::SUB:
-      case Opcode::MUL:
-      case Opcode::AND:
-      case Opcode::OR:
-      case Opcode::XOR:
-      case Opcode::SHL:
-      case Opcode::SHR:
-      case Opcode::LOAD:
-      case Opcode::STORE:
-      case Opcode::BLT:
-      case Opcode::BGE:
-      case Opcode::BEQ:
-      case Opcode::BNE:
-      case Opcode::CLFLUSH:
-        return true;
-      default:
-        return false;
-    }
-}
-
-bool
-readsRs2(Opcode op)
-{
-    switch (op) {
-      case Opcode::ADD:
-      case Opcode::SUB:
-      case Opcode::MUL:
-      case Opcode::AND:
-      case Opcode::OR:
-      case Opcode::XOR:
-      case Opcode::STORE:
-      case Opcode::BLT:
-      case Opcode::BGE:
-      case Opcode::BEQ:
-      case Opcode::BNE:
-        return true;
-      default:
-        return false;
-    }
-}
-
 const char *
 opcodeName(Opcode op)
 {

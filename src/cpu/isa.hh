@@ -59,15 +59,79 @@ struct Instruction
     std::uint8_t size = 8;   //!< memory access size in bytes
 };
 
-/** Classification helpers. */
-bool isLoad(Opcode op);
-bool isStore(Opcode op);
-bool isMem(Opcode op);          //!< load, store, clflush, or fence
-bool isCondBranch(Opcode op);
-bool isBranch(Opcode op);       //!< conditional or JMP
-bool writesReg(Opcode op);
-bool readsRs1(Opcode op);
-bool readsRs2(Opcode op);
+// Classification helpers. These run in the core's per-cycle ROB scans
+// (issue, writeback, load gating) tens of millions of times per
+// simulated second, so each is an inline single-instruction bit test
+// against a constexpr opcode-class mask.
+
+namespace detail {
+/** Bit set of opcodes, indexed by the Opcode's underlying value. */
+template <typename... Ops>
+constexpr std::uint32_t
+opcodeMask(Ops... ops)
+{
+    return ((1u << static_cast<unsigned>(ops)) | ... | 0u);
+}
+
+inline constexpr std::uint32_t kMemMask =
+    opcodeMask(Opcode::LOAD, Opcode::STORE, Opcode::CLFLUSH, Opcode::FENCE);
+inline constexpr std::uint32_t kCondBranchMask =
+    opcodeMask(Opcode::BLT, Opcode::BGE, Opcode::BEQ, Opcode::BNE);
+inline constexpr std::uint32_t kWritesRegMask = opcodeMask(
+    Opcode::LI, Opcode::MOV, Opcode::ADD, Opcode::ADDI, Opcode::SUB,
+    Opcode::MUL, Opcode::AND, Opcode::OR, Opcode::XOR, Opcode::SHL,
+    Opcode::SHR, Opcode::LOAD, Opcode::RDTSCP);
+inline constexpr std::uint32_t kReadsRs1Mask = opcodeMask(
+    Opcode::MOV, Opcode::ADD, Opcode::ADDI, Opcode::SUB, Opcode::MUL,
+    Opcode::AND, Opcode::OR, Opcode::XOR, Opcode::SHL, Opcode::SHR,
+    Opcode::LOAD, Opcode::STORE, Opcode::BLT, Opcode::BGE, Opcode::BEQ,
+    Opcode::BNE, Opcode::CLFLUSH);
+inline constexpr std::uint32_t kReadsRs2Mask = opcodeMask(
+    Opcode::ADD, Opcode::SUB, Opcode::MUL, Opcode::AND, Opcode::OR,
+    Opcode::XOR, Opcode::STORE, Opcode::BLT, Opcode::BGE, Opcode::BEQ,
+    Opcode::BNE);
+
+inline constexpr bool
+inMask(std::uint32_t mask, Opcode op)
+{
+    return (mask >> static_cast<unsigned>(op)) & 1u;
+}
+} // namespace detail
+
+inline constexpr bool isLoad(Opcode op) { return op == Opcode::LOAD; }
+inline constexpr bool isStore(Opcode op) { return op == Opcode::STORE; }
+/** Load, store, clflush, or fence. */
+inline constexpr bool
+isMem(Opcode op)
+{
+    return detail::inMask(detail::kMemMask, op);
+}
+inline constexpr bool
+isCondBranch(Opcode op)
+{
+    return detail::inMask(detail::kCondBranchMask, op);
+}
+/** Conditional or JMP. */
+inline constexpr bool
+isBranch(Opcode op)
+{
+    return isCondBranch(op) || op == Opcode::JMP;
+}
+inline constexpr bool
+writesReg(Opcode op)
+{
+    return detail::inMask(detail::kWritesRegMask, op);
+}
+inline constexpr bool
+readsRs1(Opcode op)
+{
+    return detail::inMask(detail::kReadsRs1Mask, op);
+}
+inline constexpr bool
+readsRs2(Opcode op)
+{
+    return detail::inMask(detail::kReadsRs2Mask, op);
+}
 
 /** Mnemonic for an opcode. */
 const char *opcodeName(Opcode op);

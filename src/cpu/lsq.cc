@@ -7,12 +7,7 @@ namespace unxpec {
 unsigned
 LoadStoreQueue::occupancy(const ReorderBuffer &rob)
 {
-    unsigned count = 0;
-    for (const auto &entry : rob) {
-        if (isMem(entry.inst.op))
-            ++count;
-    }
-    return count;
+    return rob.memCount();
 }
 
 LoadGateResult
@@ -20,15 +15,19 @@ LoadStoreQueue::gateLoad(const ReorderBuffer &rob, SeqNum seq, Addr addr,
                          unsigned size)
 {
     LoadGateResult result;
-    for (const auto &entry : rob) {
-        if (entry.seq >= seq)
+    // Walk only the in-flight stores and fences (ascending seq, same
+    // order as a full ROB scan).
+    for (const SeqNum older_seq : rob.storeFences()) {
+        if (older_seq >= seq)
             break;
-        if (entry.inst.op == Opcode::FENCE && !entry.done) {
-            result.gate = LoadGate::Blocked;
-            return result;
-        }
-        if (!isStore(entry.inst.op))
+        const RobEntry &entry = *rob.find(older_seq);
+        if (entry.inst.op == Opcode::FENCE) {
+            if (!entry.done) {
+                result.gate = LoadGate::Blocked;
+                return result;
+            }
             continue;
+        }
         if (!entry.done) {
             // Address (or data) not resolved yet: be conservative.
             result.gate = LoadGate::Blocked;
@@ -64,13 +63,7 @@ LoadStoreQueue::gateLoad(const ReorderBuffer &rob, SeqNum seq, Addr addr,
 bool
 LoadStoreQueue::fenceReady(const ReorderBuffer &rob, SeqNum seq)
 {
-    for (const auto &entry : rob) {
-        if (entry.seq >= seq)
-            break;
-        if (isMem(entry.inst.op) && !entry.done)
-            return false;
-    }
-    return true;
+    return !rob.olderPendingMem(seq);
 }
 
 Cycle

@@ -13,24 +13,65 @@ ReorderBuffer::push(RobEntry entry)
         panic("ReorderBuffer::push on full ROB");
     if (!entries_.empty() && entry.seq != entries_.back().seq + 1)
         panic("ReorderBuffer::push: non-consecutive sequence number");
+
+    // Entries arrive in ascending seq order, so plain appends keep
+    // every side list sorted. Instructions that complete at dispatch
+    // (NOP/HALT/JMP) arrive already issued+done and join no list.
+    if (!entry.issued)
+        unissued_.push_back(entry.seq);
+    else if (!entry.done)
+        outstanding_.push_back(entry.seq);
+    const Opcode op = entry.inst.op;
+    if (isMem(op)) {
+        ++memCount_;
+        if (!entry.done)
+            pendingMem_.push_back(entry.seq);
+    }
+    if (isStore(op) || op == Opcode::FENCE)
+        storeFences_.push_back(entry.seq);
+    if (isCondBranch(op) && !entry.done)
+        unresolvedBranches_.push_back(entry.seq);
+
     entries_.push_back(std::move(entry));
     return entries_.back();
 }
 
-RobEntry *
-ReorderBuffer::find(SeqNum seq)
+void
+ReorderBuffer::popFront()
 {
-    if (entries_.empty() || seq < entries_.front().seq ||
-        seq > entries_.back().seq) {
-        return nullptr;
-    }
-    return &entries_[seq - entries_.front().seq];
+    const RobEntry &head = entries_.front();
+    const Opcode op = head.inst.op;
+    // Commit retires only done entries, so the pending/unissued/
+    // outstanding lists cannot contain the head; the all-stores list
+    // and the mem count can.
+    if (isMem(op))
+        --memCount_;
+    if (!storeFences_.empty() && storeFences_.front() == head.seq)
+        storeFences_.erase(storeFences_.begin());
+    entries_.pop_front();
 }
 
-const RobEntry *
-ReorderBuffer::find(SeqNum seq) const
+void
+ReorderBuffer::markIssued(RobEntry &entry)
 {
-    return const_cast<ReorderBuffer *>(this)->find(seq);
+    entry.issued = true;
+    eraseSeq(unissued_, entry.seq);
+    if (!entry.done) {
+        const auto it = std::lower_bound(outstanding_.begin(),
+                                         outstanding_.end(), entry.seq);
+        outstanding_.insert(it, entry.seq);
+    }
+}
+
+void
+ReorderBuffer::markDone(RobEntry &entry)
+{
+    entry.done = true;
+    eraseSeq(outstanding_, entry.seq);
+    if (isMem(entry.inst.op))
+        eraseSeq(pendingMem_, entry.seq);
+    if (isCondBranch(entry.inst.op))
+        eraseSeq(unresolvedBranches_, entry.seq);
 }
 
 std::vector<RobEntry>
@@ -38,24 +79,31 @@ ReorderBuffer::squashYoungerThan(SeqNum seq)
 {
     std::vector<RobEntry> squashed;
     while (!entries_.empty() && entries_.back().seq > seq) {
+        if (isMem(entries_.back().inst.op))
+            --memCount_;
         squashed.push_back(std::move(entries_.back()));
         entries_.pop_back();
     }
+    trimYoungerThan(unissued_, seq);
+    trimYoungerThan(outstanding_, seq);
+    trimYoungerThan(storeFences_, seq);
+    trimYoungerThan(pendingMem_, seq);
+    trimYoungerThan(unresolvedBranches_, seq);
     // Return them oldest-first for readability downstream.
     std::reverse(squashed.begin(), squashed.end());
     return squashed;
 }
 
-bool
-ReorderBuffer::olderUnresolvedBranch(SeqNum seq) const
+void
+ReorderBuffer::clear()
 {
-    for (const auto &entry : entries_) {
-        if (entry.seq >= seq)
-            break;
-        if (isCondBranch(entry.inst.op) && !entry.done)
-            return true;
-    }
-    return false;
+    entries_.clear();
+    unissued_.clear();
+    outstanding_.clear();
+    storeFences_.clear();
+    pendingMem_.clear();
+    unresolvedBranches_.clear();
+    memCount_ = 0;
 }
 
 } // namespace unxpec

@@ -4,11 +4,23 @@
  * dispatch, so lookup by sequence number is O(1) relative to the head.
  * Squash removes every entry younger than the mispredicted branch and
  * returns them so the cleanup engine can inspect their memory records.
+ *
+ * Hot-path layout: alongside the entry deque the ROB maintains small
+ * seq-ascending side lists — unissued entries, issued-but-not-done
+ * entries, in-flight stores/fences, pending (not-done) memory ops, and
+ * unresolved conditional branches. The per-cycle pipeline loops (issue,
+ * writeback, load gating, fence checks) walk these lists instead of
+ * scanning every fat RobEntry, which turns the dominant O(ROB)-per-
+ * cycle scans into O(relevant-entries). The lists are maintained by
+ * push/popFront/squash and the markIssued/markDone funnels; the
+ * iteration order (ascending seq) matches the old full scans exactly,
+ * so issue, forwarding, and squash decisions are bit-identical.
  */
 
 #ifndef UNXPEC_CPU_ROB_HH
 #define UNXPEC_CPU_ROB_HH
 
+#include <algorithm>
 #include <deque>
 #include <vector>
 
@@ -74,11 +86,24 @@ class ReorderBuffer
     const RobEntry &front() const { return entries_.front(); }
 
     /** Retire the oldest entry. */
-    void popFront() { entries_.pop_front(); }
+    void popFront();
 
     /** Entry for a sequence number, nullptr if not in flight. */
-    RobEntry *find(SeqNum seq);
-    const RobEntry *find(SeqNum seq) const;
+    RobEntry *
+    find(SeqNum seq)
+    {
+        if (entries_.empty() || seq < entries_.front().seq ||
+            seq > entries_.back().seq) {
+            return nullptr;
+        }
+        return &entries_[seq - entries_.front().seq];
+    }
+
+    const RobEntry *
+    find(SeqNum seq) const
+    {
+        return const_cast<ReorderBuffer *>(this)->find(seq);
+    }
 
     /**
      * Remove every entry younger than `seq` and return them
@@ -86,11 +111,46 @@ class ReorderBuffer
      */
     std::vector<RobEntry> squashYoungerThan(SeqNum seq);
 
+    /**
+     * Mark an entry issued. Must be used instead of writing
+     * entry.issued so the side lists stay coherent.
+     */
+    void markIssued(RobEntry &entry);
+
+    /** Mark an entry done (same contract as markIssued). */
+    void markDone(RobEntry &entry);
+
     /** True when a not-yet-done conditional branch older than `seq`
      *  exists. */
-    bool olderUnresolvedBranch(SeqNum seq) const;
+    bool
+    olderUnresolvedBranch(SeqNum seq) const
+    {
+        return !unresolvedBranches_.empty() &&
+               unresolvedBranches_.front() < seq;
+    }
 
-    void clear() { entries_.clear(); }
+    /** True when a not-yet-done memory operation older than `seq`
+     *  exists (the fence/clflush readiness check). */
+    bool
+    olderPendingMem(SeqNum seq) const
+    {
+        return !pendingMem_.empty() && pendingMem_.front() < seq;
+    }
+
+    /** In-flight memory operations (LSQ occupancy). */
+    unsigned memCount() const { return memCount_; }
+
+    /** Seqs of entries not yet issued, ascending (the issue window). */
+    const std::vector<SeqNum> &unissued() const { return unissued_; }
+
+    /** Seqs of issued-but-not-done entries, ascending (writeback). */
+    const std::vector<SeqNum> &outstanding() const { return outstanding_; }
+
+    /** Seqs of every in-flight store and fence, ascending (load
+     *  gating / forwarding walks these instead of the whole ROB). */
+    const std::vector<SeqNum> &storeFences() const { return storeFences_; }
+
+    void clear();
 
     auto begin() { return entries_.begin(); }
     auto end() { return entries_.end(); }
@@ -98,8 +158,31 @@ class ReorderBuffer
     auto end() const { return entries_.end(); }
 
   private:
+    static void
+    eraseSeq(std::vector<SeqNum> &list, SeqNum seq)
+    {
+        const auto it = std::lower_bound(list.begin(), list.end(), seq);
+        if (it != list.end() && *it == seq)
+            list.erase(it);
+    }
+
+    static void
+    trimYoungerThan(std::vector<SeqNum> &list, SeqNum seq)
+    {
+        while (!list.empty() && list.back() > seq)
+            list.pop_back();
+    }
+
     unsigned capacity_;
     std::deque<RobEntry> entries_;
+
+    // Seq-ascending side lists; see file comment.
+    std::vector<SeqNum> unissued_;
+    std::vector<SeqNum> outstanding_;
+    std::vector<SeqNum> storeFences_;
+    std::vector<SeqNum> pendingMem_;
+    std::vector<SeqNum> unresolvedBranches_;
+    unsigned memCount_ = 0;
 };
 
 } // namespace unxpec

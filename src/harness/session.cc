@@ -2,6 +2,19 @@
 
 namespace unxpec {
 
+Core &
+CorePool::acquire(std::size_t spec_index, const SystemConfig &cfg)
+{
+    Slot &slot = slots_[spec_index];
+    if (slot.core != nullptr && equalIgnoringSeed(slot.cfg, cfg)) {
+        slot.core->reset(cfg.seed);
+    } else {
+        slot.core = std::make_unique<Core>(cfg);
+    }
+    slot.cfg = cfg;
+    return *slot.core;
+}
+
 SystemConfig
 Session::configFor(const ExperimentSpec &spec, std::uint64_t seed)
 {
@@ -15,7 +28,16 @@ Session::configFor(const ExperimentSpec &spec, std::uint64_t seed)
 
 Session::Session(const ExperimentSpec &spec, std::uint64_t seed)
     : spec_(spec), seed_(seed), cfg_(configFor(spec, seed)),
-      core_(std::make_unique<Core>(cfg_))
+      owned_(std::make_unique<Core>(cfg_)), core_(owned_.get())
+{
+    noiseProfile(spec_.noise).applyTo(*core_); // interrupt component
+}
+
+Session::Session(const TrialContext &ctx)
+    : spec_(ctx.spec), seed_(ctx.seed), cfg_(configFor(ctx.spec, ctx.seed)),
+      owned_(ctx.pool == nullptr ? std::make_unique<Core>(cfg_) : nullptr),
+      core_(ctx.pool == nullptr ? owned_.get()
+                                : &ctx.pool->acquire(ctx.specIndex, cfg_))
 {
     noiseProfile(spec_.noise).applyTo(*core_); // interrupt component
 }

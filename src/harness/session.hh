@@ -4,9 +4,13 @@
  * ExperimentSpec (the SimEng CoreInstance pattern): defense config
  * from the registry, noise profile folded in, the per-trial seed
  * installed, the Core constructed, and the attack objects built lazily
- * on first use. Each trial owns its own Session — Core is non-copyable
- * and self-contained — which is what lets the TrialRunner fan trials
- * out across threads with no sharing.
+ * on first use. Each trial owns its own Session — which is what lets
+ * the TrialRunner fan trials out across threads with no sharing.
+ *
+ * The Core itself can come from a per-worker CorePool: instead of
+ * reallocating caches, ROB, and memory pages every trial, the pool
+ * keeps one Core per spec and re-seeds it via Core::reset, which is
+ * bit-identical to fresh construction with the same seed.
  */
 
 #ifndef UNXPEC_HARNESS_SESSION_HH
@@ -14,20 +18,55 @@
 
 #include <cstdint>
 #include <memory>
+#include <unordered_map>
 
 #include "attack/spectre_v1.hh"
 #include "attack/unxpec.hh"
 #include "cpu/core.hh"
 #include "harness/spec.hh"
+#include "harness/trial_runner.hh"
 
 namespace unxpec {
+
+/**
+ * Per-worker-thread cache of Cores keyed by spec index. Not
+ * thread-safe — every TrialRunner worker owns its own pool, so there
+ * is no sharing to synchronize. A cached Core is reused via
+ * Core::reset(seed) when the requested config matches the cached one
+ * in everything but the seed; a genuinely different machine (a spec
+ * tweak that depends on the seed, say) is rebuilt.
+ */
+class CorePool
+{
+  public:
+    /** The spec's Core, reset to cfg.seed (built on first use). */
+    Core &acquire(std::size_t spec_index, const SystemConfig &cfg);
+
+    /** Cores currently cached (tests). */
+    std::size_t size() const { return slots_.size(); }
+
+  private:
+    struct Slot
+    {
+        SystemConfig cfg;
+        std::unique_ptr<Core> core;
+    };
+    std::unordered_map<std::size_t, Slot> slots_;
+};
 
 /** A fully built simulation instance for one trial. */
 class Session
 {
   public:
-    /** Build the spec's machine with an explicit seed. */
+    /** Build the spec's machine with an explicit seed (owned Core). */
     Session(const ExperimentSpec &spec, std::uint64_t seed);
+
+    /**
+     * Build from a TrialContext: draws the Core from ctx.pool when the
+     * runner supplied one (reset to ctx.seed), otherwise owns a fresh
+     * Core exactly like Session(spec, seed).
+     */
+    explicit Session(const TrialContext &ctx);
 
     /**
      * The SystemConfig a Session would run with, without building the
@@ -51,7 +90,8 @@ class Session
     ExperimentSpec spec_;
     std::uint64_t seed_;
     SystemConfig cfg_;
-    std::unique_ptr<Core> core_;
+    std::unique_ptr<Core> owned_; //!< empty when the Core is pooled
+    Core *core_;
     std::unique_ptr<UnxpecAttack> unxpec_;
     std::unique_ptr<SpectreV1> spectre_;
 };

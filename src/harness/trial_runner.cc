@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <atomic>
 #include <thread>
+#include <unordered_map>
 
+#include "harness/session.hh"
 #include "sim/log.hh"
 #include "sim/rng.hh"
 
@@ -42,37 +44,42 @@ TrialRunner::run(const std::vector<ExperimentSpec> &specs, unsigned reps,
         per_spec.resize(reps);
 
     const std::size_t jobs = specs.size() * reps;
-    auto work = [&](std::size_t job) {
+    auto work = [&](std::size_t job, CorePool *core_pool) {
         const std::size_t spec_index = job / reps;
         const unsigned rep = static_cast<unsigned>(job % reps);
         TrialContext ctx{specs[spec_index], spec_index, rep,
-                         Rng::deriveSeed(master_seed, job), master_seed};
+                         Rng::deriveSeed(master_seed, job), master_seed,
+                         core_pool};
         outputs[spec_index][rep] = fn(ctx);
     };
 
     const unsigned pool =
         static_cast<unsigned>(std::min<std::size_t>(threads_, jobs));
     if (pool <= 1) {
+        CorePool cores;
         for (std::size_t job = 0; job < jobs; ++job)
-            work(job);
+            work(job, reuse_ ? &cores : nullptr);
         return outputs;
     }
 
     // Every trial is self-contained (its own Core, its own derived
     // seed) and writes a distinct slot, so a bare atomic work counter
     // is all the coordination needed — and results cannot depend on
-    // scheduling order.
+    // scheduling order. Each worker owns a private CorePool: a reused
+    // Core is reset to the trial's derived seed, so which worker runs
+    // which trial (and in what order) still cannot affect results.
     std::atomic<std::size_t> next{0};
     std::vector<std::thread> workers;
     workers.reserve(pool);
     for (unsigned t = 0; t < pool; ++t) {
         workers.emplace_back([&] {
+            CorePool cores;
             for (;;) {
                 const std::size_t job =
                     next.fetch_add(1, std::memory_order_relaxed);
                 if (job >= jobs)
                     return;
-                work(job);
+                work(job, reuse_ ? &cores : nullptr);
             }
         });
     }
@@ -94,36 +101,35 @@ aggregateRow(const ExperimentSpec &spec,
 
     // Scalar metrics: one value per rep that reported them, in rep
     // order. Series: concatenation across reps in rep order. Names are
-    // collected first-occurrence-first so row layout is stable.
+    // collected first-occurrence-first so row layout is stable. One
+    // pass over the outputs: an index map assigns each new name the
+    // next bucket, and every value appends to its name's bucket —
+    // since the walk order (reps outer, metrics then series per rep)
+    // matches the old per-name rescans, the merged vectors are
+    // identical.
     std::vector<std::string> names;
-    auto remember = [&names](const std::string &name) {
-        for (const std::string &seen : names) {
-            if (seen == name)
-                return;
+    std::vector<std::vector<double>> buckets;
+    std::unordered_map<std::string, std::size_t> index;
+    auto bucketFor = [&](const std::string &name) -> std::vector<double> & {
+        const auto [it, inserted] = index.emplace(name, names.size());
+        if (inserted) {
+            names.push_back(name);
+            buckets.emplace_back();
         }
-        names.push_back(name);
+        return buckets[it->second];
     };
     for (const TrialOutput &output : reps) {
         for (const auto &[name, value] : output.metrics)
-            remember(name);
-        for (const auto &[name, values] : output.series)
-            remember(name);
+            bucketFor(name).push_back(value);
+        for (const auto &[name, values] : output.series) {
+            std::vector<double> &bucket = bucketFor(name);
+            bucket.insert(bucket.end(), values.begin(), values.end());
+        }
     }
 
-    for (const std::string &name : names) {
-        std::vector<double> merged;
-        for (const TrialOutput &output : reps) {
-            for (const auto &[key, value] : output.metrics) {
-                if (key == name)
-                    merged.push_back(value);
-            }
-            for (const auto &[key, values] : output.series) {
-                if (key == name)
-                    merged.insert(merged.end(), values.begin(),
-                                  values.end());
-            }
-        }
-        row.metrics.emplace_back(name, MetricSeries::of(std::move(merged)));
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        row.metrics.emplace_back(names[i],
+                                 MetricSeries::of(std::move(buckets[i])));
     }
     return row;
 }

@@ -24,6 +24,8 @@
 
 namespace unxpec {
 
+class CorePool;
+
 /** Everything one trial needs to build and run its simulation. */
 struct TrialContext
 {
@@ -33,6 +35,12 @@ struct TrialContext
     /** Per-trial seed derived from the master seed; feed to Session. */
     std::uint64_t seed = 0;
     std::uint64_t masterSeed = 0;
+    /**
+     * This worker thread's Core pool, nullptr when core reuse is off.
+     * Session(ctx) draws its Core from here (reset to ctx.seed) instead
+     * of constructing one per trial.
+     */
+    CorePool *pool = nullptr;
 };
 
 /** One trial's measurements: scalar metrics and/or sample series. */
@@ -60,6 +68,15 @@ class TrialRunner
     unsigned threads() const { return threads_; }
 
     /**
+     * Toggle per-worker Core reuse (on by default). Each worker thread
+     * keeps one Core per spec and re-seeds it between reps via
+     * Core::reset — bit-identical to fresh construction, but without
+     * reallocating caches, ROB, or memory pages every trial. Turn off
+     * to force a fresh Core per trial (the perf baseline).
+     */
+    void reuseCores(bool reuse) { reuse_ = reuse; }
+
+    /**
      * Run `reps` trials of every spec. Returns outputs[specIndex][rep],
      * identical for any thread count.
      */
@@ -79,6 +96,7 @@ class TrialRunner
 
   private:
     unsigned threads_;
+    bool reuse_ = true;
 };
 
 } // namespace unxpec

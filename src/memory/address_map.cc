@@ -23,43 +23,16 @@ ModuloIndex::set(Addr line_addr) const
     return static_cast<unsigned>(lineNumber(line_addr) % numSets_);
 }
 
-namespace {
-
-/** Simple keyed mixing function for one Feistel round. */
-std::uint32_t
-feistelRound(std::uint32_t half, std::uint64_t key)
-{
-    std::uint64_t x = half ^ key;
-    x *= 0xff51afd7ed558ccdull;
-    x ^= x >> 33;
-    x *= 0xc4ceb9fe1a85ec53ull;
-    x ^= x >> 29;
-    return static_cast<std::uint32_t>(x);
-}
-
-} // namespace
-
 CeaserIndex::CeaserIndex(unsigned num_sets, std::uint64_t key)
     : IndexFunction(num_sets)
 {
-    std::uint64_t k = key ? key : 0xdeadbeefcafef00dull;
-    for (auto &round_key : roundKeys_) {
-        k = k * 6364136223846793005ull + 1442695040888963407ull;
-        round_key = k;
-    }
+    detail::expandCeaserKeys(key, roundKeys_);
 }
 
 std::uint64_t
 CeaserIndex::permute(std::uint64_t line_number) const
 {
-    auto left = static_cast<std::uint32_t>(line_number >> 32);
-    auto right = static_cast<std::uint32_t>(line_number);
-    for (const auto round_key : roundKeys_) {
-        const std::uint32_t next = left ^ feistelRound(right, round_key);
-        left = right;
-        right = next;
-    }
-    return (static_cast<std::uint64_t>(left) << 32) | right;
+    return detail::ceaserPermute(line_number, roundKeys_);
 }
 
 unsigned

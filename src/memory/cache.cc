@@ -6,14 +6,36 @@
 
 namespace unxpec {
 
+namespace {
+
+/** Allowed-way mask for one domain; pure function of the config. */
+std::uint64_t
+computeAllowedMask(const CacheConfig &cfg, unsigned domain)
+{
+    const unsigned usable = cfg.ways - cfg.nomoReservedWays;
+    const std::uint64_t all =
+        cfg.ways >= 64 ? ~0ull : ((1ull << cfg.ways) - 1);
+    if (cfg.nomoReservedWays == 0)
+        return all;
+    const std::uint64_t own =
+        usable >= 64 ? ~0ull : ((1ull << usable) - 1);
+    // Domain 0 owns the low ways; the SMT sibling (domain 1) owns the
+    // NoMo-reserved high ways.
+    return domain == 0 ? own : (all & ~own);
+}
+
+} // namespace
+
 Cache::Cache(const CacheConfig &cfg, Rng &rng, std::uint64_t index_key)
     : cfg_(cfg),
       numSets_(cfg.numSets()),
+      tags_(static_cast<std::size_t>(cfg.numSets()) * cfg.ways,
+            kAddrInvalid),
       lines_(static_cast<std::size_t>(cfg.numSets()) * cfg.ways),
-      repl_(ReplacementPolicy::create(cfg.repl, cfg.numSets(), cfg.ways,
-                                      rng)),
-      index_(IndexFunction::create(cfg.index, cfg.numSets(), index_key)),
+      repl_(cfg.repl, cfg.numSets(), cfg.ways, rng),
+      index_(cfg.index, cfg.numSets(), index_key),
       mshr_(cfg.mshrs),
+      allowedMask_{computeAllowedMask(cfg, 0), computeAllowedMask(cfg, 1)},
       stats_(cfg.name),
       hits_(stats_.counter("hits", "demand hits")),
       misses_(stats_.counter("misses", "demand misses")),
@@ -28,19 +50,10 @@ Cache::Cache(const CacheConfig &cfg, Rng &rng, std::uint64_t index_key)
         fatal("cache ", cfg.name, ": NoMo reservation leaves no usable way");
 }
 
-std::uint64_t
-Cache::allowedMask(unsigned domain) const
+Addr &
+Cache::tag(unsigned set, unsigned way)
 {
-    const unsigned usable = cfg_.ways - cfg_.nomoReservedWays;
-    const std::uint64_t all =
-        cfg_.ways >= 64 ? ~0ull : ((1ull << cfg_.ways) - 1);
-    if (cfg_.nomoReservedWays == 0)
-        return all;
-    const std::uint64_t own =
-        usable >= 64 ? ~0ull : ((1ull << usable) - 1);
-    // Domain 0 owns the low ways; the SMT sibling (domain 1) owns the
-    // NoMo-reserved high ways.
-    return domain == 0 ? own : (all & ~own);
+    return tags_[static_cast<std::size_t>(set) * cfg_.ways + way];
 }
 
 CacheLine &
@@ -55,63 +68,27 @@ Cache::line(unsigned set, unsigned way) const
     return lines_[static_cast<std::size_t>(set) * cfg_.ways + way];
 }
 
-const CacheLine *
-Cache::probe(Addr line_addr) const
-{
-    const unsigned set = index_->set(line_addr);
-    for (unsigned way = 0; way < cfg_.ways; ++way) {
-        const CacheLine &candidate = line(set, way);
-        if (candidate.valid && candidate.lineAddr == line_addr)
-            return &candidate;
-    }
-    return nullptr;
-}
-
-CacheLine *
-Cache::probeMutable(Addr line_addr)
-{
-    return const_cast<CacheLine *>(probe(line_addr));
-}
-
-bool
-Cache::present(Addr line_addr, Cycle now) const
-{
-    const CacheLine *hit = probe(line_addr);
-    return hit != nullptr && hit->fillCycle <= now;
-}
-
-void
-Cache::touch(Addr line_addr)
-{
-    const unsigned set = index_->set(line_addr);
-    for (unsigned way = 0; way < cfg_.ways; ++way) {
-        if (line(set, way).valid && line(set, way).lineAddr == line_addr) {
-            repl_->touch(set, way);
-            return;
-        }
-    }
-}
-
 FillResult
 Cache::install(Addr line_addr, Cycle fill_cycle, bool speculative,
                SeqNum installer, unsigned domain)
 {
-    const unsigned set = index_->set(line_addr);
-    const std::uint64_t mask = allowedMask(domain);
+    const unsigned set = index_.set(line_addr);
+    const std::uint64_t mask = allowedMask_[domain == 0 ? 0 : 1];
 
     FillResult result;
     result.set = set;
 
     // Prefer an invalid allowed way.
+    const Addr *tags = tags_.data() + static_cast<std::size_t>(set) * cfg_.ways;
     unsigned chosen = cfg_.ways;
     for (unsigned way = 0; way < cfg_.ways; ++way) {
-        if ((mask & (1ull << way)) && !line(set, way).valid) {
+        if ((mask & (1ull << way)) && tags[way] == kAddrInvalid) {
             chosen = way;
             break;
         }
     }
     if (chosen == cfg_.ways) {
-        chosen = repl_->victim(set, mask);
+        chosen = repl_.victim(set, mask);
         CacheLine &victim = line(set, chosen);
         result.victimLine = victim.lineAddr;
         result.victimValid = true;
@@ -129,7 +106,8 @@ Cache::install(Addr line_addr, Cycle fill_cycle, bool speculative,
     slot.fillCycle = fill_cycle;
     slot.coh = CohState::Exclusive;
     slot.pendingDowngrade = false;
-    repl_->fill(set, chosen);
+    tag(set, chosen) = line_addr;
+    repl_.fill(set, chosen);
 
     result.way = chosen;
     return result;
@@ -150,22 +128,21 @@ Cache::installAt(unsigned set, unsigned way, Addr line_addr, bool dirty,
     slot.fillCycle = fill_cycle;
     slot.coh = dirty ? CohState::Modified : CohState::Exclusive;
     slot.pendingDowngrade = false;
-    repl_->fill(set, way);
+    tag(set, way) = line_addr;
+    repl_.fill(set, way);
 }
 
 bool
 Cache::invalidate(Addr line_addr)
 {
-    const unsigned set = index_->set(line_addr);
-    for (unsigned way = 0; way < cfg_.ways; ++way) {
-        CacheLine &candidate = line(set, way);
-        if (candidate.valid && candidate.lineAddr == line_addr) {
-            candidate.reset();
-            ++invalidations_;
-            return true;
-        }
-    }
-    return false;
+    const int way = findWay(line_addr);
+    if (way < 0)
+        return false;
+    const unsigned set = index_.set(line_addr);
+    line(set, static_cast<unsigned>(way)).reset();
+    tag(set, static_cast<unsigned>(way)) = kAddrInvalid;
+    ++invalidations_;
+    return true;
 }
 
 bool
@@ -176,6 +153,7 @@ Cache::invalidateAt(unsigned set, unsigned way, Addr line_addr)
     CacheLine &candidate = line(set, way);
     if (candidate.valid && candidate.lineAddr == line_addr) {
         candidate.reset();
+        tag(set, way) = kAddrInvalid;
         ++invalidations_;
         return true;
     }
@@ -208,17 +186,12 @@ Cache::commitSpeculative(Addr line_addr, SeqNum installer)
 }
 
 unsigned
-Cache::setOf(Addr line_addr) const
-{
-    return index_->set(line_addr);
-}
-
-unsigned
 Cache::setOccupancy(unsigned set) const
 {
+    const Addr *tags = tags_.data() + static_cast<std::size_t>(set) * cfg_.ways;
     unsigned occupancy = 0;
     for (unsigned way = 0; way < cfg_.ways; ++way) {
-        if (line(set, way).valid)
+        if (tags[way] != kAddrInvalid)
             ++occupancy;
     }
     return occupancy;
@@ -228,9 +201,10 @@ std::vector<Addr>
 Cache::residentLines() const
 {
     std::vector<Addr> resident;
-    for (const auto &candidate : lines_) {
-        if (candidate.valid)
-            resident.push_back(candidate.lineAddr);
+    resident.reserve(tags_.size());
+    for (const Addr tag_addr : tags_) {
+        if (tag_addr != kAddrInvalid)
+            resident.push_back(tag_addr);
     }
     std::sort(resident.begin(), resident.end());
     return resident;
@@ -241,7 +215,17 @@ Cache::reset()
 {
     for (auto &slot : lines_)
         slot.reset();
+    std::fill(tags_.begin(), tags_.end(), kAddrInvalid);
     mshr_.clear();
+}
+
+void
+Cache::reseed(std::uint64_t index_key)
+{
+    reset();
+    repl_.reset();
+    index_.rekey(index_key);
+    stats_.resetAll();
 }
 
 } // namespace unxpec

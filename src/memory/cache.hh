@@ -6,13 +6,19 @@
  * victim into the exact way a transient fill displaced it from, NoMo
  * way partitioning, random replacement, and randomized (CEASER-style)
  * indexing.
+ *
+ * Hot-path layout: tags live in their own contiguous array (SoA) so
+ * probe() scans one cache line of simulator memory per set instead of
+ * striding across full CacheLine records; per-way metadata stays in
+ * the CacheLine array that probe() returns pointers into. Index and
+ * replacement dispatch are devirtualized (SetIndexer /
+ * ReplacementState) so the common modulo+LRU case inlines.
  */
 
 #ifndef UNXPEC_MEMORY_CACHE_HH
 #define UNXPEC_MEMORY_CACHE_HH
 
 #include <cstdint>
-#include <memory>
 #include <vector>
 
 #include "memory/address_map.hh"
@@ -44,14 +50,71 @@ class Cache
     Cache(const CacheConfig &cfg, Rng &rng, std::uint64_t index_key);
 
     /** Line lookup without side effects (nullptr on miss). */
-    const CacheLine *probe(Addr line_addr) const;
-    CacheLine *probeMutable(Addr line_addr);
+    const CacheLine *
+    probe(Addr line_addr) const
+    {
+        const int way = findWay(line_addr);
+        if (way < 0)
+            return nullptr;
+        return &lines_[static_cast<std::size_t>(index_.set(line_addr)) *
+                           cfg_.ways +
+                       static_cast<unsigned>(way)];
+    }
+
+    CacheLine *
+    probeMutable(Addr line_addr)
+    {
+        return const_cast<CacheLine *>(probe(line_addr));
+    }
+
+    /** Hit record of a combined lookup (see lookup()). */
+    struct LookupResult
+    {
+        CacheLine *line = nullptr; //!< nullptr on miss
+        unsigned set = 0;
+        unsigned way = 0;
+    };
+
+    /**
+     * Single-scan lookup for the hierarchy hot path: one set
+     * computation and one tag scan yield the line *and* its (set, way)
+     * coordinates, so a hit can touch the replacement state and mutate
+     * metadata without re-probing.
+     */
+    LookupResult
+    lookup(Addr line_addr)
+    {
+        LookupResult result;
+        result.set = index_.set(line_addr);
+        const int way = findWayInSet(result.set, line_addr);
+        if (way >= 0) {
+            result.way = static_cast<unsigned>(way);
+            result.line = &lines_[static_cast<std::size_t>(result.set) *
+                                      cfg_.ways +
+                                  result.way];
+        }
+        return result;
+    }
+
+    /** Replacement-policy hit update using lookup() coordinates. */
+    void touchAt(unsigned set, unsigned way) { repl_.touch(set, way); }
 
     /** True when the line is resident and its fill has landed. */
-    bool present(Addr line_addr, Cycle now) const;
+    bool
+    present(Addr line_addr, Cycle now) const
+    {
+        const CacheLine *hit = probe(line_addr);
+        return hit != nullptr && hit->fillCycle <= now;
+    }
 
     /** Record a hit for the replacement policy. */
-    void touch(Addr line_addr);
+    void
+    touch(Addr line_addr)
+    {
+        const int way = findWay(line_addr);
+        if (way >= 0)
+            repl_.touch(index_.set(line_addr), static_cast<unsigned>(way));
+    }
 
     /**
      * Install a line, evicting a victim if every allowed way is valid.
@@ -81,7 +144,7 @@ class Cache
     void commitSpeculative(Addr line_addr, SeqNum installer);
 
     /** Set index of a line address under this cache's index function. */
-    unsigned setOf(Addr line_addr) const;
+    unsigned setOf(Addr line_addr) const { return index_.set(line_addr); }
 
     /** Number of valid lines currently in a set. */
     unsigned setOccupancy(unsigned set) const;
@@ -92,6 +155,13 @@ class Cache
     /** Drop all content and outstanding misses (cold cache). */
     void reset();
 
+    /**
+     * Restore freshly-constructed state under a new index key without
+     * reallocating the arrays: cold content, fresh replacement
+     * history, re-derived CEASER keys, zeroed statistics (Core::reset).
+     */
+    void reseed(std::uint64_t index_key);
+
     MshrFile &mshr() { return mshr_; }
     const MshrFile &mshr() const { return mshr_; }
     const CacheConfig &config() const { return cfg_; }
@@ -101,16 +171,44 @@ class Cache
     Counter &misses() { return misses_; }
 
   private:
-    std::uint64_t allowedMask(unsigned domain) const;
+    /**
+     * Way holding `line_addr`, -1 on miss. The scan touches only the
+     * contiguous tag array; invalid ways hold kAddrInvalid, which no
+     * line-aligned address can equal, so no valid-bit check is needed.
+     */
+    int
+    findWay(Addr line_addr) const
+    {
+        return findWayInSet(index_.set(line_addr), line_addr);
+    }
+
+    int
+    findWayInSet(unsigned set, Addr line_addr) const
+    {
+        if (line_addr == kAddrInvalid)
+            return -1;
+        const Addr *tags =
+            tags_.data() + static_cast<std::size_t>(set) * cfg_.ways;
+        for (unsigned way = 0; way < cfg_.ways; ++way) {
+            if (tags[way] == line_addr)
+                return static_cast<int>(way);
+        }
+        return -1;
+    }
+
+    Addr &tag(unsigned set, unsigned way);
     CacheLine &line(unsigned set, unsigned way);
     const CacheLine &line(unsigned set, unsigned way) const;
 
     CacheConfig cfg_;
     unsigned numSets_;
-    std::vector<CacheLine> lines_;
-    std::unique_ptr<ReplacementPolicy> repl_;
-    std::unique_ptr<IndexFunction> index_;
+    std::vector<Addr> tags_;       //!< SoA tag array scanned by probe()
+    std::vector<CacheLine> lines_; //!< per-way metadata (incl. mirror tag)
+    ReplacementState repl_;
+    SetIndexer index_;
     MshrFile mshr_;
+    /** Allowed-way masks per security domain (depends only on config). */
+    std::uint64_t allowedMask_[2];
 
     StatGroup stats_;
     Counter &hits_;

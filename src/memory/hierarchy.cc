@@ -33,15 +33,21 @@ MemoryHierarchy::access(Addr addr, Cycle now, bool write, bool speculative,
     l2_.mshr().release(now);
 
     // --- L1D lookup ------------------------------------------------
-    if (const CacheLine *hit = l1d_.probe(line)) {
+    // One combined lookup: set computation and tag scan happen once,
+    // and the hit path reuses the (set, way) coordinates instead of
+    // re-probing for touch/markDirty.
+    if (const auto l1look = l1d_.lookup(line); l1look.line != nullptr) {
+        CacheLine *hit = l1look.line;
         if (hit->fillCycle <= now) {
             // Plain hit.
             record.l1Hit = true;
             record.ready = now + cfg_.l1d.hitLatency;
             ++l1d_.hits();
-            l1d_.touch(line);
-            if (write)
-                l1d_.markDirty(line);
+            l1d_.touchAt(l1look.set, l1look.way);
+            if (write) {
+                hit->dirty = true;
+                hit->coh = CohState::Modified;
+            }
             return record;
         }
         // Line is inflight: merge with the outstanding fill.
@@ -51,8 +57,10 @@ MemoryHierarchy::access(Addr addr, Cycle now, bool write, bool speculative,
             record.ready = std::max(entry->readyCycle,
                                     now + cfg_.l1d.hitLatency);
             ++l1d_.misses();
-            if (write)
-                l1d_.markDirty(line);
+            if (write) {
+                hit->dirty = true;
+                hit->coh = CohState::Modified;
+            }
             return record;
         }
         // Inflight line whose MSHR entry was displaced: wait for the
@@ -60,8 +68,10 @@ MemoryHierarchy::access(Addr addr, Cycle now, bool write, bool speculative,
         record.merged = true;
         record.ready = std::max(hit->fillCycle, now + cfg_.l1d.hitLatency);
         ++l1d_.misses();
-        if (write)
-            l1d_.markDirty(line);
+        if (write) {
+            hit->dirty = true;
+            hit->coh = CohState::Modified;
+        }
         return record;
     }
 
@@ -78,12 +88,13 @@ MemoryHierarchy::access(Addr addr, Cycle now, bool write, bool speculative,
     Cycle fill_ready = base + cfg_.l1d.hitLatency; // L1 lookup cost
 
     // --- L2 lookup --------------------------------------------------
-    if (const CacheLine *l2hit = l2_.probe(line)) {
+    if (const auto l2look = l2_.lookup(line); l2look.line != nullptr) {
+        const CacheLine *l2hit = l2look.line;
         if (l2hit->fillCycle <= base + cfg_.l1d.hitLatency) {
             record.l2Hit = true;
             fill_ready += cfg_.l2.hitLatency;
             ++l2_.hits();
-            l2_.touch(line);
+            l2_.touchAt(l2look.set, l2look.way);
         } else if (MshrEntry *entry = l2_.mshr().find(line)) {
             ++entry->targets;
             record.merged = true;
@@ -176,20 +187,20 @@ MemoryHierarchy::fetchReady(Addr addr, Cycle now)
 {
     const Addr line = lineAlign(addr);
 
-    if (const CacheLine *hit = l1i_.probe(line)) {
+    if (const auto look = l1i_.lookup(line); look.line != nullptr) {
         // Resident (possibly still filling): data at the later of the
         // lookup and the fill arrival.
         ++l1i_.hits();
-        l1i_.touch(line);
-        return std::max(now + cfg_.l1i.hitLatency, hit->fillCycle);
+        l1i_.touchAt(look.set, look.way);
+        return std::max(now + cfg_.l1i.hitLatency, look.line->fillCycle);
     }
     ++l1i_.misses();
 
     Cycle ready = now + cfg_.l1i.hitLatency;
-    if (const CacheLine *l2hit = l2_.probe(line)) {
-        ready = std::max(ready + cfg_.l2.hitLatency, l2hit->fillCycle);
+    if (const auto l2look = l2_.lookup(line); l2look.line != nullptr) {
+        ready = std::max(ready + cfg_.l2.hitLatency, l2look.line->fillCycle);
         ++l2_.hits();
-        l2_.touch(line);
+        l2_.touchAt(l2look.set, l2look.way);
     } else {
         ++l2_.misses();
         ready += cfg_.l2.hitLatency + mem_.accessLatency();
@@ -324,6 +335,18 @@ MemoryHierarchy::resetCaches()
     l1i_.reset();
     l1d_.reset();
     l2_.reset();
+}
+
+void
+MemoryHierarchy::reseed(std::uint64_t seed)
+{
+    cfg_.seed = seed;
+    mem_.reset(cfg_.memory);
+    // Same key-derivation as the constructor so reseed(s) is
+    // indistinguishable from construction with cfg.seed == s.
+    l1i_.reseed(seed * 0x9e37u + 1);
+    l1d_.reseed(seed * 0x9e37u + 2);
+    l2_.reseed(seed * 0x9e37u + 3);
 }
 
 } // namespace unxpec

@@ -132,6 +132,14 @@ class MemoryHierarchy
     /** Cold-start every cache (backing store is preserved). */
     void resetCaches();
 
+    /**
+     * Restore freshly-constructed state for a new seed without
+     * reallocating: cold caches with re-derived index keys, zeroed
+     * cache statistics, and a zeroed backing store with the original
+     * MemoryConfig reinstated (Core::reset).
+     */
+    void reseed(std::uint64_t seed);
+
     Cache &l1i() { return l1i_; }
     Cache &l1d() { return l1d_; }
     Cache &l2() { return l2_; }

@@ -5,6 +5,13 @@
  * state, so caches stay tag-only and rollback can never corrupt data.
  * The timing side models a fixed access latency (Table I: 50 ns after
  * L2) with optional gaussian jitter for noisy-host experiments.
+ *
+ * Hot path: read()/write() resolve their page with a single hash
+ * lookup (not one per byte) behind a last-page cache, so the common
+ * case — repeated access within one 4 KB page — touches the hash map
+ * not at all. Accesses that straddle a page boundary fall back to the
+ * per-byte path. Page pointers are stable (std::unordered_map never
+ * moves nodes), so the cache is invalidated only by clear()/reset().
  */
 
 #ifndef UNXPEC_MEMORY_MAIN_MEMORY_HH
@@ -46,18 +53,47 @@ class MainMemory
     const MemoryConfig &config() const { return cfg_; }
 
     /** Drop all contents (fresh address space). */
-    void clear() { pages_.clear(); }
+    void
+    clear()
+    {
+        pages_.clear();
+        invalidatePageCache();
+    }
+
+    /**
+     * Restore freshly-constructed state without deallocating: reinstate
+     * the given config (undoing setAccessLatency) and zero every
+     * allocated page in place — functionally identical to clear(),
+     * since absent pages read as zero, but allocation-free on reuse
+     * (Core::reset).
+     */
+    void reset(const MemoryConfig &cfg);
 
   private:
     static constexpr unsigned kPageBytes = 4096;
     using Page = std::array<std::uint8_t, kPageBytes>;
 
-    Page &page(Addr addr);
-    const Page *findPage(Addr addr) const;
+    /** Page for `page_number`, allocating on first touch. */
+    Page &pageFor(Addr page_number);
+    /** Page for `page_number`, nullptr when never written. */
+    const Page *findPage(Addr page_number) const;
+
+    void
+    invalidatePageCache()
+    {
+        cachedPageNumber_ = kAddrInvalid;
+        cachedPage_ = nullptr;
+    }
 
     MemoryConfig cfg_;
     Rng &rng_;
     std::unordered_map<Addr, Page> pages_;
+
+    // Last-page cache: one entry, shared by reads and writes. mutable
+    // so const reads can refresh it; purely an access-path memo, never
+    // observable state.
+    mutable Addr cachedPageNumber_ = kAddrInvalid;
+    mutable const Page *cachedPage_ = nullptr;
 };
 
 } // namespace unxpec

@@ -5,11 +5,18 @@
  * by speculative interference attacks); other levels default to LRU.
  * NoMo-style way partitioning is expressed through an allowed-way mask
  * supplied by the cache.
+ *
+ * The hot path (Cache::touch on every hit, install on every fill) goes
+ * through ReplacementState, a concrete enum-dispatched implementation
+ * whose touch/fill inline to a branch plus a store; the virtual
+ * ReplacementPolicy hierarchy remains for the cold create path and for
+ * tests that exercise the policies directly.
  */
 
 #ifndef UNXPEC_MEMORY_REPLACEMENT_HH
 #define UNXPEC_MEMORY_REPLACEMENT_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -21,9 +28,61 @@
 namespace unxpec {
 
 /**
- * Abstract replacement policy over a (numSets x ways) array.
+ * Devirtualized replacement metadata for one cache: LRU timestamps or
+ * the shared Rng for random victims, selected by a two-value enum.
  * Invalid ways are always preferred as victims by the cache itself;
- * the policy is consulted only when every allowed way is valid.
+ * victim() is consulted only when every allowed way is valid.
+ */
+class ReplacementState
+{
+  public:
+    ReplacementState(ReplPolicy policy, unsigned num_sets, unsigned ways,
+                     Rng &rng)
+        : policy_(policy), ways_(ways), rng_(rng),
+          stamps_(policy == ReplPolicy::LRU
+                      ? static_cast<std::size_t>(num_sets) * ways
+                      : 0)
+    {
+    }
+
+    /** Record a hit on (set, way). */
+    void
+    touch(unsigned set, unsigned way)
+    {
+        if (policy_ == ReplPolicy::LRU)
+            stamps_[static_cast<std::size_t>(set) * ways_ + way] = ++tick_;
+    }
+
+    /** Record a fill into (set, way). */
+    void fill(unsigned set, unsigned way) { touch(set, way); }
+
+    /**
+     * Choose a victim way within `set` among ways whose bit is set in
+     * `allowed_mask` (never zero).
+     */
+    unsigned victim(unsigned set, std::uint64_t allowed_mask);
+
+    /** Forget all history (freshly-constructed state; Core::reset). */
+    void
+    reset()
+    {
+        tick_ = 0;
+        std::fill(stamps_.begin(), stamps_.end(), 0);
+    }
+
+    ReplPolicy policy() const { return policy_; }
+
+  private:
+    ReplPolicy policy_;
+    unsigned ways_;
+    Rng &rng_;
+    std::uint64_t tick_ = 0;
+    std::vector<std::uint64_t> stamps_; // numSets * ways (LRU only)
+};
+
+/**
+ * Abstract replacement policy over a (numSets x ways) array — the
+ * cold/virtual interface kept for direct tests and extensions.
  */
 class ReplacementPolicy
 {

@@ -176,6 +176,15 @@ struct SystemConfig
     void validate() const;
 };
 
+/**
+ * Field-wise equality of two system configurations ignoring `seed`.
+ * The per-thread Core pool uses this to decide whether a cached Core
+ * can be reused via Core::reset (only the seed differs between trials
+ * of one spec) or must be rebuilt (a spec tweak produced a genuinely
+ * different machine).
+ */
+bool equalIgnoringSeed(const SystemConfig &a, const SystemConfig &b);
+
 } // namespace unxpec
 
 #endif // UNXPEC_SIM_CONFIG_HH

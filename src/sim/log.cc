@@ -4,23 +4,6 @@
 #include <iostream>
 
 namespace unxpec {
-
-namespace {
-LogLevel g_level = LogLevel::Warn;
-} // namespace
-
-void
-setLogLevel(LogLevel level)
-{
-    g_level = level;
-}
-
-LogLevel
-logLevel()
-{
-    return g_level;
-}
-
 namespace detail {
 
 void
@@ -40,7 +23,9 @@ fatalImpl(const std::string &msg)
 void
 emit(LogLevel level, const char *tag, const std::string &msg)
 {
-    if (static_cast<int>(level) <= static_cast<int>(g_level))
+    // Callers guard on logEnabled() before formatting; re-check here so
+    // direct emit() calls still honour the threshold.
+    if (logEnabled(level))
         std::cerr << tag << ": " << msg << "\n";
 }
 

@@ -16,9 +16,23 @@ namespace unxpec {
 /** Verbosity levels for status messages. */
 enum class LogLevel { Quiet, Warn, Inform, Debug };
 
+namespace detail {
+/** Global verbosity threshold; inline so the level check is a single
+ *  load + compare at every (hot-path) call site. */
+inline LogLevel g_logLevel = LogLevel::Warn;
+} // namespace detail
+
 /** Global verbosity threshold (default: Warn). */
-void setLogLevel(LogLevel level);
-LogLevel logLevel();
+inline void setLogLevel(LogLevel level) { detail::g_logLevel = level; }
+inline LogLevel logLevel() { return detail::g_logLevel; }
+
+/** True when messages at `level` pass the current threshold. */
+inline bool
+logEnabled(LogLevel level)
+{
+    return static_cast<int>(level) <=
+           static_cast<int>(detail::g_logLevel);
+}
 
 namespace detail {
 [[noreturn]] void panicImpl(const std::string &msg);
@@ -51,12 +65,18 @@ fatal(Args &&...args)
     detail::fatalImpl(detail::format(std::forward<Args>(args)...));
 }
 
+// The level is checked *before* the message is formatted: a filtered
+// warn/inform/debugLog costs one load + branch, never an ostringstream.
+// (tests/log_test.cc pins this down.)
+
 /** Warn about suspect but survivable conditions. */
 template <typename... Args>
 void
 warn(Args &&...args)
 {
-    detail::emit(LogLevel::Warn, "warn", detail::format(std::forward<Args>(args)...));
+    if (logEnabled(LogLevel::Warn))
+        detail::emit(LogLevel::Warn, "warn",
+                     detail::format(std::forward<Args>(args)...));
 }
 
 /** Informational status message. */
@@ -64,7 +84,9 @@ template <typename... Args>
 void
 inform(Args &&...args)
 {
-    detail::emit(LogLevel::Inform, "info", detail::format(std::forward<Args>(args)...));
+    if (logEnabled(LogLevel::Inform))
+        detail::emit(LogLevel::Inform, "info",
+                     detail::format(std::forward<Args>(args)...));
 }
 
 /** High-volume debug message. */
@@ -72,7 +94,9 @@ template <typename... Args>
 void
 debugLog(Args &&...args)
 {
-    detail::emit(LogLevel::Debug, "debug", detail::format(std::forward<Args>(args)...));
+    if (logEnabled(LogLevel::Debug))
+        detail::emit(LogLevel::Debug, "debug",
+                     detail::format(std::forward<Args>(args)...));
 }
 
 } // namespace unxpec

@@ -168,7 +168,7 @@ smallSweep()
 TrialOutput
 deltaTrial(const TrialContext &ctx)
 {
-    Session session(ctx.spec, ctx.seed);
+    Session session(ctx);
     UnxpecAttack &attack = session.unxpec();
     attack.setSecret(0);
     const double zero = attack.measureOnce();

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The logging hot-path contract (sim/log.hh): a warn/inform/debugLog
+ * call below the current verbosity threshold must not format its
+ * arguments — the level check happens before the ostringstream is
+ * built, so a filtered debugLog in a per-access loop costs one load
+ * and branch, not a string allocation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <ostream>
+
+#include "sim/log.hh"
+
+namespace unxpec {
+namespace {
+
+/** Counts how many times it is streamed — i.e. formatted. */
+struct FormatProbe
+{
+    mutable int streamed = 0;
+};
+
+std::ostream &
+operator<<(std::ostream &os, const FormatProbe &probe)
+{
+    ++probe.streamed;
+    return os << "probe";
+}
+
+/** Restores the global log level on scope exit. */
+class LogLevelFixture : public ::testing::Test
+{
+  protected:
+    void SetUp() override { saved_ = logLevel(); }
+    void TearDown() override { setLogLevel(saved_); }
+
+  private:
+    LogLevel saved_ = LogLevel::Warn;
+};
+
+using LogTest = LogLevelFixture;
+
+TEST_F(LogTest, FilteredMessagesAreNeverFormatted)
+{
+    setLogLevel(LogLevel::Warn);
+    FormatProbe probe;
+    debugLog("value=", probe);
+    inform("value=", probe);
+    EXPECT_EQ(probe.streamed, 0);
+
+    setLogLevel(LogLevel::Quiet);
+    warn("value=", probe);
+    EXPECT_EQ(probe.streamed, 0);
+}
+
+TEST_F(LogTest, PassingMessagesFormatOnce)
+{
+    setLogLevel(LogLevel::Debug);
+    FormatProbe probe;
+    ::testing::internal::CaptureStderr();
+    debugLog("value=", probe);
+    const std::string err = ::testing::internal::GetCapturedStderr();
+    EXPECT_EQ(probe.streamed, 1);
+    EXPECT_NE(err.find("probe"), std::string::npos);
+}
+
+TEST_F(LogTest, ThresholdOrdering)
+{
+    setLogLevel(LogLevel::Inform);
+    EXPECT_TRUE(logEnabled(LogLevel::Warn));
+    EXPECT_TRUE(logEnabled(LogLevel::Inform));
+    EXPECT_FALSE(logEnabled(LogLevel::Debug));
+
+    setLogLevel(LogLevel::Quiet);
+    EXPECT_FALSE(logEnabled(LogLevel::Warn));
+}
+
+} // namespace
+} // namespace unxpec

@@ -106,7 +106,7 @@ TEST(LsqTest, PendingFenceBlocksLoad)
     rob.push(makeEntry(1, Opcode::LOAD));
     EXPECT_EQ(LoadStoreQueue::gateLoad(rob, 1, 0x1000, 8).gate,
               LoadGate::Blocked);
-    rob.find(0)->done = true;
+    rob.markDone(*rob.find(0));
     EXPECT_EQ(LoadStoreQueue::gateLoad(rob, 1, 0x1000, 8).gate,
               LoadGate::Proceed);
 }
@@ -118,7 +118,7 @@ TEST(LsqTest, FenceWaitsForOlderMemOps)
     rob.push(load);
     rob.push(makeEntry(1, Opcode::FENCE));
     EXPECT_FALSE(LoadStoreQueue::fenceReady(rob, 1));
-    rob.find(0)->done = true;
+    rob.markDone(*rob.find(0));
     EXPECT_TRUE(LoadStoreQueue::fenceReady(rob, 1));
 }
 

@@ -90,7 +90,7 @@ TEST(RobTest, OlderUnresolvedBranchDetection)
 
     EXPECT_TRUE(rob.olderUnresolvedBranch(2));
     EXPECT_FALSE(rob.olderUnresolvedBranch(1));
-    rob.find(1)->done = true;
+    rob.markDone(*rob.find(1));
     EXPECT_FALSE(rob.olderUnresolvedBranch(2));
 }
 
