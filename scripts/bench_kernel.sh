@@ -9,19 +9,28 @@
 # (end-to-end trial fan-out throughput, fresh-Core baseline vs the
 # pooled runner).
 #
-#   $ scripts/bench_kernel.sh            # full run
+#   $ TRACKED=1 scripts/bench_kernel.sh  # refresh the tracked baseline
 #   $ SMOKE=1 scripts/bench_kernel.sh    # CI: reduced iterations
 #
 # Environment:
 #   BUILD_DIR  Release build tree        (default: build-release)
-#   OUT        output JSON path          (default: BENCH_kernel.json)
+#   OUT        output JSON path          (default: BENCH_kernel.json
+#              with TRACKED=1, a temp file otherwise — so casual and
+#              smoke runs never clobber the tracked baseline)
+#   TRACKED    nonempty = write the tracked BENCH_kernel.json
 #   SMOKE      nonempty = short run      (default: unset)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR=${BUILD_DIR:-build-release}
-OUT=${OUT:-BENCH_kernel.json}
+if [ -z "${OUT:-}" ]; then
+    if [ -n "${TRACKED:-}" ]; then
+        OUT=BENCH_kernel.json
+    else
+        OUT=$(mktemp -t BENCH_kernel.XXXXXX)
+    fi
+fi
 
 if [ ! -x "$BUILD_DIR/bench/kernel_throughput" ]; then
     cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Compare a fresh kernel-benchmark run against the tracked baseline.
+
+Reads two google-benchmark JSON files (the --benchmark_out format that
+scripts/bench_kernel.sh emits) and reports, per benchmark, the change in
+its throughput counters (sim_cycles_per_sec, trials_per_sec, ...) or, if
+it has none, its real_time. Throughput counters are bigger-is-better;
+times are smaller-is-better.
+
+Warn-only by default: CI runners are shared and noisy, so a regression
+beyond the tolerance prints a WARN line but still exits 0 — treat the
+output as a trend. Pass --strict to turn warnings into a non-zero exit
+(for a quiet dedicated box).
+
+  $ python3 scripts/check_bench.py BENCH_kernel.json fresh.json
+  $ python3 scripts/check_bench.py --tolerance 0.10 --strict a.json b.json
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    out = {}
+    for bench in data.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        out[bench["name"]] = bench
+    return out
+
+
+def measurements(bench):
+    """(label, value, bigger_is_better) rows for one benchmark entry."""
+    rows = []
+    for key, value in sorted(bench.items()):
+        if key.endswith("_per_sec") and isinstance(value, (int, float)):
+            rows.append((key, float(value), True))
+    if not rows and isinstance(bench.get("real_time"), (int, float)):
+        unit = bench.get("time_unit", "ns")
+        rows.append((f"real_time_{unit}", float(bench["real_time"]), False))
+    return rows
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Compare kernel benchmark JSON against a baseline")
+    parser.add_argument("baseline", help="tracked baseline JSON")
+    parser.add_argument("fresh", help="freshly measured JSON")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="relative regression that triggers a warning "
+                             "(default 0.25 = 25%%)")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit 1 when any warning fired")
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    fresh = load(args.fresh)
+    warnings = 0
+
+    for name in sorted(set(baseline) | set(fresh)):
+        if name not in fresh:
+            print(f"WARN {name}: in baseline but not in the fresh run")
+            warnings += 1
+            continue
+        if name not in baseline:
+            print(f"NOTE {name}: new benchmark, no baseline yet")
+            continue
+        base_rows = dict((label, (value, better))
+                         for label, value, better
+                         in measurements(baseline[name]))
+        for label, value, bigger_better in measurements(fresh[name]):
+            if label not in base_rows:
+                print(f"NOTE {name}.{label}: no baseline value")
+                continue
+            base, _ = base_rows[label]
+            if base == 0:
+                continue
+            change = (value - base) / base
+            regressed = (change < -args.tolerance if bigger_better
+                         else change > args.tolerance)
+            status = "WARN" if regressed else "  ok"
+            print(f"{status} {name}.{label}: "
+                  f"{base:.3g} -> {value:.3g} ({change:+.1%})")
+            warnings += regressed
+
+    if warnings:
+        print(f"{warnings} warning(s); tolerance {args.tolerance:.0%}"
+              + ("" if args.strict else " (warn-only, exiting 0)"))
+        return 1 if args.strict else 0
+    print("all benchmarks within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

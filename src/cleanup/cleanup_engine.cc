@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "sim/trace.hh"
+
 namespace unxpec {
 
 CleanupEngine::CleanupEngine(CleanupMode mode, const CleanupTiming &timing,
@@ -101,10 +103,25 @@ CleanupEngine::rollback(MemoryHierarchy &hierarchy, const CleanupJob &job,
         return squash;
     }
 
+    // All rollback events are stamped at the squash cycle (the state
+    // walk is modeled as atomic; only its *duration* is timed), so the
+    // trace shows begin -> per-line work -> end as one tight group.
+    const bool tracing = kTraceEnabled && tracer_ != nullptr &&
+                         tracer_->enabled(kTraceCatCleanup);
+    if (tracing && !job.empty()) {
+        tracer_->instantAt(squash, TraceKind::RollbackBegin, kSeqNone,
+                           kAddrInvalid,
+                           job.landed.size() + job.inflight.size());
+    }
+
     // --- T3: scrub inflight transient fills --------------------------
     for (const auto &record : job.inflight) {
         hierarchy.undoInflight(record);
         ++inflightDrops_;
+        if (tracing) {
+            tracer_->instantAt(squash, TraceKind::InflightScrub,
+                               record.seq, record.lineAddr);
+        }
     }
 
     // --- T5 state rollback for landed fills --------------------------
@@ -114,14 +131,18 @@ CleanupEngine::rollback(MemoryHierarchy &hierarchy, const CleanupJob &job,
     unsigned l1_inv = 0;
     unsigned l2_inv = 0;
     for (const auto &record : job.landed) {
+        std::uint16_t touched = 0;
         if (record.l1Installed &&
             hierarchy.cleanupInvalidateL1(record)) {
             ++l1_inv;
+            touched |= kTraceFlagL1;
         }
         if (record.l2Installed) {
             if (invalidate_l2) {
-                if (hierarchy.cleanupInvalidateL2(record))
+                if (hierarchy.cleanupInvalidateL2(record)) {
                     ++l2_inv;
+                    touched |= kTraceFlagL2;
+                }
             } else if (CacheLine *line =
                            hierarchy.l2().probeMutable(record.lineAddr)) {
                 // Cleanup_FOR_L1: L2 keeps the line (it relies on the
@@ -132,12 +153,21 @@ CleanupEngine::rollback(MemoryHierarchy &hierarchy, const CleanupJob &job,
         }
         hierarchy.l1d().mshr().squash(record.lineAddr);
         hierarchy.l2().mshr().squash(record.lineAddr);
+        if (tracing && touched != 0) {
+            tracer_->instantAt(squash, TraceKind::RollbackInvalidate,
+                               record.seq, record.lineAddr, 0, 0, touched);
+        }
     }
 
     unsigned restored = 0;
     for (const auto &record : job.restores) {
         hierarchy.cleanupRestoreL1(record, squash);
         ++restored;
+        if (tracing) {
+            tracer_->instantAt(squash, TraceKind::RollbackRestore,
+                               record.seq, record.l1Victim, 0, 0,
+                               kTraceFlagL1);
+        }
     }
     unsigned restored_l2 = 0;
     if (restore_l2) {
@@ -145,6 +175,11 @@ CleanupEngine::rollback(MemoryHierarchy &hierarchy, const CleanupJob &job,
             if (record.l2Installed && record.l2VictimValid) {
                 hierarchy.cleanupRestoreL2(record, squash);
                 ++restored_l2;
+                if (tracing) {
+                    tracer_->instantAt(squash, TraceKind::RollbackRestore,
+                                       record.seq, record.l2Victim, 0, 0,
+                                       kTraceFlagL2);
+                }
             }
         }
     }
@@ -190,6 +225,16 @@ CleanupEngine::rollback(MemoryHierarchy &hierarchy, const CleanupJob &job,
     if (stall_until > squash) {
         ++cleanupEvents_;
         cleanupCycles_ += stall_until - squash;
+        if (tracing) {
+            // The whole stall as one span ending at stall_until; the
+            // exporter renders it as [squash, stall_until] on the
+            // cleanup track. A zero-footprint squash (the unXpec
+            // secret=0 case) emits nothing — the absent span *is* the
+            // timing channel, now visible.
+            tracer_->span(TraceKind::RollbackEnd, stall_until,
+                          stall_until - squash, kSeqNone, kAddrInvalid,
+                          l1_inv + l2_inv + restored + restored_l2);
+        }
     }
     lastStall_ = stall_until - squash;
     if (logEnabled_) {

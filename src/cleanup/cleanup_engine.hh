@@ -33,6 +33,8 @@
 
 namespace unxpec {
 
+class Tracer;
+
 /** Per-squash record for instrumented experiments (Fig. 2/3/6). */
 struct SquashLog
 {
@@ -91,6 +93,14 @@ class CleanupEngine
     const std::vector<SquashLog> &log() const { return log_; }
 
     /**
+     * Event tracer for the rollback timeline (nullptr = off): a
+     * rollback-begin instant at the squash, one invalidate/restore/
+     * scrub instant per touched line, and a rollback-end span covering
+     * the charged stall.
+     */
+    void setTracer(Tracer *tracer) { tracer_ = tracer; }
+
+    /**
      * Restore freshly-constructed state (Core::reset): mode and timing
      * back to the configured values, statistics zeroed, logging off.
      */
@@ -103,6 +113,7 @@ class CleanupEngine
         lastStall_ = 0;
         logEnabled_ = false;
         log_.clear();
+        tracer_ = nullptr;
     }
 
   private:
@@ -123,6 +134,7 @@ class CleanupEngine
 
     bool logEnabled_ = false;
     std::vector<SquashLog> log_;
+    Tracer *tracer_ = nullptr;
 };
 
 } // namespace unxpec

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/log.hh"
+#include "sim/trace.hh"
 
 namespace unxpec {
 
@@ -58,6 +59,18 @@ Core::reset(std::uint64_t seed)
     interruptMin_ = 0;
     interruptMax_ = 0;
     trace_ = nullptr;
+    setEventTrace(nullptr);
+}
+
+void
+Core::setEventTrace(Tracer *tracer)
+{
+    eventTrace_ = tracer;
+    if (tracer != nullptr)
+        tracer->setNow(now_);
+    rob_.setTracer(tracer);
+    hier_.setTracer(tracer);
+    cleanup_.setTracer(tracer);
 }
 
 void
@@ -108,6 +121,8 @@ Core::run(const Program &program, const RunOptions &options)
         }
         ++now_;
         ++simTicks_;
+        if (kTraceEnabled && eventTrace_ != nullptr)
+            eventTrace_->setNow(now_);
 
         // External noise: other honest programs occasionally steal the
         // core (interrupts, scheduler ticks).
@@ -386,7 +401,19 @@ Core::resolveBranch(RobEntry &branch)
         : branch.pc + 1;
     predictor_->update(branch.pc, branch.resolvedTaken);
 
-    if (branch.resolvedTaken == branch.predictedTaken)
+    const bool mispredicted =
+        branch.resolvedTaken != branch.predictedTaken;
+    if (kTraceEnabled && eventTrace_ != nullptr &&
+        eventTrace_->enabled(kTraceCatBranch)) {
+        std::uint16_t flags = 0;
+        if (branch.resolvedTaken)
+            flags |= kTraceFlagTaken;
+        if (mispredicted)
+            flags |= kTraceFlagMispredict;
+        eventTrace_->instant(TraceKind::BranchResolve, branch.seq,
+                             kAddrInvalid, branch.pc, 0, flags);
+    }
+    if (!mispredicted)
         return;
 
     ++mispredicts_;
@@ -597,6 +624,12 @@ Core::tickFetch(const Program &program)
         fetched_inst.pc = fetchPC_;
         fetched_inst.inst = inst;
         fetched_inst.availCycle = avail;
+
+        if (kTraceEnabled && eventTrace_ != nullptr &&
+            eventTrace_->enabled(kTraceCatCpu)) {
+            eventTrace_->instant(TraceKind::Fetch, kSeqNone, kAddrInvalid,
+                                 fetched_inst.pc);
+        }
 
         if (isCondBranch(inst.op)) {
             fetched_inst.predictedTaken =

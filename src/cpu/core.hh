@@ -33,6 +33,8 @@
 
 namespace unxpec {
 
+class Tracer;
+
 /** Options for one program execution. */
 struct RunOptions
 {
@@ -116,6 +118,15 @@ class Core
      */
     void setTrace(std::ostream *trace) { trace_ = trace; }
 
+    /**
+     * Cycle-accurate event tracing (sim/trace.hh): attach a tracer to
+     * this core and every instrumented component under it (ROB, memory
+     * hierarchy, cleanup engine). nullptr detaches. The tracer must
+     * outlive the core or be detached first; Core::reset detaches.
+     */
+    void setEventTrace(Tracer *tracer);
+    Tracer *eventTrace() const { return eventTrace_; }
+
   private:
     struct FetchedInst
     {
@@ -180,6 +191,9 @@ class Core
 
     // Commit tracing.
     std::ostream *trace_ = nullptr;
+
+    // Cycle-accurate event tracing.
+    Tracer *eventTrace_ = nullptr;
 };
 
 } // namespace unxpec

@@ -2,7 +2,25 @@
 
 #include <algorithm>
 
+#include "sim/trace.hh"
+
 namespace unxpec {
+
+namespace {
+
+/** Gate-decision instant through the ROB's tracer, if attached. */
+inline void
+traceGate(const ReorderBuffer &rob, TraceKind kind, SeqNum seq, Addr addr)
+{
+    if (kTraceEnabled) {
+        if (Tracer *tracer = rob.tracer();
+            tracer != nullptr && tracer->enabled(kTraceCatCpu)) {
+            tracer->instant(kind, seq, lineAlign(addr));
+        }
+    }
+}
+
+} // namespace
 
 unsigned
 LoadStoreQueue::occupancy(const ReorderBuffer &rob)
@@ -24,6 +42,7 @@ LoadStoreQueue::gateLoad(const ReorderBuffer &rob, SeqNum seq, Addr addr,
         if (entry.inst.op == Opcode::FENCE) {
             if (!entry.done) {
                 result.gate = LoadGate::Blocked;
+                traceGate(rob, TraceKind::LoadBlocked, seq, addr);
                 return result;
             }
             continue;
@@ -31,6 +50,7 @@ LoadStoreQueue::gateLoad(const ReorderBuffer &rob, SeqNum seq, Addr addr,
         if (!entry.done) {
             // Address (or data) not resolved yet: be conservative.
             result.gate = LoadGate::Blocked;
+            traceGate(rob, TraceKind::LoadBlocked, seq, addr);
             return result;
         }
         const Addr store_begin = entry.effAddr;
@@ -54,9 +74,12 @@ LoadStoreQueue::gateLoad(const ReorderBuffer &rob, SeqNum seq, Addr addr,
         } else {
             // Partial overlap: wait for the store to drain.
             result.gate = LoadGate::Blocked;
+            traceGate(rob, TraceKind::LoadBlocked, seq, addr);
             return result;
         }
     }
+    if (result.gate == LoadGate::Forward)
+        traceGate(rob, TraceKind::LoadForward, seq, addr);
     return result;
 }
 

@@ -3,8 +3,23 @@
 #include <algorithm>
 
 #include "sim/log.hh"
+#include "sim/trace.hh"
 
 namespace unxpec {
+
+namespace {
+
+/** Lifecycle instant through the ROB's tracer, if one is attached. */
+inline void
+traceLifecycle(Tracer *tracer, TraceKind kind, const RobEntry &entry)
+{
+    if (kTraceEnabled && tracer != nullptr &&
+        tracer->enabled(kTraceCatCpu)) {
+        tracer->instant(kind, entry.seq, kAddrInvalid, entry.pc);
+    }
+}
+
+} // namespace
 
 RobEntry &
 ReorderBuffer::push(RobEntry entry)
@@ -33,6 +48,7 @@ ReorderBuffer::push(RobEntry entry)
         unresolvedBranches_.push_back(entry.seq);
 
     entries_.push_back(std::move(entry));
+    traceLifecycle(tracer_, TraceKind::Dispatch, entries_.back());
     return entries_.back();
 }
 
@@ -48,6 +64,7 @@ ReorderBuffer::popFront()
         --memCount_;
     if (!storeFences_.empty() && storeFences_.front() == head.seq)
         storeFences_.erase(storeFences_.begin());
+    traceLifecycle(tracer_, TraceKind::Commit, head);
     entries_.pop_front();
 }
 
@@ -61,6 +78,7 @@ ReorderBuffer::markIssued(RobEntry &entry)
                                          outstanding_.end(), entry.seq);
         outstanding_.insert(it, entry.seq);
     }
+    traceLifecycle(tracer_, TraceKind::Issue, entry);
 }
 
 void
@@ -72,6 +90,7 @@ ReorderBuffer::markDone(RobEntry &entry)
         eraseSeq(pendingMem_, entry.seq);
     if (isCondBranch(entry.inst.op))
         eraseSeq(unresolvedBranches_, entry.seq);
+    traceLifecycle(tracer_, TraceKind::Writeback, entry);
 }
 
 std::vector<RobEntry>
@@ -91,6 +110,8 @@ ReorderBuffer::squashYoungerThan(SeqNum seq)
     trimYoungerThan(unresolvedBranches_, seq);
     // Return them oldest-first for readability downstream.
     std::reverse(squashed.begin(), squashed.end());
+    for (const RobEntry &entry : squashed)
+        traceLifecycle(tracer_, TraceKind::Squash, entry);
     return squashed;
 }
 

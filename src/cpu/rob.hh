@@ -30,6 +30,8 @@
 
 namespace unxpec {
 
+class Tracer;
+
 /** One in-flight instruction. */
 struct RobEntry
 {
@@ -150,6 +152,15 @@ class ReorderBuffer
      *  gating / forwarding walks these instead of the whole ROB). */
     const std::vector<SeqNum> &storeFences() const { return storeFences_; }
 
+    /**
+     * Event tracer for instruction-lifecycle events (nullptr = off).
+     * The push/markIssued/markDone/popFront/squash funnels stamp
+     * dispatch/issue/writeback/commit/squash events through it; the
+     * owning Core keeps the tracer's cycle current.
+     */
+    void setTracer(Tracer *tracer) { tracer_ = tracer; }
+    Tracer *tracer() const { return tracer_; }
+
     void clear();
 
     auto begin() { return entries_.begin(); }
@@ -183,6 +194,7 @@ class ReorderBuffer
     std::vector<SeqNum> pendingMem_;
     std::vector<SeqNum> unresolvedBranches_;
     unsigned memCount_ = 0;
+    Tracer *tracer_ = nullptr;
 };
 
 } // namespace unxpec

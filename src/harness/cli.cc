@@ -117,6 +117,13 @@ HarnessCli::usage(std::ostream &os) const
     os << "  --json PATH    write the result as JSON "
           "(schema unxpec-experiment-v1)\n"
        << "  --csv PATH     write the result as CSV\n"
+       << "  --trace PATH   capture a Chrome-trace event file "
+          "(open in chrome://tracing or Perfetto)\n"
+       << "  --trace-categories LIST\n"
+          "                 comma list of cpu, cache, cleanup, branch, "
+          "or all (default all)\n"
+       << "  --trace-split  write one trace file per trial "
+          "(PATH.s<spec>.r<rep>.json) instead of one merged file\n"
        << "  --list-modes   list registered defenses, noise profiles, "
           "and attacks\n"
        << "  --help         this text\n";
@@ -172,6 +179,15 @@ HarnessCli::parse(int argc, char **argv) const
             options.jsonPath = value();
         } else if (arg == "--csv") {
             options.csvPath = value();
+        } else if (arg == "--trace") {
+            options.tracePath = value();
+            if (!kTraceEnabled)
+                warn("--trace: this binary was built with "
+                     "UNXPEC_TRACE=OFF; no events will be recorded");
+        } else if (arg == "--trace-categories") {
+            options.traceCategories = parseTraceCategories(value());
+        } else if (arg == "--trace-split") {
+            options.traceSplit = true;
         } else if (hasScale_ && !sawPositionalInt && isInteger(arg)) {
             options.scale = parseU64("scale", arg);
             sawPositionalInt = true;
@@ -198,7 +214,11 @@ ExperimentResult
 runExperiment(const HarnessCli &cli, const HarnessOptions &options,
               const std::vector<ExperimentSpec> &specs, const TrialFn &fn)
 {
-    const TrialRunner runner(options.threads);
+    TrialRunner runner(options.threads);
+    if (!options.tracePath.empty()) {
+        runner.setTrace({options.tracePath, options.traceCategories,
+                         options.traceSplit});
+    }
     return runner.runAll(cli.name(), cli.description(), specs, options.reps,
                          options.seed, fn);
 }

@@ -11,6 +11,10 @@
  *   --scale N      bench-specific size knob (samples, bits, insts...)
  *   --json PATH    write the machine-readable result as JSON
  *   --csv PATH     write the result as CSV
+ *   --trace PATH   capture a Chrome-trace event file (chrome://tracing)
+ *   --trace-categories LIST  categories to record (cpu,cache,cleanup,
+ *                  branch or all; default all)
+ *   --trace-split  one trace file per trial instead of one merged file
  *   --list-modes   print registered defenses/noises/attacks and exit
  *   --help         usage
  *
@@ -41,6 +45,10 @@ struct HarnessOptions
     std::string text;          //!< free-form positional (messages etc.)
     std::string jsonPath;
     std::string csvPath;
+    std::string tracePath;     //!< empty = event tracing off
+    /** Parsed --trace-categories mask (default: everything). */
+    std::uint32_t traceCategories = kTraceCatAll;
+    bool traceSplit = false;   //!< one trace file per trial
 };
 
 /** Declarative CLI parser shared by all benches and examples. */

@@ -40,6 +40,10 @@ Session::Session(const TrialContext &ctx)
                                 : &ctx.pool->acquire(ctx.specIndex, cfg_))
 {
     noiseProfile(spec_.noise).applyTo(*core_); // interrupt component
+    // After acquire: Core::reset detaches any previous trial's tracer
+    // before this trial's (if any) is installed.
+    if (ctx.tracer != nullptr)
+        core_->setEventTrace(ctx.tracer);
 }
 
 UnxpecAttack &

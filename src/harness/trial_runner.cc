@@ -44,21 +44,38 @@ TrialRunner::run(const std::vector<ExperimentSpec> &specs, unsigned reps,
         per_spec.resize(reps);
 
     const std::size_t jobs = specs.size() * reps;
+
+    // With tracing on, every trial owns a private Tracer (indexed by
+    // job, so results stay thread-count independent); the files are
+    // written serially after the pool drains.
+    const bool tracing = kTraceEnabled && !trace_.path.empty();
+    std::vector<std::unique_ptr<Tracer>> tracers;
+    if (tracing)
+        tracers.resize(jobs);
+
     auto work = [&](std::size_t job, CorePool *core_pool) {
         const std::size_t spec_index = job / reps;
         const unsigned rep = static_cast<unsigned>(job % reps);
         TrialContext ctx{specs[spec_index], spec_index, rep,
                          Rng::deriveSeed(master_seed, job), master_seed,
                          core_pool};
+        if (tracing) {
+            tracers[job] = std::make_unique<Tracer>(trace_.categories);
+            ctx.tracer = tracers[job].get();
+        }
         outputs[spec_index][rep] = fn(ctx);
     };
 
     const unsigned pool =
         static_cast<unsigned>(std::min<std::size_t>(threads_, jobs));
     if (pool <= 1) {
-        CorePool cores;
-        for (std::size_t job = 0; job < jobs; ++job)
-            work(job, reuse_ ? &cores : nullptr);
+        {
+            CorePool cores;
+            for (std::size_t job = 0; job < jobs; ++job)
+                work(job, reuse_ ? &cores : nullptr);
+        }
+        if (tracing)
+            writeTraces(specs, reps, master_seed, tracers);
         return outputs;
     }
 
@@ -85,7 +102,64 @@ TrialRunner::run(const std::vector<ExperimentSpec> &specs, unsigned reps,
     }
     for (std::thread &worker : workers)
         worker.join();
+    if (tracing)
+        writeTraces(specs, reps, master_seed, tracers);
     return outputs;
+}
+
+std::string
+perTrialTracePath(const std::string &path, std::size_t spec_index,
+                  unsigned rep)
+{
+    const std::string tag =
+        ".s" + std::to_string(spec_index) + ".r" + std::to_string(rep);
+    const std::size_t slash = path.find_last_of('/');
+    const std::size_t dot = path.find_last_of('.');
+    if (dot == std::string::npos ||
+        (slash != std::string::npos && dot < slash)) {
+        return path + tag;
+    }
+    return path.substr(0, dot) + tag + path.substr(dot);
+}
+
+void
+TrialRunner::writeTraces(
+    const std::vector<ExperimentSpec> &specs, unsigned reps,
+    std::uint64_t master_seed,
+    const std::vector<std::unique_ptr<Tracer>> &tracers) const
+{
+    std::uint64_t dropped = 0;
+    std::vector<TraceProcess> merged;
+    for (std::size_t job = 0; job < tracers.size(); ++job) {
+        if (tracers[job] == nullptr)
+            continue;
+        const std::size_t spec_index = job / reps;
+        const unsigned rep = static_cast<unsigned>(job % reps);
+
+        TraceProcess process;
+        process.name = specs[spec_index].label.empty()
+            ? "spec" + std::to_string(spec_index)
+            : specs[spec_index].label;
+        process.name += " rep=" + std::to_string(rep) + " seed=" +
+            std::to_string(Rng::deriveSeed(master_seed, job));
+        process.events = tracers[job]->events();
+        dropped += tracers[job]->dropped();
+
+        if (trace_.split) {
+            writeChromeTraceFile(
+                perTrialTracePath(trace_.path, spec_index, rep),
+                {std::move(process)});
+        } else {
+            merged.push_back(std::move(process));
+        }
+    }
+    if (!trace_.split)
+        writeChromeTraceFile(trace_.path, merged);
+    if (dropped > 0) {
+        warn("event trace: ring buffer overflowed; ", dropped,
+             " oldest events were dropped (raise Tracer capacity or "
+             "narrow --trace-categories)");
+    }
 }
 
 namespace {

@@ -15,12 +15,14 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "analysis/result_sink.hh"
 #include "harness/spec.hh"
+#include "sim/trace.hh"
 
 namespace unxpec {
 
@@ -41,7 +43,35 @@ struct TrialContext
      * of constructing one per trial.
      */
     CorePool *pool = nullptr;
+    /**
+     * This trial's event tracer, nullptr when tracing is off.
+     * Session(ctx) installs it on the Core; each trial owns a private
+     * Tracer so parallel trials never share a ring buffer.
+     */
+    Tracer *tracer = nullptr;
 };
+
+/** Event-trace capture settings for a run (TrialRunner::setTrace). */
+struct TraceConfig
+{
+    /** Chrome-trace output path; empty disables tracing. */
+    std::string path;
+    /** Category mask recorded by every per-trial Tracer. */
+    std::uint32_t categories = kTraceCatAll;
+    /**
+     * Write one file per trial (perTrialTracePath) instead of one
+     * merged file with a process per trial.
+     */
+    bool split = false;
+};
+
+/**
+ * Per-trial trace file name: `path` with ".s<specIndex>.r<rep>" spliced
+ * in before the extension ("out.json" -> "out.s0.r1.json"), so parallel
+ * trials never collide on a file.
+ */
+std::string perTrialTracePath(const std::string &path,
+                              std::size_t spec_index, unsigned rep);
 
 /** One trial's measurements: scalar metrics and/or sample series. */
 struct TrialOutput
@@ -77,6 +107,17 @@ class TrialRunner
     void reuseCores(bool reuse) { reuse_ = reuse; }
 
     /**
+     * Capture event traces: every trial gets its own Tracer (with
+     * trace.categories) handed through TrialContext, and after the
+     * trials finish the runner serially writes trace.path — one merged
+     * Chrome-trace file with a process per trial, or per-trial files
+     * when trace.split is set. An empty path (the default) disables
+     * capture entirely.
+     */
+    void setTrace(TraceConfig trace) { trace_ = std::move(trace); }
+    const TraceConfig &trace() const { return trace_; }
+
+    /**
      * Run `reps` trials of every spec. Returns outputs[specIndex][rep],
      * identical for any thread count.
      */
@@ -95,8 +136,14 @@ class TrialRunner
            std::uint64_t master_seed, const TrialFn &fn) const;
 
   private:
+    void writeTraces(const std::vector<ExperimentSpec> &specs,
+                     unsigned reps, std::uint64_t master_seed,
+                     const std::vector<std::unique_ptr<Tracer>> &tracers)
+        const;
+
     unsigned threads_;
     bool reuse_ = true;
+    TraceConfig trace_;
 };
 
 } // namespace unxpec

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/log.hh"
+#include "sim/trace.hh"
 
 namespace unxpec {
 
@@ -95,6 +96,16 @@ Cache::install(Addr line_addr, Cycle fill_cycle, bool speculative,
         result.victimDirty = victim.dirty;
         result.victimSpeculative = victim.speculative;
         ++evictions_;
+        if (kTraceEnabled && tracer_ != nullptr &&
+            tracer_->enabled(kTraceCatCache)) {
+            tracer_->instant(
+                TraceKind::CacheEvict, installer, result.victimLine, 0,
+                traceLevel_,
+                static_cast<std::uint16_t>(
+                    (result.victimDirty ? kTraceFlagDirty : 0) |
+                    (result.victimSpeculative ? kTraceFlagSpeculative
+                                              : 0)));
+        }
     }
 
     CacheLine &slot = line(set, chosen);
@@ -108,6 +119,19 @@ Cache::install(Addr line_addr, Cycle fill_cycle, bool speculative,
     slot.pendingDowngrade = false;
     tag(set, chosen) = line_addr;
     repl_.fill(set, chosen);
+
+    if (kTraceEnabled && tracer_ != nullptr &&
+        tracer_->enabled(kTraceCatCache)) {
+        // Span from the request (the tracer's current cycle) to the
+        // fill's landing; a backdated fill renders as an instant.
+        const Cycle start = std::min(tracer_->now(), fill_cycle);
+        tracer_->span(
+            TraceKind::CacheFill, start, fill_cycle - start, installer,
+            line_addr, 0, traceLevel_,
+            speculative
+                ? static_cast<std::uint16_t>(kTraceFlagSpeculative)
+                : std::uint16_t{0});
+    }
 
     result.way = chosen;
     return result;
@@ -130,6 +154,14 @@ Cache::installAt(unsigned set, unsigned way, Addr line_addr, bool dirty,
     slot.pendingDowngrade = false;
     tag(set, way) = line_addr;
     repl_.fill(set, way);
+    if (kTraceEnabled && tracer_ != nullptr &&
+        tracer_->enabled(kTraceCatCache)) {
+        tracer_->instantAt(fill_cycle, TraceKind::CacheRestore, kSeqNone,
+                           line_addr, 0, traceLevel_,
+                           dirty
+                               ? static_cast<std::uint16_t>(kTraceFlagDirty)
+                               : std::uint16_t{0});
+    }
 }
 
 bool
@@ -142,6 +174,11 @@ Cache::invalidate(Addr line_addr)
     line(set, static_cast<unsigned>(way)).reset();
     tag(set, static_cast<unsigned>(way)) = kAddrInvalid;
     ++invalidations_;
+    if (kTraceEnabled && tracer_ != nullptr &&
+        tracer_->enabled(kTraceCatCache)) {
+        tracer_->instant(TraceKind::CacheInvalidate, kSeqNone, line_addr,
+                         0, traceLevel_);
+    }
     return true;
 }
 
@@ -155,6 +192,11 @@ Cache::invalidateAt(unsigned set, unsigned way, Addr line_addr)
         candidate.reset();
         tag(set, way) = kAddrInvalid;
         ++invalidations_;
+        if (kTraceEnabled && tracer_ != nullptr &&
+            tracer_->enabled(kTraceCatCache)) {
+            tracer_->instant(TraceKind::CacheInvalidate, kSeqNone,
+                             line_addr, 0, traceLevel_);
+        }
         return true;
     }
     return false;

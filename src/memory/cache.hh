@@ -32,6 +32,8 @@
 
 namespace unxpec {
 
+class Tracer;
+
 /** Result of installing a fill. */
 struct FillResult
 {
@@ -167,6 +169,17 @@ class Cache
     const CacheConfig &config() const { return cfg_; }
     StatGroup &stats() { return stats_; }
 
+    /**
+     * Event tracer for fill/evict/invalidate/restore events (nullptr =
+     * off). `level` stamps the events: 0 = L1I, 1 = L1D, 2 = L2.
+     */
+    void
+    setTracer(Tracer *tracer, std::uint8_t level)
+    {
+        tracer_ = tracer;
+        traceLevel_ = level;
+    }
+
     Counter &hits() { return hits_; }
     Counter &misses() { return misses_; }
 
@@ -209,6 +222,8 @@ class Cache
     MshrFile mshr_;
     /** Allowed-way masks per security domain (depends only on config). */
     std::uint64_t allowedMask_[2];
+    Tracer *tracer_ = nullptr;
+    std::uint8_t traceLevel_ = 0;
 
     StatGroup stats_;
     Counter &hits_;

@@ -3,8 +3,47 @@
 #include <algorithm>
 
 #include "sim/log.hh"
+#include "sim/trace.hh"
 
 namespace unxpec {
+
+namespace {
+
+/** Trace levels stamped on cache events (tracks in the exporter). */
+constexpr std::uint8_t kTraceL1I = 0;
+constexpr std::uint8_t kTraceL1D = 1;
+constexpr std::uint8_t kTraceL2 = 2;
+
+/** Access-summary span: request at `now`, data at `record.ready`. */
+inline void
+traceAccess(Tracer *tracer, TraceKind kind, std::uint8_t level,
+            const MemAccessRecord &record, Cycle now)
+{
+    if (!(kTraceEnabled && tracer != nullptr &&
+          tracer->enabled(kTraceCatCache))) {
+        return;
+    }
+    std::uint16_t flags = 0;
+    if (record.write)
+        flags |= kTraceFlagWrite;
+    if (record.speculative)
+        flags |= kTraceFlagSpeculative;
+    if (record.invisible)
+        flags |= kTraceFlagInvisible;
+    tracer->span(kind, now, record.ready - now, record.seq,
+                 record.lineAddr, 0, level, flags);
+}
+
+} // namespace
+
+void
+MemoryHierarchy::setTracer(Tracer *tracer)
+{
+    tracer_ = tracer;
+    l1i_.setTracer(tracer, kTraceL1I);
+    l1d_.setTracer(tracer, kTraceL1D);
+    l2_.setTracer(tracer, kTraceL2);
+}
 
 MemoryHierarchy::MemoryHierarchy(const SystemConfig &cfg, Rng &rng)
     : cfg_(cfg),
@@ -48,6 +87,8 @@ MemoryHierarchy::access(Addr addr, Cycle now, bool write, bool speculative,
                 hit->dirty = true;
                 hit->coh = CohState::Modified;
             }
+            traceAccess(tracer_, TraceKind::CacheHit, kTraceL1D, record,
+                        now);
             return record;
         }
         // Line is inflight: merge with the outstanding fill.
@@ -61,6 +102,8 @@ MemoryHierarchy::access(Addr addr, Cycle now, bool write, bool speculative,
                 hit->dirty = true;
                 hit->coh = CohState::Modified;
             }
+            traceAccess(tracer_, TraceKind::MshrMerge, kTraceL1D, record,
+                        now);
             return record;
         }
         // Inflight line whose MSHR entry was displaced: wait for the
@@ -72,6 +115,7 @@ MemoryHierarchy::access(Addr addr, Cycle now, bool write, bool speculative,
             hit->dirty = true;
             hit->coh = CohState::Modified;
         }
+        traceAccess(tracer_, TraceKind::MshrMerge, kTraceL1D, record, now);
         return record;
     }
 
@@ -150,6 +194,13 @@ MemoryHierarchy::access(Addr addr, Cycle now, bool write, bool speculative,
         l1d_.markDirty(line);
 
     record.ready = fill_ready;
+    // L2 hit, merged with an outstanding L2 fill, or a full miss to
+    // memory — in every case the L1 is being filled.
+    traceAccess(tracer_,
+                record.l2Hit      ? TraceKind::CacheHit
+                : record.merged   ? TraceKind::MshrMerge
+                                  : TraceKind::CacheMiss,
+                kTraceL2, record, now);
     return record;
 }
 
@@ -169,6 +220,7 @@ MemoryHierarchy::accessInvisible(Addr addr, Cycle now, SeqNum seq)
         hit != nullptr && hit->fillCycle <= now) {
         record.l1Hit = true;
         record.ready = now + cfg_.l1d.hitLatency;
+        traceAccess(tracer_, TraceKind::CacheHit, kTraceL1D, record, now);
         return record;
     }
     Cycle ready = now + cfg_.l1d.hitLatency;
@@ -176,9 +228,11 @@ MemoryHierarchy::accessInvisible(Addr addr, Cycle now, SeqNum seq)
         hit != nullptr && hit->fillCycle <= now) {
         record.l2Hit = true;
         record.ready = ready + cfg_.l2.hitLatency;
+        traceAccess(tracer_, TraceKind::CacheHit, kTraceL2, record, now);
         return record;
     }
     record.ready = ready + cfg_.l2.hitLatency + mem_.accessLatency();
+    traceAccess(tracer_, TraceKind::CacheMiss, kTraceL2, record, now);
     return record;
 }
 
@@ -207,6 +261,13 @@ MemoryHierarchy::fetchReady(Addr addr, Cycle now)
         l2_.install(line, ready, false, kSeqNone);
     }
     l1i_.install(line, ready, false, kSeqNone);
+    // Only misses are traced on the I-side: steady-state hits would
+    // flood the ring at one event per fetched instruction.
+    if (kTraceEnabled && tracer_ != nullptr &&
+        tracer_->enabled(kTraceCatCache)) {
+        tracer_->span(TraceKind::CacheMiss, now, ready - now, kSeqNone,
+                      line, 0, kTraceL1I);
+    }
     return ready;
 }
 

@@ -20,6 +20,8 @@
 
 namespace unxpec {
 
+class Tracer;
+
 /** Full account of one data-side access through the hierarchy. */
 struct MemAccessRecord
 {
@@ -140,6 +142,13 @@ class MemoryHierarchy
      */
     void reseed(std::uint64_t seed);
 
+    /**
+     * Event tracer for per-access hit/miss/merge events (nullptr =
+     * off); propagated to the three caches for their fill/evict/
+     * invalidate/restore events.
+     */
+    void setTracer(Tracer *tracer);
+
     Cache &l1i() { return l1i_; }
     Cache &l1d() { return l1d_; }
     Cache &l2() { return l2_; }
@@ -153,6 +162,7 @@ class MemoryHierarchy
     Cache l1i_;
     Cache l1d_;
     Cache l2_;
+    Tracer *tracer_ = nullptr;
 };
 
 } // namespace unxpec

@@ -1,0 +1,354 @@
+#include "sim/trace.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+
+#include "sim/log.hh"
+
+namespace unxpec {
+
+std::uint32_t
+parseTraceCategories(const std::string &list)
+{
+    std::uint32_t mask = 0;
+    std::size_t start = 0;
+    while (start <= list.size()) {
+        std::size_t end = list.find(',', start);
+        if (end == std::string::npos)
+            end = list.size();
+        const std::string name = list.substr(start, end - start);
+        if (name == "cpu") {
+            mask |= kTraceCatCpu;
+        } else if (name == "cache") {
+            mask |= kTraceCatCache;
+        } else if (name == "cleanup") {
+            mask |= kTraceCatCleanup;
+        } else if (name == "branch") {
+            mask |= kTraceCatBranch;
+        } else if (name == "all") {
+            mask |= kTraceCatAll;
+        } else if (!name.empty()) {
+            fatal("unknown trace category '", name,
+                  "' (expected cpu, cache, cleanup, branch, or all)");
+        }
+        start = end + 1;
+    }
+    return mask;
+}
+
+std::string
+traceCategoriesToString(std::uint32_t mask)
+{
+    std::string names;
+    auto append = [&names](const char *name) {
+        if (!names.empty())
+            names += ',';
+        names += name;
+    };
+    if (mask & kTraceCatCpu)
+        append("cpu");
+    if (mask & kTraceCatCache)
+        append("cache");
+    if (mask & kTraceCatCleanup)
+        append("cleanup");
+    if (mask & kTraceCatBranch)
+        append("branch");
+    return names;
+}
+
+TraceCategory
+traceCategoryOf(TraceKind kind)
+{
+    switch (kind) {
+      case TraceKind::BranchResolve:
+        return kTraceCatBranch;
+      case TraceKind::CacheHit:
+      case TraceKind::CacheMiss:
+      case TraceKind::CacheFill:
+      case TraceKind::CacheEvict:
+      case TraceKind::CacheInvalidate:
+      case TraceKind::CacheRestore:
+      case TraceKind::MshrMerge:
+        return kTraceCatCache;
+      case TraceKind::RollbackBegin:
+      case TraceKind::RollbackInvalidate:
+      case TraceKind::RollbackRestore:
+      case TraceKind::InflightScrub:
+      case TraceKind::RollbackEnd:
+        return kTraceCatCleanup;
+      default:
+        return kTraceCatCpu;
+    }
+}
+
+const char *
+traceKindName(TraceKind kind)
+{
+    switch (kind) {
+      case TraceKind::Fetch:              return "fetch";
+      case TraceKind::Dispatch:           return "dispatch";
+      case TraceKind::Issue:              return "issue";
+      case TraceKind::Writeback:          return "writeback";
+      case TraceKind::Commit:             return "commit";
+      case TraceKind::Squash:             return "squash";
+      case TraceKind::LoadBlocked:        return "load-blocked";
+      case TraceKind::LoadForward:        return "load-forward";
+      case TraceKind::BranchResolve:      return "branch-resolve";
+      case TraceKind::CacheHit:           return "hit";
+      case TraceKind::CacheMiss:          return "miss";
+      case TraceKind::CacheFill:          return "fill";
+      case TraceKind::CacheEvict:         return "evict";
+      case TraceKind::CacheInvalidate:    return "invalidate";
+      case TraceKind::CacheRestore:       return "restore";
+      case TraceKind::MshrMerge:          return "mshr-merge";
+      case TraceKind::RollbackBegin:      return "rollback-begin";
+      case TraceKind::RollbackInvalidate: return "rollback-invalidate";
+      case TraceKind::RollbackRestore:    return "rollback-restore";
+      case TraceKind::InflightScrub:      return "inflight-scrub";
+      case TraceKind::RollbackEnd:        return "rollback";
+    }
+    return "unknown";
+}
+
+Tracer::Tracer(std::uint32_t mask, std::size_t capacity)
+    : mask_(mask), ring_(std::max<std::size_t>(capacity, 1))
+{
+}
+
+void
+Tracer::record(const TraceEvent &event)
+{
+    ring_[head_] = event;
+    head_ = head_ + 1 == ring_.size() ? 0 : head_ + 1;
+    if (count_ < ring_.size())
+        ++count_;
+    else
+        ++dropped_;
+}
+
+std::vector<TraceEvent>
+Tracer::events() const
+{
+    std::vector<TraceEvent> out;
+    out.reserve(count_);
+    // Oldest first: the ring's oldest record sits at head_ once the
+    // buffer has wrapped, at 0 before that.
+    const std::size_t oldest = count_ < ring_.size() ? 0 : head_;
+    for (std::size_t i = 0; i < count_; ++i)
+        out.push_back(ring_[(oldest + i) % ring_.size()]);
+    return out;
+}
+
+void
+Tracer::clear()
+{
+    head_ = 0;
+    count_ = 0;
+    dropped_ = 0;
+}
+
+std::vector<TraceEvent>
+TraceQuery::eventsBetween(Cycle from, Cycle to) const
+{
+    std::vector<TraceEvent> out;
+    for (const TraceEvent &event : events_) {
+        if (event.cycle >= from && event.cycle <= to)
+            out.push_back(event);
+    }
+    return out;
+}
+
+std::vector<TraceEvent>
+TraceQuery::ofKind(TraceKind kind, Cycle from, Cycle to) const
+{
+    std::vector<TraceEvent> out;
+    for (const TraceEvent &event : events_) {
+        if (event.kind == kind && event.cycle >= from && event.cycle <= to)
+            out.push_back(event);
+    }
+    return out;
+}
+
+std::size_t
+TraceQuery::count(TraceKind kind, Cycle from, Cycle to) const
+{
+    std::size_t n = 0;
+    for (const TraceEvent &event : events_) {
+        if (event.kind == kind && event.cycle >= from && event.cycle <= to)
+            ++n;
+    }
+    return n;
+}
+
+namespace {
+
+/** Display track (Chrome tid) an event renders on. */
+struct TrackInfo
+{
+    int tid;
+    const char *name;
+};
+
+TrackInfo
+trackOf(const TraceEvent &event)
+{
+    switch (event.kind) {
+      case TraceKind::Fetch:         return {1, "fetch"};
+      case TraceKind::Dispatch:      return {2, "dispatch"};
+      case TraceKind::Issue:         return {3, "issue"};
+      case TraceKind::Writeback:     return {4, "writeback"};
+      case TraceKind::Commit:        return {5, "commit"};
+      case TraceKind::Squash:
+      case TraceKind::BranchResolve: return {6, "branch"};
+      case TraceKind::LoadBlocked:
+      case TraceKind::LoadForward:   return {7, "lsq"};
+      case TraceKind::CacheHit:
+      case TraceKind::CacheMiss:
+      case TraceKind::CacheFill:
+      case TraceKind::CacheEvict:
+      case TraceKind::CacheInvalidate:
+      case TraceKind::CacheRestore:
+      case TraceKind::MshrMerge:
+        switch (event.level) {
+          case 0:  return {8, "L1I"};
+          case 1:  return {9, "L1D"};
+          default: return {10, "L2"};
+        }
+      case TraceKind::RollbackBegin:
+      case TraceKind::RollbackInvalidate:
+      case TraceKind::RollbackRestore:
+      case TraceKind::InflightScrub:
+      case TraceKind::RollbackEnd:   return {11, "cleanup"};
+    }
+    return {12, "other"};
+}
+
+const char *
+categoryName(TraceCategory cat)
+{
+    switch (cat) {
+      case kTraceCatCpu:     return "cpu";
+      case kTraceCatCache:   return "cache";
+      case kTraceCatCleanup: return "cleanup";
+      case kTraceCatBranch:  return "branch";
+      default:               return "all";
+    }
+}
+
+void
+writeJsonString(std::ostream &os, const std::string &s)
+{
+    os << '"';
+    for (const char c : s) {
+        switch (c) {
+          case '"':  os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\n': os << "\\n"; break;
+          case '\t': os << "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                os << ' ';
+            else
+                os << c;
+        }
+    }
+    os << '"';
+}
+
+void
+writeMetadata(std::ostream &os, bool &first, int pid, int tid,
+              const char *key, const std::string &name)
+{
+    if (!first)
+        os << ",\n";
+    first = false;
+    os << R"({"name":")" << key << R"(","ph":"M","pid":)" << pid;
+    if (tid >= 0)
+        os << ",\"tid\":" << tid;
+    os << ",\"args\":{\"name\":";
+    writeJsonString(os, name);
+    os << "}}";
+}
+
+void
+writeEvent(std::ostream &os, bool &first, int pid, const TraceEvent &event)
+{
+    const TrackInfo track = trackOf(event);
+    // A RollbackEnd carries the whole stall as its duration; render it
+    // as the span [end - dur, end] so the cleanup track shows exactly
+    // the cycles the core was frozen.
+    const bool complete = event.dur > 0;
+    const Cycle ts = event.kind == TraceKind::RollbackEnd
+        ? event.cycle - event.dur : event.cycle;
+
+    if (!first)
+        os << ",\n";
+    first = false;
+    os << "{\"name\":\"" << traceKindName(event.kind) << "\",\"cat\":\""
+       << categoryName(traceCategoryOf(event.kind)) << "\",\"ph\":\""
+       << (complete ? 'X' : 'i') << "\",\"ts\":" << ts;
+    if (complete)
+        os << ",\"dur\":" << event.dur;
+    else
+        os << ",\"s\":\"t\"";
+    os << ",\"pid\":" << pid << ",\"tid\":" << track.tid << ",\"args\":{";
+    bool first_arg = true;
+    auto arg = [&](const char *key, std::uint64_t value) {
+        if (!first_arg)
+            os << ',';
+        first_arg = false;
+        os << '"' << key << "\":" << value;
+    };
+    if (event.seq != kSeqNone)
+        arg("seq", event.seq);
+    if (event.addr != kAddrInvalid)
+        arg("addr", event.addr);
+    if (event.arg != 0)
+        arg("arg", event.arg);
+    if (event.flags != 0)
+        arg("flags", event.flags);
+    os << "}}";
+}
+
+} // namespace
+
+void
+writeChromeTrace(std::ostream &os, const std::vector<TraceProcess> &processes)
+{
+    os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+    bool first = true;
+    for (std::size_t p = 0; p < processes.size(); ++p) {
+        const int pid = static_cast<int>(p);
+        writeMetadata(os, first, pid, -1, "process_name",
+                      processes[p].name);
+        // Name every track that actually carries events.
+        bool named[16] = {};
+        for (const TraceEvent &event : processes[p].events) {
+            const TrackInfo track = trackOf(event);
+            if (!named[track.tid]) {
+                named[track.tid] = true;
+                writeMetadata(os, first, pid, track.tid, "thread_name",
+                              track.name);
+            }
+        }
+        for (const TraceEvent &event : processes[p].events)
+            writeEvent(os, first, pid, event);
+    }
+    os << "\n]}\n";
+}
+
+bool
+writeChromeTraceFile(const std::string &path,
+                     const std::vector<TraceProcess> &processes)
+{
+    std::ofstream os(path);
+    if (!os) {
+        warn("writeChromeTraceFile: cannot open '", path, "' for writing");
+        return false;
+    }
+    writeChromeTrace(os, processes);
+    return os.good();
+}
+
+} // namespace unxpec
