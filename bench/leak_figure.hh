@@ -30,8 +30,9 @@ inline constexpr std::uint64_t kSecretSeed = 20220402;
 inline constexpr unsigned kLeakCalibration = 150;
 
 inline int
-runLeakFigure(HarnessCli &cli, int argc, char **argv, const char *attack,
-              const char *title, const char *paper_accuracy)
+runLeakFigure(HarnessCli &cli, int argc, char **argv,
+              const char *attack_variant, const char *title,
+              const char *paper_accuracy)
 {
     cli.defaultReps(8)
         .defaultNoise("evaluation")
@@ -46,7 +47,7 @@ runLeakFigure(HarnessCli &cli, int argc, char **argv, const char *attack,
 
     ExperimentSpec spec = cli.baseSpec(opt);
     spec.label = "leak";
-    spec.attack = attack;
+    spec.attack = attack_variant;
     spec.with("bits", bits);
 
     const unsigned chunk = (bits + opt.reps - 1) / opt.reps;

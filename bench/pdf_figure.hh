@@ -23,8 +23,9 @@
 namespace unxpec {
 
 inline int
-runPdfFigure(HarnessCli &cli, int argc, char **argv, const char *attack,
-             const char *title, double paper_delta, int paper_threshold)
+runPdfFigure(HarnessCli &cli, int argc, char **argv,
+             const char *attack_variant, const char *title,
+             double paper_delta, int paper_threshold)
 {
     cli.defaultReps(8)
         .defaultNoise("evaluation")
@@ -33,7 +34,7 @@ runPdfFigure(HarnessCli &cli, int argc, char **argv, const char *attack,
 
     ExperimentSpec spec = cli.baseSpec(opt);
     spec.label = "pdf";
-    spec.attack = attack;
+    spec.attack = attack_variant;
     // Split the sample budget evenly over the trials; the merged
     // series is deterministic because trials concatenate in rep order.
     const unsigned per_trial = static_cast<unsigned>(

@@ -10,10 +10,15 @@ times are smaller-is-better.
 Warn-only by default: CI runners are shared and noisy, so a regression
 beyond the tolerance prints a WARN line but still exits 0 — treat the
 output as a trend. Pass --strict to turn warnings into a non-zero exit
-(for a quiet dedicated box).
+(for a quiet dedicated box). --per-bench NAME=TOL overrides the global
+tolerance for one benchmark (repeatable; NAME may be a prefix, longest
+match wins), so the hot kernel can be held to a tight bound while the
+long-tail figures keep a generous one.
 
   $ python3 scripts/check_bench.py BENCH_kernel.json fresh.json
   $ python3 scripts/check_bench.py --tolerance 0.10 --strict a.json b.json
+  $ python3 scripts/check_bench.py --strict --per-bench BM_AttackRound=0.08 \\
+        --per-bench BM_TrialThroughput=0.15 BENCH_kernel.json fresh.json
 """
 
 import argparse
@@ -44,6 +49,37 @@ def measurements(bench):
     return rows
 
 
+def parse_overrides(specs, parser):
+    """--per-bench NAME=TOL list -> {name_prefix: tolerance}."""
+    overrides = {}
+    for spec in specs:
+        name, sep, tol = spec.partition("=")
+        if not sep or not name:
+            parser.error(f"--per-bench expects NAME=TOL, got '{spec}'")
+        try:
+            overrides[name] = float(tol)
+        except ValueError:
+            parser.error(f"--per-bench {name}: '{tol}' is not a number")
+        if overrides[name] < 0:
+            parser.error(f"--per-bench {name}: tolerance must be >= 0")
+    return overrides
+
+
+def tolerance_for(name, overrides, default):
+    """Longest matching prefix override, else the global default.
+
+    Prefix (not exact) matching because google-benchmark suffixes
+    repetition/threads variants onto the registered name.
+    """
+    best_len = -1
+    best = default
+    for prefix, tol in overrides.items():
+        if name.startswith(prefix) and len(prefix) > best_len:
+            best_len = len(prefix)
+            best = tol
+    return best
+
+
 def main():
     parser = argparse.ArgumentParser(
         description="Compare kernel benchmark JSON against a baseline")
@@ -54,8 +90,14 @@ def main():
                              "(default 0.25 = 25%%)")
     parser.add_argument("--strict", action="store_true",
                         help="exit 1 when any warning fired")
+    parser.add_argument("--per-bench", action="append", default=[],
+                        metavar="NAME=TOL",
+                        help="per-benchmark tolerance override "
+                             "(repeatable; NAME may be a prefix, e.g. "
+                             "BM_AttackRound=0.08)")
     args = parser.parse_args()
 
+    overrides = parse_overrides(args.per_bench, parser)
     baseline = load(args.baseline)
     fresh = load(args.fresh)
     warnings = 0
@@ -68,6 +110,7 @@ def main():
         if name not in baseline:
             print(f"NOTE {name}: new benchmark, no baseline yet")
             continue
+        tolerance = tolerance_for(name, overrides, args.tolerance)
         base_rows = dict((label, (value, better))
                          for label, value, better
                          in measurements(baseline[name]))
@@ -79,11 +122,13 @@ def main():
             if base == 0:
                 continue
             change = (value - base) / base
-            regressed = (change < -args.tolerance if bigger_better
-                         else change > args.tolerance)
+            regressed = (change < -tolerance if bigger_better
+                         else change > tolerance)
             status = "WARN" if regressed else "  ok"
+            bound = ("" if tolerance == args.tolerance
+                     else f" [tol {tolerance:.0%}]")
             print(f"{status} {name}.{label}: "
-                  f"{base:.3g} -> {value:.3g} ({change:+.1%})")
+                  f"{base:.3g} -> {value:.3g} ({change:+.1%}){bound}")
             warnings += regressed
 
     if warnings:

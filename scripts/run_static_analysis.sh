@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# Run the repo's full static-analysis gate: clang-tidy over every src/
+# translation unit, cppcheck over src/, and the project-specific
+# simulator lint (scripts/lint_sim.py). This is the same sequence CI
+# enforces as blocking jobs; run it locally before pushing.
+#
+# Tools that are not installed are skipped with a warning so the script
+# stays useful on minimal boxes (lint_sim.py needs only python3).
+# Pass --require-all (CI does) to turn a missing tool into a failure.
+#
+#   scripts/run_static_analysis.sh [--require-all] [BUILD_DIR]
+#
+# BUILD_DIR defaults to build/ and only needs a configure step: the
+# compile database (compile_commands.json) is exported by default.
+set -u
+
+cd "$(dirname "$0")/.."
+
+require_all=0
+build_dir=build
+for arg in "$@"; do
+    case "$arg" in
+        --require-all) require_all=1 ;;
+        *) build_dir=$arg ;;
+    esac
+done
+
+failures=0
+skipped=0
+
+missing_tool() {
+    if [ "$require_all" -eq 1 ]; then
+        echo "ERROR: $1 not found (required by --require-all)" >&2
+        failures=$((failures + 1))
+    else
+        echo "skip: $1 not found" >&2
+        skipped=$((skipped + 1))
+    fi
+}
+
+run_gate() {
+    echo "==> $*"
+    if ! "$@"; then
+        failures=$((failures + 1))
+    fi
+}
+
+# --- project lint (pure python, always available) ----------------------
+if command -v python3 >/dev/null 2>&1; then
+    run_gate python3 scripts/lint_sim.py src
+else
+    missing_tool python3
+fi
+
+# --- clang-tidy over the compile database ------------------------------
+if command -v clang-tidy >/dev/null 2>&1; then
+    if [ ! -f "$build_dir/compile_commands.json" ]; then
+        echo "==> cmake -B $build_dir -S . (for compile_commands.json)"
+        if ! cmake -B "$build_dir" -S . >/dev/null; then
+            echo "ERROR: configure failed; cannot run clang-tidy" >&2
+            failures=$((failures + 1))
+        fi
+    fi
+    if [ -f "$build_dir/compile_commands.json" ]; then
+        # shellcheck disable=SC2046  # one argument per source file
+        run_gate clang-tidy -p "$build_dir" --quiet \
+            $(find src -name '*.cc' | sort)
+    fi
+else
+    missing_tool clang-tidy
+fi
+
+# --- cppcheck ----------------------------------------------------------
+if command -v cppcheck >/dev/null 2>&1; then
+    run_gate cppcheck --std=c++20 --language=c++ \
+        --enable=warning,performance,portability \
+        --inline-suppr --suppressions-list=.cppcheck-suppressions \
+        --error-exitcode=1 --quiet -I src src
+else
+    missing_tool cppcheck
+fi
+
+echo
+if [ "$failures" -ne 0 ]; then
+    echo "static analysis: $failures gate(s) FAILED"
+    exit 1
+fi
+if [ "$skipped" -ne 0 ]; then
+    echo "static analysis: clean ($skipped tool(s) skipped locally)"
+else
+    echo "static analysis: clean"
+fi

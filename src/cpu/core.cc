@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/audit.hh"
 #include "sim/log.hh"
 #include "sim/trace.hh"
 
@@ -143,6 +144,14 @@ Core::run(const Program &program, const RunOptions &options)
         tickIssue();
         tickDispatch();
         tickFetch(program);
+
+        // Periodic invariant audit: compiled in only with
+        // -DUNXPEC_AUDIT=ON, where it cross-checks every fast-path
+        // structure against its slow reference model.
+        if constexpr (kAuditEnabled) {
+            if (now_ % audit::period() == 0)
+                auditInvariants();
+        }
 
         // Run-off detection: nothing in flight and nothing to fetch.
         if (rob_.empty() && decodeQueue_.empty() && fetchStopped_)
@@ -438,6 +447,11 @@ Core::squashAfter(RobEntry &branch)
         LoadStoreQueue::olderLoadsDrainCycle(rob_, branch.seq);
     const Cycle cleanup_until = cleanup_.rollback(hier_, job, older_drain);
     stallUntil_ = std::max(stallUntil_, cleanup_until);
+
+    // Rollback-completeness audit: right after the undo, no squashed
+    // installer may still mark any cache line or MSHR entry.
+    if constexpr (kAuditEnabled)
+        hier_.auditRollbackComplete(branch.seq, now_);
 
     decodeQueue_.clear();
     fetchPC_ = branch.actualNextPc;

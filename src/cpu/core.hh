@@ -127,6 +127,15 @@ class Core
     void setEventTrace(Tracer *tracer);
     Tracer *eventTrace() const { return eventTrace_; }
 
+    /**
+     * Whole-machine invariant audit (sim/audit.hh): ROB side lists vs
+     * a full scan, cache/MSHR layout coherence, and the LSQ occupancy
+     * model. Throws AuditError on violation. The run loop calls this
+     * every audit::period() cycles in UNXPEC_AUDIT builds; tests call
+     * it directly in every build.
+     */
+    void auditInvariants() const;
+
   private:
     struct FetchedInst
     {

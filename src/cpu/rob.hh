@@ -152,6 +152,24 @@ class ReorderBuffer
      *  gating / forwarding walks these instead of the whole ROB). */
     const std::vector<SeqNum> &storeFences() const { return storeFences_; }
 
+    /** Seqs of not-yet-done memory ops, ascending (fence checks). */
+    const std::vector<SeqNum> &pendingMem() const { return pendingMem_; }
+
+    /** Seqs of not-yet-done conditional branches, ascending. */
+    const std::vector<SeqNum> &
+    unresolvedBranches() const
+    {
+        return unresolvedBranches_;
+    }
+
+    /**
+     * Cross-check every side list against a full scan of the entry
+     * deque (sim/audit.hh): the fast-path issue/writeback/gating
+     * candidate sets must be element-for-element identical to the
+     * reference model. Throws AuditError on divergence.
+     */
+    void auditInvariants(Cycle now) const;
+
     /**
      * Event tracer for instruction-lifecycle events (nullptr = off).
      * The push/markIssued/markDone/popFront/squash funnels stamp
@@ -195,6 +213,9 @@ class ReorderBuffer
     std::vector<SeqNum> unresolvedBranches_;
     unsigned memCount_ = 0;
     Tracer *tracer_ = nullptr;
+
+    /** Test-only corruption hook for proving the auditor fires. */
+    friend struct AuditTap;
 };
 
 } // namespace unxpec

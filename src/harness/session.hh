@@ -17,8 +17,8 @@
 #define UNXPEC_HARNESS_SESSION_HH
 
 #include <cstdint>
+#include <map>
 #include <memory>
-#include <unordered_map>
 
 #include "attack/spectre_v1.hh"
 #include "attack/unxpec.hh"
@@ -51,7 +51,11 @@ class CorePool
         SystemConfig cfg;
         std::unique_ptr<Core> core;
     };
-    std::unordered_map<std::size_t, Slot> slots_;
+    // Ordered map: spec count is tiny and acquire() runs once per
+    // trial, so lookup cost is irrelevant — and an ordered container
+    // can never grow a nondeterministic walk (lint_sim.py forbids
+    // unordered iteration across src/).
+    std::map<std::size_t, Slot> slots_;
 };
 
 /** A fully built simulation instance for one trial. */

@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <map>
 #include <thread>
-#include <unordered_map>
 
 #include "harness/session.hh"
 #include "sim/log.hh"
@@ -181,9 +181,14 @@ aggregateRow(const ExperimentSpec &spec,
     // since the walk order (reps outer, metrics then series per rep)
     // matches the old per-name rescans, the merged vectors are
     // identical.
+    // Row layout comes from `names` (first-occurrence order); the map
+    // is a point-lookup index only. std::map rather than unordered so
+    // this export path carries no hash container at all — emission
+    // order provably cannot depend on hashing (lint_sim.py's
+    // unordered-iteration rule keeps it that way).
     std::vector<std::string> names;
     std::vector<std::vector<double>> buckets;
-    std::unordered_map<std::string, std::size_t> index;
+    std::map<std::string, std::size_t> index;
     auto bucketFor = [&](const std::string &name) -> std::vector<double> & {
         const auto [it, inserted] = index.emplace(name, names.size());
         if (inserted) {

@@ -154,6 +154,14 @@ class Cache
     /** All resident line addresses, sorted (for snapshot testing). */
     std::vector<Addr> residentLines() const;
 
+    /**
+     * Cross-check the SoA fast-path layout against the line metadata
+     * (sim/audit.hh): tag mirror, set placement, duplicate tags,
+     * speculative-marking coherence, LRU stamp ordering, and MSHR
+     * consistency with fills in flight. Throws AuditError.
+     */
+    void auditInvariants(Cycle now) const;
+
     /** Drop all content and outstanding misses (cold cache). */
     void reset();
 
@@ -233,6 +241,8 @@ class Cache
     Counter &restores_;
 
     friend class MemoryHierarchy;
+    /** Test-only corruption hook for proving the auditor fires. */
+    friend struct AuditTap;
 };
 
 } // namespace unxpec

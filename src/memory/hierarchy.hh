@@ -149,6 +149,17 @@ class MemoryHierarchy
      */
     void setTracer(Tracer *tracer);
 
+    /** Audit all three caches (sim/audit.hh). Throws AuditError. */
+    void auditInvariants(Cycle now) const;
+
+    /**
+     * Rollback-completeness audit, run immediately after a squash of
+     * everything younger than `branch_seq` (sim/audit.hh): no cache
+     * line or MSHR entry may still carry a speculative marking from a
+     * squashed installer. Throws AuditError.
+     */
+    void auditRollbackComplete(SeqNum branch_seq, Cycle now) const;
+
     Cache &l1i() { return l1i_; }
     Cache &l1d() { return l1d_; }
     Cache &l2() { return l2_; }

@@ -16,8 +16,10 @@ MainMemory::pageFor(Addr page_number)
         return const_cast<Page &>(*cachedPage_);
     }
     auto it = pages_.find(page_number);
-    if (it == pages_.end())
+    if (it == pages_.end()) {
         it = pages_.emplace(page_number, Page{}).first;
+        allocOrder_.push_back(&it->second);
+    }
     cachedPageNumber_ = page_number;
     cachedPage_ = &it->second;
     return it->second;
@@ -112,8 +114,12 @@ void
 MainMemory::reset(const MemoryConfig &cfg)
 {
     cfg_ = cfg;
-    for (auto &[page_number, page] : pages_)
-        page.fill(0);
+    // Walk the deterministic allocation-order list, not the hash map:
+    // the zeroing itself is order-insensitive, but keeping every
+    // container walk deterministic is what lets lint_sim.py forbid
+    // unordered iteration outright instead of judging call sites.
+    for (Page *page : allocOrder_)
+        page->fill(0);
     // Page pointers stay valid (no node was erased); the cache needs no
     // invalidation, but reset it anyway so reuse starts predictably.
     invalidatePageCache();

@@ -20,6 +20,7 @@
 #include <array>
 #include <cstdint>
 #include <unordered_map>
+#include <vector>
 
 #include "sim/config.hh"
 #include "sim/rng.hh"
@@ -57,6 +58,7 @@ class MainMemory
     clear()
     {
         pages_.clear();
+        allocOrder_.clear();
         invalidatePageCache();
     }
 
@@ -88,6 +90,14 @@ class MainMemory
     MemoryConfig cfg_;
     Rng &rng_;
     std::unordered_map<Addr, Page> pages_;
+    /**
+     * Allocated pages in first-touch order. The map is only ever used
+     * for point lookups (hash iteration order is unspecified — a
+     * reproducibility hazard lint_sim.py rejects); any walk over the
+     * allocated pages goes through this deterministic side list
+     * instead. Pointers are stable: unordered_map never moves nodes.
+     */
+    std::vector<Page *> allocOrder_;
 
     // Last-page cache: one entry, shared by reads and writes. mutable
     // so const reads can refresh it; purely an access-path memo, never

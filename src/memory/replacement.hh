@@ -72,12 +72,27 @@ class ReplacementState
 
     ReplPolicy policy() const { return policy_; }
 
+    /** LRU timestamp of (set, way), 0 under non-LRU policies (audit). */
+    std::uint64_t
+    auditStamp(unsigned set, unsigned way) const
+    {
+        if (policy_ != ReplPolicy::LRU)
+            return 0;
+        return stamps_[static_cast<std::size_t>(set) * ways_ + way];
+    }
+
+    /** Current LRU tick — an upper bound on every stamp (audit). */
+    std::uint64_t auditTick() const { return tick_; }
+
   private:
     ReplPolicy policy_;
     unsigned ways_;
     Rng &rng_;
     std::uint64_t tick_ = 0;
     std::vector<std::uint64_t> stamps_; // numSets * ways (LRU only)
+
+    /** Test-only corruption hook for proving the auditor fires. */
+    friend struct AuditTap;
 };
 
 /**

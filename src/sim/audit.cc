@@ -1,0 +1,445 @@
+/**
+ * @file
+ * Definitions for the invariant auditor (sim/audit.hh). The per-
+ * subsystem auditInvariants() members are defined here, together,
+ * rather than in their subsystems' .cc files: the audit is one
+ * coherent reference model, and keeping every slow-path recomputation
+ * side by side makes it easy to review that the checks really do
+ * re-derive the fast-path structures from first principles.
+ */
+
+#include "sim/audit.hh"
+
+#include <algorithm>
+#include <iterator>
+#include <sstream>
+
+#include "cpu/core.hh"
+#include "cpu/isa.hh"
+#include "cpu/rob.hh"
+#include "memory/cache.hh"
+#include "memory/hierarchy.hh"
+
+namespace unxpec {
+
+namespace audit {
+
+namespace {
+
+Cycle g_period = 64;
+
+} // namespace
+
+Cycle
+period()
+{
+    return g_period;
+}
+
+void
+setPeriod(Cycle cycles)
+{
+    g_period = cycles == 0 ? 1 : cycles;
+}
+
+void
+fail(const char *component, Cycle now, const std::string &message)
+{
+    std::ostringstream out;
+    out << "audit[" << component << "] @cycle " << now << ": " << message;
+    throw AuditError(out.str());
+}
+
+std::string
+dumpList(const char *name, const std::vector<std::uint64_t> &values)
+{
+    std::ostringstream out;
+    out << name << "[" << values.size() << "] = {";
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        if (i != 0)
+            out << ", ";
+        if (values[i] == kSeqNone)
+            out << "none";
+        else
+            out << values[i];
+    }
+    out << "}";
+    return out.str();
+}
+
+namespace {
+
+/** Fail with both sides dumped when a side list diverges from the
+ *  full-scan reference. */
+void
+compareLists(const char *component, Cycle now, const char *name,
+             const std::vector<SeqNum> &expect,
+             const std::vector<SeqNum> &actual)
+{
+    if (expect == actual)
+        return;
+    fail(component, now,
+         std::string(name) + " side list diverged from full scan: " +
+             dumpList("expected", expect) + " vs " +
+             dumpList("actual", actual));
+}
+
+} // namespace
+
+} // namespace audit
+
+// --- ReorderBuffer ----------------------------------------------------
+
+void
+ReorderBuffer::auditInvariants(Cycle now) const
+{
+    const char *const who = "rob";
+
+    if (entries_.size() > capacity_)
+        audit::fail(who, now, "ROB over capacity");
+
+    // Reference model: one full scan over the fat entries recomputes
+    // every side list from the entry flags alone.
+    std::vector<SeqNum> unissued;
+    std::vector<SeqNum> outstanding;
+    std::vector<SeqNum> store_fences;
+    std::vector<SeqNum> pending_mem;
+    std::vector<SeqNum> unresolved;
+    unsigned mem_count = 0;
+
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        const RobEntry &entry = entries_[i];
+        if (entry.seq != entries_.front().seq + i) {
+            audit::fail(who, now,
+                        "non-consecutive seq at index " +
+                            std::to_string(i) + ": expected " +
+                            std::to_string(entries_.front().seq + i) +
+                            ", found " + std::to_string(entry.seq));
+        }
+        if (entry.done && !entry.issued) {
+            audit::fail(who, now,
+                        "entry " + std::to_string(entry.seq) +
+                            " done but never issued");
+        }
+        if (!entry.issued)
+            unissued.push_back(entry.seq);
+        else if (!entry.done)
+            outstanding.push_back(entry.seq);
+        const Opcode op = entry.inst.op;
+        if (isMem(op)) {
+            ++mem_count;
+            if (!entry.done)
+                pending_mem.push_back(entry.seq);
+        }
+        if (isStore(op) || op == Opcode::FENCE)
+            store_fences.push_back(entry.seq);
+        if (isCondBranch(op) && !entry.done)
+            unresolved.push_back(entry.seq);
+    }
+
+    // The issue and writeback candidate sets (and the gating inputs)
+    // must match the reference exactly — order included, since the
+    // pipeline loops rely on ascending-seq walks.
+    audit::compareLists(who, now, "unissued", unissued, unissued_);
+    audit::compareLists(who, now, "outstanding", outstanding, outstanding_);
+    audit::compareLists(who, now, "storeFences", store_fences, storeFences_);
+    audit::compareLists(who, now, "pendingMem", pending_mem, pendingMem_);
+    audit::compareLists(who, now, "unresolvedBranches", unresolved,
+                        unresolvedBranches_);
+    if (mem_count != memCount_) {
+        audit::fail(who, now,
+                    "memCount " + std::to_string(memCount_) +
+                        " != full-scan count " + std::to_string(mem_count));
+    }
+
+    // Query cross-check: the O(1) front-element answers must agree with
+    // the reference semantics for every in-flight seq.
+    unsigned older_branches = 0;
+    unsigned older_pending = 0;
+    for (const RobEntry &entry : entries_) {
+        if (olderUnresolvedBranch(entry.seq) != (older_branches > 0)) {
+            audit::fail(who, now,
+                        "olderUnresolvedBranch(" +
+                            std::to_string(entry.seq) +
+                            ") disagrees with full scan");
+        }
+        if (olderPendingMem(entry.seq) != (older_pending > 0)) {
+            audit::fail(who, now,
+                        "olderPendingMem(" + std::to_string(entry.seq) +
+                            ") disagrees with full scan");
+        }
+        if (isCondBranch(entry.inst.op) && !entry.done)
+            ++older_branches;
+        if (isMem(entry.inst.op) && !entry.done)
+            ++older_pending;
+    }
+}
+
+// --- Cache ------------------------------------------------------------
+
+void
+Cache::auditInvariants(Cycle now) const
+{
+    const std::string who_str = "cache:" + cfg_.name;
+    const char *const who = who_str.c_str();
+
+    for (unsigned set = 0; set < numSets_; ++set) {
+        std::vector<Addr> seen;
+        std::vector<std::uint64_t> stamps;
+        for (unsigned way = 0; way < cfg_.ways; ++way) {
+            const std::size_t idx =
+                static_cast<std::size_t>(set) * cfg_.ways + way;
+            const CacheLine &slot = lines_[idx];
+            const std::string where = " at set " + std::to_string(set) +
+                                      " way " + std::to_string(way);
+
+            // SoA mirror: the tag array probe() scans must agree with
+            // the line metadata it hands out pointers into.
+            const Addr expect_tag =
+                slot.valid ? slot.lineAddr : kAddrInvalid;
+            if (tags_[idx] != expect_tag) {
+                audit::fail(who, now,
+                            "tag array diverged from line metadata" +
+                                where + ": tag " +
+                                std::to_string(tags_[idx]) + ", line " +
+                                std::to_string(slot.lineAddr) +
+                                (slot.valid ? " (valid)" : " (invalid)"));
+            }
+            if (slot.valid != (slot.lineAddr != kAddrInvalid)) {
+                audit::fail(who, now,
+                            "valid bit inconsistent with lineAddr" + where);
+            }
+            if (!slot.valid) {
+                if (slot.speculative) {
+                    audit::fail(who, now,
+                                "invalid line marked speculative" + where);
+                }
+                continue;
+            }
+
+            // Placement: a resident line must live in the set its
+            // address indexes to (modulo or CEASER alike).
+            if (index_.set(slot.lineAddr) != set) {
+                audit::fail(who, now,
+                            "line " + std::to_string(slot.lineAddr) +
+                                " resident in set " + std::to_string(set) +
+                                " but indexes to set " +
+                                std::to_string(index_.set(slot.lineAddr)));
+            }
+            // Uniqueness: a duplicate tag makes the second copy
+            // unreachable to probe() — a ghost line.
+            if (std::find(seen.begin(), seen.end(), slot.lineAddr) !=
+                seen.end()) {
+                audit::fail(who, now,
+                            "duplicate tag " +
+                                std::to_string(slot.lineAddr) +
+                                " in set " + std::to_string(set) + ": " +
+                                audit::dumpList("resident", seen));
+            }
+            seen.push_back(slot.lineAddr);
+
+            // Speculative marking coherence (what rollback keys on).
+            if (slot.speculative && slot.installer == kSeqNone) {
+                audit::fail(who, now,
+                            "speculative line without installer" + where);
+            }
+            if (!slot.speculative && slot.installer != kSeqNone) {
+                audit::fail(who, now,
+                            "non-speculative line keeps installer " +
+                                std::to_string(slot.installer) + where);
+            }
+
+            if (repl_.policy() == ReplPolicy::LRU)
+                stamps.push_back(repl_.auditStamp(set, way));
+        }
+
+        // LRU recency stack: every valid way was touched at least once
+        // (stamp >= 1), no stamp outruns the global tick, and the
+        // stamps are pairwise distinct — i.e. they define a strict
+        // recency order (a permutation of the valid ways).
+        for (const std::uint64_t stamp : stamps) {
+            if (stamp == 0 || stamp > repl_.auditTick()) {
+                audit::fail(who, now,
+                            "LRU stamp out of range in set " +
+                                std::to_string(set) + ": " +
+                                audit::dumpList("stamps", stamps) +
+                                ", tick " +
+                                std::to_string(repl_.auditTick()));
+            }
+        }
+        std::vector<std::uint64_t> sorted = stamps;
+        std::sort(sorted.begin(), sorted.end());
+        if (std::adjacent_find(sorted.begin(), sorted.end()) !=
+            sorted.end()) {
+            audit::fail(who, now,
+                        "LRU stamps not a strict order in set " +
+                            std::to_string(set) + ": " +
+                            audit::dumpList("stamps", stamps));
+        }
+    }
+
+    // --- MSHR file ----------------------------------------------------
+    if (mshr_.inflight() > mshr_.capacity())
+        audit::fail(who, now, "MSHR file over capacity");
+    for (const MshrEntry &entry : mshr_.entries()) {
+        if (entry.lineAddr == kAddrInvalid)
+            audit::fail(who, now, "MSHR entry without a line address");
+        if (entry.targets == 0) {
+            audit::fail(who, now,
+                        "MSHR entry for line " +
+                            std::to_string(entry.lineAddr) +
+                            " has zero targets");
+        }
+        if (entry.speculative && entry.installer == kSeqNone) {
+            audit::fail(who, now,
+                        "speculative MSHR entry without installer (line " +
+                            std::to_string(entry.lineAddr) + ")");
+        }
+        if (entry.victimValid && entry.victimLine == kAddrInvalid) {
+            audit::fail(who, now,
+                        "MSHR entry claims a victim but records none "
+                        "(line " +
+                            std::to_string(entry.lineAddr) + ")");
+        }
+    }
+
+    // Fills in flight: a resident line whose fill has not landed was
+    // installed together with an MSHR allocation at the same ready
+    // cycle. The entry may be legitimately absent (the file was full,
+    // or this cache never allocates — the L1I), and stale entries for
+    // earlier residencies of the same line may linger before lazy
+    // release; but if any entry exists for the line, one of them must
+    // carry exactly the in-flight fill's arrival cycle.
+    for (std::size_t idx = 0; idx < lines_.size(); ++idx) {
+        const CacheLine &slot = lines_[idx];
+        if (!slot.valid || slot.fillCycle <= now)
+            continue;
+        bool any = false;
+        bool matched = false;
+        for (const MshrEntry &entry : mshr_.entries()) {
+            if (entry.lineAddr != slot.lineAddr)
+                continue;
+            any = true;
+            if (entry.readyCycle == slot.fillCycle)
+                matched = true;
+        }
+        if (any && !matched) {
+            audit::fail(who, now,
+                        "line " + std::to_string(slot.lineAddr) +
+                            " filling at cycle " +
+                            std::to_string(slot.fillCycle) +
+                            " has MSHR entries but none matches its "
+                            "arrival");
+        }
+    }
+}
+
+// --- MemoryHierarchy --------------------------------------------------
+
+void
+MemoryHierarchy::auditInvariants(Cycle now) const
+{
+    l1i_.auditInvariants(now);
+    l1d_.auditInvariants(now);
+    l2_.auditInvariants(now);
+}
+
+void
+MemoryHierarchy::auditRollbackComplete(SeqNum branch_seq, Cycle now) const
+{
+    const char *const who = "rollback";
+
+    // CleanupSpec completeness (§II-B, T5): the squash removed every
+    // ROB entry younger than the branch, and the rollback must have
+    // removed (or, on the unsafe baseline, at least unmarked) every
+    // speculative footprint those entries installed. Any surviving
+    // speculative marking from a squashed installer is leftover
+    // transient state the undo missed.
+    auto check_cache = [&](const Cache &cache) {
+        for (const CacheLine &slot : cache.lines_) {
+            if (slot.valid && slot.speculative &&
+                slot.installer != kSeqNone && slot.installer > branch_seq) {
+                audit::fail(
+                    who, now,
+                    "cache " + cache.config().name + ": line " +
+                        std::to_string(slot.lineAddr) +
+                        " still speculative for squashed installer " +
+                        std::to_string(slot.installer) +
+                        " (squashed everything younger than " +
+                        std::to_string(branch_seq) + ")");
+            }
+        }
+    };
+    check_cache(l1d_);
+    check_cache(l2_);
+
+    // The unsafe baseline performs no MSHR scrub by design; every real
+    // scheme must have purged squashed installers' entries (T3).
+    if (cfg_.cleanupMode == CleanupMode::UnsafeBaseline)
+        return;
+    auto check_mshr = [&](const Cache &cache) {
+        for (const MshrEntry &entry : cache.mshr().entries()) {
+            if (entry.speculative && entry.installer != kSeqNone &&
+                entry.installer > branch_seq) {
+                audit::fail(
+                    who, now,
+                    "cache " + cache.config().name + ": MSHR entry for "
+                        "line " +
+                        std::to_string(entry.lineAddr) +
+                        " still tracks squashed installer " +
+                        std::to_string(entry.installer));
+            }
+        }
+    };
+    check_mshr(l1d_);
+    check_mshr(l2_);
+}
+
+// --- Core -------------------------------------------------------------
+
+void
+Core::auditInvariants() const
+{
+    rob_.auditInvariants(now_);
+    hier_.auditInvariants(now_);
+    // LSQ occupancy model: dispatch back-pressures on this bound.
+    if (LoadStoreQueue::occupancy(rob_) > lsq_.capacity()) {
+        audit::fail("lsq", now_,
+                    "occupancy " +
+                        std::to_string(LoadStoreQueue::occupancy(rob_)) +
+                        " exceeds capacity " +
+                        std::to_string(lsq_.capacity()));
+    }
+}
+
+// --- CacheCheckpoint --------------------------------------------------
+
+CacheCheckpoint
+CacheCheckpoint::capture(const Cache &cache)
+{
+    CacheCheckpoint checkpoint;
+    checkpoint.resident_ = cache.residentLines();
+    return checkpoint;
+}
+
+void
+CacheCheckpoint::verifyRestored(const Cache &cache, Cycle now) const
+{
+    const std::vector<Addr> current = cache.residentLines();
+    if (current == resident_)
+        return;
+
+    // Both sides are sorted: set-difference each way for the dump.
+    std::vector<Addr> appeared;
+    std::set_difference(current.begin(), current.end(), resident_.begin(),
+                        resident_.end(), std::back_inserter(appeared));
+    std::vector<Addr> vanished;
+    std::set_difference(resident_.begin(), resident_.end(), current.begin(),
+                        current.end(), std::back_inserter(vanished));
+    audit::fail(("checkpoint:" + cache.config().name).c_str(), now,
+                "resident set differs from checkpoint: " +
+                    audit::dumpList("appeared", appeared) + ", " +
+                    audit::dumpList("vanished", vanished));
+}
+
+} // namespace unxpec

@@ -1,0 +1,315 @@
+/**
+ * @file
+ * Tests for the microarchitectural invariant auditor (sim/audit.hh).
+ * Every auditor must (a) stay silent on legitimately evolved state and
+ * (b) fire on deliberately corrupted state: a stale ROB side-list
+ * entry, a desynced or duplicated cache tag, an LRU stamp collision,
+ * an inconsistent MSHR entry, and an incomplete rollback. Corruption
+ * that the public API correctly refuses to produce is injected through
+ * the AuditTap friend hooks below.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cleanup/cleanup_engine.hh"
+#include "cleanup/spec_tracker.hh"
+#include "cpu/core.hh"
+#include "cpu/rob.hh"
+#include "memory/cache.hh"
+#include "memory/hierarchy.hh"
+#include "sim/audit.hh"
+
+namespace unxpec {
+
+/** Test-only corruption hooks (friend of the audited classes). */
+struct AuditTap
+{
+    /** Plant a stale seq in the unissued side list (funnel bypass). */
+    static void
+    injectUnissued(ReorderBuffer &rob, SeqNum seq)
+    {
+        rob.unissued_.push_back(seq);
+    }
+
+    /** Overwrite a raw tag slot, desyncing the SoA mirror. */
+    static void
+    smashTag(Cache &cache, unsigned set, unsigned way, Addr line_addr)
+    {
+        cache.tags_[static_cast<std::size_t>(set) * cache.cfg_.ways + way] =
+            line_addr;
+    }
+
+    /** LRU stamp of (set, way), via the cache's private state. */
+    static std::uint64_t
+    stamp(const Cache &cache, unsigned set, unsigned way)
+    {
+        return cache.repl_.auditStamp(set, way);
+    }
+
+    /** Force (set, way) to a chosen LRU stamp. */
+    static void
+    smashStamp(Cache &cache, unsigned set, unsigned way, std::uint64_t value)
+    {
+        cache.repl_
+            .stamps_[static_cast<std::size_t>(set) * cache.cfg_.ways + way] =
+            value;
+    }
+};
+
+namespace {
+
+CacheConfig
+lruConfig()
+{
+    CacheConfig cfg;
+    cfg.name = "audit-test";
+    cfg.sizeBytes = 4 * 1024; // 16 sets x 4 ways
+    cfg.ways = 4;
+    cfg.hitLatency = 2;
+    cfg.mshrs = 4;
+    cfg.repl = ReplPolicy::LRU;
+    return cfg;
+}
+
+RobEntry
+aluEntry(SeqNum seq)
+{
+    RobEntry entry;
+    entry.seq = seq;
+    entry.inst.op = Opcode::ADD;
+    return entry;
+}
+
+// --- period knob ------------------------------------------------------
+
+TEST(AuditPeriod, SetAndClampToOne)
+{
+    const Cycle saved = audit::period();
+    audit::setPeriod(128);
+    EXPECT_EQ(audit::period(), 128u);
+    audit::setPeriod(0); // zero would mean "audit never": clamp to 1
+    EXPECT_EQ(audit::period(), 1u);
+    audit::setPeriod(saved);
+}
+
+// --- ROB --------------------------------------------------------------
+
+TEST(RobAudit, CleanOnLegitimateState)
+{
+    ReorderBuffer rob(8);
+    rob.push(aluEntry(0));
+    rob.push(aluEntry(1));
+    rob.markIssued(*rob.find(0));
+    EXPECT_NO_THROW(rob.auditInvariants(1));
+}
+
+TEST(RobAudit, DetectsStaleSideListEntry)
+{
+    ReorderBuffer rob(8);
+    rob.push(aluEntry(0));
+    rob.push(aluEntry(1));
+    AuditTap::injectUnissued(rob, 7); // seq 7 was never dispatched
+    EXPECT_THROW(rob.auditInvariants(1), AuditError);
+}
+
+TEST(RobAudit, DetectsIssueFunnelBypass)
+{
+    ReorderBuffer rob(8);
+    rob.push(aluEntry(0));
+    rob.push(aluEntry(1));
+    // Flipping the flag directly leaves seq 0 on the unissued list —
+    // exactly the desync markIssued() exists to prevent.
+    rob.find(0)->issued = true;
+    EXPECT_THROW(rob.auditInvariants(1), AuditError);
+}
+
+TEST(RobAudit, CleanAcrossSquash)
+{
+    ReorderBuffer rob(8);
+    for (SeqNum seq = 0; seq < 6; ++seq) {
+        RobEntry entry = aluEntry(seq);
+        if (seq == 2)
+            entry.inst.op = Opcode::BEQ;
+        rob.push(std::move(entry));
+    }
+    rob.squashYoungerThan(2);
+    EXPECT_NO_THROW(rob.auditInvariants(1));
+}
+
+// --- Cache ------------------------------------------------------------
+
+TEST(CacheAudit, CleanAfterInstallsAndEvictions)
+{
+    Rng rng(1);
+    Cache cache(lruConfig(), rng, 0);
+    const unsigned sets = cache.config().numSets();
+    // Overfill one set so evictions and LRU churn both happen.
+    for (unsigned i = 0; i < 6; ++i)
+        cache.install(0x4000 + i * sets * kLineBytes, 0, false, kSeqNone);
+    cache.touch(0x4000 + 5 * sets * kLineBytes);
+    EXPECT_NO_THROW(cache.auditInvariants(10));
+}
+
+TEST(CacheAudit, DetectsTagMirrorDesync)
+{
+    Rng rng(1);
+    Cache cache(lruConfig(), rng, 0);
+    const FillResult fill = cache.install(0x4000, 0, false, kSeqNone);
+    AuditTap::smashTag(cache, fill.set, fill.way, 0x8000);
+    EXPECT_THROW(cache.auditInvariants(1), AuditError);
+}
+
+TEST(CacheAudit, DetectsDuplicateTagInSet)
+{
+    Rng rng(1);
+    Cache cache(lruConfig(), rng, 0);
+    const FillResult fill = cache.install(0x4000, 0, false, kSeqNone);
+    // A second copy of the same line in another way is a ghost line:
+    // probe() can only ever reach the first one.
+    cache.installAt(fill.set, fill.way + 1, 0x4000, false, 0);
+    EXPECT_THROW(cache.auditInvariants(1), AuditError);
+}
+
+TEST(CacheAudit, DetectsLruStampCollision)
+{
+    Rng rng(1);
+    Cache cache(lruConfig(), rng, 0);
+    const unsigned sets = cache.config().numSets();
+    const FillResult a = cache.install(0x4000, 0, false, kSeqNone);
+    const FillResult b =
+        cache.install(0x4000 + sets * kLineBytes, 0, false, kSeqNone);
+    ASSERT_EQ(a.set, b.set);
+    AuditTap::smashStamp(cache, b.set, b.way,
+                         AuditTap::stamp(cache, a.set, a.way));
+    EXPECT_THROW(cache.auditInvariants(1), AuditError);
+}
+
+TEST(CacheAudit, DetectsSpeculativeMshrEntryWithoutInstaller)
+{
+    Rng rng(1);
+    Cache cache(lruConfig(), rng, 0);
+    cache.mshr().allocate(0x4000, 100, true, kSeqNone);
+    EXPECT_THROW(cache.auditInvariants(1), AuditError);
+}
+
+TEST(CacheAudit, DetectsZeroTargetMshrEntry)
+{
+    Rng rng(1);
+    Cache cache(lruConfig(), rng, 0);
+    MshrEntry &entry = cache.mshr().allocate(0x4000, 100, false, kSeqNone);
+    entry.targets = 0;
+    EXPECT_THROW(cache.auditInvariants(1), AuditError);
+}
+
+TEST(CacheAudit, AcceptsInFlightFillWithMatchingMshrEntry)
+{
+    Rng rng(1);
+    Cache cache(lruConfig(), rng, 0);
+    cache.install(0x4000, 100, true, 3);
+    cache.mshr().allocate(0x4000, 100, true, 3);
+    EXPECT_NO_THROW(cache.auditInvariants(1)); // fill lands at 100 > 1
+}
+
+TEST(CacheAudit, DetectsInFlightFillWithMismatchedMshrEntry)
+{
+    Rng rng(1);
+    Cache cache(lruConfig(), rng, 0);
+    cache.install(0x4000, 100, true, 3);
+    cache.mshr().allocate(0x4000, 55, true, 3); // arrival desynced
+    EXPECT_THROW(cache.auditInvariants(1), AuditError);
+}
+
+// --- rollback completeness -------------------------------------------
+
+class RollbackAuditTest : public ::testing::Test
+{
+  protected:
+    RollbackAuditTest()
+        : cfg_(SystemConfig::makeDefault()), rng_(1), hier_(cfg_, rng_)
+    {
+    }
+
+    SystemConfig cfg_;
+    Rng rng_;
+    MemoryHierarchy hier_;
+};
+
+TEST_F(RollbackAuditTest, DetectsLeftoverSpeculativeLine)
+{
+    // A speculative install by (squashed) seq 10 that nobody undoes.
+    hier_.access(0x4000, 0, false, true, 10);
+    EXPECT_THROW(hier_.auditRollbackComplete(5, 0), AuditError);
+}
+
+TEST_F(RollbackAuditTest, PassesAfterRealCleanup)
+{
+    const MemAccessRecord record = hier_.access(0x4000, 0, false, true, 10);
+    const Cycle squash = record.ready + 1; // fill landed: T5 path
+    const CleanupJob job = SpecTracker::buildJob(squash, {record});
+    CleanupEngine engine(CleanupMode::Cleanup_FOR_L1L2, cfg_.cleanupTiming,
+                         rng_);
+    engine.rollback(hier_, job, 0);
+    EXPECT_NO_THROW(hier_.auditRollbackComplete(5, squash));
+    EXPECT_NO_THROW(hier_.auditInvariants(squash));
+}
+
+TEST_F(RollbackAuditTest, PassesForOlderInFlightSpeculation)
+{
+    // Speculative install by seq 3, older than the squashed branch at
+    // seq 5: it survives the squash and must not trip the audit.
+    hier_.access(0x4000, 0, false, true, 3);
+    EXPECT_NO_THROW(hier_.auditRollbackComplete(5, 0));
+}
+
+TEST_F(RollbackAuditTest, CheckpointProvesRollbackRestoredTagState)
+{
+    const CacheCheckpoint before = CacheCheckpoint::capture(hier_.l1d());
+    const MemAccessRecord record = hier_.access(0x4000, 0, false, true, 10);
+    const Cycle squash = record.ready + 1;
+    const CleanupJob job = SpecTracker::buildJob(squash, {record});
+    CleanupEngine engine(CleanupMode::Cleanup_FOR_L1L2, cfg_.cleanupTiming,
+                         rng_);
+    engine.rollback(hier_, job, 0);
+    EXPECT_NO_THROW(before.verifyRestored(hier_.l1d(), squash));
+}
+
+TEST_F(RollbackAuditTest, CheckpointDetectsIncompleteRollback)
+{
+    const CacheCheckpoint before = CacheCheckpoint::capture(hier_.l1d());
+    const MemAccessRecord record = hier_.access(0x4000, 0, false, true, 10);
+    const Cycle squash = record.ready + 1;
+    const CleanupJob job = SpecTracker::buildJob(squash, {record});
+    // The unsafe baseline deliberately skips the undo: the transient
+    // footprint persists — which is exactly what the checkpoint (and
+    // the unXpec receiver) can see.
+    CleanupEngine engine(CleanupMode::UnsafeBaseline, cfg_.cleanupTiming,
+                         rng_);
+    engine.rollback(hier_, job, 0);
+    EXPECT_THROW(before.verifyRestored(hier_.l1d(), squash), AuditError);
+}
+
+// --- whole machine ----------------------------------------------------
+
+TEST(CoreAudit, CleanAfterSpeculativeRunWithSquashes)
+{
+    Core core(SystemConfig::makeDefault());
+    // The classic transient-execution shape: a slow-resolving bound
+    // check mispredicted around a wrong-path write (core_test.cc).
+    ProgramBuilder b;
+    const Addr bound = b.alloc(64);
+    b.initWord64(bound, 10);
+    const int skip = b.label();
+    b.li(1, 50);
+    b.li(5, static_cast<std::int64_t>(bound));
+    b.clflush(5, 0);
+    b.load(2, 5, 0);
+    b.bge(1, 2, skip);
+    b.li(3, 0xBAD);
+    b.bind(skip);
+    b.halt();
+    core.run(b.build());
+    EXPECT_NO_THROW(core.auditInvariants());
+}
+
+} // namespace
+} // namespace unxpec

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * CLI error-path tests for the shared harness front end
+ * (harness/cli.hh). Every malformed invocation must fail through
+ * fatal() — exit code 1 with a clear "fatal: ..." diagnostic on stderr
+ * — never crash, hang, or silently misparse. Exercised as gtest death
+ * tests so the exit path itself (not just the message formatting) is
+ * what is verified.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/cli.hh"
+
+namespace unxpec {
+namespace {
+
+/** Run cli.parse() over a brace-list of arguments (argv[0] included). */
+template <std::size_t N>
+HarnessOptions
+parseArgs(const HarnessCli &cli, const char *(&&argv)[N])
+{
+    return cli.parse(static_cast<int>(N), const_cast<char **>(argv));
+}
+
+HarnessCli
+makeCli()
+{
+    HarnessCli cli("cli_test", "CLI error-path test harness");
+    cli.scaleOption("problem size", 16);
+    return cli;
+}
+
+// --- numeric flags ------------------------------------------------------
+
+TEST(CliErrorTest, NonNumericRepsIsFatal)
+{
+    const HarnessCli cli = makeCli();
+    EXPECT_EXIT(parseArgs(cli, {"cli_test", "--reps", "ten"}),
+                ::testing::ExitedWithCode(1),
+                "fatal: --reps expects a non-negative integer, got 'ten'");
+}
+
+TEST(CliErrorTest, ZeroRepsIsFatal)
+{
+    const HarnessCli cli = makeCli();
+    EXPECT_EXIT(parseArgs(cli, {"cli_test", "--reps", "0"}),
+                ::testing::ExitedWithCode(1), "fatal: --reps must be >= 1");
+}
+
+TEST(CliErrorTest, NegativeRepsIsFatal)
+{
+    // '-' is not a digit: a negative count must be rejected as
+    // non-numeric rather than wrapping around through strtoull.
+    const HarnessCli cli = makeCli();
+    EXPECT_EXIT(parseArgs(cli, {"cli_test", "--reps", "-3"}),
+                ::testing::ExitedWithCode(1),
+                "fatal: --reps expects a non-negative integer, got '-3'");
+}
+
+TEST(CliErrorTest, NonNumericSeedIsFatal)
+{
+    const HarnessCli cli = makeCli();
+    EXPECT_EXIT(parseArgs(cli, {"cli_test", "--seed", "0x12"}),
+                ::testing::ExitedWithCode(1),
+                "fatal: --seed expects a non-negative integer, got '0x12'");
+}
+
+TEST(CliErrorTest, NonNumericThreadsIsFatal)
+{
+    const HarnessCli cli = makeCli();
+    EXPECT_EXIT(parseArgs(cli, {"cli_test", "--threads", "many"}),
+                ::testing::ExitedWithCode(1),
+                "fatal: --threads expects a non-negative integer, "
+                "got 'many'");
+}
+
+TEST(CliErrorTest, NonNumericScaleIsFatal)
+{
+    const HarnessCli cli = makeCli();
+    EXPECT_EXIT(parseArgs(cli, {"cli_test", "--scale", "big"}),
+                ::testing::ExitedWithCode(1),
+                "fatal: --scale expects a non-negative integer, got 'big'");
+}
+
+// --- registry lookups ---------------------------------------------------
+
+TEST(CliErrorTest, UnknownModeIsFatal)
+{
+    const HarnessCli cli = makeCli();
+    EXPECT_EXIT(parseArgs(cli, {"cli_test", "--mode", "quantum"}),
+                ::testing::ExitedWithCode(1),
+                "fatal: unknown --mode 'quantum' \\(see --list-modes\\)");
+}
+
+TEST(CliErrorTest, UnknownNoiseIsFatal)
+{
+    const HarnessCli cli = makeCli();
+    EXPECT_EXIT(parseArgs(cli, {"cli_test", "--noise", "brownian"}),
+                ::testing::ExitedWithCode(1),
+                "fatal: unknown --noise 'brownian' \\(see --list-modes\\)");
+}
+
+TEST(CliErrorTest, KnownModeStillParses)
+{
+    // Guard against the error path over-matching: the registry names
+    // used across the bench programs must keep working.
+    const HarnessCli cli = makeCli();
+    const HarnessOptions opt =
+        parseArgs(cli, {"cli_test", "--mode", "unsafe"});
+    EXPECT_EQ(opt.mode, "unsafe");
+}
+
+// --- trace categories ---------------------------------------------------
+
+TEST(CliErrorTest, MalformedTraceCategoriesIsFatal)
+{
+    const HarnessCli cli = makeCli();
+    EXPECT_EXIT(parseArgs(cli,
+                          {"cli_test", "--trace-categories", "cpu,bogus"}),
+                ::testing::ExitedWithCode(1),
+                "fatal: unknown trace category 'bogus' \\(expected cpu, "
+                "cache, cleanup, branch, or all\\)");
+}
+
+TEST(CliErrorTest, ValidTraceCategoriesParse)
+{
+    const HarnessCli cli = makeCli();
+    const HarnessOptions opt =
+        parseArgs(cli, {"cli_test", "--trace-categories", "cpu,cache"});
+    EXPECT_NE(opt.traceCategories, 0u);
+}
+
+// --- argument shape -----------------------------------------------------
+
+TEST(CliErrorTest, MissingValueIsFatal)
+{
+    const HarnessCli cli = makeCli();
+    EXPECT_EXIT(parseArgs(cli, {"cli_test", "--seed"}),
+                ::testing::ExitedWithCode(1),
+                "fatal: --seed expects a value \\(see --help\\)");
+}
+
+TEST(CliErrorTest, UnknownArgumentIsFatal)
+{
+    const HarnessCli cli = makeCli();
+    EXPECT_EXIT(parseArgs(cli, {"cli_test", "--frobnicate"}),
+                ::testing::ExitedWithCode(1),
+                "fatal: unknown argument '--frobnicate'");
+}
+
+TEST(CliErrorTest, StrayPositionalAfterScaleIsFatal)
+{
+    // Only one positional scale is accepted; a second one is an error,
+    // not a silent overwrite.
+    const HarnessCli cli = makeCli();
+    EXPECT_EXIT(parseArgs(cli, {"cli_test", "42", "43"}),
+                ::testing::ExitedWithCode(1),
+                "fatal: unknown argument '43'");
+}
+
+} // namespace
+} // namespace unxpec

@@ -77,9 +77,9 @@ INSTANTIATE_TEST_SUITE_P(
     FootprintSweep, RollbackFootprintTest,
     ::testing::Combine(::testing::Values(1u, 2u, 4u, 8u),
                        ::testing::Bool()),
-    [](const ::testing::TestParamInfo<FootprintParams> &info) {
-        return "loads" + std::to_string(std::get<0>(info.param)) +
-               (std::get<1>(info.param) ? "_evset" : "_plain");
+    [](const ::testing::TestParamInfo<FootprintParams> &param_info) {
+        return "loads" + std::to_string(std::get<0>(param_info.param)) +
+               (std::get<1>(param_info.param) ? "_evset" : "_plain");
     });
 
 // --------------------------------------------------------------------
