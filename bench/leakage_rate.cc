@@ -59,15 +59,28 @@ main(int argc, char **argv)
 
     TextTable table({"variant", "mistrain iters", "cycles/sample",
                      "samples/s", "Kbps (1 sample/bit)"});
+    unsigned censored = 0, missing = 0;
     for (const ResultRow &row : result.rows) {
-        const double rate = row.mean("samples_per_sec");
-        table.addRow({row.param("evset") != 0 ? "eviction sets" : "plain",
-                      TextTable::num(row.param("mistrain"), 0),
-                      TextTable::num(row.mean("cycles_per_sample"), 0),
-                      TextTable::num(rate, 0),
-                      TextTable::num(rate / 1000.0)});
+        censored += row.censoredTrials;
+        missing += row.missingTrials;
+        // A row can lose every trial to censoring or a dead shard; its
+        // metrics are then absent, not zero.
+        const MetricSeries *cycles = row.metric("cycles_per_sample");
+        const MetricSeries *rate = row.metric("samples_per_sec");
+        table.addRow(
+            {row.param("evset") != 0 ? "eviction sets" : "plain",
+             TextTable::num(row.param("mistrain"), 0),
+             cycles ? TextTable::num(cycles->summary.mean, 0) : "n/a",
+             rate ? TextTable::num(rate->summary.mean, 0) : "n/a",
+             rate ? TextTable::num(rate->summary.mean / 1000.0) : "n/a"});
     }
     table.print(std::cout);
+    if (censored > 0)
+        std::cout << "\n(" << censored
+                  << " censored trials excluded from the means)\n";
+    if (result.incomplete)
+        std::cout << "\nWARNING: campaign incomplete — " << missing
+                  << " trials never finished; rates above are partial.\n";
 
     std::cout << "\nBoth variants sample at the same rate (priming is "
                  "amortized: rollback re-primes the sets).\n"

@@ -6,11 +6,19 @@
 #   $ scripts/reproduce_figures.sh            # full-size runs
 #   $ SCALE=quick scripts/reproduce_figures.sh  # ~1 min smoke version
 #
+# Every bench journals its trials to OUT_DIR/<name>.campaign.jsonl;
+# if the script is killed, rerun with RESUME=1 to pick up each figure
+# where it left off (finished figures recompute nothing).
+#
 # Environment:
 #   BUILD_DIR  build tree with compiled benches (default: build)
 #   OUT_DIR    artifact directory               (default: results)
 #   THREADS    trial-pool width, 0 = hardware   (default: 0)
 #   SCALE      "full" (paper sizes) or "quick"  (default: full)
+#   CAMPAIGN   1 = journal each bench's trials  (default: 1)
+#   RESUME     1 = resume from existing journals (default: 0)
+#   SHARDS     crash-isolated subprocess workers per bench (default: 1)
+#   RETRIES    retry budget for censored trials / crashed shards (default: 2)
 
 set -euo pipefail
 
@@ -18,6 +26,10 @@ BUILD_DIR=${BUILD_DIR:-build}
 OUT_DIR=${OUT_DIR:-results}
 THREADS=${THREADS:-0}
 SCALE=${SCALE:-full}
+CAMPAIGN=${CAMPAIGN:-1}
+RESUME=${RESUME:-0}
+SHARDS=${SHARDS:-1}
+RETRIES=${RETRIES:-2}
 
 BENCH="$BUILD_DIR/bench"
 if [ ! -x "$BENCH/fig03_timing_difference" ]; then
@@ -26,14 +38,26 @@ if [ ! -x "$BENCH/fig03_timing_difference" ]; then
 fi
 mkdir -p "$OUT_DIR"
 
-# run <name> [extra args...] — one harness bench to text + JSON + CSV.
+# run <name> [extra args...] — one harness bench to text + JSON + CSV,
+# journaled to a per-figure campaign manifest when CAMPAIGN=1.
 run() {
     local name=$1
     shift
+    local args=("$@" --threads "$THREADS" --retries "$RETRIES"
+                --json "$OUT_DIR/$name.json" --csv "$OUT_DIR/$name.csv")
+    if [ "$SHARDS" -gt 1 ]; then
+        args+=(--shards "$SHARDS")
+    fi
+    if [ "$CAMPAIGN" = 1 ]; then
+        local manifest="$OUT_DIR/$name.campaign.jsonl"
+        if [ "$RESUME" = 1 ] && [ -f "$manifest" ]; then
+            args+=(--resume "$manifest")
+        else
+            args+=(--campaign "$manifest")
+        fi
+    fi
     echo "==> $name $*"
-    "$BENCH/$name" "$@" --threads "$THREADS" \
-        --json "$OUT_DIR/$name.json" --csv "$OUT_DIR/$name.csv" \
-        | tee "$OUT_DIR/$name.txt"
+    "$BENCH/$name" "${args[@]}" | tee "$OUT_DIR/$name.txt"
     echo
 }
 

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <fstream>
 #include <limits>
+#include <locale>
 #include <sstream>
 
 #include "sim/log.hh"
@@ -11,16 +12,37 @@ namespace unxpec {
 
 namespace {
 
+/**
+ * Full round-trip-precision decimal rendering, pinned to the classic
+ * locale so the artifact format survives LC_NUMERIC=de_DE (where the
+ * global locale would print a decimal *comma* and group digits).
+ */
+std::string
+numToString(double value)
+{
+    std::ostringstream oss;
+    oss.imbue(std::locale::classic());
+    oss.precision(std::numeric_limits<double>::max_digits10);
+    oss << value;
+    return oss.str();
+}
+
 /** JSON number: full round-trip precision, null when non-finite. */
 std::string
 jsonNum(double value)
 {
     if (!std::isfinite(value))
         return "null";
-    std::ostringstream oss;
-    oss.precision(std::numeric_limits<double>::max_digits10);
-    oss << value;
-    return oss.str();
+    return numToString(value);
+}
+
+/** CSV number: full round-trip precision, empty cell when non-finite. */
+std::string
+csvNum(double value)
+{
+    if (!std::isfinite(value))
+        return "";
+    return numToString(value);
 }
 
 std::string
@@ -48,11 +70,11 @@ jsonStr(const std::string &s)
     return out;
 }
 
-/** CSV cell: quote when it contains separators or quotes. */
+/** CSV cell: quote when it contains separators, quotes, or newlines. */
 std::string
 csvCell(const std::string &s)
 {
-    if (s.find_first_of(",\"\n") == std::string::npos)
+    if (s.find_first_of(",\"\n\r") == std::string::npos)
         return s;
     std::string out = "\"";
     for (const char c : s) {
@@ -150,14 +172,17 @@ void
 writeJson(std::ostream &os, const ExperimentResult &result,
           bool includeValues)
 {
+    const std::locale prev = os.imbue(std::locale::classic());
     os << "{\n";
-    os << "  \"schema\": \"unxpec-experiment-v1\",\n";
+    os << "  \"schema\": \"unxpec-experiment-v2\",\n";
     os << "  \"experiment\": " << jsonStr(result.experiment) << ",\n";
     os << "  \"description\": " << jsonStr(result.description) << ",\n";
     os << "  \"master_seed\": " << result.masterSeed << ",\n";
     os << "  \"reps\": " << result.reps << ",\n";
     os << "  \"threads\": " << result.threads << ",\n";
     os << "  \"mode\": " << jsonStr(result.mode) << ",\n";
+    os << "  \"incomplete\": " << (result.incomplete ? "true" : "false")
+       << ",\n";
     os << "  \"rows\": [";
     for (std::size_t r = 0; r < result.rows.size(); ++r) {
         const ResultRow &row = result.rows[r];
@@ -168,13 +193,19 @@ writeJson(std::ostream &os, const ExperimentResult &result,
             os << (p == 0 ? "" : ", ") << jsonStr(row.params[p].first)
                << ": " << jsonNum(row.params[p].second);
         }
-        os << "},\n      \"metrics\": {";
+        os << "},\n";
+        os << "      \"trials\": " << row.trials
+           << ", \"censored_trials\": " << row.censoredTrials
+           << ", \"retried_trials\": " << row.retriedTrials
+           << ", \"missing_trials\": " << row.missingTrials << ",\n";
+        os << "      \"metrics\": {";
         for (std::size_t m = 0; m < row.metrics.size(); ++m) {
             const auto &[name, series] = row.metrics[m];
             const Summary &s = series.summary;
             os << (m == 0 ? "\n" : ",\n");
             os << "        " << jsonStr(name) << ": {"
                << "\"count\": " << s.count
+               << ", \"nonfinite\": " << s.nonfinite
                << ", \"mean\": " << jsonNum(s.mean)
                << ", \"stddev\": " << jsonNum(s.stddev)
                << ", \"min\": " << jsonNum(s.min)
@@ -193,6 +224,7 @@ writeJson(std::ostream &os, const ExperimentResult &result,
         os << (row.metrics.empty() ? "}" : "\n      }") << "\n    }";
     }
     os << (result.rows.empty() ? "]" : "\n  ]") << "\n}\n";
+    os.imbue(prev);
 }
 
 void
@@ -201,42 +233,43 @@ writeCsv(std::ostream &os, const ExperimentResult &result)
     if (result.rows.empty())
         return;
 
+    const std::locale prev = os.imbue(std::locale::classic());
+
     // Header from the first row's shape; later rows are looked up by
     // name so sparse metrics simply leave empty cells.
     const ResultRow &first = result.rows.front();
     os << "label";
     for (const auto &[key, value] : first.params)
         os << "," << csvCell(key);
+    os << ",trials,censored_trials,retried_trials,missing_trials";
     for (const auto &[name, series] : first.metrics) {
         os << "," << csvCell(name + ":mean") << ","
            << csvCell(name + ":stddev") << "," << csvCell(name + ":count");
     }
     os << "\n";
 
-    std::ostringstream num;
-    num.precision(std::numeric_limits<double>::max_digits10);
     for (const ResultRow &row : result.rows) {
         os << csvCell(row.label);
         for (const auto &[key, unused] : first.params) {
-            num.str("");
-            num << row.param(key, std::numeric_limits<double>::quiet_NaN());
-            os << "," << num.str();
+            os << ","
+               << csvNum(row.param(
+                      key, std::numeric_limits<double>::quiet_NaN()));
         }
+        os << "," << row.trials << "," << row.censoredTrials << ","
+           << row.retriedTrials << "," << row.missingTrials;
         for (const auto &[name, unused] : first.metrics) {
             const MetricSeries *series = row.metric(name);
             if (series == nullptr) {
                 os << ",,,";
                 continue;
             }
-            num.str("");
-            num << series->summary.mean;
-            os << "," << num.str();
-            num.str("");
-            num << series->summary.stddev;
-            os << "," << num.str() << "," << series->summary.count;
+            os << "," << csvNum(series->summary.mean) << ","
+               << csvNum(series->summary.stddev) << ","
+               << series->summary.count;
         }
         os << "\n";
     }
+    os.imbue(prev);
 }
 
 bool

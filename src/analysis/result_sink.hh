@@ -4,9 +4,17 @@
  * aggregates its trials into an ExperimentResult — a list of rows, one
  * per experiment point, each carrying ordered parameters and metric
  * sample vectors with summary statistics — and emits it as JSON
- * (schema "unxpec-experiment-v1") and/or CSV alongside the existing
+ * (schema "unxpec-experiment-v2") and/or CSV alongside the existing
  * TextTable output, so every figure produces an artifact that later
  * runs and CI can diff and track.
+ *
+ * Schema v2 (fault-tolerant campaigns) extends v1 with trial
+ * accounting: a top-level "incomplete" flag (true when a sharded
+ * campaign gave up on some trials), per-row "trials" /
+ * "censored_trials" / "retried_trials" / "missing_trials" counts, and
+ * a per-metric "nonfinite" count of NaN/Inf samples the summary
+ * statistics skipped. v1 consumers that index rows[].metrics by name
+ * keep working unchanged — v2 only adds fields.
  */
 
 #ifndef UNXPEC_ANALYSIS_RESULT_SINK_HH
@@ -40,6 +48,13 @@ struct ResultRow
     /** Ordered named metrics. */
     std::vector<std::pair<std::string, MetricSeries>> metrics;
 
+    // Trial accounting (schema v2): how many of the row's planned
+    // trials actually contributed to the metrics above.
+    unsigned trials = 0;         //!< completed and contributing
+    unsigned censoredTrials = 0; //!< timed out / truncated, excluded
+    unsigned retriedTrials = 0;  //!< contributing trials that needed a retry
+    unsigned missingTrials = 0;  //!< never completed (crashed shard)
+
     /** Metric by name; nullptr when absent. */
     const MetricSeries *metric(const std::string &name) const;
     /** Mean of a metric; fatal() when the metric is absent. */
@@ -59,6 +74,12 @@ struct ExperimentResult
     unsigned reps = 1;
     unsigned threads = 1;
     std::string mode;           //!< defense registry key (or "mixed")
+    /**
+     * True when the campaign gave up on some trials (crashed shards
+     * past the retry budget): the rows are partial results, flagged
+     * rather than silently dropped.
+     */
+    bool incomplete = false;
     std::vector<ResultRow> rows;
 
     /** Row by index; fatal() when out of range. */
@@ -72,11 +93,17 @@ struct ExperimentResult
  * Emit the result as JSON. `includeValues` controls whether raw
  * per-trial vectors accompany the summaries (they dominate file size
  * for sample-heavy experiments). Non-finite numbers become null.
+ * Number formatting is locale-independent (classic "C" locale)
+ * regardless of the global locale.
  */
 void writeJson(std::ostream &os, const ExperimentResult &result,
                bool includeValues = true);
 
-/** Emit one line per row: params then mean/stddev/count per metric. */
+/**
+ * Emit one line per row: params and trial counts, then
+ * mean/stddev/count per metric. Non-finite numbers become empty cells;
+ * formatting is locale-independent like writeJson.
+ */
 void writeCsv(std::ostream &os, const ExperimentResult &result);
 
 /**

@@ -2,14 +2,32 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 namespace unxpec {
+
+namespace {
+
+/** Drop NaN/Inf in place; returns how many samples were removed. */
+std::size_t
+dropNonFinite(std::vector<double> &samples)
+{
+    const std::size_t before = samples.size();
+    samples.erase(std::remove_if(samples.begin(), samples.end(),
+                                 [](double v) { return !std::isfinite(v); }),
+                  samples.end());
+    return before - samples.size();
+}
+
+} // namespace
 
 double
 Summary::percentile(std::vector<double> samples, double q)
 {
     if (samples.empty())
         return 0.0;
+    if (dropNonFinite(samples) > 0 && samples.empty())
+        return std::numeric_limits<double>::quiet_NaN();
     std::sort(samples.begin(), samples.end());
     const double pos = q * (samples.size() - 1);
     const std::size_t lo = static_cast<std::size_t>(pos);
@@ -22,28 +40,39 @@ Summary
 Summary::of(const std::vector<double> &samples)
 {
     Summary s;
-    s.count = samples.size();
     if (samples.empty())
         return s;
 
+    std::vector<double> finite = samples;
+    s.nonfinite = dropNonFinite(finite);
+    s.count = finite.size();
+    if (finite.empty()) {
+        // Samples existed but none were usable: statistics are
+        // undefined, not zero — NaN renders as null/empty downstream.
+        const double nan = std::numeric_limits<double>::quiet_NaN();
+        s.mean = s.stddev = s.min = s.max = nan;
+        s.median = s.p25 = s.p75 = nan;
+        return s;
+    }
+
     double sum = 0.0;
-    s.min = s.max = samples.front();
-    for (const double v : samples) {
+    s.min = s.max = finite.front();
+    for (const double v : finite) {
         sum += v;
         s.min = std::min(s.min, v);
         s.max = std::max(s.max, v);
     }
-    s.mean = sum / samples.size();
+    s.mean = sum / finite.size();
 
     double sq = 0.0;
-    for (const double v : samples)
+    for (const double v : finite)
         sq += (v - s.mean) * (v - s.mean);
-    s.stddev = samples.size() > 1
-        ? std::sqrt(sq / (samples.size() - 1)) : 0.0;
+    s.stddev = finite.size() > 1
+        ? std::sqrt(sq / (finite.size() - 1)) : 0.0;
 
-    s.median = percentile(samples, 0.5);
-    s.p25 = percentile(samples, 0.25);
-    s.p75 = percentile(samples, 0.75);
+    s.median = percentile(finite, 0.5);
+    s.p25 = percentile(finite, 0.25);
+    s.p75 = percentile(finite, 0.75);
     return s;
 }
 

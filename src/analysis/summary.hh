@@ -11,10 +11,19 @@
 
 namespace unxpec {
 
-/** Summary statistics of a sample vector. */
+/**
+ * Summary statistics of a sample vector. Non-finite samples (NaN/Inf
+ * — e.g. a metric computed from a censored or degenerate trial) are
+ * skipped rather than poisoning every moment: the statistics cover the
+ * finite subset, `count` is the number of finite samples, and
+ * `nonfinite` reports how many were skipped. A vector with samples but
+ * no finite ones yields NaN statistics (count 0), which the JSON/CSV
+ * emitters render as null / an empty cell.
+ */
 struct Summary
 {
-    std::size_t count = 0;
+    std::size_t count = 0;      //!< finite samples summarized
+    std::size_t nonfinite = 0;  //!< NaN/Inf samples skipped
     double mean = 0.0;
     double stddev = 0.0;
     double min = 0.0;
@@ -26,7 +35,11 @@ struct Summary
     /** Compute all fields for `samples`. */
     static Summary of(const std::vector<double> &samples);
 
-    /** Linear-interpolated percentile (q in [0, 1]) of `samples`. */
+    /**
+     * Linear-interpolated percentile (q in [0, 1]) of the finite
+     * subset of `samples`; NaN when no finite sample exists but the
+     * input is non-empty, 0.0 for an empty input.
+     */
     static double percentile(std::vector<double> samples, double q);
 };
 

@@ -59,8 +59,20 @@ Core::reset(std::uint64_t seed)
     interruptProb_ = 0.0;
     interruptMin_ = 0;
     interruptMax_ = 0;
+    budgetSet_ = false;
+    budgetRemaining_ = 0;
+    budgetWarned_ = false;
+    limitTripped_ = false;
     trace_ = nullptr;
     setEventTrace(nullptr);
+}
+
+void
+Core::setCycleBudget(std::uint64_t cycles)
+{
+    budgetSet_ = cycles > 0;
+    budgetRemaining_ = cycles;
+    budgetWarned_ = false;
 }
 
 void
@@ -109,15 +121,34 @@ Core::run(const Program &program, const RunOptions &options)
 
     RunResult result;
 
+    // The effective per-run limit is the tighter of the per-run safety
+    // valve and what remains of the trial's cycle budget (watchdog).
+    const std::uint64_t max_cycles = budgetSet_
+        ? std::min(options.maxCycles, budgetRemaining_)
+        : options.maxCycles;
+    const bool budget_binding = budgetSet_ && budgetRemaining_ <
+        options.maxCycles;
+
     while (!halted_ && committed_ < options.maxInstructions) {
-        if (now_ - run_start >= options.maxCycles) {
+        if (now_ - run_start >= max_cycles) {
             result.cycleLimitReached = true;
-            warn("Core::run: cycle budget exhausted after ",
-                 options.maxCycles, " cycles with only ", committed_,
-                 " of ", options.maxInstructions,
-                 " instructions committed (no HALT reached); returning a "
-                 "partial RunResult — raise RunOptions::maxCycles if the "
-                 "program legitimately runs this long");
+            limitTripped_ = true;
+            if (budget_binding) {
+                if (!budgetWarned_) {
+                    budgetWarned_ = true;
+                    warn("Core::run: trial cycle budget exhausted with ",
+                         committed_, " instructions committed in this "
+                         "run; the trial will be censored");
+                }
+            } else {
+                warn("Core::run: cycle budget exhausted after ",
+                     options.maxCycles, " cycles with only ", committed_,
+                     " of ", options.maxInstructions,
+                     " instructions committed (no HALT reached); "
+                     "returning a partial RunResult — raise "
+                     "RunOptions::maxCycles if the program legitimately "
+                     "runs this long");
+            }
             break;
         }
         ++now_;
@@ -170,6 +201,8 @@ Core::run(const Program &program, const RunOptions &options)
     result.instructions = committed_;
     result.halted = halted_;
     result.regs = regs_;
+    if (budgetSet_)
+        budgetRemaining_ -= std::min(budgetRemaining_, result.cycles);
     program_ = nullptr;
     return result;
 }

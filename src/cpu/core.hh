@@ -105,6 +105,27 @@ class Core
     Cycle now() const { return now_; }
 
     /**
+     * Whole-trial simulated-cycle watchdog: a budget shared by every
+     * subsequent run() call. Each run consumes its cycles from the
+     * budget and trips RunResult::cycleLimitReached (and the
+     * limitTripped() latch) once it is exhausted, so a wedged trial is
+     * bounded no matter how many run() rounds it issues. 0 disables.
+     * Core::reset clears the budget along with the latch.
+     */
+    void setCycleBudget(std::uint64_t cycles);
+    /** Remaining cycles of the trial budget (0 when none set). */
+    std::uint64_t cycleBudgetRemaining() const { return budgetRemaining_; }
+
+    /**
+     * True when any run() since construction/reset stopped on a cycle
+     * limit (the per-run RunOptions::maxCycles safety valve or the
+     * trial budget): the metrics computed from those runs are
+     * truncated, and the harness marks the trial *censored* instead of
+     * folding partial timings into aggregates.
+     */
+    bool limitTripped() const { return limitTripped_; }
+
+    /**
      * Per-cycle probability of an external "interrupt" noise event and
      * its stall length; models other honest programs multiplexing the
      * core (§VI-D). Zero disables.
@@ -197,6 +218,12 @@ class Core
     double interruptProb_ = 0.0;
     unsigned interruptMin_ = 0;
     unsigned interruptMax_ = 0;
+
+    // Trial-level cycle watchdog (setCycleBudget).
+    bool budgetSet_ = false;
+    std::uint64_t budgetRemaining_ = 0;
+    bool budgetWarned_ = false;
+    bool limitTripped_ = false;
 
     // Commit tracing.
     std::ostream *trace_ = nullptr;

@@ -115,7 +115,7 @@ HarnessCli::usage(std::ostream &os) const
            << ")\n";
     }
     os << "  --json PATH    write the result as JSON "
-          "(schema unxpec-experiment-v1)\n"
+          "(schema unxpec-experiment-v2)\n"
        << "  --csv PATH     write the result as CSV\n"
        << "  --trace PATH   capture a Chrome-trace event file "
           "(open in chrome://tracing or Perfetto)\n"
@@ -124,6 +124,21 @@ HarnessCli::usage(std::ostream &os) const
           "or all (default all)\n"
        << "  --trace-split  write one trace file per trial "
           "(PATH.s<spec>.r<rep>.json) instead of one merged file\n"
+       << "  --campaign PATH\n"
+          "                 journal every completed trial to a "
+          "crash-consistent manifest\n"
+       << "  --resume PATH  skip trials already journaled in PATH "
+          "(implies --campaign PATH)\n"
+       << "  --trial-timeout-cycles N\n"
+          "                 censor trials whose simulation exceeds N "
+          "simulated cycles\n"
+       << "  --trial-timeout-ms N\n"
+          "                 censor trials exceeding N host milliseconds "
+          "(wall-clock)\n"
+       << "  --retries N    retry budget for censored trials and "
+          "crashed shards (default 0)\n"
+       << "  --shards K     fork K crash-isolated subprocess workers "
+          "(requires --campaign)\n"
        << "  --list-modes   list registered defenses, noise profiles, "
           "and attacks\n"
        << "  --help         this text\n";
@@ -188,6 +203,20 @@ HarnessCli::parse(int argc, char **argv) const
             options.traceCategories = parseTraceCategories(value());
         } else if (arg == "--trace-split") {
             options.traceSplit = true;
+        } else if (arg == "--campaign") {
+            options.campaignPath = value();
+        } else if (arg == "--resume") {
+            options.resumePath = value();
+        } else if (arg == "--trial-timeout-cycles") {
+            options.trialTimeoutCycles = parseU64(arg, value());
+        } else if (arg == "--trial-timeout-ms") {
+            options.trialTimeoutMs = parseU64(arg, value());
+        } else if (arg == "--retries") {
+            options.retries = static_cast<unsigned>(parseU64(arg, value()));
+        } else if (arg == "--shards") {
+            options.shards = static_cast<unsigned>(parseU64(arg, value()));
+            if (options.shards == 0)
+                fatal("--shards must be >= 1");
         } else if (hasScale_ && !sawPositionalInt && isInteger(arg)) {
             options.scale = parseU64("scale", arg);
             sawPositionalInt = true;
@@ -198,6 +227,13 @@ HarnessCli::parse(int argc, char **argv) const
             fatal("unknown argument '", arg, "'");
         }
     }
+    // --resume without --campaign keeps journaling to the same
+    // manifest, so a resumed-then-killed campaign can resume again.
+    if (options.campaignPath.empty() && !options.resumePath.empty())
+        options.campaignPath = options.resumePath;
+    if (options.shards > 1 && options.campaignPath.empty())
+        fatal("--shards requires --campaign PATH (crashed shard ranges "
+              "are recovered through the manifest)");
     return options;
 }
 
@@ -219,6 +255,15 @@ runExperiment(const HarnessCli &cli, const HarnessOptions &options,
         runner.setTrace({options.tracePath, options.traceCategories,
                          options.traceSplit});
     }
+    CampaignConfig campaign;
+    campaign.manifestPath = options.campaignPath;
+    campaign.resumePath = options.resumePath;
+    campaign.experiment = cli.name();
+    campaign.trialTimeoutCycles = options.trialTimeoutCycles;
+    campaign.trialTimeoutMs = options.trialTimeoutMs;
+    campaign.retries = options.retries;
+    campaign.shards = options.shards;
+    runner.setCampaign(std::move(campaign));
     return runner.runAll(cli.name(), cli.description(), specs, options.reps,
                          options.seed, fn);
 }
@@ -227,10 +272,17 @@ int
 finishExperiment(const ExperimentResult &result,
                  const HarnessOptions &options)
 {
-    return emitArtifacts(result, options.jsonPath, options.csvPath,
-                         std::cout)
-               ? 0
-               : 1;
+    const bool wrote = emitArtifacts(result, options.jsonPath,
+                                     options.csvPath, std::cout);
+    if (!wrote)
+        return 1;
+    if (result.incomplete) {
+        warn("experiment '", result.experiment,
+             "' is incomplete: some trials never finished (artifacts "
+             "carry partial results and \"incomplete\": true)");
+        return 2;
+    }
+    return 0;
 }
 
 } // namespace unxpec

@@ -15,6 +15,16 @@
  *   --trace-categories LIST  categories to record (cpu,cache,cleanup,
  *                  branch or all; default all)
  *   --trace-split  one trace file per trial instead of one merged file
+ *   --campaign PATH          journal every completed trial to a
+ *                  crash-consistent manifest (campaign.jsonl)
+ *   --resume PATH  skip trials already journaled in PATH (implies
+ *                  --campaign PATH unless one was given)
+ *   --trial-timeout-cycles N censor trials whose simulation exceeds N
+ *                  simulated cycles
+ *   --trial-timeout-ms N     censor trials exceeding N host
+ *                  milliseconds (wall-clock, outside the core)
+ *   --retries N    retry budget for censored trials / crashed shards
+ *   --shards K     fork K crash-isolated subprocess workers
  *   --list-modes   print registered defenses/noises/attacks and exit
  *   --help         usage
  *
@@ -49,6 +59,14 @@ struct HarnessOptions
     /** Parsed --trace-categories mask (default: everything). */
     std::uint32_t traceCategories = kTraceCatAll;
     bool traceSplit = false;   //!< one trace file per trial
+
+    // Fault-tolerant campaign flags (see campaign.hh).
+    std::string campaignPath;  //!< empty = no trial journal
+    std::string resumePath;    //!< empty = fresh campaign
+    std::uint64_t trialTimeoutCycles = 0; //!< 0 = no simulated budget
+    std::uint64_t trialTimeoutMs = 0;     //!< 0 = no host budget
+    unsigned retries = 0;
+    unsigned shards = 1;
 };
 
 /** Declarative CLI parser shared by all benches and examples. */
@@ -114,7 +132,10 @@ ExperimentResult runExperiment(const HarnessCli &cli,
 
 /**
  * Emit --json/--csv artifacts (no-op when neither was given). Returns
- * the process exit code: 0 on success, 1 when a file failed to open.
+ * the process exit code: 0 on success, 1 when a file failed to open,
+ * 2 when the result is incomplete (a sharded campaign gave up on some
+ * trials) — the artifacts are still written so partial results are
+ * never lost, and the campaign can be finished with --resume.
  */
 int finishExperiment(const ExperimentResult &result,
                      const HarnessOptions &options);

@@ -44,6 +44,21 @@ Session::Session(const TrialContext &ctx)
     // before this trial's (if any) is installed.
     if (ctx.tracer != nullptr)
         core_->setEventTrace(ctx.tracer);
+    control_ = ctx.control;
+    if (control_ != nullptr && control_->timeoutCycles > 0)
+        core_->setCycleBudget(control_->timeoutCycles);
+}
+
+Session::~Session()
+{
+    // Report a cycle-limit trip (campaign budget or RunOptions::
+    // maxCycles) back to the runner: the trial's measurements were
+    // truncated mid-flight and must be censored, not averaged.
+    if (control_ != nullptr && core_->limitTripped()) {
+        control_->censored = true;
+        if (control_->censorReason.empty())
+            control_->censorReason = "cycle-limit";
+    }
 }
 
 UnxpecAttack &

@@ -68,9 +68,14 @@ class Session
     /**
      * Build from a TrialContext: draws the Core from ctx.pool when the
      * runner supplied one (reset to ctx.seed), otherwise owns a fresh
-     * Core exactly like Session(spec, seed).
+     * Core exactly like Session(spec, seed). When the runner armed a
+     * watchdog (ctx.control), the Core gets the simulated-cycle budget
+     * and the destructor reports any cycle-limit trip back so the
+     * runner censors the trial.
      */
     explicit Session(const TrialContext &ctx);
+
+    ~Session();
 
     /**
      * The SystemConfig a Session would run with, without building the
@@ -96,6 +101,7 @@ class Session
     SystemConfig cfg_;
     std::unique_ptr<Core> owned_; //!< empty when the Core is pooled
     Core *core_;
+    TrialControl *control_ = nullptr; //!< runner watchdog, may be null
     std::unique_ptr<UnxpecAttack> unxpec_;
     std::unique_ptr<SpectreV1> spectre_;
 };

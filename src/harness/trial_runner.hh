@@ -8,6 +8,13 @@
  * specIndex * reps + rep) — and writes into a preallocated result
  * slot, so the aggregated output is bit-identical whether the pool has
  * one thread or sixteen.
+ *
+ * setCampaign() layers fault tolerance on top (see campaign.hh):
+ * journaling every completed trial to a crash-consistent manifest,
+ * resuming a killed campaign without recomputing journaled trials,
+ * censoring trials that blow a simulated-cycle or host wall-clock
+ * budget (with deterministic-seed retries), and forking crash-isolated
+ * subprocess shards whose deaths re-queue their trial ranges.
  */
 
 #ifndef UNXPEC_HARNESS_TRIAL_RUNNER_HH
@@ -15,18 +22,36 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "analysis/result_sink.hh"
+#include "harness/campaign.hh"
 #include "harness/spec.hh"
 #include "sim/trace.hh"
 
 namespace unxpec {
 
 class CorePool;
+
+/**
+ * Watchdog channel between the runner and one trial's simulation.
+ * Session(ctx) arms every Core it builds with `timeoutCycles` (a
+ * budget of simulated cycles shared by all of that Session's run()
+ * calls) and raises `censored` when any run stopped on a cycle limit —
+ * whether the campaign budget or RunOptions::maxCycles. The runner
+ * then excludes the trial from aggregation and, retry budget
+ * permitting, re-runs it under a fresh derived seed.
+ */
+struct TrialControl
+{
+    std::uint64_t timeoutCycles = 0; //!< simulated-cycle budget; 0 = off
+    bool censored = false;
+    std::string censorReason;
+};
 
 /** Everything one trial needs to build and run its simulation. */
 struct TrialContext
@@ -49,6 +74,12 @@ struct TrialContext
      * Tracer so parallel trials never share a ring buffer.
      */
     Tracer *tracer = nullptr;
+    /**
+     * Watchdog channel for this trial, owned by the runner; nullptr
+     * when the trial runs outside a TrialRunner. Session(ctx) wires it
+     * to the Core's cycle budget.
+     */
+    TrialControl *control = nullptr;
 };
 
 /** Event-trace capture settings for a run (TrialRunner::setTrace). */
@@ -63,6 +94,12 @@ struct TraceConfig
      * merged file with a process per trial.
      */
     bool split = false;
+    /**
+     * Per-trial ring capacity in events. When a trial overflows it,
+     * the exported trace carries a "trace-truncated" marker instead of
+     * silently posing as complete.
+     */
+    std::size_t capacity = Tracer::kDefaultCapacity;
 };
 
 /**
@@ -78,6 +115,13 @@ struct TrialOutput
 {
     std::vector<std::pair<std::string, double>> metrics;
     std::vector<std::pair<std::string, std::vector<double>>> series;
+
+    // Campaign bookkeeping, filled by the runner (not the trial fn).
+    bool completed = false;      //!< false = never finished (lost shard)
+    bool censored = false;       //!< finished but hit a watchdog budget
+    std::string censorReason;    //!< "cycle-limit", "host-timeout", ...
+    unsigned attempt = 0;        //!< retry attempt that produced this
+    std::uint64_t seedUsed = 0;  //!< seed of that attempt
 
     /** Record a scalar metric (one value per trial). */
     void metric(const std::string &name, double value);
@@ -118,8 +162,22 @@ class TrialRunner
     const TraceConfig &trace() const { return trace_; }
 
     /**
+     * Arm the fault-tolerant campaign machinery (journaling, resume,
+     * watchdogs, retries, shards — see campaign.hh). The default
+     * (empty) config preserves the plain in-process behaviour exactly.
+     */
+    void setCampaign(CampaignConfig campaign)
+    {
+        campaign_ = std::move(campaign);
+    }
+    const CampaignConfig &campaign() const { return campaign_; }
+
+    /**
      * Run `reps` trials of every spec. Returns outputs[specIndex][rep],
-     * identical for any thread count.
+     * identical for any thread count. Under a campaign config, trials
+     * journaled in the resume manifest are spliced in without
+     * recomputation; trials lost to crashed shards past the retry
+     * budget come back with completed == false.
      */
     std::vector<std::vector<TrialOutput>>
     run(const std::vector<ExperimentSpec> &specs, unsigned reps,
@@ -129,6 +187,9 @@ class TrialRunner
      * run() + aggregation: one ResultRow per spec, whose metrics carry
      * the per-rep values (scalar metrics) or the in-order
      * concatenation of all reps' samples (series), each summarized.
+     * Censored and missing trials are excluded from the metrics and
+     * surfaced through the row's trial counts; any missing trial marks
+     * the result incomplete.
      */
     ExperimentResult
     runAll(const std::string &experiment, const std::string &description,
@@ -136,14 +197,37 @@ class TrialRunner
            std::uint64_t master_seed, const TrialFn &fn) const;
 
   private:
+    /**
+     * Execute (and journal) the jobs in [lo, hi) that `resumed` does
+     * not already cover; every resumed entry is spliced into the
+     * returned outputs. The workhorse behind both the in-process path
+     * and each forked shard.
+     */
+    std::vector<std::vector<TrialOutput>>
+    runJobs(const std::vector<ExperimentSpec> &specs, unsigned reps,
+            std::uint64_t master_seed, const TrialFn &fn,
+            const CampaignHeader &header,
+            const std::map<std::size_t, CampaignEntry> &resumed,
+            std::size_t lo, std::size_t hi,
+            const std::string &manifest_path) const;
+
+    /** Fork `campaign_.shards` workers over disjoint job ranges. */
+    std::vector<std::vector<TrialOutput>>
+    runSharded(const std::vector<ExperimentSpec> &specs, unsigned reps,
+               std::uint64_t master_seed, const TrialFn &fn,
+               const CampaignHeader &header,
+               std::map<std::size_t, CampaignEntry> resumed) const;
+
     void writeTraces(const std::vector<ExperimentSpec> &specs,
-                     unsigned reps, std::uint64_t master_seed,
+                     unsigned reps,
+                     const std::vector<std::vector<TrialOutput>> &outputs,
                      const std::vector<std::unique_ptr<Tracer>> &tracers)
         const;
 
     unsigned threads_;
     bool reuse_ = true;
     TraceConfig trace_;
+    CampaignConfig campaign_;
 };
 
 } // namespace unxpec

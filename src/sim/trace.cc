@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <fstream>
+#include <locale>
 #include <ostream>
 
 #include "sim/log.hh"
@@ -316,6 +317,9 @@ writeEvent(std::ostream &os, bool &first, int pid, const TraceEvent &event)
 void
 writeChromeTrace(std::ostream &os, const std::vector<TraceProcess> &processes)
 {
+    // The trace_event format is locale-blind JSON: pin the classic
+    // locale so a de_DE-style global locale cannot group digits.
+    const std::locale prev = os.imbue(std::locale::classic());
     os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
     bool first = true;
     for (std::size_t p = 0; p < processes.size(); ++p) {
@@ -332,10 +336,27 @@ writeChromeTrace(std::ostream &os, const std::vector<TraceProcess> &processes)
                               track.name);
             }
         }
+        // Ring wrap lost the oldest events: plant an explicit
+        // truncation marker at the start of the retained window so the
+        // viewer (and scripted consumers) can tell a wrapped trace
+        // from a complete one.
+        if (processes[p].dropped > 0) {
+            const Cycle ts = processes[p].events.empty()
+                ? 0 : processes[p].events.front().cycle;
+            if (!first)
+                os << ",\n";
+            first = false;
+            os << "{\"name\":\"trace-truncated\",\"cat\":\"meta\","
+                  "\"ph\":\"i\",\"ts\":" << ts
+               << ",\"s\":\"p\",\"pid\":" << pid
+               << ",\"tid\":0,\"args\":{\"dropped_events\":"
+               << processes[p].dropped << "}}";
+        }
         for (const TraceEvent &event : processes[p].events)
             writeEvent(os, first, pid, event);
     }
     os << "\n]}\n";
+    os.imbue(prev);
 }
 
 bool

@@ -240,6 +240,14 @@ struct TraceProcess
 {
     std::string name;               //!< e.g. "loads=3 rep=1 seed=42"
     std::vector<TraceEvent> events;
+    /**
+     * Events lost to ring wrap before the retained window
+     * (Tracer::dropped()). When nonzero the exporter emits a
+     * process-scoped `"ph":"i"` "trace-truncated" marker at the start
+     * of the retained window so a wrapped trace is never mistaken for
+     * a complete one.
+     */
+    std::uint64_t dropped = 0;
 };
 
 /**

@@ -11,7 +11,9 @@
 #include <cstdio>
 #include <fstream>
 #include <limits>
+#include <locale>
 #include <sstream>
+#include <stdexcept>
 
 #include "analysis/result_sink.hh"
 
@@ -73,14 +75,18 @@ TEST(WriteJsonTest, ContainsSchemaAndData)
     std::ostringstream os;
     writeJson(os, sampleResult());
     const std::string json = os.str();
-    EXPECT_NE(json.find("\"schema\": \"unxpec-experiment-v1\""),
+    EXPECT_NE(json.find("\"schema\": \"unxpec-experiment-v2\""),
               std::string::npos);
     EXPECT_NE(json.find("\"experiment\": \"fig_test\""),
               std::string::npos);
     EXPECT_NE(json.find("\"master_seed\": 7"), std::string::npos);
+    EXPECT_NE(json.find("\"incomplete\": false"), std::string::npos);
     EXPECT_NE(json.find("\"loads\": 1"), std::string::npos);
     EXPECT_NE(json.find("\"mean\": 23"), std::string::npos);
     EXPECT_NE(json.find("\"values\": [22, 24]"), std::string::npos);
+    // v2 trial accounting rides on every row.
+    EXPECT_NE(json.find("\"censored_trials\": 0"), std::string::npos);
+    EXPECT_NE(json.find("\"missing_trials\": 0"), std::string::npos);
     // Balanced braces/brackets — a cheap structural validity check on
     // top of the CI smoke test's real `python3 -m json.tool` parse.
     EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
@@ -106,9 +112,29 @@ TEST(WriteJsonTest, NonFiniteBecomesNull)
     std::ostringstream os;
     writeJson(os, result);
     const std::string json = os.str();
-    EXPECT_NE(json.find("null"), std::string::npos);
-    EXPECT_EQ(json.find("nan"), std::string::npos);
-    EXPECT_EQ(json.find("inf"), std::string::npos);
+    EXPECT_NE(json.find("\"mean\": null"), std::string::npos);
+    EXPECT_NE(json.find("\"values\": [null, 24]"), std::string::npos);
+    // No bare non-finite tokens leak into the JSON (the "nonfinite"
+    // count key is quoted, so scan for value-position tokens).
+    EXPECT_EQ(json.find(": nan"), std::string::npos);
+    EXPECT_EQ(json.find(": inf"), std::string::npos);
+    EXPECT_EQ(json.find(": -inf"), std::string::npos);
+    EXPECT_EQ(json.find(" nan,"), std::string::npos);
+    EXPECT_EQ(json.find(" inf,"), std::string::npos);
+}
+
+TEST(WriteJsonTest, ReportsNonFiniteSkipCount)
+{
+    ExperimentResult result = sampleResult();
+    result.rows[0].metrics[0].second = MetricSeries::of(
+        {22.0, std::numeric_limits<double>::quiet_NaN(), 24.0});
+    std::ostringstream os;
+    writeJson(os, result);
+    const std::string json = os.str();
+    // Two finite samples counted, one NaN skipped and reported.
+    EXPECT_NE(json.find("\"count\": 2, \"nonfinite\": 1"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"mean\": 23"), std::string::npos);
 }
 
 TEST(WriteCsvTest, OneLinePerRow)
@@ -116,10 +142,86 @@ TEST(WriteCsvTest, OneLinePerRow)
     std::ostringstream os;
     writeCsv(os, sampleResult());
     const std::string csv = os.str();
-    EXPECT_NE(csv.find("label,loads,delta:mean,delta:stddev,delta:count"),
-              std::string::npos);
-    EXPECT_NE(csv.find("loads=1,1,23,"), std::string::npos);
+    EXPECT_NE(
+        csv.find("label,loads,trials,censored_trials,retried_trials,"
+                 "missing_trials,delta:mean,delta:stddev,delta:count"),
+        std::string::npos);
+    EXPECT_NE(csv.find("loads=1,1,0,0,0,0,23,"), std::string::npos);
     EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3); // header + 2
+}
+
+TEST(WriteCsvTest, NonFiniteBecomesEmptyCell)
+{
+    ExperimentResult result = sampleResult();
+    result.rows[0].metrics[0].second.summary.mean =
+        std::numeric_limits<double>::quiet_NaN();
+    result.rows[0].metrics[0].second.summary.stddev =
+        std::numeric_limits<double>::infinity();
+    std::ostringstream os;
+    writeCsv(os, result);
+    const std::string csv = os.str();
+    // mean and stddev cells are empty, count (2) still present.
+    EXPECT_NE(csv.find("loads=1,1,0,0,0,0,,,2"), std::string::npos);
+    EXPECT_EQ(csv.find("nan"), std::string::npos);
+    EXPECT_EQ(csv.find("inf"), std::string::npos);
+}
+
+TEST(WriteCsvTest, QuotesEmbeddedSeparators)
+{
+    ExperimentResult result = sampleResult();
+    result.rows[0].label = "a,b";
+    result.rows[1].label = "say \"hi\"\nthere";
+    std::ostringstream os;
+    writeCsv(os, result);
+    const std::string csv = os.str();
+    // RFC-4180 quoting: wrap in quotes, double any embedded quote;
+    // embedded newlines stay inside the quoted cell.
+    EXPECT_NE(csv.find("\"a,b\",1,"), std::string::npos);
+    EXPECT_NE(csv.find("\"say \"\"hi\"\"\nthere\",2,"),
+              std::string::npos);
+}
+
+TEST(WriteCsvTest, QuotesMetricNamesInHeader)
+{
+    ExperimentResult result = sampleResult();
+    result.rows[0].metrics[0].first = "delta,ns";
+    result.rows[1].metrics[0].first = "delta,ns";
+    std::ostringstream os;
+    writeCsv(os, result);
+    EXPECT_NE(os.str().find("\"delta,ns:mean\""), std::string::npos);
+}
+
+TEST(LocaleIndependenceTest, ArtifactsIgnoreGlobalNumericLocale)
+{
+    // A de_DE-style locale renders 1234.5 as "1.234,5" — decimal comma
+    // and digit grouping, both of which corrupt JSON and CSV. The
+    // writers must pin the classic locale no matter what the global
+    // locale (LC_NUMERIC=de_DE) says.
+    std::locale de;
+    try {
+        de = std::locale("de_DE.UTF-8");
+    } catch (const std::runtime_error &) {
+        GTEST_SKIP() << "de_DE.UTF-8 locale not installed";
+    }
+    const std::locale prev = std::locale::global(de);
+
+    ExperimentResult result = sampleResult();
+    result.rows[0].metrics[0].second = MetricSeries::of({1234.5, 1236.5});
+
+    std::ostringstream json_os; // inherits the de_DE global locale
+    writeJson(json_os, result);
+    std::ostringstream csv_os;
+    writeCsv(csv_os, result);
+    std::locale::global(prev);
+
+    const std::string json = json_os.str();
+    EXPECT_NE(json.find("\"mean\": 1235.5"), std::string::npos);
+    EXPECT_EQ(json.find("1.235,5"), std::string::npos);
+    EXPECT_EQ(json.find("1235,5"), std::string::npos);
+
+    const std::string csv = csv_os.str();
+    EXPECT_NE(csv.find(",1235.5,"), std::string::npos);
+    EXPECT_EQ(csv.find("1235,5"), std::string::npos);
 }
 
 TEST(EmitArtifactsTest, WritesRequestedFiles)
@@ -135,7 +237,7 @@ TEST(EmitArtifactsTest, WritesRequestedFiles)
     ASSERT_TRUE(json.good());
     std::stringstream buf;
     buf << json.rdbuf();
-    EXPECT_NE(buf.str().find("unxpec-experiment-v1"), std::string::npos);
+    EXPECT_NE(buf.str().find("unxpec-experiment-v2"), std::string::npos);
     std::remove(json_path.c_str());
     std::remove(csv_path.c_str());
 }

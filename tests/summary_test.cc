@@ -5,10 +5,16 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "analysis/summary.hh"
 
 namespace unxpec {
 namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
 
 TEST(SummaryTest, BasicMoments)
 {
@@ -55,6 +61,37 @@ TEST(SummaryTest, SingleSample)
     EXPECT_DOUBLE_EQ(s.mean, 42.0);
     EXPECT_DOUBLE_EQ(s.stddev, 0.0);
     EXPECT_DOUBLE_EQ(s.median, 42.0);
+}
+
+TEST(SummaryTest, NonFiniteSamplesSkippedAndCounted)
+{
+    // A trial that divides by zero or overflows must not poison the
+    // whole aggregate: the stats cover the finite subset and the
+    // skipped samples are reported, not silently swallowed.
+    const Summary s = Summary::of({2.0, kNaN, 4.0, kInf, 6.0, -kInf});
+    EXPECT_EQ(s.count, 3u);
+    EXPECT_EQ(s.nonfinite, 3u);
+    EXPECT_DOUBLE_EQ(s.mean, 4.0);
+    EXPECT_DOUBLE_EQ(s.min, 2.0);
+    EXPECT_DOUBLE_EQ(s.max, 6.0);
+    EXPECT_DOUBLE_EQ(s.median, 4.0);
+}
+
+TEST(SummaryTest, AllNonFiniteYieldsNaNStats)
+{
+    // Samples existed but none were usable: stats are NaN (rendered as
+    // null/empty by the sinks), never a fabricated 0.
+    const Summary s = Summary::of({kNaN, kInf});
+    EXPECT_EQ(s.count, 0u);
+    EXPECT_EQ(s.nonfinite, 2u);
+    EXPECT_TRUE(std::isnan(s.mean));
+    EXPECT_TRUE(std::isnan(s.median));
+}
+
+TEST(SummaryTest, PercentileSkipsNonFinite)
+{
+    EXPECT_DOUBLE_EQ(Summary::percentile({kNaN, 10, 30, 20}, 0.5), 20.0);
+    EXPECT_TRUE(std::isnan(Summary::percentile({kNaN, kInf}, 0.5)));
 }
 
 } // namespace

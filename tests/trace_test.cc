@@ -8,6 +8,7 @@
  * byte-identical to serial ones.
  */
 
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -196,6 +197,49 @@ TEST(TraceChrome, WriterEmitsValidStructure)
     EXPECT_EQ(brackets, 0);
 }
 
+TEST(TraceChrome, RingWrapEmitsTruncationMarker)
+{
+    // Overflow a 4-slot ring: 6 events recorded, the 2 oldest lost.
+    // The export must say so — a wrapped trace that silently poses as
+    // complete would hide exactly the rollback prologue an analyst is
+    // looking for.
+    Tracer tracer(kTraceCatAll, 4);
+    for (Cycle c = 1; c <= 6; ++c)
+        tracer.instantAt(c, TraceKind::Commit, c);
+
+    TraceProcess process;
+    process.name = "wrapped";
+    process.events = tracer.events();
+    process.dropped = tracer.dropped();
+
+    std::ostringstream os;
+    writeChromeTrace(os, {process});
+    const std::string json = os.str();
+
+    // Process-scoped instant marker at the retained window's start
+    // (first surviving event is cycle 3), carrying the drop count.
+    EXPECT_NE(json.find("\"name\":\"trace-truncated\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"i\",\"ts\":3,\"s\":\"p\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"dropped_events\":2"), std::string::npos);
+}
+
+TEST(TraceChrome, NoTruncationMarkerWithoutWrap)
+{
+    Tracer tracer(kTraceCatAll, 8);
+    tracer.instantAt(1, TraceKind::Commit, 1);
+
+    TraceProcess process;
+    process.name = "complete";
+    process.events = tracer.events();
+    process.dropped = tracer.dropped();
+
+    std::ostringstream os;
+    writeChromeTrace(os, {process});
+    EXPECT_EQ(os.str().find("trace-truncated"), std::string::npos);
+}
+
 TEST(TracePaths, PerTrialNamesAreUnique)
 {
     EXPECT_EQ(perTrialTracePath("out.json", 0, 1), "out.s0.r1.json");
@@ -213,6 +257,35 @@ slurp(const std::string &path)
     std::ostringstream os;
     os << in.rdbuf();
     return os.str();
+}
+
+TEST(TraceRunner, WrappedTrialTraceCarriesMarker)
+{
+    if (!kTraceEnabled)
+        GTEST_SKIP() << "built with UNXPEC_TRACE=OFF";
+    // Drive the wrap through the runner: a tiny per-trial ring capacity
+    // (TraceConfig::capacity) guarantees a real trial overflows it, and
+    // the exported file must carry the truncation marker end to end.
+    std::vector<ExperimentSpec> specs(1);
+    specs[0].label = "wrap";
+
+    const std::string path = "/tmp/unxpec_trace_wrap_test.json";
+    TrialRunner runner(1);
+    TraceConfig trace;
+    trace.path = path;
+    trace.capacity = 8; // any real trial records far more than 8 events
+    runner.setTrace(trace);
+    runner.run(specs, 1, 42, [](const TrialContext &ctx) {
+        Session session(ctx);
+        session.unxpec().measureOnce();
+        return TrialOutput{};
+    });
+
+    const std::string json = slurp(path);
+    EXPECT_NE(json.find("\"name\":\"trace-truncated\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"dropped_events\":"), std::string::npos);
+    std::remove(path.c_str());
 }
 
 TEST(TraceRunner, ParallelTracesMatchSerialByteForByte)
