@@ -71,6 +71,10 @@ RULES = {
         "headers must not include <iostream>",
     "include-guard":
         "header guard must be UNXPEC_<DIR>_<NAME>_HH",
+    "coherence-mutation":
+        "CohState/pendingDowngrade assignments belong to the coh:: "
+        "transition helpers (src/memory/coherence.hh) so every MESI "
+        "transition stays auditable in one place",
 }
 
 SUPPRESS_RE = re.compile(r"lint-ok\((?P<rule>[a-z-]+)\)\s*:\s*(?P<why>\S.*)?")
@@ -99,6 +103,10 @@ USING_STD_RE = re.compile(r"\busing\s+namespace\s+std\b")
 IOSTREAM_RE = re.compile(r'#\s*include\s*<iostream>')
 UNORDERED_DECL_RE = re.compile(
     r"unordered_(?:map|set|multimap|multiset)\s*<")
+# Assignment (not comparison) to a coherence-state field through a
+# member access. Plain `coh = ...` inside CacheLine::reset carries no
+# `.`/`->` and is intentionally not matched.
+COH_MUT_RE = re.compile(r"(?:\.|->)\s*(?:coh|pendingDowngrade)\s*=(?!=)")
 RANGE_FOR_RE = re.compile(r"\bfor\s*\([^;)]*:\s*(?:\w+(?:\.|->))*(\w+)\s*\)")
 # Only begin()-family calls: any real iteration needs one, while bare
 # end() shows up in the harmless `find(x) == c.end()` lookup idiom.
@@ -201,6 +209,10 @@ class Linter:
         rel = path.replace("\\", "/")
         in_rng = "/sim/rng." in rel or rel.endswith(("sim/rng.hh",
                                                      "sim/rng.cc"))
+        in_coherence = ("/memory/coherence." in rel
+                        or rel.endswith(("memory/coherence.hh",
+                                         "memory/coherence.cc")))
+        in_tests = "/tests/" in rel or rel.startswith("tests/")
         is_header = rel.endswith((".hh", ".h", ".hpp"))
 
         for lineno, line in enumerate(code_lines, 1):
@@ -221,6 +233,11 @@ class Linter:
                              line.strip(), raw_lines)
             if USING_STD_RE.search(line):
                 self.finding(path, lineno, "using-namespace-std",
+                             line.strip(), raw_lines)
+            # Tests may forge coherence state to exercise the auditor.
+            if (not in_coherence and not in_tests
+                    and COH_MUT_RE.search(line)):
+                self.finding(path, lineno, "coherence-mutation",
                              line.strip(), raw_lines)
             for m in RANGE_FOR_RE.finditer(line):
                 if m.group(1) in self.unordered_members:

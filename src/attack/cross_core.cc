@@ -1,0 +1,249 @@
+#include "attack/cross_core.hh"
+
+#include "analysis/roc.hh"
+#include "attack/channel.hh"
+#include "sim/log.hh"
+
+namespace unxpec {
+
+namespace {
+
+// Register allocation, shared by the sender and receiver programs.
+constexpr RegIndex rIdx = 1;      // index for the current trial
+constexpr RegIndex rBound = 2;    // f(N) chain / bound value
+constexpr RegIndex rSecret = 3;   // transiently loaded secret
+constexpr RegIndex rP = 4;        // P base
+constexpr RegIndex rA = 5;        // A base
+constexpr RegIndex rIdxTab = 6;   // index-table base
+constexpr RegIndex rLatTab = 7;   // receiver latency-result base
+constexpr RegIndex rTmp0 = 8;
+constexpr RegIndex rTmp1 = 9;
+constexpr RegIndex rTmp2 = 10;
+constexpr RegIndex rScaled = 11;  // secret * 64
+constexpr RegIndex rPtr = 13;     // walking pointer over P
+constexpr RegIndex rTmp4 = 14;
+constexpr RegIndex rDelta = 15;   // measured latency
+constexpr RegIndex rTrial = 17;   // trial counter
+constexpr RegIndex rTrials = 18;  // trial count
+constexpr RegIndex rChain = 19;   // f(N) chain base
+constexpr RegIndex rT0Tab = 20;   // receiver t0-result base
+constexpr RegIndex rT0 = 24;      // first timestamp
+constexpr RegIndex rT1 = 25;      // second timestamp
+
+/**
+ * Map raw probe latencies into the decoder's score domain. The
+ * harness-wide convention (CovertChannel, RocCurve) is "secret=1
+ * samples score higher"; in this channel secret=1 is the FAST class,
+ * so analysis runs on negated latencies.
+ */
+std::vector<double>
+negated(std::vector<double> v)
+{
+    for (double &x : v)
+        x = -x;
+    return v;
+}
+
+} // namespace
+
+CrossCoreAttack::CrossCoreAttack(Machine &machine, const UnxpecConfig &cfg)
+    : machine_(machine), cfg_(cfg)
+{
+    if (machine_.numCores() < 2)
+        fatal("CrossCoreAttack: need a machine with at least 2 cores");
+    if (cfg_.inBranchLoads == 0)
+        fatal("CrossCoreAttack: need at least one in-branch load");
+    if (cfg_.conditionAccesses == 0)
+        fatal("CrossCoreAttack: f(N) needs at least one access");
+    trials_ = cfg_.mistrainIterations + 1;
+    buildPrograms();
+}
+
+void
+CrossCoreAttack::buildPrograms()
+{
+    const unsigned n = cfg_.inBranchLoads;
+    const unsigned c = cfg_.conditionAccesses;
+
+    // ---- sender (core 0): POISON + one out-of-bounds round ----------
+    ProgramBuilder b;
+
+    pBase_ = b.alloc(kLineBytes * (n + 1));
+    aBase_ = b.alloc(kLineBytes);
+    secretAddr_ = b.alloc(kLineBytes);
+    chainBase_ = b.alloc(kLineBytes * c);
+    idxBase_ = b.alloc(8 * trials_);
+    rxLatBase_ = b.alloc(8);
+    rxT0Base_ = b.alloc(8);
+
+    // A[0] = 0: training rounds transmit "secret 0" (loads hit P[0]).
+    b.initByte(aBase_, 0);
+    const std::uint64_t oob_index = secretAddr_ - aBase_;
+    for (unsigned j = 0; j + 1 < c; ++j)
+        b.initWord64(chainBase_ + j * kLineBytes,
+                     chainBase_ + (j + 1) * kLineBytes);
+    b.initWord64(chainBase_ + (c - 1) * kLineBytes, 1);
+    for (unsigned t = 0; t + 1 < trials_; ++t)
+        b.initWord64(idxBase_ + 8 * t, 0);
+    b.initWord64(idxBase_ + 8 * (trials_ - 1), oob_index);
+
+    b.li(rP, static_cast<std::int64_t>(pBase_));
+    b.li(rA, static_cast<std::int64_t>(aBase_));
+    b.li(rIdxTab, static_cast<std::int64_t>(idxBase_));
+    b.li(rChain, static_cast<std::int64_t>(chainBase_));
+    b.li(rTrial, 0);
+    b.li(rTrials, trials_);
+
+    // Sender-side warmup: the victim touches its own secret, so the
+    // transient secret load hits and the dependent loads issue early.
+    b.li(rTmp0, static_cast<std::int64_t>(secretAddr_));
+    b.load(rTmp1, rTmp0, 0, 1);
+    // Bring P[0] in once.
+    b.load(rTmp1, rP);
+
+    const int loop_top = b.label();
+    const int skip = b.label();
+    b.bind(loop_top);
+
+    // index = idxTable[trial]
+    b.shl(rTmp0, rTrial, 3);
+    b.add(rTmp0, rTmp0, rIdxTab);
+    b.load(rIdx, rTmp0);
+
+    // Flush the f(N) chain and P[64*1..64*n]. clflush is machine-wide
+    // (MemoryHierarchy::flushLine -> CoherenceEngine::flushAll), so
+    // this also evicts the receiver's copies from earlier rounds.
+    for (unsigned j = 0; j < c; ++j)
+        b.clflush(rChain, static_cast<std::int64_t>(j) * kLineBytes);
+    for (unsigned k = 1; k <= n; ++k)
+        b.clflush(rP, static_cast<std::int64_t>(k) * kLineBytes);
+    // (Re-)load P[0]: secret 0 must produce all-hits.
+    b.load(rTmp1, rP);
+    b.fence();
+
+    // Branch condition: pointer-chase f(N) plus dependent padding so
+    // resolution covers the transient loads' fills.
+    b.mov(rBound, rChain);
+    for (unsigned j = 0; j < c; ++j)
+        b.load(rBound, rBound);
+    for (unsigned p = 0; p < cfg_.conditionPadding; ++p)
+        b.addi(rBound, rBound, 0);
+
+    // if (index < bound) { transient body } — trained not-taken.
+    b.bge(rIdx, rBound, skip);
+
+    // Transient body: secret = A[index]; load P[secret*64*k].
+    b.add(rTmp2, rA, rIdx);
+    b.load(rSecret, rTmp2, 0, 1);
+    b.shl(rScaled, rSecret, 6);
+    b.mov(rPtr, rP);
+    for (unsigned k = 1; k <= n; ++k) {
+        b.add(rPtr, rPtr, rScaled);
+        b.load(rTmp4, rPtr);
+    }
+
+    b.bind(skip);
+    b.addi(rTrial, rTrial, 1);
+    b.blt(rTrial, rTrials, loop_top);
+    b.halt();
+
+    sender_ = b.build();
+
+    // ---- receiver (core 1): timed probe of P[64] --------------------
+    // No allocations and no data images: every address was placed by
+    // the sender's builder in the shared memory.
+    ProgramBuilder r;
+    r.li(rP, static_cast<std::int64_t>(pBase_));
+    r.li(rLatTab, static_cast<std::int64_t>(rxLatBase_));
+    r.li(rT0Tab, static_cast<std::int64_t>(rxT0Base_));
+    r.fence();
+    r.rdtscp(rT0);
+    r.load(rTmp4, rP, kLineBytes); // probe P[64]
+    r.rdtscp(rT1);                 // waits for the probe to complete
+    r.sub(rDelta, rT1, rT0);
+    r.store(rLatTab, 0, rDelta);
+    r.store(rT0Tab, 0, rT0);
+    r.halt();
+    receiver_ = r.build();
+
+    dataLoaded_ = false;
+}
+
+void
+CrossCoreAttack::setSecret(int bit)
+{
+    machine_.core(0).mem().write8(secretAddr_, bit ? 1 : 0);
+}
+
+double
+CrossCoreAttack::measureOnce()
+{
+    RunOptions sender_opts;
+    sender_opts.loadData = !dataLoaded_;
+    const RunResult sent = machine_.runOn(0, sender_, sender_opts);
+    dataLoaded_ = true;
+
+    RunOptions receiver_opts;
+    receiver_opts.loadData = false;
+    const RunResult probed = machine_.runOn(1, receiver_, receiver_opts);
+
+    ++totalRuns_;
+    totalCycles_ += sent.cycles + probed.cycles;
+
+    return static_cast<double>(
+        machine_.core(0).mem().read64(rxLatBase_));
+}
+
+std::vector<double>
+CrossCoreAttack::collect(int secret, unsigned samples)
+{
+    setSecret(secret);
+    std::vector<double> measurements;
+    measurements.reserve(samples);
+    for (unsigned i = 0; i < samples; ++i)
+        measurements.push_back(measureOnce());
+    return measurements;
+}
+
+double
+CrossCoreAttack::calibrate(unsigned samples_per_secret)
+{
+    const auto zeros = collect(0, samples_per_secret);
+    const auto ones = collect(1, samples_per_secret);
+    return CovertChannel::calibrateThreshold(negated(zeros), negated(ones));
+}
+
+double
+CrossCoreAttack::aucScore(unsigned samples_per_secret)
+{
+    const auto zeros = collect(0, samples_per_secret);
+    const auto ones = collect(1, samples_per_secret);
+    return RocCurve::of(negated(zeros), negated(ones)).auc();
+}
+
+LeakResult
+CrossCoreAttack::leak(const std::vector<int> &secret_bits,
+                      double threshold)
+{
+    LeakResult result;
+    result.guesses.reserve(secret_bits.size());
+    result.latencies.reserve(secret_bits.size());
+    for (const int bit : secret_bits) {
+        setSecret(bit);
+        const double latency = measureOnce();
+        result.latencies.push_back(latency);
+        result.guesses.push_back(CovertChannel::decode(-latency, threshold));
+    }
+    result.accuracy = CovertChannel::accuracy(result.guesses, secret_bits);
+    return result;
+}
+
+double
+CrossCoreAttack::cyclesPerSample() const
+{
+    return totalRuns_ == 0
+        ? 0.0
+        : static_cast<double>(totalCycles_) / totalRuns_;
+}
+
+} // namespace unxpec

@@ -56,6 +56,11 @@ unxpecVariants()
         {"unxpec-fast",
          "short POISON loop (8 mistrainings): maximum sample rate",
          [](UnxpecConfig &cfg) { cfg.mistrainIterations = 8; }},
+        {"unxpec-xcore",
+         "cross-core variant: a receiver core times coherence "
+         "downgrades of the sender's transient install (needs "
+         "cores >= 2)",
+         [](UnxpecConfig &) {}},
     };
     return variants;
 }

@@ -117,6 +117,7 @@ CleanupEngine::rollback(MemoryHierarchy &hierarchy, const CleanupJob &job,
     // --- T3: scrub inflight transient fills --------------------------
     for (const auto &record : job.inflight) {
         hierarchy.undoInflight(record);
+        hierarchy.undoSnoopDowngrade(record);
         ++inflightDrops_;
         if (tracing) {
             tracer_->instantAt(squash, TraceKind::InflightScrub,
@@ -153,6 +154,10 @@ CleanupEngine::rollback(MemoryHierarchy &hierarchy, const CleanupJob &job,
         }
         hierarchy.l1d().mshr().squash(record.lineAddr);
         hierarchy.l2().mshr().squash(record.lineAddr);
+        // The squashed access never architecturally happened: restore
+        // the remote owner its snoop had downgraded (otherwise the
+        // downgrade itself leaks the transient access cross-core).
+        hierarchy.undoSnoopDowngrade(record);
         if (tracing && touched != 0) {
             tracer_->instantAt(squash, TraceKind::RollbackInvalidate,
                                record.seq, record.lineAddr, 0, 0, touched);

@@ -55,6 +55,8 @@ Core::reset(std::uint64_t seed)
     nextSeq_ = 0;
     committed_ = 0;
     now_ = 0;
+    runActive_ = false;
+    runStart_ = 0;
 
     interruptProb_ = 0.0;
     interruptMin_ = 0;
@@ -98,7 +100,17 @@ Core::setInterruptNoise(double per_cycle_probability, unsigned min_stall,
 RunResult
 Core::run(const Program &program, const RunOptions &options)
 {
+    runBegin(program, options);
+    while (runStep()) {
+    }
+    return runFinish();
+}
+
+void
+Core::runBegin(const Program &program, const RunOptions &options)
+{
     program_ = &program;
+    runOptions_ = options;
     if (options.resetMicroarch) {
         hier_.resetCaches();
         predictor_->reset();
@@ -114,97 +126,120 @@ Core::run(const Program &program, const RunOptions &options)
     fetchStopped_ = program.size() == 0;
     halted_ = false;
     committed_ = 0;
-    const Cycle run_start = now_;
+    runStart_ = now_;
     stallUntil_ = now_;
     commitStallUntil_ = now_;
     fetchResumeCycle_ = now_;
 
-    RunResult result;
+    runResult_ = RunResult{};
 
     // The effective per-run limit is the tighter of the per-run safety
     // valve and what remains of the trial's cycle budget (watchdog).
-    const std::uint64_t max_cycles = budgetSet_
+    runMaxCycles_ = budgetSet_
         ? std::min(options.maxCycles, budgetRemaining_)
         : options.maxCycles;
-    const bool budget_binding = budgetSet_ && budgetRemaining_ <
+    runBudgetBinding_ = budgetSet_ && budgetRemaining_ <
         options.maxCycles;
+    runActive_ = true;
+}
 
-    while (!halted_ && committed_ < options.maxInstructions) {
-        if (now_ - run_start >= max_cycles) {
-            result.cycleLimitReached = true;
-            limitTripped_ = true;
-            if (budget_binding) {
-                if (!budgetWarned_) {
-                    budgetWarned_ = true;
-                    warn("Core::run: trial cycle budget exhausted with ",
-                         committed_, " instructions committed in this "
-                         "run; the trial will be censored");
-                }
-            } else {
-                warn("Core::run: cycle budget exhausted after ",
-                     options.maxCycles, " cycles with only ", committed_,
-                     " of ", options.maxInstructions,
-                     " instructions committed (no HALT reached); "
-                     "returning a partial RunResult — raise "
-                     "RunOptions::maxCycles if the program legitimately "
-                     "runs this long");
+bool
+Core::runStep()
+{
+    // Loop-head conditions of the historical run() loop, in order.
+    if (halted_ || committed_ >= runOptions_.maxInstructions)
+        return false;
+    if (now_ - runStart_ >= runMaxCycles_) {
+        runResult_.cycleLimitReached = true;
+        limitTripped_ = true;
+        if (runBudgetBinding_) {
+            if (!budgetWarned_) {
+                budgetWarned_ = true;
+                warn("Core::run: trial cycle budget exhausted with ",
+                     committed_, " instructions committed in this "
+                     "run; the trial will be censored");
             }
-            break;
+        } else {
+            warn("Core::run: cycle budget exhausted after ",
+                 runOptions_.maxCycles, " cycles with only ", committed_,
+                 " of ", runOptions_.maxInstructions,
+                 " instructions committed (no HALT reached); "
+                 "returning a partial RunResult — raise "
+                 "RunOptions::maxCycles if the program legitimately "
+                 "runs this long");
         }
-        ++now_;
-        ++simTicks_;
-        if (kTraceEnabled && eventTrace_ != nullptr)
-            eventTrace_->setNow(now_);
+        return false;
+    }
+    ++now_;
+    ++simTicks_;
+    if (kTraceEnabled && eventTrace_ != nullptr)
+        eventTrace_->setNow(now_);
 
-        // External noise: other honest programs occasionally steal the
-        // core (interrupts, scheduler ticks).
-        if (interruptProb_ > 0.0 && rng_.chance(interruptProb_)) {
-            const unsigned span = interruptMax_ - interruptMin_ + 1;
-            stallUntil_ = std::max(
-                stallUntil_, now_ + interruptMin_ + rng_.range(span));
-        }
-
-        // Cleanup (or noise) stall freezes every stage.
-        if (now_ < stallUntil_)
-            continue;
-
-        tickWriteback(program);
-        tickCommit();
-        if (halted_ || committed_ >= options.maxInstructions)
-            break;
-        tickIssue();
-        tickDispatch();
-        tickFetch(program);
-
-        // Periodic invariant audit: compiled in only with
-        // -DUNXPEC_AUDIT=ON, where it cross-checks every fast-path
-        // structure against its slow reference model.
-        if constexpr (kAuditEnabled) {
-            if (now_ % audit::period() == 0)
-                auditInvariants();
-        }
-
-        // Run-off detection: nothing in flight and nothing to fetch.
-        if (rob_.empty() && decodeQueue_.empty() && fetchStopped_)
-            break;
-
-        if (options.warmupInstructions > 0 && result.warmupCycles == 0 &&
-            committed_ >= options.warmupInstructions) {
-            result.warmupCycles = now_ - run_start;
-        }
+    // External noise: other honest programs occasionally steal the
+    // core (interrupts, scheduler ticks).
+    if (interruptProb_ > 0.0 && rng_.chance(interruptProb_)) {
+        const unsigned span = interruptMax_ - interruptMin_ + 1;
+        stallUntil_ = std::max(
+            stallUntil_, now_ + interruptMin_ + rng_.range(span));
     }
 
-    if (options.warmupInstructions > 0 && result.warmupCycles == 0)
-        result.warmupCycles = now_ - run_start;
+    // Cleanup (or noise) stall freezes every stage.
+    if (now_ < stallUntil_)
+        return true;
 
-    result.cycles = now_ - run_start;
-    result.instructions = committed_;
-    result.halted = halted_;
-    result.regs = regs_;
+    tickWriteback(*program_);
+    tickCommit();
+    if (halted_ || committed_ >= runOptions_.maxInstructions)
+        return false;
+    tickIssue();
+    tickDispatch();
+    tickFetch(*program_);
+
+    // Periodic invariant audit: compiled in only with
+    // -DUNXPEC_AUDIT=ON, where it cross-checks every fast-path
+    // structure against its slow reference model.
+    if constexpr (kAuditEnabled) {
+        if (now_ % audit::period() == 0)
+            auditInvariants();
+    }
+
+    // Run-off detection: nothing in flight and nothing to fetch.
+    if (rob_.empty() && decodeQueue_.empty() && fetchStopped_)
+        return false;
+
+    if (runOptions_.warmupInstructions > 0 &&
+        runResult_.warmupCycles == 0 &&
+        committed_ >= runOptions_.warmupInstructions) {
+        runResult_.warmupCycles = now_ - runStart_;
+    }
+    return true;
+}
+
+RunResult
+Core::runFinish()
+{
+    if (runOptions_.warmupInstructions > 0 && runResult_.warmupCycles == 0)
+        runResult_.warmupCycles = now_ - runStart_;
+
+    runResult_.cycles = now_ - runStart_;
+    runResult_.instructions = committed_;
+    runResult_.halted = halted_;
+    runResult_.regs = regs_;
     if (budgetSet_)
-        budgetRemaining_ -= std::min(budgetRemaining_, result.cycles);
+        budgetRemaining_ -= std::min(budgetRemaining_, runResult_.cycles);
     program_ = nullptr;
-    return result;
+    runActive_ = false;
+    return runResult_;
+}
+
+void
+Core::advanceTo(Cycle cycle)
+{
+    if (cycle <= now_)
+        return;
+    now_ = cycle;
+    if (kTraceEnabled && eventTrace_ != nullptr)
+        eventTrace_->setNow(now_);
 }
 
 bool

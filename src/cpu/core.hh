@@ -86,6 +86,28 @@ class Core
     RunResult run(const Program &program, const RunOptions &options = {});
 
     /**
+     * Stepped execution for the Machine scheduler: runBegin() latches
+     * the program and per-run state, each runStep() advances exactly
+     * one cycle (returning false once the run is over), and
+     * runFinish() produces the RunResult. run() is exactly
+     * runBegin + runStep-until-false + runFinish, so single-core
+     * behavior is identical whichever driver is used.
+     */
+    void runBegin(const Program &program, const RunOptions &options = {});
+    bool runStep();
+    RunResult runFinish();
+    /** True between runBegin() and runFinish(). */
+    bool runActive() const { return runActive_; }
+
+    /**
+     * Clock sync for interleaved multi-core scheduling: lift this
+     * core's monotonic cycle counter to `cycle` (never backwards).
+     * Idle cycles spent waiting for other cores do not count as
+     * sim_ticks.
+     */
+    void advanceTo(Cycle cycle);
+
+    /**
      * Restore freshly-constructed state for a new seed without
      * reallocating caches, ROB, or memory pages: bit-identical to
      * constructing Core(cfg) with cfg.seed == seed, but allocation-free
@@ -224,6 +246,14 @@ class Core
     std::uint64_t budgetRemaining_ = 0;
     bool budgetWarned_ = false;
     bool limitTripped_ = false;
+
+    // Stepped-execution state (runBegin/runStep/runFinish).
+    RunOptions runOptions_;
+    RunResult runResult_;
+    Cycle runStart_ = 0;
+    std::uint64_t runMaxCycles_ = 0;
+    bool runBudgetBinding_ = false;
+    bool runActive_ = false;
 
     // Commit tracing.
     std::ostream *trace_ = nullptr;

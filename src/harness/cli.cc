@@ -108,6 +108,8 @@ HarnessCli::usage(std::ostream &os) const
        << seed_ << ")\n"
        << "  --threads T    trial-pool width; 0 = hardware concurrency "
           "(default 0)\n"
+       << "  --cores N      cores per simulated machine, sharing one L2 "
+          "through MESI (default 1)\n"
        << "  --mode NAME    defense (default " << mode_ << ")\n"
        << "  --noise NAME   noise profile (default " << noise_ << ")\n";
     if (hasScale_) {
@@ -121,7 +123,7 @@ HarnessCli::usage(std::ostream &os) const
           "(open in chrome://tracing or Perfetto)\n"
        << "  --trace-categories LIST\n"
           "                 comma list of cpu, cache, cleanup, branch, "
-          "or all (default all)\n"
+          "coherence, or all (default all)\n"
        << "  --trace-split  write one trace file per trial "
           "(PATH.s<spec>.r<rep>.json) instead of one merged file\n"
        << "  --campaign PATH\n"
@@ -178,6 +180,10 @@ HarnessCli::parse(int argc, char **argv) const
             options.seed = parseU64(arg, value());
         } else if (arg == "--threads") {
             options.threads = static_cast<unsigned>(parseU64(arg, value()));
+        } else if (arg == "--cores") {
+            options.cores = static_cast<unsigned>(parseU64(arg, value()));
+            if (options.cores == 0 || options.cores > 16)
+                fatal("--cores must be in [1, 16]");
         } else if (arg == "--mode") {
             options.mode = value();
             if (!knownDefense(options.mode))
@@ -243,6 +249,7 @@ HarnessCli::baseSpec(const HarnessOptions &options) const
     ExperimentSpec spec;
     spec.defense = options.mode.empty() ? mode_ : options.mode;
     spec.noise = options.noise.empty() ? noise_ : options.noise;
+    spec.cores = options.cores;
     return spec;
 }
 

@@ -6,6 +6,7 @@
  *   --reps N       replications per experiment point
  *   --seed S       master seed (per-trial seeds derive from it)
  *   --threads T    trial-pool width (0 or omitted = hardware)
+ *   --cores N      cores per simulated machine (shared L2 + MESI)
  *   --mode NAME    defense registry key overriding the bench default
  *   --noise NAME   noise-profile registry key overriding the default
  *   --scale N      bench-specific size knob (samples, bits, insts...)
@@ -13,7 +14,7 @@
  *   --csv PATH     write the result as CSV
  *   --trace PATH   capture a Chrome-trace event file (chrome://tracing)
  *   --trace-categories LIST  categories to record (cpu,cache,cleanup,
- *                  branch or all; default all)
+ *                  branch,coherence or all; default all)
  *   --trace-split  one trace file per trial instead of one merged file
  *   --campaign PATH          journal every completed trial to a
  *                  crash-consistent manifest (campaign.jsonl)
@@ -49,6 +50,7 @@ struct HarnessOptions
     unsigned reps = 1;
     std::uint64_t seed = 1;
     unsigned threads = 0;      //!< 0 = hardware concurrency
+    unsigned cores = 1;        //!< cores per simulated machine
     std::string mode;          //!< empty = bench default defense
     std::string noise;         //!< empty = bench default noise
     std::uint64_t scale = 0;   //!< bench-specific size knob

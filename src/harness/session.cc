@@ -1,18 +1,21 @@
 #include "harness/session.hh"
 
+#include "attack/cross_core.hh"
+#include "sim/log.hh"
+
 namespace unxpec {
 
-Core &
+Machine &
 CorePool::acquire(std::size_t spec_index, const SystemConfig &cfg)
 {
     Slot &slot = slots_[spec_index];
-    if (slot.core != nullptr && equalIgnoringSeed(slot.cfg, cfg)) {
-        slot.core->reset(cfg.seed);
+    if (slot.machine != nullptr && equalIgnoringSeed(slot.cfg, cfg)) {
+        slot.machine->reset(cfg.seed);
     } else {
-        slot.core = std::make_unique<Core>(cfg);
+        slot.machine = std::make_unique<Machine>(cfg);
     }
     slot.cfg = cfg;
-    return *slot.core;
+    return *slot.machine;
 }
 
 SystemConfig
@@ -21,32 +24,48 @@ Session::configFor(const ExperimentSpec &spec, std::uint64_t seed)
     SystemConfig cfg = makeDefense(spec.defense);
     noiseProfile(spec.noise).applyTo(cfg); // DRAM-jitter component
     cfg.seed = seed;
+    cfg.numCores = spec.cores;
     if (spec.tweak)
         spec.tweak(cfg);
     return cfg;
 }
 
+namespace {
+
+/** Interrupt-noise component, core by core in index order. */
+void
+applyInterruptNoise(const ExperimentSpec &spec, Machine &machine)
+{
+    const NoiseProfile profile = noiseProfile(spec.noise);
+    for (unsigned i = 0; i < machine.numCores(); ++i)
+        profile.applyTo(machine.core(i));
+}
+
+} // namespace
+
 Session::Session(const ExperimentSpec &spec, std::uint64_t seed)
     : spec_(spec), seed_(seed), cfg_(configFor(spec, seed)),
-      owned_(std::make_unique<Core>(cfg_)), core_(owned_.get())
+      owned_(std::make_unique<Machine>(cfg_)), machine_(owned_.get())
 {
-    noiseProfile(spec_.noise).applyTo(*core_); // interrupt component
+    applyInterruptNoise(spec_, *machine_);
 }
 
 Session::Session(const TrialContext &ctx)
     : spec_(ctx.spec), seed_(ctx.seed), cfg_(configFor(ctx.spec, ctx.seed)),
-      owned_(ctx.pool == nullptr ? std::make_unique<Core>(cfg_) : nullptr),
-      core_(ctx.pool == nullptr ? owned_.get()
-                                : &ctx.pool->acquire(ctx.specIndex, cfg_))
+      owned_(ctx.pool == nullptr ? std::make_unique<Machine>(cfg_)
+                                 : nullptr),
+      machine_(ctx.pool == nullptr
+                   ? owned_.get()
+                   : &ctx.pool->acquire(ctx.specIndex, cfg_))
 {
-    noiseProfile(spec_.noise).applyTo(*core_); // interrupt component
-    // After acquire: Core::reset detaches any previous trial's tracer
-    // before this trial's (if any) is installed.
+    applyInterruptNoise(spec_, *machine_);
+    // After acquire: Machine::reset detaches any previous trial's
+    // tracer before this trial's (if any) is installed.
     if (ctx.tracer != nullptr)
-        core_->setEventTrace(ctx.tracer);
+        machine_->setEventTrace(ctx.tracer);
     control_ = ctx.control;
     if (control_ != nullptr && control_->timeoutCycles > 0)
-        core_->setCycleBudget(control_->timeoutCycles);
+        machine_->setCycleBudget(control_->timeoutCycles);
 }
 
 Session::~Session()
@@ -54,7 +73,7 @@ Session::~Session()
     // Report a cycle-limit trip (campaign budget or RunOptions::
     // maxCycles) back to the runner: the trial's measurements were
     // truncated mid-flight and must be censored, not averaged.
-    if (control_ != nullptr && core_->limitTripped()) {
+    if (control_ != nullptr && machine_->limitTripped()) {
         control_->censored = true;
         if (control_->censorReason.empty())
             control_->censorReason = "cycle-limit";
@@ -67,7 +86,7 @@ Session::unxpec()
     if (!unxpec_) {
         UnxpecConfig cfg = spec_.attackCfg;
         applyAttackVariant(spec_.attack, cfg);
-        unxpec_ = std::make_unique<UnxpecAttack>(*core_, cfg);
+        unxpec_ = std::make_unique<UnxpecAttack>(machine_->core(), cfg);
     }
     return *unxpec_;
 }
@@ -76,9 +95,25 @@ SpectreV1 &
 Session::spectre()
 {
     if (!spectre_) {
-        spectre_ = std::make_unique<SpectreV1>(*core_);
+        spectre_ = std::make_unique<SpectreV1>(machine_->core());
     }
     return *spectre_;
+}
+
+CrossCoreAttack &
+Session::crossCore()
+{
+    if (!crossCore_) {
+        if (machine_->numCores() < 2) {
+            fatal("Session::crossCore: the cross-core attack needs "
+                  "spec.cores >= 2 (got ",
+                  machine_->numCores(), ")");
+        }
+        UnxpecConfig cfg = spec_.attackCfg;
+        applyAttackVariant(spec_.attack, cfg);
+        crossCore_ = std::make_unique<CrossCoreAttack>(*machine_, cfg);
+    }
+    return *crossCore_;
 }
 
 } // namespace unxpec

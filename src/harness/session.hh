@@ -25,31 +25,34 @@
 #include "cpu/core.hh"
 #include "harness/spec.hh"
 #include "harness/trial_runner.hh"
+#include "machine/machine.hh"
 
 namespace unxpec {
 
+class CrossCoreAttack;
+
 /**
- * Per-worker-thread cache of Cores keyed by spec index. Not
+ * Per-worker-thread cache of Machines keyed by spec index. Not
  * thread-safe — every TrialRunner worker owns its own pool, so there
- * is no sharing to synchronize. A cached Core is reused via
- * Core::reset(seed) when the requested config matches the cached one
- * in everything but the seed; a genuinely different machine (a spec
- * tweak that depends on the seed, say) is rebuilt.
+ * is no sharing to synchronize. A cached Machine is reused via
+ * Machine::reset(seed) when the requested config matches the cached
+ * one in everything but the seed; a genuinely different machine (a
+ * spec tweak that depends on the seed, say) is rebuilt.
  */
 class CorePool
 {
   public:
-    /** The spec's Core, reset to cfg.seed (built on first use). */
-    Core &acquire(std::size_t spec_index, const SystemConfig &cfg);
+    /** The spec's Machine, reset to cfg.seed (built on first use). */
+    Machine &acquire(std::size_t spec_index, const SystemConfig &cfg);
 
-    /** Cores currently cached (tests). */
+    /** Machines currently cached (tests). */
     std::size_t size() const { return slots_.size(); }
 
   private:
     struct Slot
     {
         SystemConfig cfg;
-        std::unique_ptr<Core> core;
+        std::unique_ptr<Machine> machine;
     };
     // Ordered map: spec count is tiny and acquire() runs once per
     // trial, so lookup cost is irrelevant — and an ordered container
@@ -84,7 +87,10 @@ class Session
     static SystemConfig configFor(const ExperimentSpec &spec,
                                   std::uint64_t seed);
 
-    Core &core() { return *core_; }
+    /** The primary core (core 0 — the sender/attacker core). */
+    Core &core() { return machine_->core(); }
+    /** The whole machine (all cores + coherence engine). */
+    Machine &machine() { return *machine_; }
     const ExperimentSpec &spec() const { return spec_; }
     const SystemConfig &config() const { return cfg_; }
     std::uint64_t seed() const { return seed_; }
@@ -95,15 +101,19 @@ class Session
     /** A Spectre-v1 attack on this core, built lazily. */
     SpectreV1 &spectre();
 
+    /** The cross-core unXpec attack (needs spec.cores >= 2), lazily. */
+    CrossCoreAttack &crossCore();
+
   private:
     ExperimentSpec spec_;
     std::uint64_t seed_;
     SystemConfig cfg_;
-    std::unique_ptr<Core> owned_; //!< empty when the Core is pooled
-    Core *core_;
+    std::unique_ptr<Machine> owned_; //!< empty when pooled
+    Machine *machine_;
     TrialControl *control_ = nullptr; //!< runner watchdog, may be null
     std::unique_ptr<UnxpecAttack> unxpec_;
     std::unique_ptr<SpectreV1> spectre_;
+    std::unique_ptr<CrossCoreAttack> crossCore_;
 };
 
 } // namespace unxpec

@@ -38,6 +38,8 @@ struct ExperimentSpec
     std::string noise = "quiet";
     /** Attack registry key (see attackNames()). */
     std::string attack = "unxpec";
+    /** Machine width: cores sharing one L2 (SystemConfig::numCores). */
+    unsigned cores = 1;
     /** Base attack knobs; the variant's apply() runs on top of these. */
     UnxpecConfig attackCfg;
     /** Synthetic-workload name for workload-driven experiments. */

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "memory/coherence.hh"
 #include "sim/log.hh"
 #include "sim/trace.hh"
 
@@ -115,8 +116,7 @@ Cache::install(Addr line_addr, Cycle fill_cycle, bool speculative,
     slot.speculative = speculative;
     slot.installer = speculative ? installer : kSeqNone;
     slot.fillCycle = fill_cycle;
-    slot.coh = CohState::Exclusive;
-    slot.pendingDowngrade = false;
+    coh::onFill(slot);
     tag(set, chosen) = line_addr;
     repl_.fill(set, chosen);
 
@@ -150,8 +150,7 @@ Cache::installAt(unsigned set, unsigned way, Addr line_addr, bool dirty,
     slot.speculative = false;
     slot.installer = kSeqNone;
     slot.fillCycle = fill_cycle;
-    slot.coh = dirty ? CohState::Modified : CohState::Exclusive;
-    slot.pendingDowngrade = false;
+    coh::onRestore(slot, dirty);
     tag(set, way) = line_addr;
     repl_.fill(set, way);
     if (kTraceEnabled && tracer_ != nullptr &&
@@ -207,7 +206,7 @@ Cache::markDirty(Addr line_addr)
 {
     if (CacheLine *hit = probeMutable(line_addr)) {
         hit->dirty = true;
-        hit->coh = CohState::Modified;
+        coh::onLocalWrite(*hit);
     }
 }
 
@@ -220,10 +219,7 @@ Cache::commitSpeculative(Addr line_addr, SeqNum installer)
         hit->installer = kSeqNone;
         // Apply the coherence downgrade CleanupSpec delayed while the
         // installer was speculative.
-        if (hit->pendingDowngrade) {
-            hit->coh = CohState::Shared;
-            hit->pendingDowngrade = false;
-        }
+        coh::onCommit(*hit);
     }
 }
 

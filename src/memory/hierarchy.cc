@@ -42,7 +42,10 @@ MemoryHierarchy::setTracer(Tracer *tracer)
     tracer_ = tracer;
     l1i_.setTracer(tracer, kTraceL1I);
     l1d_.setTracer(tracer, kTraceL1D);
-    l2_.setTracer(tracer, kTraceL2);
+    // A shared L2 keeps the owning core's tracer; events on it would
+    // otherwise be claimed by whichever core attached last.
+    if (ownsShared())
+        l2_.setTracer(tracer, kTraceL2);
 }
 
 MemoryHierarchy::MemoryHierarchy(const SystemConfig &cfg, Rng &rng)
@@ -53,6 +56,32 @@ MemoryHierarchy::MemoryHierarchy(const SystemConfig &cfg, Rng &rng)
       l1d_(cfg.l1d, rng, cfg.seed * 0x9e37u + 2),
       l2_(cfg.l2, rng, cfg.seed * 0x9e37u + 3)
 {
+}
+
+void
+MemoryHierarchy::bindShared(Cache *l2, MainMemory *mem)
+{
+    l2p_ = l2;
+    memp_ = mem;
+}
+
+void
+MemoryHierarchy::setCoherence(CoherenceEngine *engine, unsigned core_id)
+{
+    coh_ = engine;
+    coreId_ = core_id;
+    if (engine != nullptr)
+        engine->attach(core_id, this);
+}
+
+void
+MemoryHierarchy::writeHit(CacheLine &hit)
+{
+    hit.dirty = true;
+    // S -> M upgrade: other cores' copies must go first.
+    if (coh_ != nullptr && hit.coh == CohState::Shared)
+        coh_->invalidateRemote(coreId_, hit.lineAddr);
+    coh::onLocalWrite(hit);
 }
 
 MemAccessRecord
@@ -69,7 +98,7 @@ MemoryHierarchy::access(Addr addr, Cycle now, bool write, bool speculative,
     record.issued = now;
 
     l1d_.mshr().release(now);
-    l2_.mshr().release(now);
+    l2p_->mshr().release(now);
 
     // --- L1D lookup ------------------------------------------------
     // One combined lookup: set computation and tag scan happen once,
@@ -83,10 +112,8 @@ MemoryHierarchy::access(Addr addr, Cycle now, bool write, bool speculative,
             record.ready = now + cfg_.l1d.hitLatency;
             ++l1d_.hits();
             l1d_.touchAt(l1look.set, l1look.way);
-            if (write) {
-                hit->dirty = true;
-                hit->coh = CohState::Modified;
-            }
+            if (write)
+                writeHit(*hit);
             traceAccess(tracer_, TraceKind::CacheHit, kTraceL1D, record,
                         now);
             return record;
@@ -98,10 +125,8 @@ MemoryHierarchy::access(Addr addr, Cycle now, bool write, bool speculative,
             record.ready = std::max(entry->readyCycle,
                                     now + cfg_.l1d.hitLatency);
             ++l1d_.misses();
-            if (write) {
-                hit->dirty = true;
-                hit->coh = CohState::Modified;
-            }
+            if (write)
+                writeHit(*hit);
             traceAccess(tracer_, TraceKind::MshrMerge, kTraceL1D, record,
                         now);
             return record;
@@ -111,10 +136,8 @@ MemoryHierarchy::access(Addr addr, Cycle now, bool write, bool speculative,
         record.merged = true;
         record.ready = std::max(hit->fillCycle, now + cfg_.l1d.hitLatency);
         ++l1d_.misses();
-        if (write) {
-            hit->dirty = true;
-            hit->coh = CohState::Modified;
-        }
+        if (write)
+            writeHit(*hit);
         traceAccess(tracer_, TraceKind::MshrMerge, kTraceL1D, record, now);
         return record;
     }
@@ -131,46 +154,86 @@ MemoryHierarchy::access(Addr addr, Cycle now, bool write, bool speculative,
 
     Cycle fill_ready = base + cfg_.l1d.hitLatency; // L1 lookup cost
 
+    // --- cross-core snoop (Machine configs only) --------------------
+    // Other cores' L1s are probed before the shared L2: a committed
+    // remote copy is downgraded (and recorded for squash-undo), a
+    // defended speculative copy turns the whole request into a dummy
+    // miss, and a write drops every remote copy.
+    bool shared_fill = false;
+    if (coh_ != nullptr) {
+        const CoherenceEngine::SnoopResult snoop =
+            coh_->snoop(coreId_, line, base, write, speculative, record);
+        if (snoop.dummyMiss) {
+            record.dummyMiss = true;
+            record.ready =
+                fill_ready + cfg_.l2.hitLatency + memp_->accessLatency();
+            traceAccess(tracer_, TraceKind::CacheMiss, kTraceL2, record,
+                        now);
+            return record;
+        }
+        if (snoop.served) {
+            record.servedBySnoop = true;
+            record.snoopOwner = static_cast<std::uint8_t>(snoop.owner);
+            shared_fill = true;
+        }
+    }
+
     // --- L2 lookup --------------------------------------------------
-    if (const auto l2look = l2_.lookup(line); l2look.line != nullptr) {
-        const CacheLine *l2hit = l2look.line;
+    if (const auto l2look = l2p_->lookup(line); l2look.line != nullptr) {
+        CacheLine *l2hit = l2look.line;
         if (l2hit->fillCycle <= base + cfg_.l1d.hitLatency) {
+            if (coh_ != nullptr &&
+                coh_->hideSharedSpeculative(*l2hit, line, base)) {
+                // The installing core's L1 copy is gone but its
+                // speculative L2 line survives: still invisible.
+                record.dummyMiss = true;
+                ++l2p_->misses();
+                record.ready = fill_ready + cfg_.l2.hitLatency +
+                               memp_->accessLatency();
+                traceAccess(tracer_, TraceKind::CacheMiss, kTraceL2,
+                            record, now);
+                return record;
+            }
             record.l2Hit = true;
             fill_ready += cfg_.l2.hitLatency;
-            ++l2_.hits();
-            l2_.touchAt(l2look.set, l2look.way);
-        } else if (MshrEntry *entry = l2_.mshr().find(line)) {
+            ++l2p_->hits();
+            l2p_->touchAt(l2look.set, l2look.way);
+        } else if (MshrEntry *entry = l2p_->mshr().find(line)) {
             ++entry->targets;
             record.merged = true;
             fill_ready = std::max(entry->readyCycle,
                                   fill_ready + cfg_.l2.hitLatency);
-            ++l2_.misses();
+            ++l2p_->misses();
         } else {
             // Inflight L2 line whose MSHR entry was displaced.
             record.merged = true;
             fill_ready = std::max(l2hit->fillCycle,
                                   fill_ready + cfg_.l2.hitLatency);
-            ++l2_.misses();
+            ++l2p_->misses();
         }
     } else {
-        ++l2_.misses();
-        if (l2_.mshr().full()) {
-            const Cycle wait = l2_.mshr().earliestReady();
+        ++l2p_->misses();
+        if (l2p_->mshr().full()) {
+            const Cycle wait = l2p_->mshr().earliestReady();
             fill_ready = std::max(fill_ready, wait);
-            l2_.mshr().release(fill_ready);
+            l2p_->mshr().release(fill_ready);
         }
-        fill_ready += cfg_.l2.hitLatency + mem_.accessLatency();
+        fill_ready += cfg_.l2.hitLatency + memp_->accessLatency();
 
         // Install into L2 (eagerly; fillCycle marks actual arrival).
-        const FillResult l2fill = l2_.install(line, fill_ready, speculative,
-                                              seq);
+        const FillResult l2fill = l2p_->install(line, fill_ready,
+                                                speculative, seq);
         record.l2Installed = true;
         record.l2Set = l2fill.set;
         record.l2Way = l2fill.way;
         record.l2Victim = l2fill.victimLine;
         record.l2VictimValid = l2fill.victimValid;
-        if (!l2_.mshr().full())
-            l2_.mshr().allocate(line, fill_ready, speculative, seq);
+        if (!l2p_->mshr().full())
+            l2p_->mshr().allocate(line, fill_ready, speculative, seq);
+        // Inclusion: the displaced shared-L2 line may live in other
+        // cores' L1s.
+        if (coh_ != nullptr && l2fill.victimValid)
+            coh_->backInvalidate(l2fill.victimLine);
     }
 
     // --- L1D fill ---------------------------------------------------
@@ -188,6 +251,11 @@ MemoryHierarchy::access(Addr addr, Cycle now, bool write, bool speculative,
         entry.victimLine = l1fill.victimLine;
         entry.victimValid = l1fill.victimValid;
         entry.victimDirty = l1fill.victimDirty;
+    }
+
+    if (shared_fill && !write) {
+        // A remote L1 still holds the line: both copies are S now.
+        coh::onSharedFill(l1d_.line(l1fill.set, l1fill.way));
     }
 
     if (write)
@@ -224,14 +292,14 @@ MemoryHierarchy::accessInvisible(Addr addr, Cycle now, SeqNum seq)
         return record;
     }
     Cycle ready = now + cfg_.l1d.hitLatency;
-    if (const CacheLine *hit = l2_.probe(line);
+    if (const CacheLine *hit = l2p_->probe(line);
         hit != nullptr && hit->fillCycle <= now) {
         record.l2Hit = true;
         record.ready = ready + cfg_.l2.hitLatency;
         traceAccess(tracer_, TraceKind::CacheHit, kTraceL2, record, now);
         return record;
     }
-    record.ready = ready + cfg_.l2.hitLatency + mem_.accessLatency();
+    record.ready = ready + cfg_.l2.hitLatency + memp_->accessLatency();
     traceAccess(tracer_, TraceKind::CacheMiss, kTraceL2, record, now);
     return record;
 }
@@ -251,14 +319,17 @@ MemoryHierarchy::fetchReady(Addr addr, Cycle now)
     ++l1i_.misses();
 
     Cycle ready = now + cfg_.l1i.hitLatency;
-    if (const auto l2look = l2_.lookup(line); l2look.line != nullptr) {
+    if (const auto l2look = l2p_->lookup(line); l2look.line != nullptr) {
         ready = std::max(ready + cfg_.l2.hitLatency, l2look.line->fillCycle);
-        ++l2_.hits();
-        l2_.touchAt(l2look.set, l2look.way);
+        ++l2p_->hits();
+        l2p_->touchAt(l2look.set, l2look.way);
     } else {
-        ++l2_.misses();
-        ready += cfg_.l2.hitLatency + mem_.accessLatency();
-        l2_.install(line, ready, false, kSeqNone);
+        ++l2p_->misses();
+        ready += cfg_.l2.hitLatency + memp_->accessLatency();
+        const FillResult l2fill = l2p_->install(line, ready, false,
+                                                kSeqNone);
+        if (coh_ != nullptr && l2fill.victimValid)
+            coh_->backInvalidate(l2fill.victimLine);
     }
     l1i_.install(line, ready, false, kSeqNone);
     // Only misses are traced on the I-side: steady-state hits would
@@ -275,6 +346,10 @@ bool
 MemoryHierarchy::flushLine(Addr addr)
 {
     const Addr line = lineAlign(addr);
+    // clflush is architecturally machine-wide: with an engine attached
+    // every core's copy goes, not just this core's.
+    if (coh_ != nullptr)
+        return coh_->flushAll(line);
     bool dirty = false;
     if (const CacheLine *hit = l1d_.probe(line))
         dirty = dirty || hit->dirty;
@@ -294,7 +369,7 @@ MemoryHierarchy::commitInstall(const MemAccessRecord &record)
     if (record.l1Installed)
         l1d_.commitSpeculative(record.lineAddr, record.seq);
     if (record.l2Installed)
-        l2_.commitSpeculative(record.lineAddr, record.seq);
+        l2p_->commitSpeculative(record.lineAddr, record.seq);
 }
 
 void
@@ -305,16 +380,18 @@ MemoryHierarchy::undoInflight(const MemAccessRecord &record)
         if (record.l1VictimValid) {
             l1d_.installAt(record.l1Set, record.l1Way, record.l1Victim,
                            record.l1VictimDirty, 0);
+            if (coh_ != nullptr)
+                coh_->ensureInclusion(record.l1Victim, 0);
         }
     }
     if (record.l2Installed &&
-        l2_.invalidateAt(record.l2Set, record.l2Way, record.lineAddr)) {
+        l2p_->invalidateAt(record.l2Set, record.l2Way, record.lineAddr)) {
         if (record.l2VictimValid)
-            l2_.installAt(record.l2Set, record.l2Way, record.l2Victim,
-                          false, 0);
+            l2p_->installAt(record.l2Set, record.l2Way, record.l2Victim,
+                            false, 0);
     }
     l1d_.mshr().squash(record.lineAddr);
-    l2_.mshr().squash(record.lineAddr);
+    l2p_->mshr().squash(record.lineAddr);
 }
 
 bool
@@ -326,7 +403,7 @@ MemoryHierarchy::cleanupInvalidateL1(const MemAccessRecord &record)
 bool
 MemoryHierarchy::cleanupInvalidateL2(const MemAccessRecord &record)
 {
-    return l2_.invalidateAt(record.l2Set, record.l2Way, record.lineAddr);
+    return l2p_->invalidateAt(record.l2Set, record.l2Way, record.lineAddr);
 }
 
 void
@@ -337,57 +414,36 @@ MemoryHierarchy::cleanupRestoreL1(const MemAccessRecord &record, Cycle now)
     l1d_.installAt(record.l1Set, record.l1Way, record.l1Victim,
                    record.l1VictimDirty, now);
     ++l1d_.stats().counter("restores");
+    if (coh_ != nullptr)
+        coh_->ensureInclusion(record.l1Victim, now);
 }
 
 MemoryHierarchy::CrossCoreProbe
 MemoryHierarchy::crossCoreRead(Addr addr, Cycle now)
 {
-    const Addr line = lineAlign(addr);
-    const bool protections =
-        cfg_.cleanupMode != CleanupMode::UnsafeBaseline;
-    const Cycle miss_latency =
-        cfg_.l1d.hitLatency + cfg_.l2.hitLatency + mem_.accessLatency();
+    // In a Machine the probe is a real request from a receiver core;
+    // standalone hierarchies keep the historical single-hierarchy
+    // semantics bit-for-bit (probeHierarchy).
+    if (coh_ != nullptr && coh_->numCores() > 1) {
+        return coh_->remoteRead((coreId_ + 1) % coh_->numCores(), addr,
+                                now);
+    }
+    return probeHierarchy(*this, addr, now);
+}
 
-    CrossCoreProbe probe;
-    auto serve_from = [&](Cache &cache, Cycle hit_latency) -> bool {
-        CacheLine *hit = cache.probeMutable(line);
-        if (hit == nullptr || hit->fillCycle > now)
-            return false;
-        if (protections && hit->speculative) {
-            // Dummy cache miss + delayed downgrade (§II-B).
-            hit->pendingDowngrade = true;
-            probe.hit = false;
-            probe.dummyMiss = true;
-            probe.ready = now + miss_latency;
-            probe.observed = CohState::Invalid;
-            return true;
-        }
-        if (hit->coh == CohState::Modified ||
-            hit->coh == CohState::Exclusive) {
-            hit->coh = CohState::Shared;
-        }
-        probe.hit = true;
-        probe.ready = now + hit_latency;
-        probe.observed = hit->coh;
-        return true;
-    };
-
-    if (serve_from(l1d_, cfg_.l1d.hitLatency))
-        return probe;
-    if (serve_from(l2_, cfg_.l1d.hitLatency + cfg_.l2.hitLatency))
-        return probe;
-
-    probe.hit = false;
-    probe.ready = now + miss_latency;
-    probe.observed = CohState::Invalid;
-    return probe;
+void
+MemoryHierarchy::undoSnoopDowngrade(const MemAccessRecord &record)
+{
+    if (coh_ != nullptr)
+        coh_->undoSnoopDowngrade(record);
 }
 
 void
 MemoryHierarchy::cleanupRestoreL2(const MemAccessRecord &record, Cycle now)
 {
-    l2_.installAt(record.l2Set, record.l2Way, record.l2Victim, false, now);
-    ++l2_.stats().counter("restores");
+    l2p_->installAt(record.l2Set, record.l2Way, record.l2Victim, false,
+                    now);
+    ++l2p_->stats().counter("restores");
 }
 
 void
@@ -395,19 +451,22 @@ MemoryHierarchy::resetCaches()
 {
     l1i_.reset();
     l1d_.reset();
-    l2_.reset();
+    if (ownsShared())
+        l2_.reset();
 }
 
 void
 MemoryHierarchy::reseed(std::uint64_t seed)
 {
     cfg_.seed = seed;
-    mem_.reset(cfg_.memory);
+    if (ownsShared())
+        mem_.reset(cfg_.memory);
     // Same key-derivation as the constructor so reseed(s) is
     // indistinguishable from construction with cfg.seed == s.
     l1i_.reseed(seed * 0x9e37u + 1);
     l1d_.reseed(seed * 0x9e37u + 2);
-    l2_.reseed(seed * 0x9e37u + 3);
+    if (ownsShared())
+        l2_.reseed(seed * 0x9e37u + 3);
 }
 
 } // namespace unxpec

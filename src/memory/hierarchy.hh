@@ -13,6 +13,7 @@
 #include <cstdint>
 
 #include "memory/cache.hh"
+#include "memory/coherence.hh"
 #include "memory/main_memory.hh"
 #include "sim/config.hh"
 #include "sim/rng.hh"
@@ -52,6 +53,22 @@ struct MemAccessRecord
     unsigned l2Way = 0;
     Addr l2Victim = kAddrInvalid;
     bool l2VictimValid = false;
+
+    // --- coherence outcome (multi-core Machine configs only) ---------
+    /** Served by a cache-to-cache transfer from a remote core's L1. */
+    bool servedBySnoop = false;
+    /** A defense hid a remote speculative copy: this access saw full
+     *  miss latency and installed nothing (§II-B dummy miss). */
+    bool dummyMiss = false;
+    /** This access downgraded a remote committed M/E copy to S; the
+     *  rollback engine undoes it if the access squashes. */
+    bool snoopDowngrade = false;
+    /** Core whose copy was downgraded. uint8_t, not unsigned: this
+     *  record rides in every RobEntry, and a byte here packs into the
+     *  struct's tail padding instead of growing it (--cores caps at
+     *  16 anyway). */
+    std::uint8_t snoopOwner = 0;
+    CohState snoopPrevState = CohState::Invalid; //!< pre-snoop state
 
     /** Latency seen by the requesting instruction. */
     Cycle latency() const { return ready - issued; }
@@ -112,22 +129,21 @@ class MemoryHierarchy
      *  itself never does this — too costly; see CleanupMode). */
     void cleanupRestoreL2(const MemAccessRecord &record, Cycle now);
 
-    /** What a cross-core (or SMT sibling) read request observes. */
-    struct CrossCoreProbe
-    {
-        bool hit = false;        //!< served from this core's caches
-        Cycle ready = 0;         //!< when the requester gets data
-        CohState observed = CohState::Invalid;
-        bool dummyMiss = false;  //!< protection served a fake miss
-    };
+    /** What a cross-core (or SMT sibling) read request observes.
+     *  The struct itself lives in memory/coherence.hh now; this alias
+     *  keeps the historical `MemoryHierarchy::CrossCoreProbe` name. */
+    using CrossCoreProbe = unxpec::CrossCoreProbe;
 
     /**
-     * A read request from another core/thread for `addr` (paper
-     * §II-B): with protections on, a hit on a speculatively installed
-     * line is served as a *dummy miss* and the M/E->S downgrade is
-     * *delayed* until the installer commits; on the unsafe baseline
-     * the hit (and the downgrade) happen immediately — the leak the
-     * strategies exist to close.
+     * Compat shim over the coherence path for a read request from
+     * another core (paper §II-B): with protections on, a hit on a
+     * speculatively installed line is served as a *dummy miss* and the
+     * M/E->S downgrade is *delayed* until the installer commits; on
+     * the unsafe baseline the hit (and the downgrade) happen
+     * immediately. When this hierarchy belongs to a multi-core Machine
+     * the probe is issued through the CoherenceEngine as a real
+     * receiver-core request; standalone hierarchies keep the original
+     * single-hierarchy semantics (probeHierarchy in coherence.cc).
      */
     CrossCoreProbe crossCoreRead(Addr addr, Cycle now);
 
@@ -149,6 +165,36 @@ class MemoryHierarchy
      */
     void setTracer(Tracer *tracer);
 
+    /**
+     * Rebind this hierarchy's L2 and MainMemory to another hierarchy's
+     * (the Machine layer: cores 1..N-1 share core 0's L2/memory). The
+     * owned members stay allocated but unused; reseed() and
+     * resetCaches() skip shared levels this hierarchy does not own.
+     */
+    void bindShared(Cache *l2, MainMemory *mem);
+
+    /**
+     * Attach the Machine's coherence engine. Once attached, L1 misses
+     * snoop the other cores, clflush flushes machine-wide, shared-L2
+     * evictions back-invalidate L1 copies (inclusion), and victim
+     * restorations re-establish inclusion. Single-core configurations
+     * never attach an engine and are bit-identical to the pre-Machine
+     * simulator.
+     */
+    void setCoherence(CoherenceEngine *engine, unsigned core_id);
+
+    CoherenceEngine *coherence() { return coh_; }
+    unsigned coreId() const { return coreId_; }
+    /** True when this hierarchy's own L2/memory are in use. */
+    bool ownsShared() const { return l2p_ == &l2_; }
+
+    /**
+     * CleanupSpec coherence rollback: undo the remote M/E->S downgrade
+     * a squashed speculative access performed (no-op without an
+     * engine or when the record carries no downgrade).
+     */
+    void undoSnoopDowngrade(const MemAccessRecord &record);
+
     /** Audit all three caches (sim/audit.hh). Throws AuditError. */
     void auditInvariants(Cycle now) const;
 
@@ -162,17 +208,26 @@ class MemoryHierarchy
 
     Cache &l1i() { return l1i_; }
     Cache &l1d() { return l1d_; }
-    Cache &l2() { return l2_; }
-    MainMemory &mem() { return mem_; }
+    Cache &l2() { return *l2p_; }
+    MainMemory &mem() { return *memp_; }
     const SystemConfig &config() const { return cfg_; }
 
   private:
+    /** Write-hit bookkeeping: dirty bit + S->M upgrade, invalidating
+     *  remote copies through the engine in Machine configs. */
+    void writeHit(CacheLine &hit);
+
     SystemConfig cfg_;
     Rng &rng_;
     MainMemory mem_;
     Cache l1i_;
     Cache l1d_;
     Cache l2_;
+    /** Active L2/memory: own members, or a shared level (bindShared). */
+    Cache *l2p_ = &l2_;
+    MainMemory *memp_ = &mem_;
+    CoherenceEngine *coh_ = nullptr;
+    unsigned coreId_ = 0;
     Tracer *tracer_ = nullptr;
 };
 

@@ -214,6 +214,12 @@ Cache::auditInvariants(Cycle now) const
                     audit::fail(who, now,
                                 "invalid line marked speculative" + where);
                 }
+                if (slot.pendingDowngrade) {
+                    audit::fail(who, now,
+                                "invalid line keeps a pending coherence "
+                                "downgrade" +
+                                    where);
+                }
                 continue;
             }
 
@@ -247,6 +253,22 @@ Cache::auditInvariants(Cycle now) const
                 audit::fail(who, now,
                             "non-speculative line keeps installer " +
                                 std::to_string(slot.installer) + where);
+            }
+            // A delayed M/E -> S downgrade is pinned to the speculative
+            // episode that deferred it: commit applies it, squash
+            // undoes it — either way the bit cannot outlive the
+            // speculative marking (coherence engine contract).
+            if (slot.pendingDowngrade && !slot.speculative) {
+                audit::fail(who, now,
+                            "non-speculative line keeps a pending "
+                            "coherence downgrade" +
+                                where);
+            }
+            if (slot.pendingDowngrade && slot.coh != CohState::Modified &&
+                slot.coh != CohState::Exclusive) {
+                audit::fail(who, now,
+                            "pending downgrade on a line not in M/E" +
+                                where);
             }
 
             if (repl_.policy() == ReplPolicy::LRU)
@@ -341,7 +363,14 @@ MemoryHierarchy::auditInvariants(Cycle now) const
 {
     l1i_.auditInvariants(now);
     l1d_.auditInvariants(now);
-    l2_.auditInvariants(now);
+    if (ownsShared())
+        l2_.auditInvariants(now);
+    // The machine-wide invariants (single owner, inclusion, no stale
+    // pending downgrades) span every core; auditing them from the
+    // shared-level owner keeps the periodic Core-loop hook from
+    // re-scanning the machine once per core.
+    if (coh_ != nullptr && ownsShared())
+        coh_->auditInvariants(now);
 }
 
 void

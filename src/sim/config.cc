@@ -130,6 +130,8 @@ SystemConfig::validate() const
         fatal("memory: access latency must be nonzero");
     if (clockGHz <= 0.0)
         fatal("clock frequency must be positive");
+    if (numCores == 0 || numCores > 16)
+        fatal("machine: numCores must be in [1, 16]");
 }
 
 void
@@ -141,8 +143,10 @@ SystemConfig::print(std::ostream &os) const
     os << "System configuration (Table I)\n";
     std::ostringstream ghz;
     ghz << clockGHz;
-    row("Processor", "1 core, " + ghz.str() + " GHz, out-of-order " +
-        std::to_string(core.robEntries) + "-entry ROB");
+    row("Processor", std::to_string(numCores) +
+        (numCores == 1 ? " core, " : " cores, ") + ghz.str() +
+        " GHz, out-of-order " + std::to_string(core.robEntries) +
+        "-entry ROB");
     auto cacheRow = [&row](const char *label, const CacheConfig &c) {
         row(label, std::to_string(c.sizeBytes / 1024) + " KB, " +
             std::to_string(c.ways) + "-way, " +
@@ -208,7 +212,8 @@ equalIgnoringSeed(const SystemConfig &a, const SystemConfig &b)
            a.memory.accessLatency == b.memory.accessLatency &&
            a.memory.jitterSigma == b.memory.jitterSigma &&
            a.cleanupMode == b.cleanupMode &&
-           sameTiming(a.cleanupTiming, b.cleanupTiming);
+           sameTiming(a.cleanupTiming, b.cleanupTiming) &&
+           a.numCores == b.numCores;
 }
 
 } // namespace unxpec

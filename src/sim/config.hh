@@ -149,6 +149,13 @@ struct SystemConfig
     CleanupMode cleanupMode = CleanupMode::Cleanup_FOR_L1L2;
     CleanupTiming cleanupTiming;
     std::uint64_t seed = 1;
+    /**
+     * Cores in the Machine: 1 reproduces the historical single-core
+     * simulator bit-for-bit; N > 1 gives every core a private L1I/L1D
+     * over one shared L2/MainMemory kept coherent by the Machine's
+     * CoherenceEngine. Per-core seeds are derived from `seed`.
+     */
+    unsigned numCores = 1;
 
     /** Table I configuration, CleanupSpec protections on. */
     static SystemConfig makeDefault();

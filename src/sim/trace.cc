@@ -27,11 +27,14 @@ parseTraceCategories(const std::string &list)
             mask |= kTraceCatCleanup;
         } else if (name == "branch") {
             mask |= kTraceCatBranch;
+        } else if (name == "coherence") {
+            mask |= kTraceCatCoherence;
         } else if (name == "all") {
             mask |= kTraceCatAll;
         } else if (!name.empty()) {
             fatal("unknown trace category '", name,
-                  "' (expected cpu, cache, cleanup, branch, or all)");
+                  "' (expected cpu, cache, cleanup, branch, coherence, "
+                  "or all)");
         }
         start = end + 1;
     }
@@ -55,6 +58,8 @@ traceCategoriesToString(std::uint32_t mask)
         append("cleanup");
     if (mask & kTraceCatBranch)
         append("branch");
+    if (mask & kTraceCatCoherence)
+        append("coherence");
     return names;
 }
 
@@ -78,6 +83,14 @@ traceCategoryOf(TraceKind kind)
       case TraceKind::InflightScrub:
       case TraceKind::RollbackEnd:
         return kTraceCatCleanup;
+      case TraceKind::SnoopServe:
+      case TraceKind::SnoopDummyMiss:
+      case TraceKind::SnoopDowngrade:
+      case TraceKind::SnoopDelayedDowngrade:
+      case TraceKind::SnoopInvalidate:
+      case TraceKind::BackInvalidate:
+      case TraceKind::DowngradeUndo:
+        return kTraceCatCoherence;
       default:
         return kTraceCatCpu;
     }
@@ -108,6 +121,14 @@ traceKindName(TraceKind kind)
       case TraceKind::RollbackRestore:    return "rollback-restore";
       case TraceKind::InflightScrub:      return "inflight-scrub";
       case TraceKind::RollbackEnd:        return "rollback";
+      case TraceKind::SnoopServe:         return "snoop-serve";
+      case TraceKind::SnoopDummyMiss:     return "snoop-dummy-miss";
+      case TraceKind::SnoopDowngrade:     return "snoop-downgrade";
+      case TraceKind::SnoopDelayedDowngrade:
+        return "snoop-delayed-downgrade";
+      case TraceKind::SnoopInvalidate:    return "snoop-invalidate";
+      case TraceKind::BackInvalidate:     return "back-invalidate";
+      case TraceKind::DowngradeUndo:      return "downgrade-undo";
     }
     return "unknown";
 }
@@ -221,8 +242,15 @@ trackOf(const TraceEvent &event)
       case TraceKind::RollbackRestore:
       case TraceKind::InflightScrub:
       case TraceKind::RollbackEnd:   return {11, "cleanup"};
+      case TraceKind::SnoopServe:
+      case TraceKind::SnoopDummyMiss:
+      case TraceKind::SnoopDowngrade:
+      case TraceKind::SnoopDelayedDowngrade:
+      case TraceKind::SnoopInvalidate:
+      case TraceKind::BackInvalidate:
+      case TraceKind::DowngradeUndo: return {12, "coherence"};
     }
-    return {12, "other"};
+    return {13, "other"};
 }
 
 const char *
@@ -233,6 +261,7 @@ categoryName(TraceCategory cat)
       case kTraceCatCache:   return "cache";
       case kTraceCatCleanup: return "cleanup";
       case kTraceCatBranch:  return "branch";
+      case kTraceCatCoherence: return "coherence";
       default:               return "all";
     }
 }

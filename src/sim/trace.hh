@@ -52,7 +52,8 @@ enum TraceCategory : std::uint32_t
     kTraceCatCache = 1u << 1,   //!< hits/misses/fills/evictions per level
     kTraceCatCleanup = 1u << 2, //!< CleanupSpec rollback timeline
     kTraceCatBranch = 1u << 3,  //!< branch resolution
-    kTraceCatAll = (1u << 4) - 1,
+    kTraceCatCoherence = 1u << 4, //!< cross-core snoops and downgrades
+    kTraceCatAll = (1u << 5) - 1,
 };
 
 /**
@@ -96,6 +97,15 @@ enum class TraceKind : std::uint8_t
     RollbackRestore,   //!< addr = restored victim line
     InflightScrub,     //!< addr (T3 MSHR purge of an inflight fill)
     RollbackEnd,       //!< cycle = stall end, dur = stall span
+
+    // Coherence engine (kTraceCatCoherence); level = owning core id.
+    SnoopServe,        //!< addr served cache-to-cache, arg = owner core
+    SnoopDummyMiss,    //!< addr hid a speculative copy (§II-B)
+    SnoopDowngrade,    //!< addr M/E->S (immediate), arg = owner core
+    SnoopDelayedDowngrade, //!< addr downgrade deferred to commit
+    SnoopInvalidate,   //!< addr dropped from a remote L1 (write upgrade)
+    BackInvalidate,    //!< addr dropped from an L1 by shared-L2 eviction
+    DowngradeUndo,     //!< addr owner state restored on squash
 };
 
 /** Category an event kind reports under. */

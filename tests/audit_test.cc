@@ -16,6 +16,7 @@
 #include "cpu/core.hh"
 #include "cpu/rob.hh"
 #include "memory/cache.hh"
+#include "memory/coherence.hh"
 #include "memory/hierarchy.hh"
 #include "sim/audit.hh"
 
@@ -286,6 +287,97 @@ TEST_F(RollbackAuditTest, CheckpointDetectsIncompleteRollback)
                          rng_);
     engine.rollback(hier_, job, 0);
     EXPECT_THROW(before.verifyRestored(hier_.l1d(), squash), AuditError);
+}
+
+// --- coherence invariants --------------------------------------------
+
+/** Two hierarchies sharing one L2 through an engine (Machine wiring). */
+class CoherenceAuditTest : public ::testing::Test
+{
+  protected:
+    CoherenceAuditTest()
+        : cfg_(SystemConfig::makeDefault()), rng0_(1), rng1_(2),
+          h0_(cfg_, rng0_), h1_(cfg_, rng1_), engine_(cfg_)
+    {
+        h1_.bindShared(&h0_.l2(), &h0_.mem());
+        h0_.setCoherence(&engine_, 0);
+        h1_.setCoherence(&engine_, 1);
+    }
+
+    SystemConfig cfg_;
+    Rng rng0_;
+    Rng rng1_;
+    MemoryHierarchy h0_;
+    MemoryHierarchy h1_;
+    CoherenceEngine engine_;
+};
+
+TEST_F(CoherenceAuditTest, CleanAfterCommittedSharing)
+{
+    const auto a = h0_.access(0x4000, 0, false, false, 1);
+    h1_.access(0x4000, a.ready + 1, false, false, 2);
+    EXPECT_NO_THROW(engine_.auditInvariants(a.ready + 2));
+}
+
+TEST_F(CoherenceAuditTest, DetectsTwoOwnersOfOneLine)
+{
+    const auto a = h0_.access(0x4000, 0, false, false, 1);
+    const auto b = h1_.access(0x4000, a.ready + 1, false, false, 2);
+    // Both copies are S now; forcing them back to E fakes the
+    // two-owners state the snoop protocol exists to prevent.
+    h0_.l1d().probeMutable(a.lineAddr)->coh = CohState::Exclusive;
+    h1_.l1d().probeMutable(b.lineAddr)->coh = CohState::Exclusive;
+    EXPECT_THROW(engine_.auditInvariants(b.ready + 1), AuditError);
+}
+
+TEST_F(CoherenceAuditTest, DetectsOwnerCoexistingWithSharer)
+{
+    const auto a = h0_.access(0x4000, 0, false, false, 1);
+    const auto b = h1_.access(0x4000, a.ready + 1, false, false, 2);
+    h0_.l1d().probeMutable(a.lineAddr)->coh = CohState::Modified;
+    EXPECT_THROW(engine_.auditInvariants(b.ready + 1), AuditError);
+}
+
+TEST_F(CoherenceAuditTest, DetectsInclusionViolation)
+{
+    const auto a = h0_.access(0x4000, 0, false, false, 1);
+    // Dropping the shared-L2 copy behind the engine's back leaves an
+    // L1 line with no L2 backing — the state backInvalidate prevents.
+    h0_.l2().invalidate(a.lineAddr);
+    EXPECT_THROW(engine_.auditInvariants(a.ready + 1), AuditError);
+}
+
+TEST_F(CoherenceAuditTest, DetectsStalePendingDowngrade)
+{
+    // A remote probe on a speculative copy defers the downgrade...
+    const auto install = h0_.access(0x4000, 0, false, true, 7);
+    h1_.access(0x4000, install.ready + 1, false, false, 8);
+    CacheLine *owner = h0_.l1d().probeMutable(install.lineAddr);
+    ASSERT_NE(owner, nullptr);
+    ASSERT_TRUE(owner->pendingDowngrade);
+    // ...and commit clears it. Clearing only the speculative marking
+    // (a botched commitSpeculative) leaves the stale bit the audit
+    // exists to catch.
+    owner->speculative = false;
+    owner->installer = kSeqNone;
+    EXPECT_THROW(engine_.auditInvariants(install.ready + 2), AuditError);
+    // The real commit path leaves no stale bit.
+    owner->speculative = true;
+    owner->installer = 7;
+    h0_.commitInstall(install);
+    EXPECT_NO_THROW(engine_.auditInvariants(install.ready + 2));
+}
+
+TEST_F(CoherenceAuditTest, CacheAuditRejectsPendingDowngradeWithoutOwnerState)
+{
+    const auto install = h0_.access(0x4000, 0, false, true, 7);
+    h1_.access(0x4000, install.ready + 1, false, false, 8);
+    CacheLine *owner = h0_.l1d().probeMutable(install.lineAddr);
+    ASSERT_NE(owner, nullptr);
+    ASSERT_TRUE(owner->pendingDowngrade);
+    // A pending downgrade on a line that is not even M/E is nonsense.
+    owner->coh = CohState::Shared;
+    EXPECT_THROW(h0_.l1d().auditInvariants(install.ready + 2), AuditError);
 }
 
 // --- whole machine ----------------------------------------------------

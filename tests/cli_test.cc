@@ -120,7 +120,7 @@ TEST(CliErrorTest, MalformedTraceCategoriesIsFatal)
                           {"cli_test", "--trace-categories", "cpu,bogus"}),
                 ::testing::ExitedWithCode(1),
                 "fatal: unknown trace category 'bogus' \\(expected cpu, "
-                "cache, cleanup, branch, or all\\)");
+                "cache, cleanup, branch, coherence, or all\\)");
 }
 
 TEST(CliErrorTest, ValidTraceCategoriesParse)
@@ -129,6 +129,31 @@ TEST(CliErrorTest, ValidTraceCategoriesParse)
     const HarnessOptions opt =
         parseArgs(cli, {"cli_test", "--trace-categories", "cpu,cache"});
     EXPECT_NE(opt.traceCategories, 0u);
+}
+
+// --- machine width ------------------------------------------------------
+
+TEST(CliErrorTest, CoresParses)
+{
+    const HarnessCli cli = makeCli();
+    const HarnessOptions opt = parseArgs(cli, {"cli_test", "--cores", "4"});
+    EXPECT_EQ(opt.cores, 4u);
+}
+
+TEST(CliErrorTest, ZeroCoresIsFatal)
+{
+    const HarnessCli cli = makeCli();
+    EXPECT_EXIT(parseArgs(cli, {"cli_test", "--cores", "0"}),
+                ::testing::ExitedWithCode(1),
+                "fatal: --cores must be in \\[1, 16\\]");
+}
+
+TEST(CliErrorTest, OversizedCoresIsFatal)
+{
+    const HarnessCli cli = makeCli();
+    EXPECT_EXIT(parseArgs(cli, {"cli_test", "--cores", "17"}),
+                ::testing::ExitedWithCode(1),
+                "fatal: --cores must be in \\[1, 16\\]");
 }
 
 // --- argument shape -----------------------------------------------------

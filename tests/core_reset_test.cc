@@ -180,16 +180,16 @@ TEST(CorePoolTest, PoolKeepsOneCorePerSpec)
     const SystemConfig a = Session::configFor(spec, 1);
     const SystemConfig b = Session::configFor(spec, 2);
 
-    Core &first = pool.acquire(0, a);
-    Core &second = pool.acquire(0, b);
+    Machine &first = pool.acquire(0, a);
+    Machine &second = pool.acquire(0, b);
     EXPECT_EQ(&first, &second); // same machine, new seed: reused
-    EXPECT_EQ(second.config().seed, 2u);
+    EXPECT_EQ(second.core().config().seed, 2u);
     EXPECT_EQ(pool.size(), 1u);
 
     // A genuinely different machine rebuilds instead of resetting.
     SystemConfig bigger = a;
     bigger.l1d.sizeBytes *= 2;
-    Core &third = pool.acquire(0, bigger);
+    Machine &third = pool.acquire(0, bigger);
     EXPECT_NE(&third, &second);
     EXPECT_EQ(pool.size(), 1u);
 
