@@ -8,8 +8,12 @@
  *
  * The counters to watch: sim_cycles_per_sec on BM_AttackRound (how
  * fast the simulator burns simulated time on the paper's main
- * workload) and trials_per_sec on the two BM_TrialRunner benches (the
- * end-to-end figure the pooled runner exists to raise).
+ * workload) and trials_per_sec on the fan-out benches — fresh Cores
+ * vs the pooled runner vs BM_BatchedTrials/W (the lock-step batch
+ * kernel, the end-to-end figure --batch exists to raise). The fan-out
+ * trial is deliberately light (short attack round) so per-trial setup
+ * cost — what pooling and batching eliminate — dominates the
+ * measurement instead of drowning in simulation compute.
  */
 
 #include <benchmark/benchmark.h>
@@ -24,6 +28,7 @@
 #include "harness/spec.hh"
 #include "harness/trial_runner.hh"
 #include "memory/hierarchy.hh"
+#include "sim/arena.hh"
 #include "sim/config.hh"
 #include "sim/rng.hh"
 
@@ -214,18 +219,22 @@ BENCHMARK(BM_CoreReset)->Unit(benchmark::kMicrosecond);
 
 namespace {
 
-/** The fig03-style trial the fan-out benchmarks replay. */
+/**
+ * A deliberately light fig03-style trial: one short attack round.
+ * With heavy trials, per-trial setup (Machine + attack construction —
+ * the cost pooling and batching exist to remove) is a rounding error
+ * and fresh-vs-pooled measures nothing; a short round keeps the
+ * setup-to-compute ratio representative of campaign sweeps with many
+ * small points.
+ */
 TrialOutput
-deltaTrial(const TrialContext &ctx)
+lightTrial(const TrialContext &ctx)
 {
     Session session(ctx);
     UnxpecAttack &attack = session.unxpec();
-    attack.setSecret(0);
-    const double zero = attack.measureOnce();
     attack.setSecret(1);
-    const double one = attack.measureOnce();
     TrialOutput out;
-    out.metric("delta", one - zero);
+    out.metric("lat", attack.measureOnce());
     return out;
 }
 
@@ -237,22 +246,27 @@ fanoutSweep()
         ExperimentSpec spec;
         spec.label = "loads=" + std::to_string(loads);
         spec.attackCfg.inBranchLoads = loads;
+        spec.attackCfg.mistrainIterations = 2;
         specs.push_back(std::move(spec));
     }
     return specs;
 }
 
 void
-runFanout(benchmark::State &state, bool reuse)
+runFanout(benchmark::State &state, bool reuse, unsigned batch)
 {
     const auto specs = fanoutSweep();
     const unsigned reps = static_cast<unsigned>(state.range(0));
-    TrialRunner runner(/*threads=*/2);
+    // One worker thread: the host may be single-CPU, and the point is
+    // per-trial setup cost, not scheduling — identical results at any
+    // width anyway.
+    TrialRunner runner(/*threads=*/1);
     runner.reuseCores(reuse);
+    runner.setBatch(batch);
     std::uint64_t trials = 0;
     for (auto _ : state) {
         benchmark::DoNotOptimize(
-            runner.run(specs, reps, /*master_seed=*/7, deltaTrial));
+            runner.run(specs, reps, /*master_seed=*/7, lightTrial));
         trials += specs.size() * reps;
     }
     state.SetItemsProcessed(static_cast<std::int64_t>(trials));
@@ -262,14 +276,17 @@ runFanout(benchmark::State &state, bool reuse)
 
 } // namespace
 
-/** Baseline: the pre-pool behavior, one fresh Core per trial. */
+/** Baseline: the pre-pool behavior, one fresh Core per trial. The rep
+ *  count (32 per spec) is campaign-scale so the pooled/batched runs
+ *  below amortize their one-time Machine constructions the way a real
+ *  sweep does. */
 static void
 BM_TrialRunnerFreshCores(benchmark::State &state)
 {
-    runFanout(state, /*reuse=*/false);
+    runFanout(state, /*reuse=*/false, /*batch=*/1);
 }
 BENCHMARK(BM_TrialRunnerFreshCores)
-    ->Arg(8)
+    ->Arg(32)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
@@ -277,9 +294,53 @@ BENCHMARK(BM_TrialRunnerFreshCores)
 static void
 BM_TrialRunnerPooled(benchmark::State &state)
 {
-    runFanout(state, /*reuse=*/true);
+    runFanout(state, /*reuse=*/true, /*batch=*/1);
 }
 BENCHMARK(BM_TrialRunnerPooled)
-    ->Arg(8)
+    ->Arg(32)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
+
+/**
+ * The lock-step batch kernel at width W (--batch W): pooled Machines,
+ * cached attacks, fiber-interleaved trial groups. Bit-identical
+ * results to the serial benches above; trials_per_sec is the headline
+ * campaign-throughput figure.
+ */
+static void
+BM_BatchedTrials(benchmark::State &state)
+{
+    // range(0) = reps (read by runFanout), range(1) = batch width.
+    runFanout(state, /*reuse=*/true,
+              static_cast<unsigned>(state.range(1)));
+}
+BENCHMARK(BM_BatchedTrials)
+    ->Args({32, 1})
+    ->Args({32, 4})
+    ->Args({32, 16})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+/**
+ * Raw arena throughput: the bump-allocate + reset cycle every pooled
+ * trial leans on. Mixed sizes/alignments model the ROB/cache/MSHR
+ * carve-up at Core construction.
+ */
+static void
+BM_ArenaAlloc(benchmark::State &state)
+{
+    Arena arena;
+    std::uint64_t allocs = 0;
+    for (auto _ : state) {
+        arena.reset();
+        for (unsigned i = 0; i < 64; ++i) {
+            benchmark::DoNotOptimize(arena.allocate(24 + 8 * (i % 7), 8));
+            benchmark::DoNotOptimize(arena.allocate(256, 64));
+        }
+        allocs += 128;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(allocs));
+    state.counters["allocs_per_sec"] = benchmark::Counter(
+        static_cast<double>(allocs), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ArenaAlloc);

@@ -32,6 +32,17 @@ exists to reproduce. This lint enforces, over ``src/`` by default:
                         or push I/O into the .cc).
   include-guard         headers must carry the canonical
                         UNXPEC_<DIR>_<NAME>_HH guard.
+  steady-alloc          container growth (push_back/resize/insert/...)
+                        or make_unique/make_shared in the per-cycle hot
+                        files (core, ROB, LSQ, caches, MSHRs, memory,
+                        coherence, cleanup) — steady-state simulation
+                        must not touch the heap (DESIGN.md §13; the
+                        zero-alloc invariant batch throughput rests
+                        on). Every growth site there must either move
+                        to arena/reserved storage or carry a
+                        ``lint-ok(steady-alloc)`` justification saying
+                        why it is cold (one-time construction, error
+                        path, ring assignment, ...).
 
 A finding can be suppressed with a justified marker on the same or the
 preceding line::
@@ -75,6 +86,9 @@ RULES = {
         "CohState/pendingDowngrade assignments belong to the coh:: "
         "transition helpers (src/memory/coherence.hh) so every MESI "
         "transition stays auditable in one place",
+    "steady-alloc":
+        "per-cycle hot paths must not allocate: use arena/reserved "
+        "storage, or justify a cold site with lint-ok(steady-alloc)",
 }
 
 SUPPRESS_RE = re.compile(r"lint-ok\((?P<rule>[a-z-]+)\)\s*:\s*(?P<why>\S.*)?")
@@ -107,6 +121,27 @@ UNORDERED_DECL_RE = re.compile(
 # member access. Plain `coh = ...` inside CacheLine::reset carries no
 # `.`/`->` and is intentionally not matched.
 COH_MUT_RE = re.compile(r"(?:\.|->)\s*(?:coh|pendingDowngrade)\s*=(?!=)")
+# Files whose code runs inside (or is reachable from) the per-cycle
+# tick loop: Core::runStep and everything it drives. Growth calls here
+# are steady-state heap churn unless justified.
+STEADY_ALLOC_FILES = (
+    "cpu/core.cc", "cpu/core.hh",
+    "cpu/rob.cc", "cpu/rob.hh",
+    "cpu/lsq.cc", "cpu/lsq.hh",
+    "memory/cache.cc", "memory/cache.hh",
+    "memory/hierarchy.cc", "memory/hierarchy.hh",
+    "memory/mshr.hh",
+    "memory/main_memory.cc", "memory/main_memory.hh",
+    "memory/coherence.cc", "memory/coherence.hh",
+    "memory/replacement.hh",
+    "cleanup/cleanup_engine.cc", "cleanup/cleanup_engine.hh",
+    "cleanup/spec_tracker.cc", "cleanup/spec_tracker.hh",
+    "sim/ring_queue.hh",
+)
+STEADY_ALLOC_RE = re.compile(
+    r"(?:\.|->)\s*(?:push_back|emplace_back|push_front|emplace_front"
+    r"|resize|reserve|emplace|insert|assign|append)\s*\("
+    r"|std::make_(?:unique|shared)\s*<")
 RANGE_FOR_RE = re.compile(r"\bfor\s*\([^;)]*:\s*(?:\w+(?:\.|->))*(\w+)\s*\)")
 # Only begin()-family calls: any real iteration needs one, while bare
 # end() shows up in the harmless `find(x) == c.end()` lookup idiom.
@@ -214,6 +249,7 @@ class Linter:
                                          "memory/coherence.cc")))
         in_tests = "/tests/" in rel or rel.startswith("tests/")
         is_header = rel.endswith((".hh", ".h", ".hpp"))
+        in_hot_path = rel.endswith(STEADY_ALLOC_FILES)
 
         for lineno, line in enumerate(code_lines, 1):
             if not in_rng:
@@ -238,6 +274,9 @@ class Linter:
             if (not in_coherence and not in_tests
                     and COH_MUT_RE.search(line)):
                 self.finding(path, lineno, "coherence-mutation",
+                             line.strip(), raw_lines)
+            if in_hot_path and STEADY_ALLOC_RE.search(line):
+                self.finding(path, lineno, "steady-alloc",
                              line.strip(), raw_lines)
             for m in RANGE_FOR_RE.finditer(line):
                 if m.group(1) in self.unordered_members:

@@ -347,4 +347,16 @@ UnxpecAttack::cyclesPerSample() const
         : static_cast<double>(totalCycles_) / totalRuns_;
 }
 
+void
+UnxpecAttack::resetTrialState()
+{
+    // Everything else (program, data layout, eviction addresses,
+    // trials_) is derived deterministically from the configs in the
+    // constructor and stays valid across trials on the same config.
+    dataLoaded_ = false;
+    last_ = RoundDetail{};
+    totalRuns_ = 0;
+    totalCycles_ = 0;
+}
+
 } // namespace unxpec

@@ -50,6 +50,23 @@ struct UnxpecConfig
     unsigned mistrainIterations = 16;
 };
 
+/** Field-wise equality (CorePool attack-cache validity check). */
+inline bool
+operator==(const UnxpecConfig &a, const UnxpecConfig &b)
+{
+    return a.inBranchLoads == b.inBranchLoads &&
+           a.conditionAccesses == b.conditionAccesses &&
+           a.conditionPadding == b.conditionPadding &&
+           a.useEvictionSets == b.useEvictionSets &&
+           a.mistrainIterations == b.mistrainIterations;
+}
+
+inline bool
+operator!=(const UnxpecConfig &a, const UnxpecConfig &b)
+{
+    return !(a == b);
+}
+
 /**
  * Named preset of the attack, registered for selection by name from
  * the experiment harness (`--mode`-style CLI flags, ExperimentSpec
@@ -129,6 +146,16 @@ class UnxpecAttack
 
     /** Mean simulated cycles consumed per measurement (sample). */
     double cyclesPerSample() const;
+
+    /**
+     * Restore freshly-constructed per-trial state so a cached attack
+     * can serve a new trial on the same (re-seeded) core. The program
+     * and data layout are a pure function of (core config, cfg) — no
+     * randomness enters construction — so only the mutable trial
+     * state needs clearing; a reset attack behaves bit-identically to
+     * a newly constructed one (CorePool attack cache).
+     */
+    void resetTrialState();
 
     const UnxpecConfig &config() const { return cfg_; }
     const Program &program() const { return program_; }

@@ -98,7 +98,9 @@ CleanupEngine::rollback(MemoryHierarchy &hierarchy, const CleanupJob &job,
         for (const auto &record : job.inflight)
             unmark(record);
         lastStall_ = 0;
+        // clearLog keeps capacity, so warm trials append heap-free.
         if (logEnabled_)
+            // lint-ok(steady-alloc): reserved after warm-up
             log_.push_back({squash, 0, 0, 0, 0, 0});
         return squash;
     }
@@ -243,6 +245,7 @@ CleanupEngine::rollback(MemoryHierarchy &hierarchy, const CleanupJob &job,
     }
     lastStall_ = stall_until - squash;
     if (logEnabled_) {
+        // lint-ok(steady-alloc): clearLog keeps capacity (warm trials)
         log_.push_back({squash, lastStall_, l1_inv, l2_inv, restored,
                         static_cast<unsigned>(job.inflight.size())});
     }

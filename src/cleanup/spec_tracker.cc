@@ -9,26 +9,38 @@ SpecTracker::buildJob(Cycle squash_cycle,
                       const std::vector<MemAccessRecord> &records)
 {
     CleanupJob job;
-    job.squashCycle = squash_cycle;
+    buildJobInto(squash_cycle, records, job);
+    return job;
+}
 
+void
+SpecTracker::buildJobInto(Cycle squash_cycle,
+                          const std::vector<MemAccessRecord> &records,
+                          CleanupJob &out)
+{
+    out.clear();
+    out.squashCycle = squash_cycle;
+
+    // The job vectors are bounded by the squashed-load count (itself
+    // bounded by ROB capacity); a reused job reaches a fixed capacity
+    // after the first few squashes and never grows again.
     for (const auto &record : records) {
         if (!record.l1Installed && !record.l2Installed)
             continue; // hit or MSHR merge: no footprint of its own
 
         if (record.ready > squash_cycle) {
-            job.inflight.push_back(record);
+            out.inflight.push_back(record); // lint-ok(steady-alloc): bounded
             continue;
         }
 
-        job.landed.push_back(record);
+        out.landed.push_back(record); // lint-ok(steady-alloc): bounded
         if (record.l1Installed)
-            ++job.l1Invalidations;
+            ++out.l1Invalidations;
         if (record.l2Installed)
-            ++job.l2Invalidations;
+            ++out.l2Invalidations;
         if (record.l1Installed && record.l1VictimValid)
-            job.restores.push_back(record);
+            out.restores.push_back(record); // lint-ok(steady-alloc): bounded
     }
-    return job;
 }
 
 } // namespace unxpec

@@ -45,6 +45,18 @@ struct CleanupJob
     }
 
     bool empty() const { return landed.empty() && inflight.empty(); }
+
+    /** Empty the job for reuse; the vectors keep their capacity. */
+    void
+    clear()
+    {
+        squashCycle = 0;
+        landed.clear();
+        inflight.clear();
+        restores.clear();
+        l1Invalidations = 0;
+        l2Invalidations = 0;
+    }
 };
 
 /** Builds CleanupJobs from the memory records of squashed loads. */
@@ -59,6 +71,15 @@ class SpecTracker
      */
     static CleanupJob buildJob(Cycle squash_cycle,
                                const std::vector<MemAccessRecord> &records);
+
+    /**
+     * Same distillation into a caller-owned job: `out` is cleared and
+     * refilled, reusing its vectors' capacity so the squash hot path
+     * performs no heap allocation after warm-up (Core::squashAfter).
+     */
+    static void buildJobInto(Cycle squash_cycle,
+                             const std::vector<MemAccessRecord> &records,
+                             CleanupJob &out);
 };
 
 } // namespace unxpec

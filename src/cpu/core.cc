@@ -11,10 +11,12 @@ namespace unxpec {
 Core::Core(const SystemConfig &cfg)
     : cfg_((cfg.validate(), cfg)),
       rng_(cfg.seed),
-      hier_(cfg, rng_),
+      hier_(cfg, rng_, &arena_),
       predictor_(cfg.core.predictor == PredictorKind::Gshare
                      ? std::unique_ptr<BranchPredictor>(
+                           // lint-ok(steady-alloc): one-time ctor
                            std::make_unique<GsharePredictor>())
+                     // lint-ok(steady-alloc): one-time ctor
                      : std::make_unique<BimodalPredictor>()),
       cleanup_(cfg.cleanupMode, cfg.cleanupTiming, rng_),
       lsq_(cfg.core.lsqEntries),
@@ -26,9 +28,16 @@ Core::Core(const SystemConfig &cfg)
       mispredicts_(stats_.counter("mispredicts", "branches mispredicted")),
       loads_(stats_.counter("loads", "loads executed")),
       stores_(stats_.counter("stores", "stores committed")),
-      rob_(cfg.core.robEntries)
+      rob_(cfg.core.robEntries, &arena_),
+      decodeQueue_(static_cast<std::size_t>(cfg.core.fetchWidth) *
+                       (cfg.core.decodeDepth + 2),
+                   &arena_)
 {
     rat_.fill(kSeqNone);
+    // Squash scratch is bounded by ROB capacity; sizing it here keeps
+    // the misprediction path allocation-free from the first squash.
+    // lint-ok(steady-alloc): one-time construction sizing
+    squashRecords_.reserve(cfg.core.robEntries);
 }
 
 void
@@ -65,6 +74,7 @@ Core::reset(std::uint64_t seed)
     budgetRemaining_ = 0;
     budgetWarned_ = false;
     limitTripped_ = false;
+    runYield_ = nullptr;
     trace_ = nullptr;
     setEventTrace(nullptr);
 }
@@ -101,7 +111,13 @@ RunResult
 Core::run(const Program &program, const RunOptions &options)
 {
     runBegin(program, options);
-    while (runStep()) {
+    if (runYield_ != nullptr) {
+        // Batched execution: the driver steps this core, interleaving
+        // its cycles with other trials' cores (see RunYield).
+        runYield_->driveRun(*this);
+    } else {
+        while (runStep()) {
+        }
     }
     return runFinish();
 }
@@ -242,32 +258,6 @@ Core::advanceTo(Cycle cycle)
         eventTrace_->setNow(now_);
 }
 
-bool
-Core::operandsReady(const RobEntry &entry) const
-{
-    return entry.srcReady[0] && entry.srcReady[1];
-}
-
-void
-Core::tryWakeup(RobEntry &entry)
-{
-    for (unsigned slot = 0; slot < 2; ++slot) {
-        if (entry.srcReady[slot])
-            continue;
-        const RobEntry *producer = rob_.find(entry.producer[slot]);
-        if (producer == nullptr) {
-            // Producer committed: its value is architectural (no
-            // younger writer can have committed before this entry).
-            const RegIndex sources[2] = {entry.inst.rs1, entry.inst.rs2};
-            entry.srcValue[slot] = regs_[sources[slot]];
-            entry.srcReady[slot] = true;
-        } else if (producer->done) {
-            entry.srcValue[slot] = producer->result;
-            entry.srcReady[slot] = true;
-        }
-    }
-}
-
 void
 Core::executeEntry(RobEntry &entry)
 {
@@ -306,19 +296,19 @@ void
 Core::tickIssue()
 {
     unsigned issued = 0;
-    // Walk the not-yet-issued side list (ascending seq, same order as
-    // a full ROB scan). rob_.markIssued erases the current element, so
-    // the index only advances on skip.
-    const std::vector<SeqNum> &window = rob_.unissued();
+    // Walk the operand-ready unissued list (ascending seq, the same
+    // relative order as the historical full-window scan — entries
+    // whose operands are not ready could never issue, so skipping them
+    // outright changes no decision). Readiness is maintained eagerly
+    // by the ROB's dependency wakeup at dispatch/markDone, replacing
+    // the per-cycle O(occupancy) tryWakeup rescan that dominated the
+    // simulator's profile. rob_.markIssued erases the current element,
+    // so the index only advances on skip.
+    const auto &window = rob_.readyUnissued();
     for (std::size_t i = 0; i < window.size();) {
         if (issued >= cfg_.core.issueWidth)
             break;
         RobEntry &entry = *rob_.find(window[i]);
-        tryWakeup(entry);
-        if (!operandsReady(entry)) {
-            ++i;
-            continue;
-        }
 
         const Opcode op = entry.inst.op;
 
@@ -415,11 +405,13 @@ Core::tickIssue()
 
         if (op == Opcode::RDTSCP) {
             // Serializing: waits for every older instruction. An older
-            // not-done entry is either still unissued (then it sits
-            // before us in `window`) or issued-but-outstanding.
-            const std::vector<SeqNum> &outst = rob_.outstanding();
+            // not-done entry is either still unissued (then the full
+            // unissued list's head is older than us) or
+            // issued-but-outstanding.
+            const auto &outst = rob_.outstanding();
             const bool all_older_done =
-                i == 0 && (outst.empty() || outst.front() >= entry.seq);
+                rob_.unissued().front() == entry.seq &&
+                (outst.empty() || outst.front() >= entry.seq);
             if (!all_older_done) {
                 ++i;
                 continue;
@@ -450,7 +442,7 @@ Core::tickWriteback(const Program &program)
     // Walk the issued-but-not-done side list (ascending seq, same
     // order as a full ROB scan). rob_.markDone erases the current
     // element, so the index only advances on skip.
-    const std::vector<SeqNum> &outstanding = rob_.outstanding();
+    const auto &outstanding = rob_.outstanding();
     for (std::size_t i = 0; i < outstanding.size();) {
         RobEntry &entry = *rob_.find(outstanding[i]);
         if (entry.readyCycle > now_) {
@@ -501,19 +493,22 @@ Core::resolveBranch(RobEntry &branch)
 void
 Core::squashAfter(RobEntry &branch)
 {
-    const std::vector<RobEntry> squashed =
-        rob_.squashYoungerThan(branch.seq);
+    const auto &squashed = rob_.squashYoungerThan(branch.seq);
 
-    std::vector<MemAccessRecord> records;
+    // Scratch buffers reserved to ROB capacity at construction: the
+    // squash path reuses them so a warm core never allocates here.
+    squashRecords_.clear();
     for (const auto &entry : squashed) {
         if (isLoad(entry.inst.op) && entry.hasMemRecord)
-            records.push_back(entry.memRecord);
+            // lint-ok(steady-alloc): reserved
+            squashRecords_.push_back(entry.memRecord);
     }
 
-    const CleanupJob job = SpecTracker::buildJob(now_, records);
+    SpecTracker::buildJobInto(now_, squashRecords_, squashJob_);
     const Cycle older_drain =
         LoadStoreQueue::olderLoadsDrainCycle(rob_, branch.seq);
-    const Cycle cleanup_until = cleanup_.rollback(hier_, job, older_drain);
+    const Cycle cleanup_until =
+        cleanup_.rollback(hier_, squashJob_, older_drain);
     stallUntil_ = std::max(stallUntil_, cleanup_until);
 
     // Rollback-completeness audit: right after the undo, no squashed
@@ -645,12 +640,18 @@ Core::tickDispatch()
             if (!reads[slot])
                 continue;
             const SeqNum producer = rat_[sources[slot]];
-            if (producer == kSeqNone) {
+            const RobEntry *prod =
+                producer == kSeqNone ? nullptr : rob_.find(producer);
+            if (prod == nullptr) {
+                // No producer, or the producer already committed (its
+                // value is architectural: no younger writer of this
+                // register can have committed before this entry).
                 entry.srcValue[slot] = regs_[sources[slot]];
-            } else if (const RobEntry *prod = rob_.find(producer);
-                       prod != nullptr && prod->done) {
+            } else if (prod->done) {
                 entry.srcValue[slot] = prod->result;
             } else {
+                // Pending producer: ReorderBuffer::push registers this
+                // entry for an eager wakeup at the producer's markDone.
                 entry.producer[slot] = producer;
                 entry.srcReady[slot] = false;
             }
@@ -723,14 +724,14 @@ Core::tickFetch(const Program &program)
             fetchPC_ = static_cast<std::size_t>(inst.target);
         } else if (inst.op == Opcode::HALT) {
             fetchPC_ = fetchPC_ + 1;
-            decodeQueue_.push_back(fetched_inst);
+            decodeQueue_.push_back(fetched_inst); // lint-ok(steady-alloc): ring
             fetchStopped_ = true;
             break;
         } else {
             fetchPC_ = fetchPC_ + 1;
         }
 
-        decodeQueue_.push_back(fetched_inst);
+        decodeQueue_.push_back(fetched_inst); // lint-ok(steady-alloc): ring
         ++fetched;
     }
 }

@@ -17,8 +17,8 @@
 
 #include <array>
 #include <cstdint>
-#include <deque>
 #include <memory>
+#include <vector>
 
 #include "cleanup/cleanup_engine.hh"
 #include "cpu/branch_predictor.hh"
@@ -26,14 +26,36 @@
 #include "cpu/program.hh"
 #include "cpu/rob.hh"
 #include "memory/hierarchy.hh"
+#include "sim/arena.hh"
 #include "sim/config.hh"
+#include "sim/ring_queue.hh"
 #include "sim/rng.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
 namespace unxpec {
 
+class Core;
 class Tracer;
+
+/**
+ * Hook that takes over the stepping of a run (BatchRunner's lock-step
+ * batching). When installed via Core::setRunYield, Core::run latches
+ * the run with runBegin() and then calls driveRun() instead of its own
+ * step loop; the driver must call core.runStep() until it returns
+ * false (interleaving steps of other cores as it pleases) and then
+ * return, after which run() produces the RunResult via runFinish().
+ * Because trials are fully independent, any interleaving yields
+ * results bit-identical to the inline loop.
+ */
+class RunYield
+{
+  public:
+    virtual ~RunYield() = default;
+
+    /** Step `core` (runStep until false), yielding between steps. */
+    virtual void driveRun(Core &core) = 0;
+};
 
 /** Options for one program execution. */
 struct RunOptions
@@ -171,6 +193,18 @@ class Core
     Tracer *eventTrace() const { return eventTrace_; }
 
     /**
+     * Install a run driver (BatchRunner lane): run() yields its step
+     * loop to `yield->driveRun(*this)` so a scheduler can interleave
+     * this core's cycles with other trials. nullptr restores the
+     * inline loop; Core::reset also clears it.
+     */
+    void setRunYield(RunYield *yield) { runYield_ = yield; }
+    RunYield *runYield() const { return runYield_; }
+
+    /** Arena backing this core's per-trial hot state (stats/tests). */
+    const Arena &arena() const { return arena_; }
+
+    /**
      * Whole-machine invariant audit (sim/audit.hh): ROB side lists vs
      * a full scan, cache/MSHR layout coherence, and the LSQ occupancy
      * model. Throws AuditError on violation. The run loop calls this
@@ -198,14 +232,18 @@ class Core
     void squashAfter(RobEntry &branch);
     void rebuildRat();
 
-    bool operandsReady(const RobEntry &entry) const;
-    void tryWakeup(RobEntry &entry);
-    std::uint64_t operandValue(const RobEntry &entry, unsigned slot) const;
     void executeEntry(RobEntry &entry);
     void commitStore(RobEntry &entry);
 
     // --- configuration and shared state -----------------------------
     SystemConfig cfg_;
+    /**
+     * Backs the per-trial hot state below (cache arrays, MSHRs, ROB
+     * ring and side lists, decode queue): one contiguous allocation
+     * per core instead of dozens of heap blocks. Declared before every
+     * adopter so it is destroyed last; never reset while they live.
+     */
+    Arena arena_;
     Rng rng_;
     MemoryHierarchy hier_;
     std::unique_ptr<BranchPredictor> predictor_;
@@ -225,7 +263,7 @@ class Core
     std::array<std::uint64_t, kNumRegs> regs_{};
     std::array<SeqNum, kNumRegs> rat_{};
     ReorderBuffer rob_;
-    std::deque<FetchedInst> decodeQueue_;
+    RingQueue<FetchedInst> decodeQueue_;
     std::size_t fetchPC_ = 0;
     bool fetchStopped_ = false;
     Cycle fetchResumeCycle_ = 0;
@@ -254,6 +292,14 @@ class Core
     std::uint64_t runMaxCycles_ = 0;
     bool runBudgetBinding_ = false;
     bool runActive_ = false;
+
+    // Squash scratch (reused per misprediction; capacity persists
+    // after warm-up so the squash path stays allocation-free).
+    std::vector<MemAccessRecord> squashRecords_;
+    CleanupJob squashJob_;
+
+    // Batched-execution driver (setRunYield).
+    RunYield *runYield_ = nullptr;
 
     // Commit tracing.
     std::ostream *trace_ = nullptr;

@@ -15,17 +15,32 @@
  * push/popFront/squash and the markIssued/markDone funnels; the
  * iteration order (ascending seq) matches the old full scans exactly,
  * so issue, forwarding, and squash decisions are bit-identical.
+ *
+ * Operand wakeup is eager and dependency-driven. At dispatch a
+ * consumer with a not-yet-done producer registers itself in the
+ * producer's dependent bitmap (one bit per ring slot; slot = seq mod
+ * capacity, which is stable for an entry's lifetime). markDone walks
+ * only that bitmap, copies the result into each waiting consumer, and
+ * moves consumers whose last operand just arrived onto readyUnissued_
+ * — the list tickIssue scans. The historical alternative (tryWakeup on
+ * every unissued entry every cycle) was the simulator's hottest loop:
+ * O(ROB occupancy) producer lookups per cycle, ~80% of a mistrain
+ * round's host time. Stale bits left by squashed consumers are
+ * harmless: a wake checks that the slot's current occupant really
+ * names this producer before touching it, and a slot's bitmap row is
+ * zeroed when a new entry claims the slot.
  */
 
 #ifndef UNXPEC_CPU_ROB_HH
 #define UNXPEC_CPU_ROB_HH
 
 #include <algorithm>
-#include <deque>
 #include <vector>
 
 #include "cpu/isa.hh"
 #include "memory/hierarchy.hh"
+#include "sim/arena.hh"
+#include "sim/ring_queue.hh"
 #include "sim/types.hh"
 
 namespace unxpec {
@@ -73,7 +88,37 @@ struct RobEntry
 class ReorderBuffer
 {
   public:
-    explicit ReorderBuffer(unsigned capacity) : capacity_(capacity) {}
+    /**
+     * `arena` (optional) backs the fixed-capacity entry ring, the side
+     * lists, and the squash scratch buffer; null falls back to the
+     * heap. Every container is sized to `capacity` at construction —
+     * a warm ROB performs no steady-state heap traffic.
+     */
+    explicit ReorderBuffer(unsigned capacity, Arena *arena = nullptr)
+        : capacity_(capacity),
+          entries_(capacity, arena),
+          unissued_(ArenaAllocator<SeqNum>(arena)),
+          outstanding_(ArenaAllocator<SeqNum>(arena)),
+          storeFences_(ArenaAllocator<SeqNum>(arena)),
+          pendingMem_(ArenaAllocator<SeqNum>(arena)),
+          unresolvedBranches_(ArenaAllocator<SeqNum>(arena)),
+          squashScratch_(ArenaAllocator<RobEntry>(arena)),
+          readyUnissued_(ArenaAllocator<SeqNum>(arena)),
+          depMask_(ArenaAllocator<std::uint64_t>(arena)),
+          maskWords_((capacity + 63) / 64)
+    {
+        // One-time construction sizing; the side lists are bounded by
+        // ROB occupancy and never regrow.
+        unissued_.reserve(capacity);           // lint-ok(steady-alloc): ctor
+        outstanding_.reserve(capacity);        // lint-ok(steady-alloc): ctor
+        storeFences_.reserve(capacity);        // lint-ok(steady-alloc): ctor
+        pendingMem_.reserve(capacity);         // lint-ok(steady-alloc): ctor
+        unresolvedBranches_.reserve(capacity); // lint-ok(steady-alloc): ctor
+        squashScratch_.reserve(capacity);      // lint-ok(steady-alloc): ctor
+        readyUnissued_.reserve(capacity);      // lint-ok(steady-alloc): ctor
+        // lint-ok(steady-alloc): ctor
+        depMask_.assign(static_cast<std::size_t>(capacity) * maskWords_, 0);
+    }
 
     bool full() const { return entries_.size() >= capacity_; }
     bool empty() const { return entries_.empty(); }
@@ -109,9 +154,11 @@ class ReorderBuffer
 
     /**
      * Remove every entry younger than `seq` and return them
-     * oldest-first.
+     * oldest-first. The returned reference aliases an internal scratch
+     * buffer that is reused (and overwritten) by the next call — the
+     * caller must finish with it before squashing again.
      */
-    std::vector<RobEntry> squashYoungerThan(SeqNum seq);
+    const ArenaVector<RobEntry> &squashYoungerThan(SeqNum seq);
 
     /**
      * Mark an entry issued. Must be used instead of writing
@@ -143,20 +190,29 @@ class ReorderBuffer
     unsigned memCount() const { return memCount_; }
 
     /** Seqs of entries not yet issued, ascending (the issue window). */
-    const std::vector<SeqNum> &unissued() const { return unissued_; }
+    const ArenaVector<SeqNum> &unissued() const { return unissued_; }
+
+    /**
+     * Seqs of unissued entries whose operands are both ready,
+     * ascending — the only entries tickIssue has to look at. Kept
+     * current by the eager dependency wakeup (see file comment): push
+     * for entries ready at dispatch, markDone for entries whose last
+     * producer just completed.
+     */
+    const ArenaVector<SeqNum> &readyUnissued() const { return readyUnissued_; }
 
     /** Seqs of issued-but-not-done entries, ascending (writeback). */
-    const std::vector<SeqNum> &outstanding() const { return outstanding_; }
+    const ArenaVector<SeqNum> &outstanding() const { return outstanding_; }
 
     /** Seqs of every in-flight store and fence, ascending (load
      *  gating / forwarding walks these instead of the whole ROB). */
-    const std::vector<SeqNum> &storeFences() const { return storeFences_; }
+    const ArenaVector<SeqNum> &storeFences() const { return storeFences_; }
 
     /** Seqs of not-yet-done memory ops, ascending (fence checks). */
-    const std::vector<SeqNum> &pendingMem() const { return pendingMem_; }
+    const ArenaVector<SeqNum> &pendingMem() const { return pendingMem_; }
 
     /** Seqs of not-yet-done conditional branches, ascending. */
-    const std::vector<SeqNum> &
+    const ArenaVector<SeqNum> &
     unresolvedBranches() const
     {
         return unresolvedBranches_;
@@ -188,7 +244,7 @@ class ReorderBuffer
 
   private:
     static void
-    eraseSeq(std::vector<SeqNum> &list, SeqNum seq)
+    eraseSeq(ArenaVector<SeqNum> &list, SeqNum seq)
     {
         const auto it = std::lower_bound(list.begin(), list.end(), seq);
         if (it != list.end() && *it == seq)
@@ -196,21 +252,47 @@ class ReorderBuffer
     }
 
     static void
-    trimYoungerThan(std::vector<SeqNum> &list, SeqNum seq)
+    trimYoungerThan(ArenaVector<SeqNum> &list, SeqNum seq)
     {
         while (!list.empty() && list.back() > seq)
             list.pop_back();
     }
 
-    unsigned capacity_;
-    std::deque<RobEntry> entries_;
+    /** Register `entry` in the dependent bitmap of each not-ready
+     *  operand's producer (dispatch side of the eager wakeup). */
+    void registerDependents(const RobEntry &entry);
 
-    // Seq-ascending side lists; see file comment.
-    std::vector<SeqNum> unissued_;
-    std::vector<SeqNum> outstanding_;
-    std::vector<SeqNum> storeFences_;
-    std::vector<SeqNum> pendingMem_;
-    std::vector<SeqNum> unresolvedBranches_;
+    /** Deliver `producer`'s result to every registered dependent and
+     *  promote newly-ready consumers onto readyUnissued_. */
+    void wakeDependents(const RobEntry &producer);
+
+    /** Wake the occupant of ring slot `slot`, if it is live and
+     *  actually names `producer` (stale bits are skipped). */
+    void wakeSlot(std::size_t slot, const RobEntry &producer);
+
+    unsigned capacity_;
+    RingQueue<RobEntry> entries_;
+
+    // Seq-ascending side lists; see file comment. All are reserved to
+    // `capacity_` at construction, so the push_back/insert maintenance
+    // below never reallocates.
+    ArenaVector<SeqNum> unissued_;
+    ArenaVector<SeqNum> outstanding_;
+    ArenaVector<SeqNum> storeFences_;
+    ArenaVector<SeqNum> pendingMem_;
+    ArenaVector<SeqNum> unresolvedBranches_;
+    /** Reused return buffer of squashYoungerThan (oldest-first). */
+    ArenaVector<RobEntry> squashScratch_;
+    /** Unissued entries with both operands ready (see readyUnissued()). */
+    ArenaVector<SeqNum> readyUnissued_;
+    /**
+     * Dependent bitmaps: row `seq % capacity` holds one bit per ring
+     * slot whose occupant waits on that producer. maskWords_ 64-bit
+     * words per row; the whole table is capacity * maskWords_ words,
+     * arena-backed, zeroed row-by-row as slots are reclaimed.
+     */
+    ArenaVector<std::uint64_t> depMask_;
+    std::size_t maskWords_;
     unsigned memCount_ = 0;
     Tracer *tracer_ = nullptr;
 

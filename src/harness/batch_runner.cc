@@ -1,0 +1,238 @@
+#include "harness/batch_runner.hh"
+
+#include <algorithm>
+#include <exception>
+
+#include "cpu/core.hh"
+#include "sim/log.hh"
+
+// Fibers need raw stack switching, which ASan/TSan instrumentation
+// does not follow without per-switch annotations; under sanitizers the
+// batch degrades to serial execution (bit-identical by construction).
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define UNXPEC_BATCH_FIBERS 0
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define UNXPEC_BATCH_FIBERS 0
+#else
+#define UNXPEC_BATCH_FIBERS 1
+#endif
+#else
+#define UNXPEC_BATCH_FIBERS 1
+#endif
+
+#if UNXPEC_BATCH_FIBERS
+#include <ucontext.h>
+#endif
+
+namespace unxpec {
+
+#if UNXPEC_BATCH_FIBERS
+
+namespace {
+/** Fiber stack size. Trial bodies build a Session (Machine + attack)
+ *  on the fiber stack; 512 KiB covers the deepest configuration with
+ *  ample margin while keeping W stacks cheap to retain. */
+constexpr std::size_t kFiberStackBytes = 512 * 1024;
+
+/**
+ * Cycles a blocked core advances per scheduler visit. Trials are
+ * fully independent, so any interleaving is bit-identical to serial —
+ * the chunk size is purely a locality knob: per-cycle round-robin
+ * would swap W working sets every simulated cycle, evicting each
+ * trial's hot cache/ROB state W times per line reuse. A modest chunk
+ * keeps each trial's state resident long enough to be amortized while
+ * still bounding how far any batch mate can run ahead.
+ */
+constexpr unsigned kStepChunkCycles = 256;
+} // namespace
+
+struct BatchRunner::Impl
+{
+    /**
+     * One fiber slot. The slot doubles as the RunYield installed on
+     * the trial's cores: driveRun() records which core entered its run
+     * phase and yields to the scheduler, which then steps every
+     * blocked core in the shared sweep loop until each run finishes.
+     */
+    struct Slot : RunYield
+    {
+        Impl *impl = nullptr;
+        ucontext_t ctx{};
+        std::unique_ptr<char[]> stack; //!< reused across task groups
+        const TrialBody *body = nullptr;
+        Core *blocked = nullptr; //!< core waiting in its run loop
+        bool started = false;
+        bool finished = false;
+        std::exception_ptr error;
+
+        void
+        driveRun(Core &core) override
+        {
+            blocked = &core;
+            // Yield to the scheduler; it resumes this fiber once the
+            // core's run is complete (runStep returned false).
+            swapcontext(&ctx, &impl->main_);
+        }
+    };
+
+    ucontext_t main_{};
+    std::vector<std::unique_ptr<Slot>> slots_;
+
+    /** Trampoline target; reads the entering slot from a thread-local
+     *  because makecontext passes only ints portably. */
+    static thread_local Slot *entering_;
+
+    static void
+    fiberEntry()
+    {
+        Slot *slot = entering_;
+        try {
+            (*slot->body)(slot);
+        } catch (...) {
+            slot->error = std::current_exception();
+        }
+        slot->finished = true;
+        // uc_link returns to main_ when this function falls off.
+    }
+
+    /** Run `count` tasks starting at `tasks[base]` in lock step. */
+    void
+    runGroup(std::vector<TrialBody> &tasks, std::size_t base,
+             std::size_t count)
+    {
+        for (std::size_t k = 0; k < count; ++k) {
+            Slot &slot = *slots_[k];
+            slot.body = &tasks[base + k];
+            slot.blocked = nullptr;
+            slot.started = false;
+            slot.finished = false;
+            slot.error = nullptr;
+        }
+
+        std::size_t live = count;
+        while (live > 0) {
+            // Resume phase, slot order: start fresh fibers or resume
+            // ones whose run just completed. A body may block again
+            // (next Core::run round) or finish.
+            for (std::size_t k = 0; k < count; ++k) {
+                Slot &slot = *slots_[k];
+                if (slot.finished || slot.blocked != nullptr)
+                    continue;
+                if (!slot.started) {
+                    slot.started = true;
+                    getcontext(&slot.ctx);
+                    slot.ctx.uc_stack.ss_sp = slot.stack.get();
+                    slot.ctx.uc_stack.ss_size = kFiberStackBytes;
+                    slot.ctx.uc_link = &main_;
+                    makecontext(&slot.ctx, fiberEntry, 0);
+                    entering_ = &slot;
+                }
+                swapcontext(&main_, &slot.ctx);
+                if (slot.finished)
+                    --live;
+            }
+
+            // Step phase: the lock-step kernel. Sweep every blocked
+            // core a chunk of cycles at a time (trial-major inner
+            // loop) until some run completes; its fiber is resumed in
+            // the next resume phase. Slot order keeps the schedule
+            // (and any shared-Rng interleaving, were there any)
+            // deterministic.
+            bool any_blocked = false;
+            for (std::size_t k = 0; k < count; ++k)
+                any_blocked |= slots_[k]->blocked != nullptr;
+            bool run_done = !any_blocked;
+            while (!run_done) {
+                for (std::size_t k = 0; k < count; ++k) {
+                    Slot &slot = *slots_[k];
+                    if (slot.blocked == nullptr)
+                        continue;
+                    for (unsigned c = 0; c < kStepChunkCycles; ++c) {
+                        if (!slot.blocked->runStep()) {
+                            slot.blocked = nullptr;
+                            run_done = true;
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+
+        for (std::size_t k = 0; k < count; ++k) {
+            if (slots_[k]->error)
+                std::rethrow_exception(slots_[k]->error);
+        }
+    }
+};
+
+thread_local BatchRunner::Impl::Slot *BatchRunner::Impl::entering_ = nullptr;
+
+BatchRunner::BatchRunner(unsigned width)
+    : width_(width == 0 ? 1 : width), impl_(std::make_unique<Impl>())
+{
+    impl_->slots_.reserve(width_);
+    for (unsigned k = 0; k < width_; ++k) {
+        auto slot = std::make_unique<Impl::Slot>();
+        slot->impl = impl_.get();
+        slot->stack = std::make_unique<char[]>(kFiberStackBytes);
+        impl_->slots_.push_back(std::move(slot));
+    }
+}
+
+BatchRunner::~BatchRunner() = default;
+
+bool
+BatchRunner::lockStepAvailable()
+{
+    return true;
+}
+
+void
+BatchRunner::run(std::vector<TrialBody> &tasks)
+{
+    std::size_t base = 0;
+    while (base < tasks.size()) {
+        const std::size_t count =
+            std::min<std::size_t>(width_, tasks.size() - base);
+        if (count <= 1) {
+            // A lone trial gains nothing from a fiber: run it inline.
+            tasks[base](nullptr);
+        } else {
+            impl_->runGroup(tasks, base, count);
+        }
+        base += count;
+    }
+}
+
+#else // !UNXPEC_BATCH_FIBERS
+
+struct BatchRunner::Impl
+{
+};
+
+BatchRunner::BatchRunner(unsigned width)
+    : width_(width == 0 ? 1 : width), impl_(nullptr)
+{
+}
+
+BatchRunner::~BatchRunner() = default;
+
+bool
+BatchRunner::lockStepAvailable()
+{
+    return false;
+}
+
+void
+BatchRunner::run(std::vector<TrialBody> &tasks)
+{
+    // Sanitizer build: serial execution, identical results (trials are
+    // independent, so interleaving never affects them anyway).
+    for (TrialBody &task : tasks)
+        task(nullptr);
+}
+
+#endif // UNXPEC_BATCH_FIBERS
+
+} // namespace unxpec

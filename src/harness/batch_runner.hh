@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Lock-step batched trial executor. A batch of W independent trials is
+ * run through one trial-major kernel: each trial body runs on its own
+ * fiber (ucontext), and whenever it enters Core::run the fiber yields
+ * back to the scheduler, which then advances all blocked cores in an
+ * interleaved inner loop (a fixed chunk of cycles per core per visit —
+ * a pure locality knob, see kStepChunkCycles). Per-trial hot state is
+ * arena-backed and contiguous (sim/arena.hh), so the sweep walks W
+ * compact working sets instead of re-faulting one trial's scattered
+ * heap blocks per run.
+ *
+ * Determinism: trials are fully independent (no shared mutable state;
+ * per-trial seeds come from Rng::deriveSeed), so any interleaving of
+ * their cycles produces results bit-identical to running them
+ * serially. The scheduler is nonetheless fully deterministic — slots
+ * are started, stepped, and finished in index order — so a batched
+ * campaign is reproducible run-to-run, and its outputs are
+ * byte-identical to the serial path (tests/golden).
+ *
+ * Fallback: under ASan/TSan (which do not tolerate raw ucontext stack
+ * switching without annotation support we do not assume), or when the
+ * batch is trivial (width <= 1 or a single task), the runner simply
+ * executes each body to completion with no yield installed — identical
+ * results by construction, no fibers involved.
+ */
+
+#ifndef UNXPEC_HARNESS_BATCH_RUNNER_HH
+#define UNXPEC_HARNESS_BATCH_RUNNER_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace unxpec {
+
+class RunYield;
+
+class BatchRunner
+{
+  public:
+    /**
+     * One trial's work: set up the session/attack, run it, record the
+     * output. The body must install the passed RunYield on every Core
+     * it drives (Session does this via TrialContext::yield); a null
+     * yield means "run serially".
+     */
+    using TrialBody = std::function<void(RunYield *)>;
+
+    explicit BatchRunner(unsigned width);
+    ~BatchRunner();
+
+    BatchRunner(const BatchRunner &) = delete;
+    BatchRunner &operator=(const BatchRunner &) = delete;
+
+    /**
+     * Run every task to completion, lock-stepping their Core::run
+     * phases when fibers are available (at most `width` at a time).
+     * Task index order is preserved for starts, steps, and finishes.
+     * The first exception thrown by any body (in slot order) is
+     * rethrown after every fiber has unwound.
+     */
+    void run(std::vector<TrialBody> &tasks);
+
+    unsigned width() const { return width_; }
+
+    /** False when fibers are compiled out (sanitizer builds): run()
+     *  degrades to serial execution with identical results. */
+    static bool lockStepAvailable();
+
+  private:
+    struct Impl;
+
+    unsigned width_;
+    std::unique_ptr<Impl> impl_;
+};
+
+} // namespace unxpec
+
+#endif // UNXPEC_HARNESS_BATCH_RUNNER_HH

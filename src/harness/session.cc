@@ -6,16 +6,39 @@
 namespace unxpec {
 
 Machine &
-CorePool::acquire(std::size_t spec_index, const SystemConfig &cfg)
+CorePool::acquire(std::size_t spec_index, unsigned lane,
+                  const SystemConfig &cfg)
 {
-    Slot &slot = slots_[spec_index];
+    Slot &slot = slots_[{spec_index, lane}];
     if (slot.machine != nullptr && equalIgnoringSeed(slot.cfg, cfg)) {
         slot.machine->reset(cfg.seed);
     } else {
+        // The cached attack holds references into the old Machine's
+        // core; rebuilding the Machine invalidates it.
+        slot.attack.reset();
         slot.machine = std::make_unique<Machine>(cfg);
     }
     slot.cfg = cfg;
     return *slot.machine;
+}
+
+UnxpecAttack &
+CorePool::unxpecFor(std::size_t spec_index, unsigned lane,
+                    Machine &machine, const UnxpecConfig &cfg)
+{
+    const auto it = slots_.find({spec_index, lane});
+    if (it == slots_.end() || it->second.machine.get() != &machine)
+        fatal("CorePool::unxpecFor: machine is not this slot's machine");
+    Slot &slot = it->second;
+    if (slot.attack != nullptr && slot.attackCfg == cfg) {
+        // Same (core config, attack config): the program and layout
+        // are already correct; clear only the per-trial state.
+        slot.attack->resetTrialState();
+    } else {
+        slot.attack = std::make_unique<UnxpecAttack>(machine.core(), cfg);
+        slot.attackCfg = cfg;
+    }
+    return *slot.attack;
 }
 
 SystemConfig
@@ -56,13 +79,16 @@ Session::Session(const TrialContext &ctx)
                                  : nullptr),
       machine_(ctx.pool == nullptr
                    ? owned_.get()
-                   : &ctx.pool->acquire(ctx.specIndex, cfg_))
+                   : &ctx.pool->acquire(ctx.specIndex, ctx.lane, cfg_)),
+      pool_(ctx.pool), specIndex_(ctx.specIndex), lane_(ctx.lane)
 {
     applyInterruptNoise(spec_, *machine_);
     // After acquire: Machine::reset detaches any previous trial's
-    // tracer before this trial's (if any) is installed.
+    // tracer (and run driver) before this trial's are installed.
     if (ctx.tracer != nullptr)
         machine_->setEventTrace(ctx.tracer);
+    if (ctx.yield != nullptr)
+        machine_->setRunYield(ctx.yield);
     control_ = ctx.control;
     if (control_ != nullptr && control_->timeoutCycles > 0)
         machine_->setCycleBudget(control_->timeoutCycles);
@@ -83,11 +109,15 @@ Session::~Session()
 UnxpecAttack &
 Session::unxpec()
 {
-    if (!unxpec_) {
-        UnxpecConfig cfg = spec_.attackCfg;
-        applyAttackVariant(spec_.attack, cfg);
-        unxpec_ = std::make_unique<UnxpecAttack>(machine_->core(), cfg);
+    UnxpecConfig cfg = spec_.attackCfg;
+    applyAttackVariant(spec_.attack, cfg);
+    if (pool_ != nullptr) {
+        // Pooled Machine: the attack is cached alongside it, so steady
+        // state skips program assembly and layout derivation entirely.
+        return pool_->unxpecFor(specIndex_, lane_, *machine_, cfg);
     }
+    if (!unxpec_)
+        unxpec_ = std::make_unique<UnxpecAttack>(machine_->core(), cfg);
     return *unxpec_;
 }
 

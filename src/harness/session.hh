@@ -32,18 +32,44 @@ namespace unxpec {
 class CrossCoreAttack;
 
 /**
- * Per-worker-thread cache of Machines keyed by spec index. Not
- * thread-safe — every TrialRunner worker owns its own pool, so there
- * is no sharing to synchronize. A cached Machine is reused via
- * Machine::reset(seed) when the requested config matches the cached
- * one in everything but the seed; a genuinely different machine (a
- * spec tweak that depends on the seed, say) is rebuilt.
+ * Per-worker-thread cache of Machines keyed by (spec index, batch
+ * lane). Not thread-safe — every TrialRunner worker owns its own pool,
+ * so there is no sharing to synchronize. A cached Machine is reused
+ * via Machine::reset(seed) when the requested config matches the
+ * cached one in everything but the seed; a genuinely different machine
+ * (a spec tweak that depends on the seed, say) is rebuilt. The lane
+ * key exists for lock-step batching, where the W concurrent trials of
+ * a batch may all want the same spec's Machine at once.
+ *
+ * Each slot also caches the spec's UnxpecAttack (unxpecFor): attack
+ * construction — program assembly, data layout, eviction-set
+ * derivation — is a pure function of (core config, attack config), so
+ * a cached attack reset via UnxpecAttack::resetTrialState behaves
+ * bit-identically to a fresh one while skipping the rebuild, which
+ * dominates per-trial setup once the Machine itself is pooled.
  */
 class CorePool
 {
   public:
     /** The spec's Machine, reset to cfg.seed (built on first use). */
-    Machine &acquire(std::size_t spec_index, const SystemConfig &cfg);
+    Machine &acquire(std::size_t spec_index, unsigned lane,
+                     const SystemConfig &cfg);
+
+    /** Lane-0 shorthand (unbatched callers). */
+    Machine &
+    acquire(std::size_t spec_index, const SystemConfig &cfg)
+    {
+        return acquire(spec_index, 0, cfg);
+    }
+
+    /**
+     * The slot's cached UnxpecAttack on `machine`, reset for a new
+     * trial — rebuilt when the attack config (or the Machine itself)
+     * changed. `machine` must be the Machine acquire() returned for
+     * this (spec_index, lane).
+     */
+    UnxpecAttack &unxpecFor(std::size_t spec_index, unsigned lane,
+                            Machine &machine, const UnxpecConfig &cfg);
 
     /** Machines currently cached (tests). */
     std::size_t size() const { return slots_.size(); }
@@ -53,12 +79,16 @@ class CorePool
     {
         SystemConfig cfg;
         std::unique_ptr<Machine> machine;
+        /** Cached attack; references machine's core 0, so acquire()
+         *  drops it whenever the Machine is rebuilt. */
+        std::unique_ptr<UnxpecAttack> attack;
+        UnxpecConfig attackCfg;
     };
     // Ordered map: spec count is tiny and acquire() runs once per
     // trial, so lookup cost is irrelevant — and an ordered container
     // can never grow a nondeterministic walk (lint_sim.py forbids
     // unordered iteration across src/).
-    std::map<std::size_t, Slot> slots_;
+    std::map<std::pair<std::size_t, unsigned>, Slot> slots_;
 };
 
 /** A fully built simulation instance for one trial. */
@@ -111,7 +141,10 @@ class Session
     std::unique_ptr<Machine> owned_; //!< empty when pooled
     Machine *machine_;
     TrialControl *control_ = nullptr; //!< runner watchdog, may be null
-    std::unique_ptr<UnxpecAttack> unxpec_;
+    CorePool *pool_ = nullptr;        //!< set when the Machine is pooled
+    std::size_t specIndex_ = 0;
+    unsigned lane_ = 0;
+    std::unique_ptr<UnxpecAttack> unxpec_; //!< owned-Machine path only
     std::unique_ptr<SpectreV1> spectre_;
     std::unique_ptr<CrossCoreAttack> crossCore_;
 };

@@ -28,15 +28,17 @@ computeAllowedMask(const CacheConfig &cfg, unsigned domain)
 
 } // namespace
 
-Cache::Cache(const CacheConfig &cfg, Rng &rng, std::uint64_t index_key)
+Cache::Cache(const CacheConfig &cfg, Rng &rng, std::uint64_t index_key,
+             Arena *arena)
     : cfg_(cfg),
       numSets_(cfg.numSets()),
       tags_(static_cast<std::size_t>(cfg.numSets()) * cfg.ways,
-            kAddrInvalid),
-      lines_(static_cast<std::size_t>(cfg.numSets()) * cfg.ways),
-      repl_(cfg.repl, cfg.numSets(), cfg.ways, rng),
+            kAddrInvalid, ArenaAllocator<Addr>(arena)),
+      lines_(static_cast<std::size_t>(cfg.numSets()) * cfg.ways,
+             CacheLine{}, ArenaAllocator<CacheLine>(arena)),
+      repl_(cfg.repl, cfg.numSets(), cfg.ways, rng, arena),
       index_(cfg.index, cfg.numSets(), index_key),
-      mshr_(cfg.mshrs),
+      mshr_(cfg.mshrs, arena),
       allowedMask_{computeAllowedMask(cfg, 0), computeAllowedMask(cfg, 1)},
       stats_(cfg.name),
       hits_(stats_.counter("hits", "demand hits")),
@@ -239,10 +241,11 @@ std::vector<Addr>
 Cache::residentLines() const
 {
     std::vector<Addr> resident;
+    // lint-ok(steady-alloc): audit/debug helper, not a tick path
     resident.reserve(tags_.size());
     for (const Addr tag_addr : tags_) {
         if (tag_addr != kAddrInvalid)
-            resident.push_back(tag_addr);
+            resident.push_back(tag_addr); // lint-ok(steady-alloc): audit
     }
     std::sort(resident.begin(), resident.end());
     return resident;

@@ -25,6 +25,7 @@
 #include "memory/cache_line.hh"
 #include "memory/mshr.hh"
 #include "memory/replacement.hh"
+#include "sim/arena.hh"
 #include "sim/config.hh"
 #include "sim/rng.hh"
 #include "sim/stats.hh"
@@ -49,7 +50,13 @@ struct FillResult
 class Cache
 {
   public:
-    Cache(const CacheConfig &cfg, Rng &rng, std::uint64_t index_key);
+    /**
+     * `arena` (optional) backs the tag/metadata arrays and the MSHR
+     * file, laying one trial's hot state contiguously; null falls back
+     * to the heap (standalone caches in tests and benches).
+     */
+    Cache(const CacheConfig &cfg, Rng &rng, std::uint64_t index_key,
+          Arena *arena = nullptr);
 
     /** Line lookup without side effects (nullptr on miss). */
     const CacheLine *
@@ -223,8 +230,8 @@ class Cache
 
     CacheConfig cfg_;
     unsigned numSets_;
-    std::vector<Addr> tags_;       //!< SoA tag array scanned by probe()
-    std::vector<CacheLine> lines_; //!< per-way metadata (incl. mirror tag)
+    ArenaVector<Addr> tags_;       //!< SoA tag array scanned by probe()
+    ArenaVector<CacheLine> lines_; //!< per-way metadata (incl. mirror tag)
     ReplacementState repl_;
     SetIndexer index_;
     MshrFile mshr_;

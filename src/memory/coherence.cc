@@ -57,6 +57,7 @@ void
 CoherenceEngine::attach(unsigned core_id, MemoryHierarchy *hier)
 {
     if (cores_.size() <= core_id)
+        // lint-ok(steady-alloc): machine-construction registration
         cores_.resize(core_id + 1, nullptr);
     cores_[core_id] = hier;
 }

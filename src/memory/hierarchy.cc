@@ -48,13 +48,14 @@ MemoryHierarchy::setTracer(Tracer *tracer)
         l2_.setTracer(tracer, kTraceL2);
 }
 
-MemoryHierarchy::MemoryHierarchy(const SystemConfig &cfg, Rng &rng)
+MemoryHierarchy::MemoryHierarchy(const SystemConfig &cfg, Rng &rng,
+                                 Arena *arena)
     : cfg_(cfg),
       rng_(rng),
       mem_(cfg.memory, rng),
-      l1i_(cfg.l1i, rng, cfg.seed * 0x9e37u + 1),
-      l1d_(cfg.l1d, rng, cfg.seed * 0x9e37u + 2),
-      l2_(cfg.l2, rng, cfg.seed * 0x9e37u + 3)
+      l1i_(cfg.l1i, rng, cfg.seed * 0x9e37u + 1, arena),
+      l1d_(cfg.l1d, rng, cfg.seed * 0x9e37u + 2, arena),
+      l2_(cfg.l2, rng, cfg.seed * 0x9e37u + 3, arena)
 {
 }
 

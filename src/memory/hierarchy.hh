@@ -81,7 +81,13 @@ struct MemAccessRecord
 class MemoryHierarchy
 {
   public:
-    MemoryHierarchy(const SystemConfig &cfg, Rng &rng);
+    /**
+     * `arena` (optional) backs the per-trial cache state (tags, line
+     * metadata, replacement stamps, MSHR files) of all three levels;
+     * null falls back to the heap.
+     */
+    MemoryHierarchy(const SystemConfig &cfg, Rng &rng,
+                    Arena *arena = nullptr);
 
     /**
      * Timing + state access for a data load or store at cycle `now`.

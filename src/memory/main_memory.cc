@@ -17,8 +17,10 @@ MainMemory::pageFor(Addr page_number)
     }
     auto it = pages_.find(page_number);
     if (it == pages_.end()) {
-        it = pages_.emplace(page_number, Page{}).first;
-        allocOrder_.push_back(&it->second);
+        // First touch of a page: warm-up cost only — a pooled trial's
+        // working set re-touches the same pages, already resident.
+        it = pages_.emplace(page_number, Page{}).first; // lint-ok(steady-alloc): first-touch
+        allocOrder_.push_back(&it->second); // lint-ok(steady-alloc): first-touch
     }
     cachedPageNumber_ = page_number;
     cachedPage_ = &it->second;

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "sim/arena.hh"
 #include "sim/types.hh"
 
 namespace unxpec {
@@ -40,7 +41,14 @@ struct MshrEntry
 class MshrFile
 {
   public:
-    explicit MshrFile(unsigned capacity) : capacity_(capacity) {}
+    explicit MshrFile(unsigned capacity, Arena *arena = nullptr)
+        : capacity_(capacity), entries_(ArenaAllocator<MshrEntry>(arena))
+    {
+        // Fixed capacity reserved up front: allocate() never regrows,
+        // so a warm MSHR file performs no steady-state heap traffic.
+        // lint-ok(steady-alloc): one-time construction sizing
+        entries_.reserve(capacity);
+    }
 
     /** Retire every entry whose fill has landed by `now`. */
     void release(Cycle now);
@@ -63,13 +71,13 @@ class MshrFile
     /** Earliest completion among outstanding entries (kCycleNever if none). */
     Cycle earliestReady() const;
 
-    const std::vector<MshrEntry> &entries() const { return entries_; }
+    const ArenaVector<MshrEntry> &entries() const { return entries_; }
 
     void clear() { entries_.clear(); }
 
   private:
     unsigned capacity_;
-    std::vector<MshrEntry> entries_;
+    ArenaVector<MshrEntry> entries_;
 };
 
 } // namespace unxpec

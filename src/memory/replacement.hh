@@ -21,6 +21,7 @@
 #include <memory>
 #include <vector>
 
+#include "sim/arena.hh"
 #include "sim/config.hh"
 #include "sim/rng.hh"
 #include "sim/types.hh"
@@ -37,11 +38,12 @@ class ReplacementState
 {
   public:
     ReplacementState(ReplPolicy policy, unsigned num_sets, unsigned ways,
-                     Rng &rng)
+                     Rng &rng, Arena *arena = nullptr)
         : policy_(policy), ways_(ways), rng_(rng),
           stamps_(policy == ReplPolicy::LRU
                       ? static_cast<std::size_t>(num_sets) * ways
-                      : 0)
+                      : 0,
+                  0, ArenaAllocator<std::uint64_t>(arena))
     {
     }
 
@@ -89,7 +91,7 @@ class ReplacementState
     unsigned ways_;
     Rng &rng_;
     std::uint64_t tick_ = 0;
-    std::vector<std::uint64_t> stamps_; // numSets * ways (LRU only)
+    ArenaVector<std::uint64_t> stamps_; // numSets * ways (LRU only)
 
     /** Test-only corruption hook for proving the auditor fires. */
     friend struct AuditTap;

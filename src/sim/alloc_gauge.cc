@@ -1,0 +1,158 @@
+#include "sim/alloc_gauge.hh"
+
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+
+// Global operator new/delete replacements that count calls per thread.
+// Built into its own static library (unxpec_alloc_gauge) so only tests
+// that explicitly link it pay for (or observe) the counting; the rest
+// of the tree keeps the default allocator untouched. Under ASan/TSan
+// the sanitizer intercepts malloc/free *below* these wrappers, so
+// counting and poisoning compose.
+
+namespace {
+
+thread_local std::uint64_t g_allocs = 0;
+thread_local std::uint64_t g_frees = 0;
+thread_local std::uint64_t g_bytes = 0;
+
+void *
+countedAlloc(std::size_t size, std::size_t align)
+{
+    ++g_allocs;
+    g_bytes += size;
+    if (size == 0)
+        size = 1;
+    if (align > alignof(std::max_align_t)) {
+        // aligned_alloc requires size to be a multiple of alignment.
+        const std::size_t rounded = (size + align - 1) / align * align;
+        return std::aligned_alloc(align, rounded);
+    }
+    return std::malloc(size);
+}
+
+void
+countedFree(void *ptr)
+{
+    ++g_frees;
+    std::free(ptr);
+}
+
+} // namespace
+
+namespace unxpec {
+
+AllocStats
+allocGaugeRead()
+{
+    return AllocStats{g_allocs, g_frees, g_bytes};
+}
+
+} // namespace unxpec
+
+// --- operator new family ------------------------------------------------
+
+void *
+operator new(std::size_t size)
+{
+    void *ptr = countedAlloc(size, alignof(std::max_align_t));
+    if (ptr == nullptr)
+        throw std::bad_alloc();
+    return ptr;
+}
+
+void *
+operator new[](std::size_t size)
+{
+    return ::operator new(size);
+}
+
+void *
+operator new(std::size_t size, std::align_val_t align)
+{
+    void *ptr = countedAlloc(size, static_cast<std::size_t>(align));
+    if (ptr == nullptr)
+        throw std::bad_alloc();
+    return ptr;
+}
+
+void *
+operator new[](std::size_t size, std::align_val_t align)
+{
+    return ::operator new(size, align);
+}
+
+void *
+operator new(std::size_t size, const std::nothrow_t &) noexcept
+{
+    return countedAlloc(size, alignof(std::max_align_t));
+}
+
+void *
+operator new[](std::size_t size, const std::nothrow_t &) noexcept
+{
+    return countedAlloc(size, alignof(std::max_align_t));
+}
+
+// --- operator delete family ----------------------------------------------
+
+void
+operator delete(void *ptr) noexcept
+{
+    countedFree(ptr);
+}
+
+void
+operator delete[](void *ptr) noexcept
+{
+    countedFree(ptr);
+}
+
+void
+operator delete(void *ptr, std::size_t) noexcept
+{
+    countedFree(ptr);
+}
+
+void
+operator delete[](void *ptr, std::size_t) noexcept
+{
+    countedFree(ptr);
+}
+
+void
+operator delete(void *ptr, std::align_val_t) noexcept
+{
+    countedFree(ptr);
+}
+
+void
+operator delete[](void *ptr, std::align_val_t) noexcept
+{
+    countedFree(ptr);
+}
+
+void
+operator delete(void *ptr, std::size_t, std::align_val_t) noexcept
+{
+    countedFree(ptr);
+}
+
+void
+operator delete[](void *ptr, std::size_t, std::align_val_t) noexcept
+{
+    countedFree(ptr);
+}
+
+void
+operator delete(void *ptr, const std::nothrow_t &) noexcept
+{
+    countedFree(ptr);
+}
+
+void
+operator delete[](void *ptr, const std::nothrow_t &) noexcept
+{
+    countedFree(ptr);
+}

@@ -1,0 +1,68 @@
+#include "sim/arena.hh"
+
+#include "sim/log.hh"
+
+namespace unxpec {
+
+Arena::Arena(std::size_t chunk_bytes) : chunkBytes_(chunk_bytes)
+{
+    if (chunkBytes_ == 0)
+        fatal("Arena: chunk size must be positive");
+}
+
+Arena::Chunk &
+Arena::grow(std::size_t min_bytes)
+{
+    Chunk chunk;
+    chunk.size = std::max(chunkBytes_, min_bytes);
+    chunk.data = std::make_unique<std::byte[]>(chunk.size);
+    // lint-ok(steady-alloc): arena growth is the warm-up path; steady
+    // state bump-allocates out of retained chunks
+    chunks_.push_back(std::move(chunk));
+    bytesReserved_ += chunks_.back().size;
+    return chunks_.back();
+}
+
+void *
+Arena::allocate(std::size_t bytes, std::size_t align)
+{
+    if (align == 0 || (align & (align - 1)) != 0)
+        fatal("Arena::allocate: alignment ", align,
+              " is not a power of two");
+    if (bytes == 0)
+        bytes = 1;
+
+    // Walk forward from the current chunk: reset() rewinds `current_`
+    // to 0, so a reset arena refills its existing chunks in order.
+    while (true) {
+        if (current_ >= chunks_.size()) {
+            grow(bytes + align);
+            current_ = chunks_.size() - 1;
+        }
+        Chunk &chunk = chunks_[current_];
+        const auto base = reinterpret_cast<std::uintptr_t>(
+            chunk.data.get());
+        const std::uintptr_t cursor = base + chunk.used;
+        const std::uintptr_t aligned =
+            (cursor + (align - 1)) & ~static_cast<std::uintptr_t>(
+                                        align - 1);
+        const std::size_t needed = (aligned - base) + bytes;
+        if (needed <= chunk.size) {
+            chunk.used = needed;
+            bytesAllocated_ += bytes;
+            return reinterpret_cast<void *>(aligned);
+        }
+        ++current_;
+    }
+}
+
+void
+Arena::reset()
+{
+    for (Chunk &chunk : chunks_)
+        chunk.used = 0;
+    current_ = 0;
+    bytesAllocated_ = 0;
+}
+
+} // namespace unxpec

@@ -70,18 +70,23 @@ dumpList(const char *name, const std::vector<std::uint64_t> &values)
 namespace {
 
 /** Fail with both sides dumped when a side list diverges from the
- *  full-scan reference. */
+ *  full-scan reference. Templated over the actual list's allocator:
+ *  the ROB side lists are arena-backed (ArenaVector) while the
+ *  reference scan uses a plain heap vector. */
+template <typename ActualList>
 void
 compareLists(const char *component, Cycle now, const char *name,
-             const std::vector<SeqNum> &expect,
-             const std::vector<SeqNum> &actual)
+             const std::vector<SeqNum> &expect, const ActualList &actual)
 {
-    if (expect == actual)
+    if (std::equal(expect.begin(), expect.end(), actual.begin(),
+                   actual.end())) {
         return;
+    }
     fail(component, now,
          std::string(name) + " side list diverged from full scan: " +
              dumpList("expected", expect) + " vs " +
-             dumpList("actual", actual));
+             dumpList("actual",
+                      std::vector<SeqNum>(actual.begin(), actual.end())));
 }
 
 } // namespace
@@ -101,6 +106,7 @@ ReorderBuffer::auditInvariants(Cycle now) const
     // Reference model: one full scan over the fat entries recomputes
     // every side list from the entry flags alone.
     std::vector<SeqNum> unissued;
+    std::vector<SeqNum> ready_unissued;
     std::vector<SeqNum> outstanding;
     std::vector<SeqNum> store_fences;
     std::vector<SeqNum> pending_mem;
@@ -121,9 +127,25 @@ ReorderBuffer::auditInvariants(Cycle now) const
                         "entry " + std::to_string(entry.seq) +
                             " done but never issued");
         }
-        if (!entry.issued)
+        if (!entry.issued) {
             unissued.push_back(entry.seq);
-        else if (!entry.done)
+            if (entry.srcReady[0] && entry.srcReady[1])
+                ready_unissued.push_back(entry.seq);
+            // Eager-wakeup completeness: a waiting operand whose
+            // producer is done (or gone) means markDone failed to
+            // deliver the wakeup — the entry would stall forever.
+            for (unsigned slot = 0; slot < 2; ++slot) {
+                if (entry.srcReady[slot])
+                    continue;
+                const RobEntry *producer = find(entry.producer[slot]);
+                if (producer == nullptr || producer->done) {
+                    audit::fail(who, now,
+                                "entry " + std::to_string(entry.seq) +
+                                    " missed the wakeup from producer " +
+                                    std::to_string(entry.producer[slot]));
+                }
+            }
+        } else if (!entry.done)
             outstanding.push_back(entry.seq);
         const Opcode op = entry.inst.op;
         if (isMem(op)) {
@@ -141,6 +163,8 @@ ReorderBuffer::auditInvariants(Cycle now) const
     // must match the reference exactly — order included, since the
     // pipeline loops rely on ascending-seq walks.
     audit::compareLists(who, now, "unissued", unissued, unissued_);
+    audit::compareLists(who, now, "readyUnissued", ready_unissued,
+                        readyUnissued_);
     audit::compareLists(who, now, "outstanding", outstanding, outstanding_);
     audit::compareLists(who, now, "storeFences", store_fences, storeFences_);
     audit::compareLists(who, now, "pendingMem", pending_mem, pendingMem_);

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * The monotonic arena and the fixed-capacity ring queue built on it —
+ * the storage layer behind the zero-alloc steady state (DESIGN.md
+ * §13): alignment, chunk growth, reset-for-reuse, and the ring's
+ * wrap-around/iteration semantics the ROB and decode queue rely on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "sim/arena.hh"
+#include "sim/ring_queue.hh"
+
+namespace unxpec {
+namespace {
+
+// --- arena ---------------------------------------------------------------
+
+TEST(ArenaTest, AlignsEveryAllocation)
+{
+    Arena arena(1024);
+    for (std::size_t align : {1u, 2u, 8u, 16u, 64u}) {
+        void *p = arena.allocate(3, align);
+        ASSERT_NE(p, nullptr);
+        EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % align, 0u)
+            << "align " << align;
+    }
+}
+
+TEST(ArenaTest, GrowsByChunksAndOversized)
+{
+    Arena arena(256);
+    EXPECT_EQ(arena.chunkCount(), 0u);
+    arena.allocate(200, 8);
+    EXPECT_EQ(arena.chunkCount(), 1u);
+    arena.allocate(200, 8); // does not fit the remainder: second chunk
+    EXPECT_EQ(arena.chunkCount(), 2u);
+    // A request larger than the chunk size gets a dedicated chunk.
+    void *big = arena.allocate(4096, 8);
+    ASSERT_NE(big, nullptr);
+    EXPECT_EQ(arena.chunkCount(), 3u);
+    EXPECT_GE(arena.bytesReserved(), 256u + 256u + 4096u);
+}
+
+TEST(ArenaTest, ResetRetainsChunksAndReplaysSequence)
+{
+    Arena arena(512);
+    std::vector<void *> first;
+    for (int i = 0; i < 8; ++i)
+        first.push_back(arena.allocate(100, 8));
+    const std::size_t chunks = arena.chunkCount();
+    const std::size_t reserved = arena.bytesReserved();
+
+    arena.reset();
+    EXPECT_EQ(arena.bytesAllocated(), 0u);
+    EXPECT_EQ(arena.chunkCount(), chunks);
+    EXPECT_EQ(arena.bytesReserved(), reserved);
+
+    // The same allocation sequence lands on the same addresses — the
+    // property that lets a pooled Core's reset be heap-free.
+    std::vector<void *> second;
+    for (int i = 0; i < 8; ++i)
+        second.push_back(arena.allocate(100, 8));
+    EXPECT_EQ(first, second);
+    EXPECT_EQ(arena.chunkCount(), chunks);
+}
+
+TEST(ArenaTest, ZeroByteRequestsAreDistinctAndValid)
+{
+    Arena arena;
+    void *a = arena.allocate(0, 1);
+    void *b = arena.allocate(0, 1);
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+    EXPECT_NE(a, b);
+}
+
+TEST(ArenaTest, AllocatorAdapterRoundTrips)
+{
+    Arena arena;
+    const ArenaAllocator<int> alloc(&arena);
+    ArenaVector<int> v(alloc);
+    v.reserve(64);
+    const std::size_t used = arena.bytesAllocated();
+    EXPECT_GE(used, 64 * sizeof(int));
+    for (int i = 0; i < 64; ++i)
+        v.push_back(i);
+    // Filling reserved capacity must not touch the arena again.
+    EXPECT_EQ(arena.bytesAllocated(), used);
+    EXPECT_EQ(std::accumulate(v.begin(), v.end(), 0), 63 * 64 / 2);
+}
+
+TEST(ArenaTest, NullArenaAllocatorFallsBackToHeap)
+{
+    ArenaVector<int> v; // default ArenaAllocator: global new/delete
+    v.assign(100, 7);
+    EXPECT_EQ(v[99], 7);
+}
+
+// --- ring queue ----------------------------------------------------------
+
+TEST(RingQueueTest, FifoAcrossWrapAround)
+{
+    Arena arena;
+    RingQueue<int> q(4, &arena);
+    // Force several wraps: push 3 / pop 2 repeatedly.
+    std::vector<int> popped;
+    int next = 0;
+    for (int round = 0; round < 5; ++round) {
+        while (q.size() < 3)
+            q.push_back(next++);
+        popped.push_back(q.front());
+        q.pop_front();
+        popped.push_back(q.front());
+        q.pop_front();
+    }
+    while (!q.empty()) {
+        popped.push_back(q.front());
+        q.pop_front();
+    }
+    std::vector<int> expect(popped.size());
+    std::iota(expect.begin(), expect.end(), 0);
+    EXPECT_EQ(popped, expect);
+}
+
+TEST(RingQueueTest, IndexAndIterationMatchInsertionOrder)
+{
+    RingQueue<int> q(8);
+    for (int i = 0; i < 6; ++i)
+        q.push_back(10 + i);
+    q.pop_front();
+    q.pop_front();
+    q.push_back(16);
+    q.push_back(17); // head_ > 0, content wraps
+    ASSERT_EQ(q.size(), 6u);
+    for (std::size_t i = 0; i < q.size(); ++i)
+        EXPECT_EQ(q[i], 12 + static_cast<int>(i));
+    int expect = 12;
+    for (const int v : q)
+        EXPECT_EQ(v, expect++);
+    EXPECT_EQ(q.front(), 12);
+    EXPECT_EQ(q.back(), 17);
+}
+
+TEST(RingQueueTest, PopBackAndTruncate)
+{
+    RingQueue<int> q(8);
+    for (int i = 0; i < 6; ++i)
+        q.push_back(i);
+    q.pop_back();
+    EXPECT_EQ(q.back(), 4);
+    q.truncate(2);
+    ASSERT_EQ(q.size(), 2u);
+    EXPECT_EQ(q[0], 0);
+    EXPECT_EQ(q[1], 1);
+    q.clear();
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(RingQueueTest, NoArenaTouchAfterConstruction)
+{
+    Arena arena;
+    RingQueue<int> q(16, &arena);
+    const std::size_t used = arena.bytesAllocated();
+    for (int round = 0; round < 10; ++round) {
+        for (int i = 0; i < 16; ++i)
+            q.push_back(i);
+        q.clear();
+    }
+    EXPECT_EQ(arena.bytesAllocated(), used);
+}
+
+} // namespace
+} // namespace unxpec

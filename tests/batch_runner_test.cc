@@ -1,0 +1,298 @@
+/**
+ * @file
+ * The lock-step batch kernel and its load-bearing property: a
+ * TrialRunner with --batch W produces output bit-identical to the
+ * serial runner for every W — the batch only changes the execution
+ * schedule, never the results. Also covers the zero-alloc steady
+ * state: warm pooled trials must not touch the heap (this binary
+ * links unxpec_alloc_gauge, which hooks global operator new/delete).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "harness/batch_runner.hh"
+#include "harness/session.hh"
+#include "harness/trial_runner.hh"
+#include "sim/alloc_gauge.hh"
+
+namespace unxpec {
+namespace {
+
+std::string
+tmpPath(const std::string &name)
+{
+    return "/tmp/unxpec_batch_runner_test_" + name;
+}
+
+/**
+ * A sweep whose points do genuinely different amounts of work, so the
+ * trials of one batch finish at different cycle counts and the batch
+ * kernel has to retire lanes at different times.
+ */
+std::vector<ExperimentSpec>
+mixedSweep()
+{
+    std::vector<ExperimentSpec> specs;
+    for (unsigned loads : {1u, 4u, 8u}) {
+        ExperimentSpec spec;
+        spec.label = "loads=" + std::to_string(loads);
+        spec.noise = "evaluation";
+        spec.attackCfg.inBranchLoads = loads;
+        // Vary the mistrain count too: cycle counts then differ by
+        // thousands of cycles between lanes of the same batch.
+        spec.attackCfg.mistrainIterations = 4 + 4 * loads;
+        specs.push_back(std::move(spec));
+    }
+    return specs;
+}
+
+TrialOutput
+attackTrial(const TrialContext &ctx)
+{
+    Session session(ctx);
+    UnxpecAttack &attack = session.unxpec();
+    attack.setSecret(0);
+    const double zero = attack.measureOnce();
+    attack.setSecret(1);
+    const double one = attack.measureOnce();
+    TrialOutput out;
+    out.metric("delta", one - zero);
+    out.metric("lat1", one);
+    out.metric("seed_echo", static_cast<double>(ctx.seed & 0xffff));
+    return out;
+}
+
+void
+expectIdentical(const ExperimentResult &a, const ExperimentResult &b)
+{
+    ASSERT_EQ(a.rows.size(), b.rows.size());
+    for (std::size_t i = 0; i < a.rows.size(); ++i) {
+        EXPECT_EQ(a.rows[i].label, b.rows[i].label);
+        EXPECT_EQ(a.rows[i].values("delta"), b.rows[i].values("delta"));
+        EXPECT_EQ(a.rows[i].values("lat1"), b.rows[i].values("lat1"));
+        EXPECT_EQ(a.rows[i].values("seed_echo"),
+                  b.rows[i].values("seed_echo"));
+    }
+}
+
+// --- bit-identity across batch widths -----------------------------------
+
+TEST(BatchRunnerTest, BatchedEqualsSerialAcrossWidths)
+{
+    const auto specs = mixedSweep();
+    TrialRunner serial(1);
+    const ExperimentResult base =
+        serial.runAll("t", "", specs, 4, 9001, attackTrial);
+    for (unsigned width : {1u, 2u, 8u}) {
+        TrialRunner batched(1);
+        batched.setBatch(width);
+        const ExperimentResult got =
+            batched.runAll("t", "", specs, 4, 9001, attackTrial);
+        SCOPED_TRACE("batch width " + std::to_string(width));
+        expectIdentical(base, got);
+    }
+}
+
+TEST(BatchRunnerTest, BatchedEqualsSerialWithThreads)
+{
+    // --batch composes with --threads: each worker runs its own
+    // lock-step batch, and the preallocated result slots still make
+    // the aggregate bit-identical.
+    const auto specs = mixedSweep();
+    TrialRunner serial(1);
+    TrialRunner batched(3);
+    batched.setBatch(4);
+    expectIdentical(serial.runAll("t", "", specs, 4, 7, attackTrial),
+                    batched.runAll("t", "", specs, 4, 7, attackTrial));
+}
+
+TEST(BatchRunnerTest, PartialFinalGroup)
+{
+    // 1 spec x 5 reps with width 4: the second group holds a single
+    // trial, which the runner executes inline (no fiber switch).
+    ExperimentSpec spec;
+    spec.noise = "evaluation";
+    TrialRunner serial(1);
+    TrialRunner batched(1);
+    batched.setBatch(4);
+    expectIdentical(serial.runAll("t", "", {spec}, 5, 3, attackTrial),
+                    batched.runAll("t", "", {spec}, 5, 3, attackTrial));
+}
+
+// --- watchdog censoring inside a batch ----------------------------------
+
+TEST(BatchRunnerTest, WatchdogCensorsInBatch)
+{
+    // A simulated-cycle budget low enough that every trial trips it:
+    // batched attempt 0 must censor exactly like the serial runner,
+    // and the serial retries (same derived retry seeds) must match too.
+    const auto specs = mixedSweep();
+    CampaignConfig campaign;
+    campaign.trialTimeoutCycles = 2000;
+    campaign.retries = 1;
+
+    TrialRunner serial(1);
+    serial.setCampaign(campaign);
+    const auto base = serial.run(specs, 3, 11, attackTrial);
+
+    TrialRunner batched(1);
+    batched.setCampaign(campaign);
+    batched.setBatch(4);
+    const auto got = batched.run(specs, 3, 11, attackTrial);
+
+    ASSERT_EQ(base.size(), got.size());
+    bool saw_censored = false;
+    for (std::size_t s = 0; s < base.size(); ++s) {
+        ASSERT_EQ(base[s].size(), got[s].size());
+        for (std::size_t r = 0; r < base[s].size(); ++r) {
+            const TrialOutput &a = base[s][r];
+            const TrialOutput &b = got[s][r];
+            EXPECT_EQ(a.censored, b.censored);
+            EXPECT_EQ(a.censorReason, b.censorReason);
+            EXPECT_EQ(a.attempt, b.attempt);
+            EXPECT_EQ(a.seedUsed, b.seedUsed);
+            EXPECT_EQ(a.metrics, b.metrics);
+            saw_censored = saw_censored || a.censored;
+        }
+    }
+    EXPECT_TRUE(saw_censored);
+}
+
+// --- resume splicing into a batched run ---------------------------------
+
+TEST(BatchRunnerTest, ResumeSplicesIntoBatchedRun)
+{
+    const auto specs = mixedSweep();
+    const std::string manifest = tmpPath("resume.jsonl");
+    std::remove(manifest.c_str());
+
+    // Journal a full serial campaign.
+    CampaignConfig campaign;
+    campaign.manifestPath = manifest;
+    campaign.experiment = "t";
+    TrialRunner serial(1);
+    serial.setCampaign(campaign);
+    const auto base = serial.run(specs, 3, 13, attackTrial);
+
+    // Drop the last journal lines so the resumed run has real work
+    // left: the batched runner must splice the journaled trials and
+    // recompute only the missing ones, bit-identically.
+    {
+        std::vector<std::string> lines;
+        {
+            std::ifstream in(manifest);
+            std::string line;
+            while (std::getline(in, line))
+                lines.push_back(line);
+        }
+        ASSERT_GT(lines.size(), 4u);
+        std::ofstream out(manifest, std::ios::trunc);
+        for (std::size_t i = 0; i + 3 < lines.size(); ++i)
+            out << lines[i] << "\n";
+    }
+
+    CampaignConfig resume = campaign;
+    resume.resumePath = manifest;
+    TrialRunner batched(1);
+    batched.setCampaign(resume);
+    batched.setBatch(4);
+    const auto got = batched.run(specs, 3, 13, attackTrial);
+
+    ASSERT_EQ(base.size(), got.size());
+    for (std::size_t s = 0; s < base.size(); ++s) {
+        for (std::size_t r = 0; r < base[s].size(); ++r) {
+            EXPECT_EQ(base[s][r].metrics, got[s][r].metrics);
+            EXPECT_TRUE(got[s][r].completed);
+        }
+    }
+    std::remove(manifest.c_str());
+}
+
+// --- the kernel itself ---------------------------------------------------
+
+TEST(BatchRunnerTest, RunsEveryBodyOnce)
+{
+    BatchRunner batch(3);
+    std::vector<int> ran(8, 0);
+    std::vector<BatchRunner::TrialBody> bodies;
+    for (int i = 0; i < 8; ++i)
+        bodies.push_back([&ran, i](RunYield *) { ran[i] += 1; });
+    batch.run(bodies);
+    EXPECT_EQ(ran, std::vector<int>(8, 1));
+}
+
+TEST(BatchRunnerTest, PropagatesBodyExceptions)
+{
+    if (!BatchRunner::lockStepAvailable())
+        GTEST_SKIP() << "fiber kernel disabled in this build";
+    BatchRunner batch(2);
+    std::vector<BatchRunner::TrialBody> bodies;
+    bodies.push_back([](RunYield *) {});
+    bodies.push_back(
+        [](RunYield *) { throw std::runtime_error("lane failed"); });
+    EXPECT_THROW(batch.run(bodies), std::runtime_error);
+}
+
+// --- zero-alloc steady state --------------------------------------------
+
+TEST(BatchRunnerTest, SteadyStateTrialsAreHeapAllocFree)
+{
+    // After warm-up, a pooled trial's simulation — mistraining, the
+    // transient window, squash + rollback, the measured round — must
+    // not touch the heap: every per-cycle structure lives in the
+    // Core's arena or reserved buffers. The envelope measured here is
+    // the attack execution on a warm pooled Machine; per-trial
+    // bookkeeping outside it (spec copies, result slots, journals) is
+    // the runner's and is bounded per trial, not per cycle.
+    ExperimentSpec spec;
+    spec.noise = "evaluation";
+    CorePool pool;
+    TrialControl control;
+
+    auto runTrial = [&](std::uint64_t seed) {
+        TrialContext ctx{spec};
+        ctx.seed = seed;
+        ctx.pool = &pool;
+        ctx.control = &control;
+        Session session(ctx);
+        UnxpecAttack &attack = session.unxpec();
+        attack.setSecret(1);
+        return attack.measureOnce();
+    };
+
+    runTrial(1); // cold: builds Machine + attack, first-touch pages
+    runTrial(2); // warm-up rep: remaining lazy init settles
+
+    const AllocStats before = allocGaugeRead();
+    double sink = 0.0;
+    for (std::uint64_t seed = 3; seed < 8; ++seed)
+        sink += runTrial(seed);
+    const AllocStats after = allocGaugeRead();
+    EXPECT_GT(sink, 0.0);
+    EXPECT_EQ(after.allocs - before.allocs, 0u)
+        << "steady-state trials allocated "
+        << (after.allocs - before.allocs) << " times ("
+        << (after.bytes - before.bytes) << " bytes)";
+}
+
+TEST(BatchRunnerTest, GaugeCountsAllocations)
+{
+    // Sanity-check the hook itself so the zero above is meaningful. A
+    // direct ::operator new call cannot be elided the way an unused
+    // new-expression can (N3664).
+    const AllocStats before = allocGaugeRead();
+    void *p = ::operator new(64);
+    const AllocStats after = allocGaugeRead();
+    ::operator delete(p);
+    EXPECT_GE(after.allocs - before.allocs, 1u);
+    EXPECT_GE(after.bytes - before.bytes, 64u);
+}
+
+} // namespace
+} // namespace unxpec
