@@ -19,10 +19,24 @@ long-tail figures keep a generous one.
   $ python3 scripts/check_bench.py --tolerance 0.10 --strict a.json b.json
   $ python3 scripts/check_bench.py --strict --per-bench BM_AttackRound=0.08 \\
         --per-bench BM_TrialThroughput=0.15 BENCH_kernel.json fresh.json
+
+--matrix switches to the attack x defense matrix artifact that
+bench/matrix_campaign emits (schema unxpec-matrix-v1). One file:
+validate the schema and check --assert-auc claims. Two files: also
+diff every AUC cell against the first (golden) file within
+--auc-tolerance (warn-only unless --strict, same convention as the
+benchmark mode). --assert-auc failures are always fatal — they encode
+the paper's leakage taxonomy, not runner noise.
+
+  $ python3 scripts/check_bench.py --matrix matrix.json \\
+        --assert-auc 'unsafe/unxpec>=0.95' --assert-auc 'safespec/unxpec<=0.6'
+  $ python3 scripts/check_bench.py --matrix tests/golden/matrix_seed.json \\
+        matrix-nightly.json --auc-tolerance 0.05 --strict
 """
 
 import argparse
 import json
+import re
 import sys
 
 
@@ -80,11 +94,106 @@ def tolerance_for(name, overrides, default):
     return best
 
 
+ASSERT_RE = re.compile(r"^([\w-]+)/([\w-]+)(<=|>=)([0-9.]+)$")
+
+
+def load_matrix(path, parser):
+    """{(defense, receiver): cell} from an unxpec-matrix-v1 artifact."""
+    with open(path) as f:
+        data = json.load(f)
+    if data.get("schema") != "unxpec-matrix-v1":
+        parser.error(f"{path}: schema is {data.get('schema')!r}, "
+                     "expected 'unxpec-matrix-v1'")
+    cells = {}
+    for cell in data.get("cells", []):
+        for field in ("defense", "receiver", "auc"):
+            if field not in cell:
+                parser.error(f"{path}: cell missing '{field}': {cell}")
+        auc = cell["auc"]
+        if not isinstance(auc, (int, float)) or not 0.0 <= auc <= 1.0:
+            parser.error(f"{path}: {cell['defense']}/{cell['receiver']} "
+                         f"has AUC {auc!r} outside [0, 1]")
+        cells[(cell["defense"], cell["receiver"])] = cell
+    if not cells:
+        parser.error(f"{path}: no matrix cells")
+    return cells
+
+
+def parse_assertions(specs, parser):
+    """--assert-auc list -> [(defense, receiver, op, bound)]."""
+    assertions = []
+    for spec in specs:
+        match = ASSERT_RE.match(spec)
+        if not match:
+            parser.error("--assert-auc expects DEFENSE/RECEIVER<=V or "
+                         f">=V, got '{spec}'")
+        defense, receiver, op, bound = match.groups()
+        assertions.append((defense, receiver, op, float(bound)))
+    return assertions
+
+
+def run_matrix(args, parser):
+    cells = load_matrix(args.baseline, parser)
+    fresh = load_matrix(args.fresh, parser) if args.fresh else None
+    failures = 0
+    warnings = 0
+
+    # Assertions apply to the freshest file on the command line.
+    target = fresh if fresh is not None else cells
+    for defense, receiver, op, bound in parse_assertions(args.assert_auc,
+                                                         parser):
+        cell = target.get((defense, receiver))
+        if cell is None:
+            print(f"FAIL {defense}/{receiver}: cell not in the matrix")
+            failures += 1
+            continue
+        auc = float(cell["auc"])
+        ok = auc <= bound if op == "<=" else auc >= bound
+        print(f"{'  ok' if ok else 'FAIL'} {defense}/{receiver}: "
+              f"auc {auc:.4g} {op} {bound:g}")
+        failures += not ok
+
+    if fresh is not None:
+        for key in sorted(set(cells) | set(fresh)):
+            defense, receiver = key
+            if key not in fresh:
+                print(f"WARN {defense}/{receiver}: in the golden matrix "
+                      "but not in the fresh run")
+                warnings += 1
+                continue
+            if key not in cells:
+                print(f"NOTE {defense}/{receiver}: new cell, no golden "
+                      "value yet")
+                continue
+            base = float(cells[key]["auc"])
+            auc = float(fresh[key]["auc"])
+            drift = abs(auc - base)
+            moved = drift > args.auc_tolerance
+            print(f"{'WARN' if moved else '  ok'} {defense}/{receiver}: "
+                  f"auc {base:.4g} -> {auc:.4g} (|d| {drift:.3g})")
+            warnings += moved
+
+    if failures:
+        print(f"{failures} assertion failure(s) — the leakage taxonomy "
+              "changed")
+        return 1
+    if warnings:
+        print(f"{warnings} warning(s); AUC tolerance "
+              f"{args.auc_tolerance:g}"
+              + ("" if args.strict else " (warn-only, exiting 0)"))
+        return 1 if args.strict else 0
+    print("matrix OK")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(
         description="Compare kernel benchmark JSON against a baseline")
-    parser.add_argument("baseline", help="tracked baseline JSON")
-    parser.add_argument("fresh", help="freshly measured JSON")
+    parser.add_argument("baseline", help="tracked baseline (or, with "
+                                         "--matrix, the matrix artifact)")
+    parser.add_argument("fresh", nargs="?", default=None,
+                        help="freshly measured JSON (optional with "
+                             "--matrix)")
     parser.add_argument("--tolerance", type=float, default=0.25,
                         help="relative regression that triggers a warning "
                              "(default 0.25 = 25%%)")
@@ -95,7 +204,25 @@ def main():
                         help="per-benchmark tolerance override "
                              "(repeatable; NAME may be a prefix, e.g. "
                              "BM_AttackRound=0.08)")
+    parser.add_argument("--matrix", action="store_true",
+                        help="treat the inputs as unxpec-matrix-v1 "
+                             "artifacts instead of google-benchmark JSON")
+    parser.add_argument("--assert-auc", action="append", default=[],
+                        metavar="DEF/RECV<=V",
+                        help="matrix mode: hard AUC bound, e.g. "
+                             "'unsafe/unxpec>=0.95' (repeatable, "
+                             "failures are fatal)")
+    parser.add_argument("--auc-tolerance", type=float, default=0.05,
+                        help="matrix mode: allowed absolute AUC drift "
+                             "between golden and fresh (default 0.05)")
     args = parser.parse_args()
+
+    if args.matrix:
+        return run_matrix(args, parser)
+    if args.fresh is None:
+        parser.error("benchmark mode needs both baseline and fresh files")
+    if args.assert_auc:
+        parser.error("--assert-auc only applies with --matrix")
 
     overrides = parse_overrides(args.per_bench, parser)
     baseline = load(args.baseline)

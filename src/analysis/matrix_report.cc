@@ -1,0 +1,259 @@
+#include "analysis/matrix_report.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <locale>
+#include <sstream>
+
+#include "sim/log.hh"
+
+namespace unxpec {
+
+namespace {
+
+/** Locale-pinned round-trip rendering (see result_sink.cc). */
+std::string
+numToString(double value)
+{
+    if (!std::isfinite(value))
+        return "null";
+    std::ostringstream oss;
+    oss.imbue(std::locale::classic());
+    oss.precision(std::numeric_limits<double>::max_digits10);
+    oss << value;
+    return oss.str();
+}
+
+/** Fixed-precision rendering for the human-facing markdown table. */
+std::string
+numFixed(double value, int digits)
+{
+    std::ostringstream oss;
+    oss.imbue(std::locale::classic());
+    oss.setf(std::ios::fixed);
+    oss.precision(digits);
+    oss << value;
+    return oss.str();
+}
+
+void
+appendUnique(std::vector<std::string> &names, const std::string &name)
+{
+    if (std::find(names.begin(), names.end(), name) == names.end())
+        names.push_back(name);
+}
+
+/** The substring between `key` and the following ',' or '}'. */
+std::string
+fieldText(const std::string &line, const std::string &key)
+{
+    const std::string needle = "\"" + key + "\":";
+    const std::size_t at = line.find(needle);
+    if (at == std::string::npos)
+        fatal("matrix JSON: missing field '", key, "' in: ", line);
+    std::size_t begin = at + needle.size();
+    while (begin < line.size() && line[begin] == ' ')
+        ++begin;
+    std::size_t end = begin;
+    bool quoted = end < line.size() && line[end] == '"';
+    if (quoted) {
+        end = line.find('"', begin + 1);
+        if (end == std::string::npos)
+            fatal("matrix JSON: unterminated string in: ", line);
+        return line.substr(begin + 1, end - begin - 1);
+    }
+    while (end < line.size() && line[end] != ',' && line[end] != '}')
+        ++end;
+    return line.substr(begin, end - begin);
+}
+
+double
+fieldNum(const std::string &line, const std::string &key)
+{
+    const std::string text = fieldText(line, key);
+    if (text == "null")
+        return std::numeric_limits<double>::quiet_NaN();
+    std::istringstream iss(text);
+    iss.imbue(std::locale::classic());
+    double value = 0.0;
+    if (!(iss >> value))
+        fatal("matrix JSON: bad number '", text, "' for '", key, "'");
+    return value;
+}
+
+} // namespace
+
+const MatrixCell *
+MatrixReport::cell(const std::string &defense,
+                   const std::string &receiver) const
+{
+    for (const MatrixCell &c : cells) {
+        if (c.defense == defense && c.receiver == receiver)
+            return &c;
+    }
+    return nullptr;
+}
+
+std::vector<std::string>
+MatrixReport::defenses() const
+{
+    std::vector<std::string> names;
+    for (const MatrixCell &c : cells)
+        appendUnique(names, c.defense);
+    return names;
+}
+
+std::vector<std::string>
+MatrixReport::receivers() const
+{
+    std::vector<std::string> names;
+    for (const MatrixCell &c : cells)
+        appendUnique(names, c.receiver);
+    return names;
+}
+
+MatrixReport
+MatrixReport::fromResult(const ExperimentResult &result)
+{
+    MatrixReport report;
+    report.experiment = result.experiment;
+    report.masterSeed = result.masterSeed;
+    report.reps = result.reps;
+
+    // Pass 1: the unsafe baselines' workload cycles, per receiver.
+    auto unsafeCycles = [&result](const std::string &receiver) {
+        for (const ResultRow &row : result.rows) {
+            if (row.label == "unsafe/" + receiver &&
+                row.metric("workload_cycles") != nullptr) {
+                return row.mean("workload_cycles");
+            }
+        }
+        return 0.0;
+    };
+
+    for (const ResultRow &row : result.rows) {
+        const std::size_t slash = row.label.find('/');
+        if (slash == std::string::npos)
+            continue;
+        MatrixCell cell;
+        cell.defense = row.label.substr(0, slash);
+        cell.receiver = row.label.substr(slash + 1);
+        cell.auc = row.mean("auc");
+        cell.deltaCycles = row.mean("delta_cycles");
+        cell.cyclesPerSample = row.mean("cycles_per_sample");
+        cell.trials = row.trials;
+        const double base = unsafeCycles(cell.receiver);
+        if (base > 0.0 && row.metric("workload_cycles") != nullptr) {
+            cell.overheadPct =
+                (row.mean("workload_cycles") / base - 1.0) * 100.0;
+        }
+        report.cells.push_back(std::move(cell));
+    }
+    return report;
+}
+
+void
+MatrixReport::writeJson(std::ostream &os) const
+{
+    const std::locale prev = os.imbue(std::locale::classic());
+    os << "{\n";
+    os << "  \"schema\": \"unxpec-matrix-v1\",\n";
+    os << "  \"experiment\": \"" << experiment << "\",\n";
+    os << "  \"master_seed\": " << masterSeed << ",\n";
+    os << "  \"reps\": " << reps << ",\n";
+    os << "  \"cells\": [\n";
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const MatrixCell &c = cells[i];
+        os << "    {\"defense\": \"" << c.defense << "\", \"receiver\": \""
+           << c.receiver << "\", \"auc\": " << numToString(c.auc)
+           << ", \"delta_cycles\": " << numToString(c.deltaCycles)
+           << ", \"overhead_pct\": " << numToString(c.overheadPct)
+           << ", \"cycles_per_sample\": " << numToString(c.cyclesPerSample)
+           << ", \"trials\": " << c.trials << "}"
+           << (i + 1 < cells.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n";
+    os << "}\n";
+    os.imbue(prev);
+}
+
+void
+MatrixReport::writeMarkdown(std::ostream &os) const
+{
+    const std::vector<std::string> recv = receivers();
+    os << "# Attack x defense matrix\n\n";
+    os << "AUC 0.5 means the channel is closed (receiver guesses "
+          "blind); 1.0 means every sample separates the secret. "
+          "Overhead is workload cycles against the unsafe baseline.\n\n";
+    os << "Experiment `" << experiment << "`, seed " << masterSeed
+       << ", " << reps << " rep(s) per cell.\n\n";
+
+    os << "| defense |";
+    for (const std::string &r : recv)
+        os << " " << r << " AUC | " << r << " delta (cyc) |";
+    os << " overhead |\n";
+    os << "|---|";
+    for (std::size_t i = 0; i < recv.size(); ++i)
+        os << "---|---|";
+    os << "---|\n";
+
+    for (const std::string &d : defenses()) {
+        os << "| " << d << " |";
+        double overhead = 0.0;
+        for (const std::string &r : recv) {
+            const MatrixCell *c = cell(d, r);
+            if (c == nullptr) {
+                os << " - | - |";
+                continue;
+            }
+            os << " " << numFixed(c->auc, 3) << " | "
+               << numFixed(c->deltaCycles, 1) << " |";
+            overhead = std::max(overhead, c->overheadPct);
+        }
+        os << " " << numFixed(overhead, 1) << "% |\n";
+    }
+    os << "\nReading guide: the cache-state receiver (unxpec) breaks "
+          "Undo schemes; the contention receiver breaks every defense "
+          "that only hides *cache* state once the multiplier is "
+          "non-pipelined. Only the pipelined-FU column of defenses "
+          "closes both.\n";
+}
+
+MatrixReport
+MatrixReport::fromJsonText(const std::string &text)
+{
+    MatrixReport report;
+    std::istringstream lines(text);
+    std::string line;
+    bool sawSchema = false;
+    while (std::getline(lines, line)) {
+        if (line.find("\"schema\"") != std::string::npos) {
+            if (fieldText(line, "schema") != "unxpec-matrix-v1")
+                fatal("matrix JSON: unexpected schema in: ", line);
+            sawSchema = true;
+        } else if (line.find("\"experiment\"") != std::string::npos) {
+            report.experiment = fieldText(line, "experiment");
+        } else if (line.find("\"master_seed\"") != std::string::npos) {
+            report.masterSeed =
+                static_cast<std::uint64_t>(fieldNum(line, "master_seed"));
+        } else if (line.find("\"reps\"") != std::string::npos) {
+            report.reps = static_cast<unsigned>(fieldNum(line, "reps"));
+        } else if (line.find("\"defense\"") != std::string::npos) {
+            MatrixCell cell;
+            cell.defense = fieldText(line, "defense");
+            cell.receiver = fieldText(line, "receiver");
+            cell.auc = fieldNum(line, "auc");
+            cell.deltaCycles = fieldNum(line, "delta_cycles");
+            cell.overheadPct = fieldNum(line, "overhead_pct");
+            cell.cyclesPerSample = fieldNum(line, "cycles_per_sample");
+            cell.trials = static_cast<unsigned>(fieldNum(line, "trials"));
+            report.cells.push_back(std::move(cell));
+        }
+    }
+    if (!sawSchema)
+        fatal("matrix JSON: no unxpec-matrix-v1 schema line found");
+    return report;
+}
+
+} // namespace unxpec

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The attack x defense matrix artifact (a Table-I-style summary for
+ * this repository's defense zoo): one cell per (defense, receiver
+ * family) pair carrying the channel's AUC, the secret-dependent timing
+ * delta, and the defense's workload overhead against the unsafe
+ * baseline. Built from the matrix campaign's ExperimentResult, emitted
+ * as JSON (schema "unxpec-matrix-v1") for CI to diff and as markdown
+ * for humans (MATRIX.md).
+ *
+ * Row convention consumed by fromResult(): each result row is labeled
+ * "<defense>/<receiver>" and carries the metrics "auc", "delta_cycles",
+ * "workload_cycles", and "cycles_per_sample". Overhead is computed at
+ * report time against the same receiver's "unsafe" row, so trials never
+ * need to run their own baselines.
+ */
+
+#ifndef UNXPEC_ANALYSIS_MATRIX_REPORT_HH
+#define UNXPEC_ANALYSIS_MATRIX_REPORT_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "analysis/result_sink.hh"
+
+namespace unxpec {
+
+/** One (defense, receiver) cell of the matrix. */
+struct MatrixCell
+{
+    std::string defense;  //!< defense registry key
+    std::string receiver; //!< receiver family: "unxpec" or "contention"
+    double auc = 0.5;          //!< channel separability (0.5 = closed)
+    double deltaCycles = 0.0;  //!< mean(secret=1) - mean(secret=0)
+    double overheadPct = 0.0;  //!< workload cycles vs unsafe, percent
+    double cyclesPerSample = 0.0;
+    unsigned trials = 0;
+};
+
+/** The full matrix with provenance. */
+struct MatrixReport
+{
+    std::string experiment;
+    std::uint64_t masterSeed = 1;
+    unsigned reps = 1;
+    std::vector<MatrixCell> cells;
+
+    /** Cell by coordinates; nullptr when absent. */
+    const MatrixCell *cell(const std::string &defense,
+                           const std::string &receiver) const;
+
+    /** Defense names in first-appearance order. */
+    std::vector<std::string> defenses() const;
+    /** Receiver names in first-appearance order. */
+    std::vector<std::string> receivers() const;
+
+    /** Distill a matrix campaign's result (see the row convention in
+     *  the file comment). Rows without a '/' label are skipped. */
+    static MatrixReport fromResult(const ExperimentResult &result);
+
+    /** JSON artifact, schema "unxpec-matrix-v1": one cell per line so
+     *  fromJsonText can parse it without a JSON library. */
+    void writeJson(std::ostream &os) const;
+
+    /** Markdown table: defenses as rows, one AUC / delta / overhead
+     *  column group per receiver family. */
+    void writeMarkdown(std::ostream &os) const;
+
+    /**
+     * Parse writeJson's own output (the golden-diff path in CI). This
+     * is a line-oriented reader for exactly that format, not a general
+     * JSON parser; fatal() on malformed input.
+     */
+    static MatrixReport fromJsonText(const std::string &text);
+};
+
+} // namespace unxpec
+
+#endif // UNXPEC_ANALYSIS_MATRIX_REPORT_HH

@@ -1,0 +1,197 @@
+#include "attack/contention.hh"
+
+#include "sim/log.hh"
+
+namespace unxpec {
+
+namespace {
+
+// Register allocation for the attack program.
+constexpr RegIndex rIdx = 1;      // index for the current trial
+constexpr RegIndex rBound = 2;    // warm chase / bound value
+constexpr RegIndex rSecret = 3;   // transiently loaded secret
+constexpr RegIndex rA = 5;        // A base
+constexpr RegIndex rIdxTab = 6;   // index-table base
+constexpr RegIndex rLatTab = 7;   // latency-result base
+constexpr RegIndex rTmp0 = 8;
+constexpr RegIndex rTmp1 = 9;
+constexpr RegIndex rTmp2 = 10;
+constexpr RegIndex rZero = 11;    // constant 0 (inner compare)
+constexpr RegIndex rMulA = 12;    // burst operands (always ready)
+constexpr RegIndex rMulB = 13;
+constexpr RegIndex rSink = 14;    // burst destination (dead value)
+constexpr RegIndex rDelta = 15;   // measured latency
+constexpr RegIndex rProbe = 16;   // dependent probe chain
+constexpr RegIndex rTrial = 17;   // trial counter
+constexpr RegIndex rTrials = 18;  // trial count
+constexpr RegIndex rChain = 19;   // chase base
+constexpr RegIndex rT0 = 24;      // first timestamp
+constexpr RegIndex rT1 = 25;      // second timestamp
+
+} // namespace
+
+ContentionAttack::ContentionAttack(Core &core, const ContentionConfig &cfg)
+    : core_(core), cfg_(cfg)
+{
+    if (cfg_.transientMuls == 0)
+        fatal("ContentionAttack: need at least one transient multiply");
+    if (cfg_.probeMuls == 0)
+        fatal("ContentionAttack: need at least one probe multiply");
+    if (cfg_.conditionAccesses == 0)
+        fatal("ContentionAttack: the bound chase needs an access");
+    trials_ = cfg_.mistrainIterations + 1;
+    buildProgram();
+}
+
+void
+ContentionAttack::buildProgram()
+{
+    const unsigned c = cfg_.conditionAccesses;
+    ProgramBuilder b;
+
+    // ---- data segment ------------------------------------------------
+    aBase_ = b.alloc(kLineBytes);
+    secretAddr_ = b.alloc(kLineBytes);
+    chainBase_ = b.alloc(kLineBytes * c);
+    idxBase_ = b.alloc(8 * trials_);
+    latBase_ = b.alloc(8 * trials_);
+
+    // A[0] = 0: training rounds take the inner secret==0 early-out.
+    b.initByte(aBase_, 0);
+    const std::uint64_t oob_index = secretAddr_ - aBase_;
+    // Warm chase; the last element holds the bound (1) so the trained
+    // in-bounds index 0 satisfies index < bound.
+    for (unsigned j = 0; j + 1 < c; ++j)
+        b.initWord64(chainBase_ + j * kLineBytes,
+                     chainBase_ + (j + 1) * kLineBytes);
+    b.initWord64(chainBase_ + (c - 1) * kLineBytes, 1);
+    for (unsigned t = 0; t + 1 < trials_; ++t)
+        b.initWord64(idxBase_ + 8 * t, 0);
+    b.initWord64(idxBase_ + 8 * (trials_ - 1), oob_index);
+
+    // ---- code ----------------------------------------------------------
+    b.li(rA, static_cast<std::int64_t>(aBase_));
+    b.li(rIdxTab, static_cast<std::int64_t>(idxBase_));
+    b.li(rLatTab, static_cast<std::int64_t>(latBase_));
+    b.li(rChain, static_cast<std::int64_t>(chainBase_));
+    b.li(rZero, 0);
+    b.li(rMulA, 3);
+    b.li(rMulB, 5);
+    b.li(rTrial, 0);
+    b.li(rTrials, trials_);
+
+    // Warm everything the measured round touches: the secret line, the
+    // chase, and A. Every later load hits — the channel is cache-free.
+    b.li(rTmp0, static_cast<std::int64_t>(secretAddr_));
+    b.load(rTmp1, rTmp0, 0, 1);
+    b.mov(rTmp0, rChain);
+    for (unsigned j = 0; j < c; ++j)
+        b.load(rTmp0, rTmp0);
+    b.load(rTmp1, rA, 0, 1);
+
+    const int loop_top = b.label();
+    const int skip = b.label();
+    b.bind(loop_top);
+
+    // index = idxTable[trial]
+    b.shl(rTmp0, rTrial, 3);
+    b.add(rTmp0, rTmp0, rIdxTab);
+    b.load(rIdx, rTmp0);
+
+    b.fence();
+
+    // Outer branch condition: warm pointer chase plus a dependent ALU
+    // padding chain. Resolution takes ~conditionPadding cycles — long
+    // enough for the inner redirect and the burst, independent of any
+    // cache state.
+    b.mov(rBound, rChain);
+    for (unsigned j = 0; j < c; ++j)
+        b.load(rBound, rBound);
+    for (unsigned p = 0; p < cfg_.conditionPadding; ++p)
+        b.addi(rBound, rBound, 0);
+
+    // if (index < bound) { sender } — trained not-taken.
+    b.bge(rIdx, rBound, skip);
+
+    // Sender: secret = A[index] (an L1 hit either way); secret==0
+    // takes the trained early-out, secret==1 mispredicts it and the
+    // redirect falls into the multiply burst.
+    b.add(rTmp2, rA, rIdx);
+    b.load(rSecret, rTmp2, 0, 1);
+    b.beq(rSecret, rZero, skip);
+    for (unsigned m = 0; m < cfg_.transientMuls; ++m)
+        b.mul(rSink, rMulA, rMulB);
+
+    b.bind(skip);
+    // Receiver: probe multiplies chained off t0 so none of them can
+    // issue transiently (rdtscp is serializing and only executes on
+    // the correct path).
+    b.rdtscp(rT0);
+    b.mov(rProbe, rT0);
+    for (unsigned m = 0; m < cfg_.probeMuls; ++m)
+        b.mul(rProbe, rProbe, rMulB);
+    b.rdtscp(rT1);
+    b.sub(rDelta, rT1, rT0);
+
+    b.shl(rTmp0, rTrial, 3);
+    b.add(rTmp0, rTmp0, rLatTab);
+    b.store(rTmp0, 0, rDelta);
+
+    b.addi(rTrial, rTrial, 1);
+    b.blt(rTrial, rTrials, loop_top);
+    b.halt();
+
+    program_ = b.build();
+    dataLoaded_ = false;
+}
+
+void
+ContentionAttack::setSecret(int bit)
+{
+    core_.mem().write8(secretAddr_, bit ? 1 : 0);
+}
+
+double
+ContentionAttack::measureOnce()
+{
+    RunOptions options;
+    options.loadData = !dataLoaded_;
+    const RunResult result = core_.run(program_, options);
+    dataLoaded_ = true;
+
+    ++totalRuns_;
+    totalCycles_ += result.cycles;
+
+    const unsigned final_trial = trials_ - 1;
+    return static_cast<double>(
+        core_.mem().read64(latBase_ + 8 * final_trial));
+}
+
+std::vector<double>
+ContentionAttack::collect(int secret, unsigned samples)
+{
+    setSecret(secret);
+    std::vector<double> measurements;
+    measurements.reserve(samples);
+    for (unsigned i = 0; i < samples; ++i)
+        measurements.push_back(measureOnce());
+    return measurements;
+}
+
+double
+ContentionAttack::cyclesPerSample() const
+{
+    return totalRuns_ == 0
+        ? 0.0
+        : static_cast<double>(totalCycles_) / totalRuns_;
+}
+
+void
+ContentionAttack::resetTrialState()
+{
+    dataLoaded_ = false;
+    totalRuns_ = 0;
+    totalCycles_ = 0;
+}
+
+} // namespace unxpec

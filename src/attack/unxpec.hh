@@ -48,6 +48,16 @@ struct UnxpecConfig
     bool useEvictionSets = false;
     /** In-bounds POISON executions before the out-of-bounds round. */
     unsigned mistrainIterations = 16;
+    /**
+     * Flush+Reload persistence tail: after the squash window, time a
+     * reload of P[64] (the k=1 transient target) and fold it into the
+     * reported latency. Defenses that leave transient installs behind
+     * (the unsafe baseline) make the reload hit iff secret=1 — the
+     * classic persistent-state channel; undo and invisible defenses
+     * make it miss either way, adding only a constant. Off by default:
+     * the figure benches measure the bare rollback window.
+     */
+    bool probePersistence = false;
 };
 
 /** Field-wise equality (CorePool attack-cache validity check). */
@@ -58,7 +68,8 @@ operator==(const UnxpecConfig &a, const UnxpecConfig &b)
            a.conditionAccesses == b.conditionAccesses &&
            a.conditionPadding == b.conditionPadding &&
            a.useEvictionSets == b.useEvictionSets &&
-           a.mistrainIterations == b.mistrainIterations;
+           a.mistrainIterations == b.mistrainIterations &&
+           a.probePersistence == b.probePersistence;
 }
 
 inline bool

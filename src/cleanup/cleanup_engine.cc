@@ -27,7 +27,11 @@ CleanupEngine::CleanupEngine(CleanupMode mode, const CleanupTiming &timing,
                                     "inflight transient fills scrubbed")),
       extraConstCycles_(stats_.counter("extraCleanupSquashTimeCycles",
                                        "extra stall imposed by "
-                                       "constant-time rollback"))
+                                       "constant-time rollback")),
+      shadowDiscards_(stats_.counter("shadowDiscards",
+                                     "SafeSpec shadow fills discarded")),
+      mshrCancels_(stats_.counter("mshrCancels",
+                                  "CacheSquash parked fills cancelled"))
 {
 }
 
@@ -105,6 +109,29 @@ CleanupEngine::rollback(MemoryHierarchy &hierarchy, const CleanupJob &job,
         return squash;
     }
 
+    if (mode_ == CleanupMode::SafeSpec ||
+        mode_ == CleanupMode::CacheSquash) {
+        // Shadow-structure defenses: the transient footprint never
+        // entered the caches, so there is no state walk whose duration
+        // could depend on it. Discarding a shadow entry (SafeSpec) or
+        // cancelling a parked MSHR fill (CacheSquash) is fixed-cost
+        // bookkeeping — the squash stalls zero cycles either way, and
+        // the unXpec rollback-timing channel measures nothing.
+        for (const auto &record : job.pending) {
+            if (record.shadow && hierarchy.discardShadow(record))
+                ++shadowDiscards_;
+            if (record.mshrOnly && hierarchy.cancelPendingFill(record))
+                ++mshrCancels_;
+        }
+        lastStall_ = 0;
+        if (logEnabled_) {
+            // lint-ok(steady-alloc): clearLog keeps capacity
+            log_.push_back({squash, 0, 0, 0, 0,
+                            static_cast<unsigned>(job.pending.size())});
+        }
+        return squash;
+    }
+
     // All rollback events are stamped at the squash cycle (the state
     // walk is modeled as atomic; only its *duration* is timed), so the
     // trace shows begin -> per-line work -> end as one tight group.
@@ -128,8 +155,11 @@ CleanupEngine::rollback(MemoryHierarchy &hierarchy, const CleanupJob &job,
     }
 
     // --- T5 state rollback for landed fills --------------------------
+    // SpecBox labels live in both levels; its flash-clear drops them
+    // everywhere (the timing shortcut below is what makes it free).
     const bool invalidate_l2 = mode_ == CleanupMode::Cleanup_FOR_L1L2 ||
-                               mode_ == CleanupMode::Cleanup_FULL;
+                               mode_ == CleanupMode::Cleanup_FULL ||
+                               mode_ == CleanupMode::SpecBox;
     const bool restore_l2 = mode_ == CleanupMode::Cleanup_FULL;
     unsigned l1_inv = 0;
     unsigned l2_inv = 0;
@@ -194,6 +224,21 @@ CleanupEngine::rollback(MemoryHierarchy &hierarchy, const CleanupJob &job,
     invalidationsL1_ += l1_inv;
     invalidationsL2_ += l2_inv;
     restores_ += restored;
+
+    if (mode_ == CleanupMode::SpecBox) {
+        // Label flash-clear: every tagged line drops in one broadcast,
+        // a gang-clear of the label bits — constant (zero) cost no
+        // matter how many lines carried a label. The state walk above
+        // models the *effect* of the clear; its cost never reaches the
+        // core.
+        lastStall_ = 0;
+        if (logEnabled_) {
+            // lint-ok(steady-alloc): clearLog keeps capacity
+            log_.push_back({squash, 0, l1_inv, l2_inv, restored,
+                            static_cast<unsigned>(job.inflight.size())});
+        }
+        return squash;
+    }
 
     // --- timing --------------------------------------------------------
     Cycle start = squash;

@@ -130,6 +130,8 @@ class CleanupEngine
     Counter &restores_;
     Counter &inflightDrops_;
     Counter &extraConstCycles_;
+    Counter &shadowDiscards_;
+    Counter &mshrCancels_;
     Cycle lastStall_ = 0;
 
     bool logEnabled_ = false;

@@ -1,0 +1,78 @@
+#include "cleanup/safespec.hh"
+
+namespace unxpec {
+
+const ShadowL1::Entry *
+ShadowL1::find(Addr line_addr) const
+{
+    for (const Entry &entry : entries_) {
+        if (entry.valid && entry.lineAddr == line_addr)
+            return &entry;
+    }
+    return nullptr;
+}
+
+void
+ShadowL1::fill(Addr line_addr, Cycle ready, SeqNum installer)
+{
+    ++fills_;
+    Entry &slot = entries_[fifo_];
+    fifo_ = (fifo_ + 1) % kEntries;
+    slot.lineAddr = line_addr;
+    slot.readyCycle = ready;
+    slot.installer = installer;
+    slot.valid = true;
+}
+
+bool
+ShadowL1::erase(Addr line_addr)
+{
+    for (Entry &entry : entries_) {
+        if (entry.valid && entry.lineAddr == line_addr) {
+            entry = Entry{};
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+ShadowL1::promote(Addr line_addr)
+{
+    const bool present = erase(line_addr);
+    if (present)
+        ++promotes_;
+    return present;
+}
+
+bool
+ShadowL1::discard(Addr line_addr)
+{
+    const bool present = erase(line_addr);
+    if (present)
+        ++discards_;
+    return present;
+}
+
+unsigned
+ShadowL1::occupancy() const
+{
+    unsigned count = 0;
+    for (const Entry &entry : entries_) {
+        if (entry.valid)
+            ++count;
+    }
+    return count;
+}
+
+void
+ShadowL1::clear()
+{
+    entries_.fill(Entry{});
+    fifo_ = 0;
+    fills_ = 0;
+    promotes_ = 0;
+    discards_ = 0;
+}
+
+} // namespace unxpec

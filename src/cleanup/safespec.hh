@@ -1,0 +1,88 @@
+/**
+ * @file
+ * SafeSpec shadow L1 (Khasawneh et al., DAC'19): a small fully
+ * associative buffer that receives every speculative fill instead of
+ * the caches. A load that commits promotes its shadow line into the
+ * real hierarchy (a free on-chip move — the data already arrived); a
+ * load that squashes has its shadow entry discarded. Because neither
+ * direction performs footprint-dependent work at squash time, SafeSpec
+ * has no rollback-timing channel for unXpec to measure — which is
+ * exactly what the attack×defense matrix demonstrates.
+ *
+ * The buffer is intentionally simple: fixed capacity, FIFO
+ * replacement, no data payload (MainMemory is the functional store, as
+ * everywhere else in the simulator). Determinism matters more than
+ * fidelity here — the matrix compares *timing channels*, not IPC.
+ */
+
+#ifndef UNXPEC_CLEANUP_SAFESPEC_HH
+#define UNXPEC_CLEANUP_SAFESPEC_HH
+
+#include <array>
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace unxpec {
+
+/** Fixed-capacity FIFO shadow buffer for speculative fills. */
+class ShadowL1
+{
+  public:
+    /** One shadow fill in flight or landed but not yet committed. */
+    struct Entry
+    {
+        Addr lineAddr = kAddrInvalid;
+        Cycle readyCycle = kCycleNever; //!< fill arrival
+        SeqNum installer = kSeqNone;    //!< first speculative requester
+        bool valid = false;
+    };
+
+    /** Shadow capacity in lines (SafeSpec's per-core shadow L1 is
+     *  sized like an MSHR file, not like a cache). */
+    static constexpr unsigned kEntries = 32;
+
+    /** The entry holding `line_addr`, or nullptr. The fill may still
+     *  be in flight (readyCycle > now): callers merge with it exactly
+     *  like an MSHR hit. */
+    const Entry *find(Addr line_addr) const;
+
+    /**
+     * Allocate a shadow entry for a new speculative fill. FIFO: when
+     * full, the oldest entry is silently dropped — a dropped line is
+     * simply refetched if re-requested, which costs the *speculative*
+     * path time but never the squash path.
+     */
+    void fill(Addr line_addr, Cycle ready, SeqNum installer);
+
+    /** Remove the entry for a committed line (promotion). @return
+     *  true when the line was present. */
+    bool promote(Addr line_addr);
+
+    /** Remove the entry for a squashed line. @return true when the
+     *  line was present. */
+    bool discard(Addr line_addr);
+
+    /** Valid entries currently held. */
+    unsigned occupancy() const;
+
+    /** Drop everything (trial reset / cache cold-start). */
+    void clear();
+
+    std::uint64_t fills() const { return fills_; }
+    std::uint64_t promotes() const { return promotes_; }
+    std::uint64_t discards() const { return discards_; }
+
+  private:
+    bool erase(Addr line_addr);
+
+    std::array<Entry, kEntries> entries_{};
+    unsigned fifo_ = 0; //!< next slot to replace (round-robin = FIFO)
+    std::uint64_t fills_ = 0;
+    std::uint64_t promotes_ = 0;
+    std::uint64_t discards_ = 0;
+};
+
+} // namespace unxpec
+
+#endif // UNXPEC_CLEANUP_SAFESPEC_HH

@@ -25,6 +25,15 @@ SpecTracker::buildJobInto(Cycle squash_cycle,
     // bounded by ROB capacity); a reused job reaches a fixed capacity
     // after the first few squashes and never grows again.
     for (const auto &record : records) {
+        if (record.shadow || record.mshrOnly) {
+            // SafeSpec / CacheSquash: the footprint lives in a shadow
+            // structure, not the caches. Merged records carry no entry
+            // of their own — only the allocating load is actionable.
+            if (!record.merged)
+                out.pending.push_back(record); // lint-ok(steady-alloc): bounded
+            continue;
+        }
+
         if (!record.l1Installed && !record.l2Installed)
             continue; // hit or MSHR merge: no footprint of its own
 

@@ -36,6 +36,11 @@ struct CleanupJob
      *  victims must be restored. */
     std::vector<MemAccessRecord> restores;
 
+    /** Shadow-structure records (SafeSpec shadow fills, CacheSquash
+     *  parked MSHR fills): nothing in the caches to walk — the engine
+     *  discards/cancels them at a fixed (zero) cost. */
+    std::vector<MemAccessRecord> pending;
+
     /** Counts over `landed`, for timing. */
     unsigned l1Invalidations = 0;
     unsigned l2Invalidations = 0;
@@ -54,6 +59,7 @@ struct CleanupJob
         landed.clear();
         inflight.clear();
         restores.clear();
+        pending.clear();
         l1Invalidations = 0;
         l2Invalidations = 0;
     }

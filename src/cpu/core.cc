@@ -60,6 +60,7 @@ Core::reset(std::uint64_t seed)
     fetchResumeCycle_ = 0;
     stallUntil_ = 0;
     commitStallUntil_ = 0;
+    mulBusyUntil_ = 0;
     halted_ = false;
     nextSeq_ = 0;
     committed_ = 0;
@@ -348,6 +349,18 @@ Core::tickIssue()
                     // no cache state changes until commit.
                     entry.memRecord =
                         hier_.accessInvisible(addr, now_, entry.seq);
+                } else if (speculative &&
+                           cfg_.cleanupMode == CleanupMode::SafeSpec) {
+                    // Shadow L1: the fill lands next to the caches, not
+                    // in them; promoted at commit, discarded on squash.
+                    entry.memRecord =
+                        hier_.accessSafeSpec(addr, now_, entry.seq);
+                } else if (speculative &&
+                           cfg_.cleanupMode == CleanupMode::CacheSquash) {
+                    // The fill parks in a cancellable MSHR entry;
+                    // squash propagates into the MSHR and cancels it.
+                    entry.memRecord =
+                        hier_.accessCacheSquash(addr, now_, entry.seq);
                 } else {
                     entry.memRecord = hier_.access(addr, now_, false,
                                                    speculative,
@@ -430,7 +443,18 @@ Core::tickIssue()
         entry.issueCycle = now_;
         const unsigned latency = op == Opcode::MUL
             ? cfg_.core.mulLatency : cfg_.core.intAluLatency;
-        entry.readyCycle = now_ + latency;
+        if (op == Opcode::MUL && !cfg_.core.mulPipelined) {
+            // Non-pipelined multiplier: one op occupies the unit end to
+            // end. The busy window deliberately survives squashes —
+            // transient MULs keep the FU busy past their own squash,
+            // which is the SpectreRewind contention channel the
+            // contention receiver measures.
+            const Cycle start = std::max(now_, mulBusyUntil_);
+            entry.readyCycle = start + latency;
+            mulBusyUntil_ = entry.readyCycle;
+        } else {
+            entry.readyCycle = now_ + latency;
+        }
         ++issued;
     }
 }
@@ -578,7 +602,15 @@ Core::tickCommit()
         if (isStore(head.inst.op)) {
             commitStore(head);
         } else if (isLoad(head.inst.op) && head.hasMemRecord) {
-            hier_.commitInstall(head.memRecord);
+            if (head.memRecord.shadow) {
+                // SafeSpec promotion is free: the data is on chip, so
+                // unlike InvisiSpec there is no validate stall.
+                hier_.commitShadow(head.memRecord, now_);
+            } else if (head.memRecord.mshrOnly) {
+                hier_.commitPendingFill(head.memRecord, now_);
+            } else {
+                hier_.commitInstall(head.memRecord);
+            }
         }
 
         if (writesReg(head.inst.op)) {

@@ -269,6 +269,9 @@ class Core
     Cycle fetchResumeCycle_ = 0;
     Cycle stallUntil_ = 0;
     Cycle commitStallUntil_ = 0; //!< InvisiSpec validation drain
+    /** Non-pipelined multiplier busy window (core.mulPipelined=false);
+     *  survives squashes — the SpectreRewind contention channel. */
+    Cycle mulBusyUntil_ = 0;
     bool halted_ = false;
     SeqNum nextSeq_ = 0;
     std::uint64_t committed_ = 0;

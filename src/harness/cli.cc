@@ -1,5 +1,6 @@
 #include "harness/cli.hh"
 
+#include <algorithm>
 #include <cstdlib>
 #include <iostream>
 
@@ -31,14 +32,26 @@ parseU64(const std::string &flag, const std::string &value)
 
 void
 printRegistry(std::ostream &os, const char *title,
-              const std::vector<std::pair<std::string, std::string>> &names)
+              std::vector<std::pair<std::string, std::string>> names)
 {
+    // Name-sorted, not registration-ordered: a new registration lands
+    // in its alphabetical place instead of reshuffling the listing, so
+    // tests can golden it (cli_test.cc).
+    std::sort(names.begin(), names.end());
     os << title << ":\n";
     for (const auto &[name, description] : names)
         os << "  " << name << "\n      " << description << "\n";
 }
 
 } // namespace
+
+void
+printRegistries(std::ostream &os)
+{
+    printRegistry(os, "defenses (--mode)", defenseNames());
+    printRegistry(os, "noise profiles (--noise)", noiseNames());
+    printRegistry(os, "attack variants", attackNames());
+}
 
 HarnessCli::HarnessCli(std::string name, std::string description)
     : name_(std::move(name)), description_(std::move(description))
@@ -144,6 +157,8 @@ HarnessCli::usage(std::ostream &os) const
        << "  --batch W      run W trials lock-step per worker through "
           "the fiber batch kernel (default 1; results are "
           "bit-identical to serial)\n"
+       << "  --matrix       matrix campaigns only: sweep every "
+          "registered defense instead of the default subset\n"
        << "  --list-modes   list registered defenses, noise profiles, "
           "and attacks\n"
        << "  --help         this text\n";
@@ -170,10 +185,7 @@ HarnessCli::parse(int argc, char **argv) const
             usage(std::cout);
             std::exit(0);
         } else if (arg == "--list-modes") {
-            printRegistry(std::cout, "defenses (--mode)", defenseNames());
-            printRegistry(std::cout, "noise profiles (--noise)",
-                          noiseNames());
-            printRegistry(std::cout, "attack variants", attackNames());
+            printRegistries(std::cout);
             std::exit(0);
         } else if (arg == "--reps") {
             options.reps = static_cast<unsigned>(parseU64(arg, value()));
@@ -230,6 +242,8 @@ HarnessCli::parse(int argc, char **argv) const
             options.batch = static_cast<unsigned>(parseU64(arg, value()));
             if (options.batch == 0 || options.batch > 64)
                 fatal("--batch must be in [1, 64]");
+        } else if (arg == "--matrix") {
+            options.matrix = true;
         } else if (hasScale_ && !sawPositionalInt && isInteger(arg)) {
             options.scale = parseU64("scale", arg);
             sawPositionalInt = true;

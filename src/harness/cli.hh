@@ -38,6 +38,7 @@
 #define UNXPEC_HARNESS_CLI_HH
 
 #include <cstdint>
+#include <ostream>
 #include <string>
 
 #include "harness/spec.hh"
@@ -72,6 +73,9 @@ struct HarnessOptions
     unsigned shards = 1;
     /** Lock-step trials per worker (BatchRunner width); 1 = serial. */
     unsigned batch = 1;
+    /** Matrix campaign: sweep every registered defense x receiver
+     *  family instead of the curated default subset. */
+    bool matrix = false;
 };
 
 /** Declarative CLI parser shared by all benches and examples. */
@@ -144,6 +148,13 @@ ExperimentResult runExperiment(const HarnessCli &cli,
  */
 int finishExperiment(const ExperimentResult &result,
                      const HarnessOptions &options);
+
+/**
+ * The --list-modes listing: every registry printed name-sorted (the
+ * registries themselves keep registration order, which moves whenever
+ * a registration is added — sorting makes the listing goldenable).
+ */
+void printRegistries(std::ostream &os);
 
 } // namespace unxpec
 

@@ -1,0 +1,142 @@
+#include "harness/matrix.hh"
+
+#include <algorithm>
+
+#include "analysis/roc.hh"
+#include "attack/contention.hh"
+#include "harness/session.hh"
+#include "sim/rng.hh"
+#include "workload/synth_spec.hh"
+
+namespace unxpec {
+
+namespace {
+
+double
+meanOf(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double total = 0.0;
+    for (const double v : values)
+        total += v;
+    return total / static_cast<double>(values.size());
+}
+
+/** Post-warmup cycles of one synthetic workload on `cfg`. */
+double
+workloadCycles(SystemConfig cfg, std::uint64_t seed)
+{
+    cfg.seed = seed;
+    RunOptions options;
+    options.maxInstructions = 40000;
+    options.warmupInstructions = 8000;
+    const Program p = SynthSpec::generate(SynthSpec::profile("mcf_r"), 42);
+    Core core(cfg);
+    const RunResult run = core.run(p, options);
+    return static_cast<double>(run.cycles - run.warmupCycles);
+}
+
+} // namespace
+
+const std::vector<std::string> &
+matrixReceivers()
+{
+    static const std::vector<std::string> receivers = {"unxpec",
+                                                       "contention"};
+    return receivers;
+}
+
+const std::vector<std::string> &
+matrixDefaultDefenses()
+{
+    static const std::vector<std::string> defenses = {
+        "unsafe",     "cleanup_l1", "cleanup_l1l2", "invisispec",
+        "delay_on_miss", "safespec", "specbox",     "cachesquash",
+    };
+    return defenses;
+}
+
+std::vector<ExperimentSpec>
+matrixSpecs(const ExperimentSpec &base, bool all_defenses)
+{
+    std::vector<std::string> defenses;
+    if (all_defenses) {
+        for (const auto &[name, description] : defenseNames())
+            defenses.push_back(name);
+    } else {
+        defenses = matrixDefaultDefenses();
+    }
+
+    std::vector<ExperimentSpec> specs;
+    std::size_t cell = 0;
+    for (const std::string &defense : defenses) {
+        for (const std::string &receiver : matrixReceivers()) {
+            ExperimentSpec spec = base;
+            spec.label = defense + "/" + receiver;
+            spec.defense = defense;
+            // The cache-state receiver is unxpec-probe: rollback timing
+            // plus the Flush+Reload persistence tail, so the unsafe
+            // baseline's persistent installs read as AUC ~1.0 too.
+            spec.attack = receiver == "contention" ? "contention"
+                                                   : "unxpec-probe";
+            if (receiver == "contention") {
+                // The contention channel needs the structural hazard: a
+                // non-pipelined multiplier whose busy window survives
+                // squashes. Cache defenses are untouched.
+                spec.tweak = [](SystemConfig &cfg) {
+                    cfg.core.mulPipelined = false;
+                };
+            }
+            spec.with("cell", static_cast<double>(cell++));
+            specs.push_back(std::move(spec));
+        }
+    }
+    return specs;
+}
+
+TrialFn
+matrixTrialFn(unsigned samples_per_class)
+{
+    return [samples_per_class](const TrialContext &ctx) {
+        const bool contention =
+            ctx.spec.label.find("/contention") != std::string::npos;
+
+        std::vector<double> zeros;
+        std::vector<double> ones;
+        double cycles_per_sample = 0.0;
+        {
+            Session session(ctx);
+            if (contention) {
+                ContentionAttack attack(session.core());
+                zeros = attack.collect(0, samples_per_class);
+                ones = attack.collect(1, samples_per_class);
+                cycles_per_sample = attack.cyclesPerSample();
+            } else {
+                UnxpecAttack &attack = session.unxpec();
+                zeros = attack.collect(0, samples_per_class);
+                ones = attack.collect(1, samples_per_class);
+                cycles_per_sample = attack.cyclesPerSample();
+            }
+        }
+
+        TrialOutput out;
+        // Folded AUC = separability: a receiver can always flip its
+        // decision rule, so a channel where secret=1 reads *faster*
+        // (the unsafe baseline's persistence probe) is just as open.
+        const double raw = RocCurve::of(zeros, ones).auc();
+        out.metric("auc", std::max(raw, 1.0 - raw));
+        out.metric("delta_cycles", meanOf(ones) - meanOf(zeros));
+        out.metric("cycles_per_sample", cycles_per_sample);
+        out.metric("workload_cycles",
+                   workloadCycles(
+                       Session::configFor(ctx.spec,
+                                          Rng::deriveSeed(ctx.seed, 0)),
+                       Rng::deriveSeed(ctx.seed, 1)));
+        out.samples("latency0", std::move(zeros));
+        out.samples("latency1", std::move(ones));
+        return out;
+    };
+}
+
+} // namespace unxpec

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The attack x defense matrix campaign: every registered defense (or a
+ * curated default subset) crossed with the two receiver families —
+ * "unxpec" (cache-state rollback timing) and "contention" (SpectreRewind
+ * FU contention on a non-pipelined multiplier). One spec per cell; the
+ * shared trial function measures the channel's AUC, the raw timing
+ * delta, the attack's sample cost, and the defense's workload cycles,
+ * and MatrixReport::fromResult distills the rows into the Table-I-style
+ * matrix artifact (analysis/matrix_report.hh).
+ *
+ * The campaign rides the ordinary harness machinery — journaling,
+ * --resume, --shards, --batch all work — because the matrix is just an
+ * ExperimentSpec sweep with a label convention.
+ */
+
+#ifndef UNXPEC_HARNESS_MATRIX_HH
+#define UNXPEC_HARNESS_MATRIX_HH
+
+#include <string>
+#include <vector>
+
+#include "harness/spec.hh"
+#include "harness/trial_runner.hh"
+
+namespace unxpec {
+
+/** Receiver families the matrix crosses every defense with. */
+const std::vector<std::string> &matrixReceivers();
+
+/**
+ * Defenses swept by default: the zoo's distinct mechanisms (unsafe,
+ * both CleanupSpec flavors, InvisiSpec, delay-on-miss, SafeSpec,
+ * SpecBox, CacheSquash) without the timing-countermeasure variants.
+ */
+const std::vector<std::string> &matrixDefaultDefenses();
+
+/**
+ * One spec per (defense, receiver) cell, labeled
+ * "<defense>/<receiver>". `base` supplies noise/cores defaults;
+ * `all_defenses` sweeps every registered defense instead of the
+ * curated subset (the --matrix flag). Contention cells tweak the core
+ * to a non-pipelined multiplier — the hardware SpectreRewind needs.
+ */
+std::vector<ExperimentSpec> matrixSpecs(const ExperimentSpec &base,
+                                        bool all_defenses);
+
+/**
+ * The shared per-cell trial function: collects `samples_per_class`
+ * receiver measurements per secret value and reports
+ *   auc               RocCurve AUC over the two sample sets
+ *   delta_cycles      mean(secret=1) - mean(secret=0)
+ *   cycles_per_sample simulated cost of one receiver measurement
+ *   workload_cycles   post-warmup cycles of a synthetic SPEC workload
+ *                     on the cell's configuration (overhead is derived
+ *                     against the unsafe row at report time)
+ */
+TrialFn matrixTrialFn(unsigned samples_per_class);
+
+} // namespace unxpec
+
+#endif // UNXPEC_HARNESS_MATRIX_HH

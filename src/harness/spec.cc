@@ -112,6 +112,18 @@ defenses()
         registry.add("delay_on_miss",
                      "delay-on-miss Invisible defense (ISCA'19)",
                      [] { return SystemConfig::makeDelayOnMiss(); });
+        registry.add("safespec",
+                     "SafeSpec shadow-L1 defense (DAC'19): speculative "
+                     "fills land in a shadow buffer, promoted at commit",
+                     [] { return SystemConfig::makeSafeSpec(); });
+        registry.add("specbox",
+                     "label-based isolation: speculative lines tagged in "
+                     "place, hidden from probes, flash-cleared on squash",
+                     [] { return SystemConfig::makeSpecBox(); });
+        registry.add("cachesquash",
+                     "squash propagates into the MSHR: speculative fills "
+                     "park in cancellable entries, no tags installed",
+                     [] { return SystemConfig::makeCacheSquash(); });
         registry.add("noisy_host",
                      "CleanupSpec on the noisy-host profile (SVI-D)",
                      [] { return SystemConfig::makeNoisyHost(); });
@@ -166,6 +178,10 @@ attacks()
         }
         registry.add("spectre_v1",
                      "Spectre v1 + Flush+Reload contrast baseline",
+                     [](UnxpecConfig &) {});
+        registry.add("contention",
+                     "SpectreRewind FU-contention receiver: cache-free "
+                     "channel through a non-pipelined multiplier",
                      [](UnxpecConfig &) {});
         registry.add("none", "no attack: workload-only experiments",
                      [](UnxpecConfig &) {});

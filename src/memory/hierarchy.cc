@@ -305,6 +305,165 @@ MemoryHierarchy::accessInvisible(Addr addr, Cycle now, SeqNum seq)
     return record;
 }
 
+MemAccessRecord
+MemoryHierarchy::accessSafeSpec(Addr addr, Cycle now, SeqNum seq)
+{
+    const Addr line = lineAlign(addr);
+
+    MemAccessRecord record;
+    record.lineAddr = line;
+    record.speculative = true;
+    record.seq = seq;
+    record.issued = now;
+
+    // Committed L1 hit: served in place. Probe-only — even the
+    // replacement state is left alone, so a squash has nothing to undo.
+    if (const CacheLine *hit = l1d_.probe(line);
+        hit != nullptr && hit->fillCycle <= now) {
+        record.l1Hit = true;
+        record.ready = now + cfg_.l1d.hitLatency;
+        traceAccess(tracer_, TraceKind::CacheHit, kTraceL1D, record, now);
+        return record;
+    }
+
+    record.shadow = true;
+
+    // Merge with an earlier speculative fill of the same line.
+    if (const ShadowL1::Entry *entry = shadow_.find(line)) {
+        record.merged = true;
+        record.ready = std::max(entry->readyCycle,
+                                now + cfg_.l1d.hitLatency);
+        traceAccess(tracer_, TraceKind::MshrMerge, kTraceL1D, record, now);
+        return record;
+    }
+
+    // Miss: compute the fill latency from probes and park the fill in
+    // the shadow L1. The caches never see the request.
+    Cycle ready = now + cfg_.l1d.hitLatency;
+    if (const CacheLine *hit = l2p_->probe(line);
+        hit != nullptr && hit->fillCycle <= now) {
+        record.l2Hit = true;
+        ready += cfg_.l2.hitLatency;
+    } else {
+        ready += cfg_.l2.hitLatency + memp_->accessLatency();
+    }
+    shadow_.fill(line, ready, seq);
+    record.ready = ready;
+    traceAccess(tracer_,
+                record.l2Hit ? TraceKind::CacheHit : TraceKind::CacheMiss,
+                kTraceL2, record, now);
+    return record;
+}
+
+MemAccessRecord
+MemoryHierarchy::accessCacheSquash(Addr addr, Cycle now, SeqNum seq)
+{
+    const Addr line = lineAlign(addr);
+
+    MemAccessRecord record;
+    record.lineAddr = line;
+    record.speculative = true;
+    record.seq = seq;
+    record.issued = now;
+
+    l1d_.mshr().release(now);
+
+    // Committed L1 hit: served in place, probe-only (see accessSafeSpec).
+    if (const CacheLine *hit = l1d_.probe(line);
+        hit != nullptr && hit->fillCycle <= now) {
+        record.l1Hit = true;
+        record.ready = now + cfg_.l1d.hitLatency;
+        traceAccess(tracer_, TraceKind::CacheHit, kTraceL1D, record, now);
+        return record;
+    }
+
+    record.mshrOnly = true;
+
+    // Merge with a parked fill of the same line. The entry keeps its
+    // original installer: that load's own squash record cancels it, and
+    // an installer older than the squash keeps its fill legitimately.
+    if (MshrEntry *entry = l1d_.mshr().find(line)) {
+        ++entry->targets;
+        record.merged = true;
+        record.ready = std::max(entry->readyCycle,
+                                now + cfg_.l1d.hitLatency);
+        traceAccess(tracer_, TraceKind::MshrMerge, kTraceL1D, record, now);
+        return record;
+    }
+
+    // Miss: compute the fill latency and park it in a cancellable MSHR
+    // entry. No tags are installed anywhere — the line only enters the
+    // caches if the load commits (commitPendingFill).
+    Cycle base = now;
+    if (l1d_.mshr().full()) {
+        base = std::max(base, l1d_.mshr().earliestReady());
+        l1d_.mshr().release(base);
+    }
+    Cycle fill_ready = base + cfg_.l1d.hitLatency;
+    if (const CacheLine *hit = l2p_->probe(line);
+        hit != nullptr && hit->fillCycle <= now) {
+        record.l2Hit = true;
+        fill_ready += cfg_.l2.hitLatency;
+    } else {
+        fill_ready += cfg_.l2.hitLatency + memp_->accessLatency();
+    }
+    l1d_.mshr().allocate(line, fill_ready, true, seq);
+    record.ready = fill_ready;
+    traceAccess(tracer_,
+                record.l2Hit ? TraceKind::CacheHit : TraceKind::CacheMiss,
+                kTraceL2, record, now);
+    return record;
+}
+
+void
+MemoryHierarchy::promoteCommitted(Addr line, Cycle now)
+{
+    if (const CacheLine *hit = l1d_.probe(line); hit != nullptr)
+        return;
+    if (l2p_->probe(line) == nullptr) {
+        const FillResult l2fill = l2p_->install(line, now, false, kSeqNone);
+        if (coh_ != nullptr && l2fill.victimValid)
+            coh_->backInvalidate(l2fill.victimLine);
+    }
+    l1d_.install(line, now, false, kSeqNone);
+}
+
+void
+MemoryHierarchy::commitShadow(const MemAccessRecord &record, Cycle now)
+{
+    if (!record.shadow)
+        return;
+    // Only the load whose entry is still resident promotes; a line the
+    // FIFO dropped is simply refetched on the next demand access.
+    if (shadow_.promote(record.lineAddr))
+        promoteCommitted(record.lineAddr, now);
+}
+
+bool
+MemoryHierarchy::discardShadow(const MemAccessRecord &record)
+{
+    if (!record.shadow)
+        return false;
+    return shadow_.discard(record.lineAddr);
+}
+
+void
+MemoryHierarchy::commitPendingFill(const MemAccessRecord &record, Cycle now)
+{
+    if (!record.mshrOnly)
+        return;
+    l1d_.mshr().cancel(record.lineAddr, record.seq);
+    promoteCommitted(record.lineAddr, now);
+}
+
+bool
+MemoryHierarchy::cancelPendingFill(const MemAccessRecord &record)
+{
+    if (!record.mshrOnly)
+        return false;
+    return l1d_.mshr().cancel(record.lineAddr, record.seq);
+}
+
 Cycle
 MemoryHierarchy::fetchReady(Addr addr, Cycle now)
 {
@@ -454,6 +613,7 @@ MemoryHierarchy::resetCaches()
     l1d_.reset();
     if (ownsShared())
         l2_.reset();
+    shadow_.clear();
 }
 
 void
@@ -468,6 +628,7 @@ MemoryHierarchy::reseed(std::uint64_t seed)
     l1d_.reseed(seed * 0x9e37u + 2);
     if (ownsShared())
         l2_.reseed(seed * 0x9e37u + 3);
+    shadow_.clear();
 }
 
 } // namespace unxpec

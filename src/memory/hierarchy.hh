@@ -12,6 +12,7 @@
 
 #include <cstdint>
 
+#include "cleanup/safespec.hh"
 #include "memory/cache.hh"
 #include "memory/coherence.hh"
 #include "memory/main_memory.hh"
@@ -37,6 +38,14 @@ struct MemAccessRecord
     /** Served invisibly (InvisiSpec): nothing was installed; the data
      *  went to the shadow buffer and must be exposed at commit. */
     bool invisible = false;
+    /** Served via the SafeSpec shadow L1: nothing in the caches yet.
+     *  Commit promotes the line (commitShadow, free — the data is
+     *  already on chip); squash has the rollback engine discard it. */
+    bool shadow = false;
+    /** CacheSquash: the fill is parked in a cancellable MSHR entry and
+     *  installs no tags. Commit installs it (commitPendingFill);
+     *  squash has the rollback engine cancel it in the MSHR. */
+    bool mshrOnly = false;
 
     Cycle issued = 0;
     Cycle ready = 0;            //!< data available to the requester
@@ -104,6 +113,52 @@ class MemoryHierarchy
      * about the line if the load commits (exposure via access()).
      */
     MemAccessRecord accessInvisible(Addr addr, Cycle now, SeqNum seq);
+
+    /**
+     * SafeSpec load path: a committed L1 hit is served in place;
+     * anything else fills (or merges with) the shadow L1 instead of
+     * the caches. No cache tags, replacement state, or MSHR entries
+     * change — the speculative footprint lives entirely in shadow_.
+     */
+    MemAccessRecord accessSafeSpec(Addr addr, Cycle now, SeqNum seq);
+
+    /**
+     * CacheSquash load path: a committed L1 hit is served in place; a
+     * miss computes its fill latency and parks the fill in a
+     * *cancellable* speculative L1-MSHR entry without installing any
+     * tags. Later speculative loads to the same line merge with the
+     * parked fill exactly like a normal MSHR merge.
+     */
+    MemAccessRecord accessCacheSquash(Addr addr, Cycle now, SeqNum seq);
+
+    /**
+     * SafeSpec commit: drop the shadow entry and install the line into
+     * L2+L1 as a committed fill available immediately — the data is
+     * already on chip, so unlike InvisiSpec's expose-and-validate this
+     * costs the commit stage nothing.
+     */
+    void commitShadow(const MemAccessRecord &record, Cycle now);
+
+    /** SafeSpec squash: discard the squashed load's shadow entry.
+     *  @return true when an entry was dropped. */
+    bool discardShadow(const MemAccessRecord &record);
+
+    /**
+     * CacheSquash commit: retire the parked MSHR entry and install the
+     * line into L2+L1 as a committed fill (free, same reasoning as
+     * commitShadow — commit happens at or after the fill's arrival).
+     */
+    void commitPendingFill(const MemAccessRecord &record, Cycle now);
+
+    /**
+     * CacheSquash squash: cancel the squashed installer's parked fill
+     * in the L1 MSHR (MshrFile::cancel). @return true when an entry
+     * was cancelled.
+     */
+    bool cancelPendingFill(const MemAccessRecord &record);
+
+    /** The SafeSpec shadow L1 (tests and stats). */
+    const ShadowL1 &shadow() const { return shadow_; }
 
     /** Instruction-fetch path through the L1I (never speculativly tracked). */
     Cycle fetchReady(Addr addr, Cycle now);
@@ -223,6 +278,11 @@ class MemoryHierarchy
      *  remote copies through the engine in Machine configs. */
     void writeHit(CacheLine &hit);
 
+    /** Install `line` as a committed fill available at `now` into L2
+     *  and L1 (skipping levels that already hold it) — the shared tail
+     *  of commitShadow and commitPendingFill. */
+    void promoteCommitted(Addr line, Cycle now);
+
     SystemConfig cfg_;
     Rng &rng_;
     MainMemory mem_;
@@ -235,6 +295,8 @@ class MemoryHierarchy
     CoherenceEngine *coh_ = nullptr;
     unsigned coreId_ = 0;
     Tracer *tracer_ = nullptr;
+    /** SafeSpec shadow L1; idle (empty) in every other mode. */
+    ShadowL1 shadow_;
 };
 
 } // namespace unxpec

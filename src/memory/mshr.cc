@@ -56,6 +56,17 @@ MshrFile::squash(Addr line_addr)
     return entries_.size() != before;
 }
 
+bool
+MshrFile::cancel(Addr line_addr, SeqNum installer)
+{
+    const auto before = entries_.size();
+    std::erase_if(entries_, [line_addr, installer](const MshrEntry &e) {
+        return e.lineAddr == line_addr && e.speculative &&
+               e.installer == installer;
+    });
+    return entries_.size() != before;
+}
+
 Cycle
 MshrFile::earliestReady() const
 {

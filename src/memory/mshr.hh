@@ -64,6 +64,16 @@ class MshrFile
     /** Drop the entry for a line (CleanupSpec T3 inflight purge). */
     bool squash(Addr line_addr);
 
+    /**
+     * Cancel the outstanding fill for `line_addr` if (and only if) it
+     * was allocated by the given speculative installer — the CacheSquash
+     * cancellation path, driven by CleanupEngine::rollback at squash
+     * time and by the commit path when the parked fill becomes real.
+     * Unlike squash(), a committed (non-speculative) fill or a fill
+     * re-requested by a different installer is left alone.
+     */
+    bool cancel(Addr line_addr, SeqNum installer);
+
     bool full() const { return entries_.size() >= capacity_; }
     std::size_t inflight() const { return entries_.size(); }
     unsigned capacity() const { return capacity_; }

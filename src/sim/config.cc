@@ -17,6 +17,9 @@ toString(CleanupMode mode)
       case CleanupMode::Cleanup_FULL:     return "Cleanup_FULL";
       case CleanupMode::InvisiSpec:       return "InvisiSpec";
       case CleanupMode::DelayOnMiss:      return "DelayOnMiss";
+      case CleanupMode::SafeSpec:         return "SafeSpec";
+      case CleanupMode::SpecBox:          return "SpecBox";
+      case CleanupMode::CacheSquash:      return "CacheSquash";
     }
     return "?";
 }
@@ -84,6 +87,35 @@ SystemConfig::makeDelayOnMiss()
 {
     SystemConfig cfg = makeInvisiSpec();
     cfg.cleanupMode = CleanupMode::DelayOnMiss;
+    return cfg;
+}
+
+SystemConfig
+SystemConfig::makeSafeSpec()
+{
+    // Shadow-structure defenses hide speculative state outright and do
+    // not rely on randomized policies (same reasoning as InvisiSpec).
+    SystemConfig cfg = makeInvisiSpec();
+    cfg.cleanupMode = CleanupMode::SafeSpec;
+    return cfg;
+}
+
+SystemConfig
+SystemConfig::makeSpecBox()
+{
+    // SpecBox installs speculative lines in place (labeled), so it
+    // keeps the conventional policies too: the labels, not the
+    // randomization, provide the isolation.
+    SystemConfig cfg = makeInvisiSpec();
+    cfg.cleanupMode = CleanupMode::SpecBox;
+    return cfg;
+}
+
+SystemConfig
+SystemConfig::makeCacheSquash()
+{
+    SystemConfig cfg = makeInvisiSpec();
+    cfg.cleanupMode = CleanupMode::CacheSquash;
     return cfg;
 }
 
@@ -182,6 +214,7 @@ sameCore(const CoreConfig &a, const CoreConfig &b)
            a.robEntries == b.robEntries && a.lsqEntries == b.lsqEntries &&
            a.intAluLatency == b.intAluLatency &&
            a.mulLatency == b.mulLatency &&
+           a.mulPipelined == b.mulPipelined &&
            a.branchRedirectPenalty == b.branchRedirectPenalty &&
            a.clflushLatency == b.clflushLatency &&
            a.decodeDepth == b.decodeDepth;

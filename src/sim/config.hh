@@ -53,6 +53,17 @@ enum class CleanupMode
     DelayOnMiss,       //!< Invisible: serve speculative L1 hits, delay
                        //!< speculative misses until the speculation
                        //!< resolves (Sakalis et al., ISCA'19)
+    SafeSpec,          //!< shadow-structure: speculative fills land in a
+                       //!< shadow L1 (cleanup/safespec.hh), promoted to
+                       //!< the caches at commit and discarded — for
+                       //!< free — on squash (Khasawneh et al., DAC'19)
+    SpecBox,           //!< label-based isolation: speculative lines are
+                       //!< tagged in place, invisible to cross-core
+                       //!< probes until commit, and flash-cleared at
+                       //!< zero cost on squash
+    CacheSquash,       //!< squash propagates into the MSHR: speculative
+                       //!< misses park in cancellable MSHR entries that
+                       //!< install no tags; squash cancels the fills
 };
 
 /** Human-readable name for a cleanup mode. */
@@ -125,6 +136,16 @@ struct CoreConfig
     unsigned lsqEntries = 64;
     unsigned intAluLatency = 1;
     unsigned mulLatency = 3;
+    /**
+     * False models a single non-pipelined multiplier shared by every
+     * MUL in flight: a new MUL cannot start before the previous one
+     * drains. The busy window deliberately survives squashes — FU
+     * occupancy is timing, not state, so no undo can reclaim it. This
+     * is the SpectreRewind contention channel (attack/contention.hh);
+     * the default keeps the historical fully pipelined unit and is
+     * bit-identical to pre-knob behavior.
+     */
+    bool mulPipelined = true;
     unsigned branchRedirectPenalty = 3; //!< fetch bubble after squash
     unsigned clflushLatency = 30;       //!< core-visible clflush cost
     unsigned decodeDepth = 3;           //!< fetch-to-dispatch stages
@@ -168,6 +189,15 @@ struct SystemConfig
 
     /** Same geometry under the delay-on-miss Invisible defense. */
     static SystemConfig makeDelayOnMiss();
+
+    /** Same geometry under the SafeSpec shadow-structure defense. */
+    static SystemConfig makeSafeSpec();
+
+    /** Same geometry under SpecBox label-based isolation. */
+    static SystemConfig makeSpecBox();
+
+    /** Same geometry under CacheSquash MSHR-cancellation. */
+    static SystemConfig makeCacheSquash();
 
     /**
      * "Noisy host" profile approximating the paper's Intel i7-8550U

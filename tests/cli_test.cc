@@ -10,6 +10,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <sstream>
+
 #include "harness/cli.hh"
 
 namespace unxpec {
@@ -207,6 +210,76 @@ TEST(CliErrorTest, StrayPositionalAfterScaleIsFatal)
     EXPECT_EXIT(parseArgs(cli, {"cli_test", "42", "43"}),
                 ::testing::ExitedWithCode(1),
                 "fatal: unknown argument '43'");
+}
+
+// --- matrix flag --------------------------------------------------------
+
+TEST(CliErrorTest, MatrixFlagParses)
+{
+    const HarnessCli cli = makeCli();
+    EXPECT_FALSE(parseArgs(cli, {"cli_test"}).matrix);
+    EXPECT_TRUE(parseArgs(cli, {"cli_test", "--matrix"}).matrix);
+}
+
+// --- registry listing ---------------------------------------------------
+
+/** The "  name" entry lines under `section` in a --list-modes dump. */
+std::vector<std::string>
+sectionEntries(const std::string &text, const std::string &section)
+{
+    std::vector<std::string> names;
+    std::istringstream is(text);
+    std::string line;
+    bool inside = false;
+    while (std::getline(is, line)) {
+        if (line == section + ":") {
+            inside = true;
+            continue;
+        }
+        if (!inside)
+            continue;
+        if (!line.empty() && line[0] != ' ')
+            break; // next section header
+        if (line.rfind("  ", 0) == 0 && line.rfind("      ", 0) != 0)
+            names.push_back(line.substr(2));
+    }
+    return names;
+}
+
+TEST(ListModesTest, RegistriesPrintSorted)
+{
+    // Goldenability: registration order moves whenever a TU adds an
+    // entry, so the listing must be name-sorted instead.
+    std::ostringstream oss;
+    printRegistries(oss);
+    for (const char *section :
+         {"defenses (--mode)", "noise profiles (--noise)",
+          "attack variants"}) {
+        const auto names = sectionEntries(oss.str(), section);
+        ASSERT_FALSE(names.empty()) << section;
+        EXPECT_TRUE(std::is_sorted(names.begin(), names.end()))
+            << section;
+    }
+}
+
+TEST(ListModesTest, ListsTheDefenseZooAndBothReceiverFamilies)
+{
+    std::ostringstream oss;
+    printRegistries(oss);
+    const auto defenses =
+        sectionEntries(oss.str(), "defenses (--mode)");
+    for (const char *name :
+         {"unsafe", "cleanup_l1l2", "invisispec", "delay_on_miss",
+          "safespec", "specbox", "cachesquash"}) {
+        EXPECT_NE(std::find(defenses.begin(), defenses.end(), name),
+                  defenses.end())
+            << name;
+    }
+    const auto attacks = sectionEntries(oss.str(), "attack variants");
+    EXPECT_NE(std::find(attacks.begin(), attacks.end(), "unxpec-probe"),
+              attacks.end());
+    EXPECT_NE(std::find(attacks.begin(), attacks.end(), "contention"),
+              attacks.end());
 }
 
 } // namespace

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Tests for the SafeSpec defense (shadow L1 for speculative fills):
+ * the ShadowL1 buffer itself, the accessSafeSpec hierarchy path
+ * (speculative fills never touch cache tags, replacement state, or the
+ * MSHR), free promotion at commit, and the attack-level consequence —
+ * squash discards cost nothing, so the unXpec rollback-timing channel
+ * does not exist.
+ */
+
+#include <gtest/gtest.h>
+
+#include "attack/unxpec.hh"
+#include "cleanup/safespec.hh"
+#include "cpu/core.hh"
+#include "workload/synth_spec.hh"
+
+namespace unxpec {
+namespace {
+
+// --- ShadowL1 unit tests ------------------------------------------------
+
+TEST(ShadowL1Test, FillAndFind)
+{
+    ShadowL1 shadow;
+    EXPECT_EQ(shadow.find(0x1000), nullptr);
+    shadow.fill(0x1000, 50, 7);
+    const ShadowL1::Entry *entry = shadow.find(0x1000);
+    ASSERT_NE(entry, nullptr);
+    EXPECT_EQ(entry->readyCycle, 50u);
+    EXPECT_EQ(entry->installer, 7u);
+    EXPECT_EQ(shadow.occupancy(), 1u);
+    EXPECT_EQ(shadow.fills(), 1u);
+}
+
+TEST(ShadowL1Test, PromoteAndDiscardRemove)
+{
+    ShadowL1 shadow;
+    shadow.fill(0x1000, 10, 1);
+    shadow.fill(0x2000, 20, 2);
+    EXPECT_TRUE(shadow.promote(0x1000));
+    EXPECT_FALSE(shadow.promote(0x1000));
+    EXPECT_TRUE(shadow.discard(0x2000));
+    EXPECT_FALSE(shadow.discard(0x2000));
+    EXPECT_EQ(shadow.occupancy(), 0u);
+    EXPECT_EQ(shadow.promotes(), 1u);
+    EXPECT_EQ(shadow.discards(), 1u);
+}
+
+TEST(ShadowL1Test, FifoDropsOldestWhenFull)
+{
+    ShadowL1 shadow;
+    for (unsigned i = 0; i < ShadowL1::kEntries; ++i)
+        shadow.fill(0x1000 + i * 0x40, i, i);
+    EXPECT_EQ(shadow.occupancy(), ShadowL1::kEntries);
+    // One more displaces the oldest (slot 0), nothing else.
+    shadow.fill(0x9000, 99, 99);
+    EXPECT_EQ(shadow.occupancy(), ShadowL1::kEntries);
+    EXPECT_EQ(shadow.find(0x1000), nullptr);
+    EXPECT_NE(shadow.find(0x1040), nullptr);
+    EXPECT_NE(shadow.find(0x9000), nullptr);
+}
+
+TEST(ShadowL1Test, ClearResetsEntriesAndCounters)
+{
+    ShadowL1 shadow;
+    shadow.fill(0x1000, 10, 1);
+    shadow.promote(0x1000);
+    shadow.fill(0x2000, 20, 2);
+    shadow.clear();
+    EXPECT_EQ(shadow.occupancy(), 0u);
+    EXPECT_EQ(shadow.find(0x2000), nullptr);
+    // Counters zero too: Core::reset must be bit-identical to fresh
+    // construction, including every statistic.
+    EXPECT_EQ(shadow.fills(), 0u);
+    EXPECT_EQ(shadow.promotes(), 0u);
+    EXPECT_EQ(shadow.discards(), 0u);
+}
+
+// --- hierarchy path -----------------------------------------------------
+
+TEST(SafeSpecTest, SpeculativeMissTouchesNoCacheState)
+{
+    SystemConfig cfg = SystemConfig::makeSafeSpec();
+    Rng rng(1);
+    MemoryHierarchy hier(cfg, rng);
+    const auto record = hier.accessSafeSpec(0x10000, 100, 1);
+    EXPECT_TRUE(record.shadow);
+    EXPECT_FALSE(record.l1Installed);
+    EXPECT_FALSE(record.l2Installed);
+    EXPECT_TRUE(hier.l1d().residentLines().empty());
+    EXPECT_TRUE(hier.l2().residentLines().empty());
+    EXPECT_EQ(hier.l1d().mshr().inflight(), 0u);
+    EXPECT_EQ(hier.shadow().occupancy(), 1u);
+    // Full-miss latency: the shadow fill still travels the real path.
+    EXPECT_EQ(record.latency(), cfg.l1d.hitLatency + cfg.l2.hitLatency +
+                                    cfg.memory.accessLatency);
+}
+
+TEST(SafeSpecTest, CommittedHitServedInPlace)
+{
+    SystemConfig cfg = SystemConfig::makeSafeSpec();
+    Rng rng(1);
+    MemoryHierarchy hier(cfg, rng);
+    const auto fill = hier.access(0x10000, 100, false, false, 1);
+    const auto record = hier.accessSafeSpec(0x10000, fill.ready + 1, 2);
+    EXPECT_TRUE(record.l1Hit);
+    EXPECT_FALSE(record.shadow);
+    EXPECT_EQ(record.latency(), cfg.l1d.hitLatency);
+}
+
+TEST(SafeSpecTest, SecondSpeculativeLoadMergesWithShadowFill)
+{
+    SystemConfig cfg = SystemConfig::makeSafeSpec();
+    Rng rng(1);
+    MemoryHierarchy hier(cfg, rng);
+    hier.accessSafeSpec(0x10000, 100, 1);
+    const auto merged = hier.accessSafeSpec(0x10000, 101, 2);
+    EXPECT_TRUE(merged.shadow);
+    EXPECT_TRUE(merged.merged);
+    EXPECT_EQ(hier.shadow().occupancy(), 1u);
+}
+
+TEST(SafeSpecTest, CommitPromotesIntoCaches)
+{
+    SystemConfig cfg = SystemConfig::makeSafeSpec();
+    Rng rng(1);
+    MemoryHierarchy hier(cfg, rng);
+    const auto record = hier.accessSafeSpec(0x10000, 100, 1);
+    hier.commitShadow(record, record.ready + 1);
+    EXPECT_EQ(hier.shadow().occupancy(), 0u);
+    EXPECT_TRUE(hier.l1d().present(record.lineAddr, record.ready + 2));
+    EXPECT_TRUE(hier.l2().present(record.lineAddr, record.ready + 2));
+}
+
+TEST(SafeSpecTest, DiscardLeavesNothingForTheAuditor)
+{
+    SystemConfig cfg = SystemConfig::makeSafeSpec();
+    Rng rng(1);
+    MemoryHierarchy hier(cfg, rng);
+    const auto record = hier.accessSafeSpec(0x10000, 100, 5);
+    EXPECT_TRUE(hier.discardShadow(record));
+    EXPECT_FALSE(hier.discardShadow(record));
+    EXPECT_EQ(hier.shadow().occupancy(), 0u);
+    // Rollback completeness: nothing speculative survives a squash of
+    // everything younger than branch seq 4.
+    EXPECT_NO_THROW(hier.auditRollbackComplete(4, 101));
+}
+
+// --- attack level -------------------------------------------------------
+
+TEST(SafeSpecTest, UnxpecChannelClosed)
+{
+    Core core(SystemConfig::makeSafeSpec());
+    UnxpecAttack attack(core);
+    attack.setSecret(0);
+    attack.measureOnce();
+    const double zero = attack.measureOnce();
+    attack.setSecret(1);
+    attack.measureOnce();
+    const double one = attack.measureOnce();
+    EXPECT_NEAR(one - zero, 0.0, 3.0);
+}
+
+TEST(SafeSpecTest, TransientFootprintIsSecretIndependent)
+{
+    auto resident = [](int secret) {
+        Core core(SystemConfig::makeSafeSpec());
+        UnxpecAttack attack(core);
+        attack.setSecret(secret);
+        attack.measureOnce();
+        return core.hierarchy().l1d().residentLines();
+    };
+    EXPECT_EQ(resident(0), resident(1));
+}
+
+TEST(SafeSpecTest, CheaperThanInvisiSpecOnWorkloads)
+{
+    // SafeSpec's selling point vs the Invisible class: commit promotion
+    // is free, so no validation re-read tax.
+    const Program p = SynthSpec::generate(SynthSpec::profile("mcf_r"), 21);
+    RunOptions options;
+    options.maxInstructions = 30000;
+
+    Core safespec(SystemConfig::makeSafeSpec());
+    const Cycle safespec_cycles = safespec.run(p, options).cycles;
+
+    Core invisible(SystemConfig::makeInvisiSpec());
+    const Cycle invisispec_cycles = invisible.run(p, options).cycles;
+
+    EXPECT_LT(safespec_cycles, invisispec_cycles);
+}
+
+} // namespace
+} // namespace unxpec

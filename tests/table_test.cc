@@ -7,6 +7,7 @@
 
 #include <sstream>
 
+#include "analysis/matrix_report.hh"
 #include "analysis/table.hh"
 
 namespace unxpec {
@@ -66,6 +67,81 @@ TEST(PrintSeriesTest, OneRowPerPoint)
     printSeries(oss, "series", {1, 2, 3}, {10, 20, 30});
     const std::string text = oss.str();
     EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 4);
+}
+
+// --- matrix report ------------------------------------------------------
+
+MatrixReport
+sampleMatrix()
+{
+    MatrixReport report;
+    report.experiment = "matrix_campaign";
+    report.masterSeed = 42;
+    report.reps = 3;
+    report.cells.push_back(
+        {"unsafe", "unxpec", 1.0, -112.0, 0.0, 3871.25, 3});
+    report.cells.push_back(
+        {"unsafe", "contention", 0.9875, 18.5, 0.0, 1544.0, 3});
+    report.cells.push_back(
+        {"safespec", "unxpec", 0.5, 0.0, 1.03125, 3870.5, 3});
+    report.cells.push_back(
+        {"safespec", "contention", 1.0, 18.5, 1.03125, 1544.0, 3});
+    return report;
+}
+
+TEST(MatrixReportTest, JsonRoundTripPreservesEveryCell)
+{
+    const MatrixReport report = sampleMatrix();
+    std::ostringstream oss;
+    report.writeJson(oss);
+    const MatrixReport back = MatrixReport::fromJsonText(oss.str());
+
+    EXPECT_EQ(back.experiment, report.experiment);
+    EXPECT_EQ(back.masterSeed, report.masterSeed);
+    EXPECT_EQ(back.reps, report.reps);
+    ASSERT_EQ(back.cells.size(), report.cells.size());
+    for (std::size_t i = 0; i < report.cells.size(); ++i) {
+        EXPECT_EQ(back.cells[i].defense, report.cells[i].defense);
+        EXPECT_EQ(back.cells[i].receiver, report.cells[i].receiver);
+        // max_digits10 formatting: bit-exact doubles after the trip.
+        EXPECT_EQ(back.cells[i].auc, report.cells[i].auc);
+        EXPECT_EQ(back.cells[i].deltaCycles, report.cells[i].deltaCycles);
+        EXPECT_EQ(back.cells[i].overheadPct, report.cells[i].overheadPct);
+        EXPECT_EQ(back.cells[i].cyclesPerSample,
+                  report.cells[i].cyclesPerSample);
+        EXPECT_EQ(back.cells[i].trials, report.cells[i].trials);
+    }
+}
+
+TEST(MatrixReportTest, JsonCarriesSchemaTag)
+{
+    std::ostringstream oss;
+    sampleMatrix().writeJson(oss);
+    EXPECT_NE(oss.str().find("\"unxpec-matrix-v1\""), std::string::npos);
+}
+
+TEST(MatrixReportTest, CellLookupAndAxisOrder)
+{
+    const MatrixReport report = sampleMatrix();
+    const MatrixCell *cell = report.cell("safespec", "contention");
+    ASSERT_NE(cell, nullptr);
+    EXPECT_EQ(cell->auc, 1.0);
+    EXPECT_EQ(report.cell("safespec", "nope"), nullptr);
+    EXPECT_EQ(report.defenses(),
+              (std::vector<std::string>{"unsafe", "safespec"}));
+    EXPECT_EQ(report.receivers(),
+              (std::vector<std::string>{"unxpec", "contention"}));
+}
+
+TEST(MatrixReportTest, MarkdownListsEveryDefenseRow)
+{
+    std::ostringstream oss;
+    sampleMatrix().writeMarkdown(oss);
+    const std::string text = oss.str();
+    EXPECT_NE(text.find("| unsafe "), std::string::npos);
+    EXPECT_NE(text.find("| safespec "), std::string::npos);
+    EXPECT_NE(text.find("unxpec"), std::string::npos);
+    EXPECT_NE(text.find("contention"), std::string::npos);
 }
 
 } // namespace
