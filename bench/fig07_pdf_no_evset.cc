@@ -5,6 +5,8 @@
  * secret. Paper: ~22-cycle mean separation, decode threshold 178.
  */
 
+#include <iostream>
+
 #include "pdf_figure.hh"
 
 using namespace unxpec;
@@ -14,6 +16,7 @@ main(int argc, char **argv)
 {
     HarnessCli cli("fig07_pdf_no_evset",
                    "Figure 7: latency PDF per secret, no eviction sets");
-    return runPdfFigure(cli, argc, argv, "unxpec",
-                        "Figure 7: latency PDF, no eviction sets", 22, 178);
+    return runPdfFigure(std::cout, cli, argc, argv, "unxpec",
+                        "Figure 7: latency PDF, no eviction sets", 22,
+                        178);
 }

@@ -5,6 +5,8 @@
  * Paper: ~32-cycle mean separation, decode threshold 183.
  */
 
+#include <iostream>
+
 #include "pdf_figure.hh"
 
 using namespace unxpec;
@@ -14,7 +16,7 @@ main(int argc, char **argv)
 {
     HarnessCli cli("fig08_pdf_evset",
                    "Figure 8: latency PDF per secret, with eviction sets");
-    return runPdfFigure(cli, argc, argv, "unxpec-evset",
+    return runPdfFigure(std::cout, cli, argc, argv, "unxpec-evset",
                         "Figure 8: latency PDF, with eviction sets", 32,
                         183);
 }

@@ -5,6 +5,8 @@
  * guesses. Paper: 867/1000 bits correct (86.7 %).
  */
 
+#include <iostream>
+
 #include "leak_figure.hh"
 
 using namespace unxpec;
@@ -15,7 +17,7 @@ main(int argc, char **argv)
     HarnessCli cli("fig10_leak_no_evset",
                    "Figure 10: leak the 1,000-bit secret, one sample per "
                    "bit, no eviction sets");
-    return runLeakFigure(cli, argc, argv, "unxpec",
+    return runLeakFigure(std::cout, cli, argc, argv, "unxpec",
                          "Figure 10: secret leakage, no eviction sets",
                          "86.7");
 }

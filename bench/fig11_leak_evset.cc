@@ -4,6 +4,8 @@
  * Paper: 916/1000 bits correct (91.6 %).
  */
 
+#include <iostream>
+
 #include "leak_figure.hh"
 
 using namespace unxpec;
@@ -14,7 +16,7 @@ main(int argc, char **argv)
     HarnessCli cli("fig11_leak_evset",
                    "Figure 11: leak the 1,000-bit secret, one sample per "
                    "bit, with eviction sets");
-    return runLeakFigure(cli, argc, argv, "unxpec-evset",
+    return runLeakFigure(std::cout, cli, argc, argv, "unxpec-evset",
                          "Figure 11: secret leakage, with eviction sets",
                          "91.6");
 }

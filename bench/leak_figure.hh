@@ -12,7 +12,7 @@
 #define UNXPEC_BENCH_LEAK_FIGURE_HH
 
 #include <algorithm>
-#include <iostream>
+#include <ostream>
 
 #include "analysis/accuracy.hh"
 #include "analysis/summary.hh"
@@ -30,9 +30,9 @@ inline constexpr std::uint64_t kSecretSeed = 20220402;
 inline constexpr unsigned kLeakCalibration = 150;
 
 inline int
-runLeakFigure(HarnessCli &cli, int argc, char **argv,
-              const char *attack_variant, const char *title,
-              const char *paper_accuracy)
+runLeakFigure(std::ostream &os, HarnessCli &cli, int argc,
+              char **argv, const char *attack_variant,
+              const char *title, const char *paper_accuracy)
 {
     cli.defaultReps(8)
         .defaultNoise("evaluation")
@@ -82,28 +82,28 @@ runLeakFigure(HarnessCli &cli, int argc, char **argv,
         guesses.push_back(static_cast<int>(g));
     const auto report = BitChannelReport::of(guesses, secret);
 
-    std::cout << "=== " << title << " (" << bits
+    os << "=== " << title << " (" << bits
               << " bits, 1 sample/bit) ===\n\n";
-    std::cout << "decode threshold (mean over " << opt.reps
+    os << "decode threshold (mean over " << opt.reps
               << " receivers): " << TextTable::num(row.mean("threshold"))
               << " cycles\n\n";
-    std::cout << "first 100 bits (secret / guess / latency):\n";
+    os << "first 100 bits (secret / guess / latency):\n";
     for (unsigned i = 0; i < std::min<unsigned>(100, bits); ++i) {
-        std::cout << "  bit " << i << ": " << secret[i] << " / "
+        os << "  bit " << i << ": " << secret[i] << " / "
                   << guesses[i] << " / " << latencies[i]
                   << (secret[i] != guesses[i] ? "   <-- error" : "")
                   << "\n";
     }
 
     const Summary lat = Summary::of(latencies);
-    std::cout << "\nobserved latency: mean " << TextTable::num(lat.mean)
+    os << "\nobserved latency: mean " << TextTable::num(lat.mean)
               << ", min " << TextTable::num(lat.min) << ", max "
               << TextTable::num(lat.max) << "\n";
-    std::cout << "correct bits: " << report.true0 + report.true1 << "/"
+    os << "correct bits: " << report.true0 + report.true1 << "/"
               << bits << "\n";
-    std::cout << "accuracy: " << TextTable::num(report.accuracy() * 100)
+    os << "accuracy: " << TextTable::num(report.accuracy() * 100)
               << " % (paper: " << paper_accuracy << " %)\n";
-    std::cout << "per-class error: secret0 "
+    os << "per-class error: secret0 "
               << TextTable::num(report.zeroErrorRate() * 100)
               << " %, secret1 "
               << TextTable::num(report.oneErrorRate() * 100) << " %\n";

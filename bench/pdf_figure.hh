@@ -9,7 +9,7 @@
 #ifndef UNXPEC_BENCH_PDF_FIGURE_HH
 #define UNXPEC_BENCH_PDF_FIGURE_HH
 
-#include <iostream>
+#include <ostream>
 #include <string>
 
 #include "analysis/kde.hh"
@@ -23,9 +23,10 @@
 namespace unxpec {
 
 inline int
-runPdfFigure(HarnessCli &cli, int argc, char **argv,
-             const char *attack_variant, const char *title,
-             double paper_delta, int paper_threshold)
+runPdfFigure(std::ostream &os, HarnessCli &cli, int argc,
+             char **argv, const char *attack_variant,
+             const char *title, double paper_delta,
+             int paper_threshold)
 {
     cli.defaultReps(8)
         .defaultNoise("evaluation")
@@ -57,7 +58,7 @@ runPdfFigure(HarnessCli &cli, int argc, char **argv,
     const Summary s1 = row.metric("latency_secret1")->summary;
     const double threshold = CovertChannel::calibrateThreshold(zeros, ones);
 
-    std::cout << "=== " << title << " (" << zeros.size()
+    os << "=== " << title << " (" << zeros.size()
               << " samples/secret) ===\n\n";
     TextTable table({"secret", "mean", "stdev", "median", "p25", "p75"});
     table.addRow({"0", TextTable::num(s0.mean), TextTable::num(s0.stddev),
@@ -66,22 +67,22 @@ runPdfFigure(HarnessCli &cli, int argc, char **argv,
     table.addRow({"1", TextTable::num(s1.mean), TextTable::num(s1.stddev),
                   TextTable::num(s1.median), TextTable::num(s1.p25),
                   TextTable::num(s1.p75)});
-    table.print(std::cout);
+    table.print(os);
 
-    std::cout << "\nmean timing difference: "
+    os << "\nmean timing difference: "
               << TextTable::num(s1.mean - s0.mean) << " cycles (paper: "
               << TextTable::num(paper_delta, 0) << ")\n";
-    std::cout << "calibrated threshold:   " << TextTable::num(threshold)
+    os << "calibrated threshold:   " << TextTable::num(threshold)
               << " (paper: " << paper_threshold << ")\n";
     const RocCurve roc = RocCurve::of(zeros, ones);
-    std::cout << "channel AUC:            "
+    os << "channel AUC:            "
               << TextTable::num(roc.auc(), 3) << " (0.5 = blind, 1 = "
               << "perfect; best J at threshold "
               << TextTable::num(roc.best().threshold) << ")\n\n";
 
     const auto curve0 = Kde::curve(zeros, 130, 250, 100);
     const auto curve1 = Kde::curve(ones, 130, 250, 100);
-    printDensity(std::cout, curve0, "secret=0", curve1, "secret=1");
+    printDensity(os, curve0, "secret=0", curve1, "secret=1");
     return finishExperiment(result, opt);
 }
 

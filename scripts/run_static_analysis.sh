@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
-# Run the repo's full static-analysis gate: clang-tidy over every src/
-# translation unit, cppcheck over src/, and the project-specific
-# simulator lint (scripts/lint_sim.py). This is the same sequence CI
+# Run the repo's full static-analysis gate: the fast regex pre-pass
+# (scripts/lint_sim.py) over src/ bench/ tests/, the AST-level
+# speccheck analyzer (scripts/speccheck: undo-completeness per
+# CleanupMode, unpaired spec-state mutations, determinism, hot-path
+# rules over the real call graph), clang-tidy over every src/ bench/
+# tests/ translation unit, and cppcheck. This is the same sequence CI
 # enforces as blocking jobs; run it locally before pushing.
 #
 # Tools that are not installed are skipped with a warning so the script
@@ -47,7 +50,17 @@ run_gate() {
 
 # --- project lint (pure python, always available) ----------------------
 if command -v python3 >/dev/null 2>&1; then
-    run_gate python3 scripts/lint_sim.py src
+    run_gate python3 scripts/lint_sim.py src bench tests
+
+    # AST-level analyzer. Locally the builtin token frontend runs with
+    # no dependencies; under --require-all (CI) a missing/unusable
+    # libclang is an error instead of a graceful fallback, so the
+    # compiler-exact frontend is what actually gates merges.
+    speccheck_args=(--compdb "$build_dir/compile_commands.json")
+    if [ "$require_all" -eq 1 ]; then
+        speccheck_args+=(--ci)
+    fi
+    run_gate python3 scripts/speccheck "${speccheck_args[@]}"
 else
     missing_tool python3
 fi
@@ -64,7 +77,8 @@ if command -v clang-tidy >/dev/null 2>&1; then
     if [ -f "$build_dir/compile_commands.json" ]; then
         # shellcheck disable=SC2046  # one argument per source file
         run_gate clang-tidy -p "$build_dir" --quiet \
-            $(find src -name '*.cc' | sort)
+            $(find src bench tests -name '*.cc' \
+                  -not -path 'tests/speccheck/*' | sort)
     fi
 else
     missing_tool clang-tidy

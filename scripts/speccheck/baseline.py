@@ -1,0 +1,89 @@
+"""Justified-suppressions baseline.
+
+``baseline.json`` records findings that are understood and accepted,
+each with a mandatory justification.  Entries are keyed structurally
+(mode + field, function + callee, ...) rather than by line number so
+they survive unrelated edits.  Unused entries are reported as
+warnings so the baseline cannot silently rot.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Set
+
+
+class BaselineError(Exception):
+    pass
+
+
+class Baseline:
+    def __init__(self, data: Dict[str, List[dict]], path: str):
+        self.path = path
+        self.entries = data
+        self.used: Set[str] = set()
+        for rule, items in data.items():
+            if not isinstance(items, list):
+                raise BaselineError(
+                    f"{path}: rule '{rule}' must map to a list"
+                )
+            for item in items:
+                why = (item.get("why") or "").strip()
+                if not why:
+                    raise BaselineError(
+                        f"{path}: entry {item} under '{rule}' has no "
+                        "justification ('why')"
+                    )
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        try:
+            with open(path, encoding="utf-8") as fh:
+                return cls(json.load(fh), path)
+        except FileNotFoundError:
+            return cls({}, path)
+        except json.JSONDecodeError as exc:
+            raise BaselineError(f"{path}: invalid JSON: {exc}")
+
+    def _match(self, check: str, **fields) -> bool:
+        for idx, item in enumerate(self.entries.get(check, [])):
+            ok = True
+            for key, value in fields.items():
+                want = item.get(key)
+                if want is None:
+                    continue  # entry doesn't constrain this key
+                if want != value and want != "*":
+                    ok = False
+                    break
+            if ok:
+                self.used.add(f"{check}[{idx}]")
+                return True
+        return False
+
+    def covers_undo(self, mode: str, field: str) -> bool:
+        return self._match("undo-completeness", mode=mode, field=field)
+
+    def covers_unpaired(self, function: str, field: str) -> bool:
+        return self._match(
+            "unpaired-spec-mutation", function=function, field=field
+        )
+
+    def covers_hot_virtual(self, function: str, callee: str) -> bool:
+        return self._match(
+            "hot-virtual", function=function, callee=callee
+        )
+
+    def covers_hot_alloc(self, function: str, what: str) -> bool:
+        return self._match("steady-alloc", function=function, what=what)
+
+    def covers_determinism(self, rule: str, file: str) -> bool:
+        return self._match("determinism", rule=rule, file=file)
+
+    def unused(self) -> List[str]:
+        out = []
+        for rule, items in self.entries.items():
+            for idx, item in enumerate(items):
+                key = f"{rule}[{idx}]"
+                if key not in self.used:
+                    out.append(f"{key}: {json.dumps(item)}")
+        return out

@@ -1,0 +1,107 @@
+"""libclang discovery and version pinning — the ONE place the accepted
+libclang range lives (satellite requirement).
+
+speccheck has two frontends:
+
+* ``builtin``  — the dependency-free token-level parser (always
+  available; what developers without libclang run).
+* ``libclang`` — clang.cindex over compile_commands.json, preferred
+  when importable because it sees the code exactly as the compiler
+  does (templates, typedef sugar, operator overloads).
+
+``load()`` returns the ``clang.cindex`` module with a configured
+library, or raises ``LibclangUnavailable`` with a human-readable
+reason.  Callers decide whether that is fatal (``--ci``) or a
+graceful skip.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+
+# Accepted libclang major versions.  Bump deliberately: the cursor
+# kinds and annotate-attribute spelling speccheck relies on are stable
+# across this range and CI installs from it (python3-clang on
+# ubuntu-latest).
+LIBCLANG_MIN_MAJOR = 11
+LIBCLANG_MAX_MAJOR = 20
+
+#: Candidate shared-library locations when clang.cindex cannot find
+#: one on its own.  First match wins.
+_CANDIDATE_GLOBS = [
+    "/usr/lib/llvm-*/lib/libclang.so*",
+    "/usr/lib/x86_64-linux-gnu/libclang-*.so*",
+    "/usr/lib/libclang.so*",
+    "/usr/local/lib/libclang.so*",
+]
+
+
+class LibclangUnavailable(Exception):
+    """libclang (or its python binding) is not usable here."""
+
+
+def accepted_range() -> str:
+    return f"{LIBCLANG_MIN_MAJOR}..{LIBCLANG_MAX_MAJOR}"
+
+
+def _find_library() -> str | None:
+    for pattern in _CANDIDATE_GLOBS:
+        hits = sorted(glob.glob(pattern), reverse=True)
+        for hit in hits:
+            if os.path.isfile(hit):
+                return hit
+    return None
+
+
+def load():
+    """Import and configure clang.cindex, or raise LibclangUnavailable."""
+    try:
+        from clang import cindex  # type: ignore[import-not-found]
+    except ImportError as exc:
+        raise LibclangUnavailable(
+            "python clang bindings not importable "
+            f"({exc}); install python3-clang "
+            f"(accepted libclang majors: {accepted_range()})"
+        ) from exc
+
+    if not cindex.Config.loaded:
+        lib = _find_library()
+        if lib is not None:
+            cindex.Config.set_library_file(lib)
+    try:
+        index = cindex.Index.create()
+    except Exception as exc:  # cindex raises LibclangError and friends
+        raise LibclangUnavailable(
+            f"libclang shared library not loadable ({exc}); "
+            f"accepted majors: {accepted_range()}"
+        ) from exc
+
+    major = _version_major(cindex)
+    if major is not None and not (
+        LIBCLANG_MIN_MAJOR <= major <= LIBCLANG_MAX_MAJOR
+    ):
+        raise LibclangUnavailable(
+            f"libclang major {major} outside accepted range "
+            f"{accepted_range()}"
+        )
+    del index
+    return cindex
+
+
+def _version_major(cindex) -> int | None:
+    try:
+        banner = cindex.conf.lib.clang_getClangVersion()
+        text = cindex.conf.lib.clang_getCString(banner)
+        if isinstance(text, bytes):
+            text = text.decode("utf-8", "replace")
+    except Exception:
+        return None
+    # "clang version 14.0.0-1ubuntu1" or "Ubuntu clang version 14.0.0"
+    for word in text.replace("-", " ").split():
+        if word and word[0].isdigit() and "." in word:
+            try:
+                return int(word.split(".", 1)[0])
+            except ValueError:
+                continue
+    return None

@@ -81,26 +81,10 @@ CleanupEngine::rollback(MemoryHierarchy &hierarchy, const CleanupJob &job,
         // No rollback: the transient footprint persists — the very
         // vulnerability CleanupSpec exists to close. Just drop the
         // speculative markings (the installer will never commit).
-        auto unmark = [&hierarchy](const MemAccessRecord &record) {
-            if (record.l1Installed) {
-                if (CacheLine *line =
-                        hierarchy.l1d().probeMutable(record.lineAddr)) {
-                    line->speculative = false;
-                    line->installer = kSeqNone;
-                }
-            }
-            if (record.l2Installed) {
-                if (CacheLine *line =
-                        hierarchy.l2().probeMutable(record.lineAddr)) {
-                    line->speculative = false;
-                    line->installer = kSeqNone;
-                }
-            }
-        };
         for (const auto &record : job.landed)
-            unmark(record);
+            hierarchy.dropSpeculativeMark(record, true, true);
         for (const auto &record : job.inflight)
-            unmark(record);
+            hierarchy.dropSpeculativeMark(record, true, true);
         lastStall_ = 0;
         // clearLog keeps capacity, so warm trials append heap-free.
         if (logEnabled_)
@@ -176,12 +160,11 @@ CleanupEngine::rollback(MemoryHierarchy &hierarchy, const CleanupJob &job,
                     ++l2_inv;
                     touched |= kTraceFlagL2;
                 }
-            } else if (CacheLine *line =
-                           hierarchy.l2().probeMutable(record.lineAddr)) {
+            } else {
                 // Cleanup_FOR_L1: L2 keeps the line (it relies on the
-                // randomized index instead); just unmark it.
-                line->speculative = false;
-                line->installer = kSeqNone;
+                // randomized index instead); just unmark it — the L2
+                // residue the unxpec-probe receiver reads (paper §VI-B).
+                hierarchy.dropSpeculativeMark(record, false, true);
             }
         }
         hierarchy.l1d().mshr().squash(record.lineAddr);

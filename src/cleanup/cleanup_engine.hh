@@ -26,6 +26,7 @@
 
 #include "cleanup/spec_tracker.hh"
 #include "memory/hierarchy.hh"
+#include "sim/annotate.hh"
 #include "sim/config.hh"
 #include "sim/rng.hh"
 #include "sim/stats.hh"
@@ -62,6 +63,7 @@ class CleanupEngine
      * @param older_drain   latest completion among inflight
      *                      correct-path loads (T4), 0 if none
      */
+    UNXPEC_ROLLBACK("*")
     Cycle rollback(MemoryHierarchy &hierarchy, const CleanupJob &job,
                    Cycle older_drain);
 
@@ -104,6 +106,7 @@ class CleanupEngine
      * Restore freshly-constructed state (Core::reset): mode and timing
      * back to the configured values, statistics zeroed, logging off.
      */
+    UNXPEC_TRANSITION("reset")
     void
     reset(CleanupMode mode, const CleanupTiming &timing)
     {

@@ -21,6 +21,7 @@
 #include <array>
 #include <cstdint>
 
+#include "sim/annotate.hh"
 #include "sim/types.hh"
 
 namespace unxpec {
@@ -53,20 +54,24 @@ class ShadowL1
      * simply refetched if re-requested, which costs the *speculative*
      * path time but never the squash path.
      */
+    UNXPEC_TRANSITION("spec@SafeSpec")
     void fill(Addr line_addr, Cycle ready, SeqNum installer);
 
     /** Remove the entry for a committed line (promotion). @return
      *  true when the line was present. */
+    UNXPEC_TRANSITION("commit")
     bool promote(Addr line_addr);
 
     /** Remove the entry for a squashed line. @return true when the
      *  line was present. */
+    UNXPEC_ROLLBACK("SafeSpec")
     bool discard(Addr line_addr);
 
     /** Valid entries currently held. */
     unsigned occupancy() const;
 
     /** Drop everything (trial reset / cache cold-start). */
+    UNXPEC_TRANSITION("reset")
     void clear();
 
     std::uint64_t fills() const { return fills_; }
@@ -76,8 +81,10 @@ class ShadowL1
   private:
     bool erase(Addr line_addr);
 
-    std::array<Entry, kEntries> entries_{};
-    unsigned fifo_ = 0; //!< next slot to replace (round-robin = FIFO)
+    /** The shadow buffer IS SafeSpec's speculative footprint: squash
+     *  must discard the squashed installer's entry (nothing else). */
+    UNXPEC_SPEC_STATE std::array<Entry, kEntries> entries_{};
+    UNXPEC_SPEC_STATE unsigned fifo_ = 0; //!< next slot (FIFO round-robin)
     std::uint64_t fills_ = 0;
     std::uint64_t promotes_ = 0;
     std::uint64_t discards_ = 0;

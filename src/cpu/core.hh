@@ -26,6 +26,7 @@
 #include "cpu/program.hh"
 #include "cpu/rob.hh"
 #include "memory/hierarchy.hh"
+#include "sim/annotate.hh"
 #include "sim/arena.hh"
 #include "sim/config.hh"
 #include "sim/ring_queue.hh"
@@ -135,6 +136,7 @@ class Core
      * constructing Core(cfg) with cfg.seed == seed, but allocation-free
      * so a pooled Core can be reused across trials (TrialRunner).
      */
+    UNXPEC_TRANSITION("reset")
     void reset(std::uint64_t seed);
 
     MemoryHierarchy &hierarchy() { return hier_; }
@@ -222,13 +224,20 @@ class Core
         Cycle availCycle = 0;
     };
 
+    UNXPEC_TRANSITION("spec")
     void tickWriteback(const Program &program);
+    UNXPEC_TRANSITION("commit")
     void tickCommit();
+    /** Issue stage: marks ROB entries speculative and launches the
+     *  speculative memory accesses the defenses must later undo. */
+    UNXPEC_TRANSITION("spec")
     void tickIssue();
+    UNXPEC_TRANSITION("spec")
     void tickDispatch();
     void tickFetch(const Program &program);
 
     void resolveBranch(RobEntry &branch);
+    UNXPEC_ROLLBACK("*")
     void squashAfter(RobEntry &branch);
     void rebuildRat();
 

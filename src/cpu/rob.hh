@@ -39,6 +39,7 @@
 
 #include "cpu/isa.hh"
 #include "memory/hierarchy.hh"
+#include "sim/annotate.hh"
 #include "sim/arena.hh"
 #include "sim/ring_queue.hh"
 #include "sim/types.hh"
@@ -69,7 +70,7 @@ struct RobEntry
     std::uint64_t result = 0;
 
     /** Issued while an older conditional branch was unresolved. */
-    bool speculative = false;
+    UNXPEC_SPEC_STATE bool speculative = false;
 
     // Branch bookkeeping.
     bool predictedTaken = false;
@@ -126,6 +127,7 @@ class ReorderBuffer
     unsigned capacity() const { return capacity_; }
 
     /** Append a new entry (must not be full). */
+    UNXPEC_TRANSITION("spec")
     RobEntry &push(RobEntry entry);
 
     /** Oldest entry. */
@@ -133,6 +135,7 @@ class ReorderBuffer
     const RobEntry &front() const { return entries_.front(); }
 
     /** Retire the oldest entry. */
+    UNXPEC_TRANSITION("commit")
     void popFront();
 
     /** Entry for a sequence number, nullptr if not in flight. */
@@ -158,15 +161,18 @@ class ReorderBuffer
      * buffer that is reused (and overwritten) by the next call — the
      * caller must finish with it before squashing again.
      */
+    UNXPEC_ROLLBACK("*")
     const ArenaVector<RobEntry> &squashYoungerThan(SeqNum seq);
 
     /**
      * Mark an entry issued. Must be used instead of writing
      * entry.issued so the side lists stay coherent.
      */
+    UNXPEC_TRANSITION("spec")
     void markIssued(RobEntry &entry);
 
     /** Mark an entry done (same contract as markIssued). */
+    UNXPEC_TRANSITION("spec")
     void markDone(RobEntry &entry);
 
     /** True when a not-yet-done conditional branch older than `seq`
@@ -235,6 +241,7 @@ class ReorderBuffer
     void setTracer(Tracer *tracer) { tracer_ = tracer; }
     Tracer *tracer() const { return tracer_; }
 
+    UNXPEC_TRANSITION("reset")
     void clear();
 
     auto begin() { return entries_.begin(); }
@@ -275,25 +282,28 @@ class ReorderBuffer
 
     // Seq-ascending side lists; see file comment. All are reserved to
     // `capacity_` at construction, so the push_back/insert maintenance
-    // below never reallocates.
-    ArenaVector<SeqNum> unissued_;
-    ArenaVector<SeqNum> outstanding_;
-    ArenaVector<SeqNum> storeFences_;
-    ArenaVector<SeqNum> pendingMem_;
-    ArenaVector<SeqNum> unresolvedBranches_;
+    // below never reallocates. Each list carries entries for in-flight
+    // (hence possibly speculative) instructions that squashYoungerThan
+    // must trim exactly — speculative state under the speccheck
+    // contract, cross-checked dynamically by auditInvariants.
+    UNXPEC_SPEC_STATE ArenaVector<SeqNum> unissued_;
+    UNXPEC_SPEC_STATE ArenaVector<SeqNum> outstanding_;
+    UNXPEC_SPEC_STATE ArenaVector<SeqNum> storeFences_;
+    UNXPEC_SPEC_STATE ArenaVector<SeqNum> pendingMem_;
+    UNXPEC_SPEC_STATE ArenaVector<SeqNum> unresolvedBranches_;
     /** Reused return buffer of squashYoungerThan (oldest-first). */
     ArenaVector<RobEntry> squashScratch_;
     /** Unissued entries with both operands ready (see readyUnissued()). */
-    ArenaVector<SeqNum> readyUnissued_;
+    UNXPEC_SPEC_STATE ArenaVector<SeqNum> readyUnissued_;
     /**
      * Dependent bitmaps: row `seq % capacity` holds one bit per ring
      * slot whose occupant waits on that producer. maskWords_ 64-bit
      * words per row; the whole table is capacity * maskWords_ words,
      * arena-backed, zeroed row-by-row as slots are reclaimed.
      */
-    ArenaVector<std::uint64_t> depMask_;
+    UNXPEC_SPEC_STATE ArenaVector<std::uint64_t> depMask_;
     std::size_t maskWords_;
-    unsigned memCount_ = 0;
+    UNXPEC_SPEC_STATE unsigned memCount_ = 0;
     Tracer *tracer_ = nullptr;
 
     /** Test-only corruption hook for proving the auditor fires. */

@@ -25,6 +25,7 @@
 #include "memory/cache_line.hh"
 #include "memory/mshr.hh"
 #include "memory/replacement.hh"
+#include "sim/annotate.hh"
 #include "sim/arena.hh"
 #include "sim/config.hh"
 #include "sim/rng.hh"
@@ -133,23 +134,34 @@ class Cache
      * domain 1 (the SMT sibling). With no reservation both domains
      * share every way.
      */
+    UNXPEC_TRANSITION("spec@UnsafeBaseline,Cleanup_FOR_L1,Cleanup_FOR_L1L2,"
+                      "Cleanup_FULL,SpecBox")
     FillResult install(Addr line_addr, Cycle fill_cycle, bool speculative,
                        SeqNum installer, unsigned domain = 0);
 
     /** Place a line into a specific way (restoration / inflight undo). */
+    UNXPEC_ROLLBACK("Cleanup_FOR_L1,Cleanup_FOR_L1L2,Cleanup_FULL,SpecBox")
     void installAt(unsigned set, unsigned way, Addr line_addr, bool dirty,
                    Cycle fill_cycle);
 
-    /** Invalidate a resident line. @return true when it was present. */
+    /** Invalidate a resident line. Serves both speculative-era activity
+     *  (shared-L2 back-invalidation, remote write invalidation) and the
+     *  cleanup walks, hence the dual registration. */
+    UNXPEC_TRANSITION("spec@UnsafeBaseline,Cleanup_FOR_L1,Cleanup_FOR_L1L2,"
+                      "Cleanup_FULL,SpecBox")
+    UNXPEC_ROLLBACK("Cleanup_FOR_L1,Cleanup_FOR_L1L2,Cleanup_FULL,SpecBox")
     bool invalidate(Addr line_addr);
 
     /** Invalidate the line in a specific way if it still matches. */
+    UNXPEC_ROLLBACK("Cleanup_FOR_L1,Cleanup_FOR_L1L2,Cleanup_FULL,SpecBox")
     bool invalidateAt(unsigned set, unsigned way, Addr line_addr);
 
-    /** Mark a resident line dirty (write hit). */
+    /** Mark a resident line dirty (write hit; stores are committed). */
+    UNXPEC_TRANSITION("commit")
     void markDirty(Addr line_addr);
 
     /** Clear the speculative bit once the installer commits. */
+    UNXPEC_TRANSITION("commit")
     void commitSpeculative(Addr line_addr, SeqNum installer);
 
     /** Set index of a line address under this cache's index function. */
@@ -170,6 +182,7 @@ class Cache
     void auditInvariants(Cycle now) const;
 
     /** Drop all content and outstanding misses (cold cache). */
+    UNXPEC_TRANSITION("reset")
     void reset();
 
     /**
@@ -177,6 +190,7 @@ class Cache
      * reallocating the arrays: cold content, fresh replacement
      * history, re-derived CEASER keys, zeroed statistics (Core::reset).
      */
+    UNXPEC_TRANSITION("reset")
     void reseed(std::uint64_t index_key);
 
     MshrFile &mshr() { return mshr_; }
@@ -230,8 +244,11 @@ class Cache
 
     CacheConfig cfg_;
     unsigned numSets_;
-    ArenaVector<Addr> tags_;       //!< SoA tag array scanned by probe()
-    ArenaVector<CacheLine> lines_; //!< per-way metadata (incl. mirror tag)
+    /** Transient installs land in both arrays; the tags are what a
+     *  Flush+Reload receiver times, so they are speculative state the
+     *  undo must restore exactly. */
+    UNXPEC_SPEC_STATE ArenaVector<Addr> tags_; //!< SoA tags (probe scan)
+    UNXPEC_SPEC_STATE ArenaVector<CacheLine> lines_; //!< per-way metadata
     ReplacementState repl_;
     SetIndexer index_;
     MshrFile mshr_;

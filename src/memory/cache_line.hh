@@ -10,6 +10,7 @@
 #ifndef UNXPEC_MEMORY_CACHE_LINE_HH
 #define UNXPEC_MEMORY_CACHE_LINE_HH
 
+#include "sim/annotate.hh"
 #include "sim/types.hh"
 
 namespace unxpec {
@@ -40,17 +41,18 @@ struct CacheLine
      * must invalidate such lines when the installer is squashed; the
      * bit is cleared when the installer commits.
      */
-    bool speculative = false;
+    UNXPEC_SPEC_STATE bool speculative = false;
     /** Sequence number of the installing load while speculative. */
-    SeqNum installer = kSeqNone;
+    UNXPEC_SPEC_STATE SeqNum installer = kSeqNone;
     /** Cycle at which the fill actually lands in the array. */
     Cycle fillCycle = 0;
     /** Coherence state (Exclusive on a clean fill, Modified on write). */
-    CohState coh = CohState::Invalid;
+    UNXPEC_SPEC_STATE CohState coh = CohState::Invalid;
     /** A cross-core sharer asked for this line while it was
      *  speculative; the M/E->S downgrade is applied at commit. */
-    bool pendingDowngrade = false;
+    UNXPEC_SPEC_STATE bool pendingDowngrade = false;
 
+    UNXPEC_TRANSITION("reset")
     void
     reset()
     {

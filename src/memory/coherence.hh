@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "memory/cache_line.hh"
+#include "sim/annotate.hh"
 #include "sim/config.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
@@ -45,6 +46,8 @@ struct MemAccessRecord;
 namespace coh {
 
 /** Clean demand fill: sole copy, not yet written. */
+UNXPEC_TRANSITION("spec@UnsafeBaseline,Cleanup_FOR_L1,Cleanup_FOR_L1L2,"
+                  "Cleanup_FULL,SpecBox")
 inline void
 onFill(CacheLine &slot)
 {
@@ -54,6 +57,7 @@ onFill(CacheLine &slot)
 
 /** Victim restoration / inflight undo: the line returns with the
  *  dirtiness it left with. */
+UNXPEC_ROLLBACK("Cleanup_FOR_L1,Cleanup_FOR_L1L2,Cleanup_FULL,SpecBox")
 inline void
 onRestore(CacheLine &slot, bool dirty)
 {
@@ -61,7 +65,9 @@ onRestore(CacheLine &slot, bool dirty)
     slot.pendingDowngrade = false;
 }
 
-/** Local write (hit or write-allocate): M, the single-writer state. */
+/** Local write (hit or write-allocate): M, the single-writer state.
+ *  Stores execute at commit in this model. */
+UNXPEC_TRANSITION("commit")
 inline void
 onLocalWrite(CacheLine &slot)
 {
@@ -69,6 +75,8 @@ onLocalWrite(CacheLine &slot)
 }
 
 /** A fill served by a remote core's cache: both copies become S. */
+UNXPEC_TRANSITION("spec@UnsafeBaseline,Cleanup_FOR_L1,Cleanup_FOR_L1L2,"
+                  "Cleanup_FULL,SpecBox")
 inline void
 onSharedFill(CacheLine &slot)
 {
@@ -78,6 +86,8 @@ onSharedFill(CacheLine &slot)
 
 /** Remote read hit on a committed copy: M/E degrade to S (a dirty M
  *  copy is considered written back to the shared level). */
+UNXPEC_TRANSITION("spec@UnsafeBaseline,Cleanup_FOR_L1,Cleanup_FOR_L1L2,"
+                  "Cleanup_FULL,SpecBox")
 inline void
 onRemoteRead(CacheLine &slot)
 {
@@ -89,6 +99,8 @@ onRemoteRead(CacheLine &slot)
  *  downgrade but apply it only when the installer commits (§II-B).
  *  Only M/E have anywhere to downgrade to — an already-Shared
  *  speculative copy defers nothing. */
+UNXPEC_TRANSITION("spec@UnsafeBaseline,Cleanup_FOR_L1,Cleanup_FOR_L1L2,"
+                  "Cleanup_FULL,SpecBox")
 inline void
 onDelayedDowngrade(CacheLine &slot)
 {
@@ -98,6 +110,7 @@ onDelayedDowngrade(CacheLine &slot)
 
 /** Installing load committed: apply any downgrade the defense delayed
  *  while the line was speculative. */
+UNXPEC_TRANSITION("commit")
 inline void
 onCommit(CacheLine &slot)
 {
@@ -109,6 +122,7 @@ onCommit(CacheLine &slot)
 
 /** Undo of a squashed speculative access's remote downgrade: the owner
  *  gets its pre-snoop state back (CleanupSpec coherence rollback). */
+UNXPEC_ROLLBACK("Cleanup_FOR_L1,Cleanup_FOR_L1L2,Cleanup_FULL,SpecBox")
 inline void
 onDowngradeUndo(CacheLine &slot, CohState previous)
 {
@@ -169,6 +183,8 @@ class CoherenceEngine
      * write, delayed downgrade under a defense) and records undo
      * information into `record` when the requester is speculative.
      */
+    UNXPEC_TRANSITION("spec@UnsafeBaseline,Cleanup_FOR_L1,Cleanup_FOR_L1L2,"
+                      "Cleanup_FULL,SpecBox")
     SnoopResult snoop(unsigned requester, Addr line, Cycle now, bool write,
                       bool speculative, MemAccessRecord &record);
 
@@ -183,12 +199,15 @@ class CoherenceEngine
      * A local write hit upgraded S -> M on core `writer`: invalidate
      * every other core's copy of the line.
      */
+    UNXPEC_TRANSITION("commit")
     void invalidateRemote(unsigned writer, Addr line);
 
     /**
      * The shared L2 evicted `victim`: back-invalidate every L1 copy so
      * L1 (subset) L2 inclusion holds machine-wide.
      */
+    UNXPEC_TRANSITION("spec@UnsafeBaseline,Cleanup_FOR_L1,Cleanup_FOR_L1L2,"
+                      "Cleanup_FULL,SpecBox")
     void backInvalidate(Addr victim);
 
     /**
@@ -199,6 +218,8 @@ class CoherenceEngine
      * @return true when the caller must fake a full miss (no install,
      * memory latency).
      */
+    UNXPEC_TRANSITION("spec@UnsafeBaseline,Cleanup_FOR_L1,Cleanup_FOR_L1L2,"
+                      "Cleanup_FULL,SpecBox")
     bool hideSharedSpeculative(CacheLine &slot, Addr line, Cycle now);
 
     /**
@@ -207,10 +228,13 @@ class CoherenceEngine
      * undo): if the shared L2 no longer holds it, install it there,
      * back-invalidating whatever that displaces.
      */
+    UNXPEC_ROLLBACK("Cleanup_FOR_L1,Cleanup_FOR_L1L2,Cleanup_FULL,SpecBox")
     void ensureInclusion(Addr line, Cycle now);
 
     /** clflush semantics across the machine: drop every core's copy.
-     *  @return true when any dirty copy had to be written back. */
+     *  @return true when any dirty copy had to be written back.
+     *  clflush only executes non-speculatively (tickIssue orders it). */
+    UNXPEC_TRANSITION("commit")
     bool flushAll(Addr line);
 
     /**
@@ -218,6 +242,7 @@ class CoherenceEngine
      * snooped a remote committed M/E copy down to S — give the owner
      * its pre-snoop state back (record.snoopOwner/snoopPrevState).
      */
+    UNXPEC_ROLLBACK("Cleanup_FOR_L1,Cleanup_FOR_L1L2,Cleanup_FULL,SpecBox")
     void undoSnoopDowngrade(const MemAccessRecord &record);
 
     /**

@@ -607,6 +607,24 @@ MemoryHierarchy::cleanupRestoreL2(const MemAccessRecord &record, Cycle now)
 }
 
 void
+MemoryHierarchy::dropSpeculativeMark(const MemAccessRecord &record, bool l1,
+                                     bool l2)
+{
+    if (l1 && record.l1Installed) {
+        if (CacheLine *line = l1d_.probeMutable(record.lineAddr)) {
+            line->speculative = false;
+            line->installer = kSeqNone;
+        }
+    }
+    if (l2 && record.l2Installed) {
+        if (CacheLine *line = l2p_->probeMutable(record.lineAddr)) {
+            line->speculative = false;
+            line->installer = kSeqNone;
+        }
+    }
+}
+
+void
 MemoryHierarchy::resetCaches()
 {
     l1i_.reset();

@@ -16,6 +16,7 @@
 #include "memory/cache.hh"
 #include "memory/coherence.hh"
 #include "memory/main_memory.hh"
+#include "sim/annotate.hh"
 #include "sim/config.hh"
 #include "sim/rng.hh"
 #include "sim/types.hh"
@@ -102,7 +103,13 @@ class MemoryHierarchy
      * Timing + state access for a data load or store at cycle `now`.
      * Write allocates like a read and dirties the L1 line; functional
      * data movement is the caller's job (via mem()).
+     * Speculative-state scope: InvisiSpec/SafeSpec/CacheSquash route
+     * speculative loads through their own paths below, and DelayOnMiss
+     * speculative accesses are hit-only (misses wait), so only the
+     * listed modes can reach an install speculatively through here.
      */
+    UNXPEC_TRANSITION("spec@UnsafeBaseline,Cleanup_FOR_L1,Cleanup_FOR_L1L2,"
+                      "Cleanup_FULL,SpecBox")
     MemAccessRecord access(Addr addr, Cycle now, bool write,
                            bool speculative, SeqNum seq);
 
@@ -112,6 +119,7 @@ class MemoryHierarchy
      * The fill goes to the core's shadow buffer; the caches only learn
      * about the line if the load commits (exposure via access()).
      */
+    UNXPEC_TRANSITION("spec@InvisiSpec")
     MemAccessRecord accessInvisible(Addr addr, Cycle now, SeqNum seq);
 
     /**
@@ -120,6 +128,7 @@ class MemoryHierarchy
      * the caches. No cache tags, replacement state, or MSHR entries
      * change — the speculative footprint lives entirely in shadow_.
      */
+    UNXPEC_TRANSITION("spec@SafeSpec")
     MemAccessRecord accessSafeSpec(Addr addr, Cycle now, SeqNum seq);
 
     /**
@@ -129,6 +138,7 @@ class MemoryHierarchy
      * tags. Later speculative loads to the same line merge with the
      * parked fill exactly like a normal MSHR merge.
      */
+    UNXPEC_TRANSITION("spec@CacheSquash")
     MemAccessRecord accessCacheSquash(Addr addr, Cycle now, SeqNum seq);
 
     /**
@@ -137,10 +147,12 @@ class MemoryHierarchy
      * already on chip, so unlike InvisiSpec's expose-and-validate this
      * costs the commit stage nothing.
      */
+    UNXPEC_TRANSITION("commit")
     void commitShadow(const MemAccessRecord &record, Cycle now);
 
     /** SafeSpec squash: discard the squashed load's shadow entry.
      *  @return true when an entry was dropped. */
+    UNXPEC_ROLLBACK("SafeSpec")
     bool discardShadow(const MemAccessRecord &record);
 
     /**
@@ -148,6 +160,7 @@ class MemoryHierarchy
      * line into L2+L1 as a committed fill (free, same reasoning as
      * commitShadow — commit happens at or after the fill's arrival).
      */
+    UNXPEC_TRANSITION("commit")
     void commitPendingFill(const MemAccessRecord &record, Cycle now);
 
     /**
@@ -155,6 +168,7 @@ class MemoryHierarchy
      * in the L1 MSHR (MshrFile::cancel). @return true when an entry
      * was cancelled.
      */
+    UNXPEC_ROLLBACK("CacheSquash")
     bool cancelPendingFill(const MemAccessRecord &record);
 
     /** The SafeSpec shadow L1 (tests and stats). */
@@ -167,9 +181,11 @@ class MemoryHierarchy
      * clflush semantics: evict the line from every level. @return true
      * when a dirty copy had to be written back.
      */
+    UNXPEC_TRANSITION("commit")
     bool flushLine(Addr addr);
 
     /** Clear the speculative marking once the installing load commits. */
+    UNXPEC_TRANSITION("commit")
     void commitInstall(const MemAccessRecord &record);
 
     /**
@@ -177,18 +193,35 @@ class MemoryHierarchy
      * line silently never arrives and its victim never left (models
      * CleanupSpec's T3 MSHR purge of inflight transient loads).
      */
+    UNXPEC_ROLLBACK("Cleanup_FOR_L1,Cleanup_FOR_L1L2,Cleanup_FULL,SpecBox")
     void undoInflight(const MemAccessRecord &record);
 
     /** CleanupSpec T5a: invalidate a transiently installed line. */
+    UNXPEC_ROLLBACK("Cleanup_FOR_L1,Cleanup_FOR_L1L2,Cleanup_FULL,SpecBox")
     bool cleanupInvalidateL1(const MemAccessRecord &record);
+    UNXPEC_ROLLBACK("Cleanup_FOR_L1L2,Cleanup_FULL,SpecBox")
     bool cleanupInvalidateL2(const MemAccessRecord &record);
 
     /** CleanupSpec T5b: restore the L1 victim a transient fill evicted. */
+    UNXPEC_ROLLBACK("Cleanup_FOR_L1,Cleanup_FOR_L1L2,Cleanup_FULL,SpecBox")
     void cleanupRestoreL1(const MemAccessRecord &record, Cycle now);
 
     /** Cleanup_FULL only: restore the L2 victim as well (CleanupSpec
      *  itself never does this — too costly; see CleanupMode). */
+    UNXPEC_ROLLBACK("Cleanup_FULL")
     void cleanupRestoreL2(const MemAccessRecord &record, Cycle now);
+
+    /**
+     * Drop a squashed installer's speculative marking without touching
+     * the line itself: the UnsafeBaseline "rollback" (the transient
+     * install persists — the vulnerability) and Cleanup_FOR_L1's
+     * treatment of L2 installs (the L2 residue stays resident, paper
+     * §VI-B). Confining these mutations to one annotated helper keeps
+     * CleanupEngine::rollback free of direct speculative-state writes.
+     */
+    UNXPEC_ROLLBACK("UnsafeBaseline,Cleanup_FOR_L1")
+    void dropSpeculativeMark(const MemAccessRecord &record, bool l1,
+                             bool l2);
 
     /** What a cross-core (or SMT sibling) read request observes.
      *  The struct itself lives in memory/coherence.hh now; this alias
@@ -209,6 +242,7 @@ class MemoryHierarchy
     CrossCoreProbe crossCoreRead(Addr addr, Cycle now);
 
     /** Cold-start every cache (backing store is preserved). */
+    UNXPEC_TRANSITION("reset")
     void resetCaches();
 
     /**
@@ -217,6 +251,7 @@ class MemoryHierarchy
      * cache statistics, and a zeroed backing store with the original
      * MemoryConfig reinstated (Core::reset).
      */
+    UNXPEC_TRANSITION("reset")
     void reseed(std::uint64_t seed);
 
     /**
@@ -254,6 +289,7 @@ class MemoryHierarchy
      * a squashed speculative access performed (no-op without an
      * engine or when the record carries no downgrade).
      */
+    UNXPEC_ROLLBACK("Cleanup_FOR_L1,Cleanup_FOR_L1L2,Cleanup_FULL,SpecBox")
     void undoSnoopDowngrade(const MemAccessRecord &record);
 
     /** Audit all three caches (sim/audit.hh). Throws AuditError. */
@@ -276,11 +312,13 @@ class MemoryHierarchy
   private:
     /** Write-hit bookkeeping: dirty bit + S->M upgrade, invalidating
      *  remote copies through the engine in Machine configs. */
+    UNXPEC_TRANSITION("commit")
     void writeHit(CacheLine &hit);
 
     /** Install `line` as a committed fill available at `now` into L2
      *  and L1 (skipping levels that already hold it) — the shared tail
      *  of commitShadow and commitPendingFill. */
+    UNXPEC_TRANSITION("commit")
     void promoteCommitted(Addr line, Cycle now);
 
     SystemConfig cfg_;

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "sim/annotate.hh"
 #include "sim/arena.hh"
 #include "sim/types.hh"
 
@@ -24,8 +25,8 @@ struct MshrEntry
 {
     Addr lineAddr = kAddrInvalid;
     Cycle readyCycle = kCycleNever; //!< fill (and data) arrival
-    bool speculative = false;       //!< first requester not yet committed
-    SeqNum installer = kSeqNone;    //!< first requester
+    UNXPEC_SPEC_STATE bool speculative = false; //!< requester uncommitted
+    UNXPEC_SPEC_STATE SeqNum installer = kSeqNone; //!< first requester
     unsigned targets = 0;           //!< merged requesters
     /** Victim displaced by this fill (for CleanupSpec restoration). */
     Addr victimLine = kAddrInvalid;
@@ -51,6 +52,7 @@ class MshrFile
     }
 
     /** Retire every entry whose fill has landed by `now`. */
+    UNXPEC_TRANSITION("commit")
     void release(Cycle now);
 
     /** Find the outstanding entry for a line, or nullptr. */
@@ -58,10 +60,13 @@ class MshrFile
     const MshrEntry *find(Addr line_addr) const;
 
     /** Allocate a new entry; the file must not be full. */
+    UNXPEC_TRANSITION("spec@UnsafeBaseline,Cleanup_FOR_L1,Cleanup_FOR_L1L2,"
+                      "Cleanup_FULL,SpecBox,CacheSquash")
     MshrEntry &allocate(Addr line_addr, Cycle ready, bool speculative,
                         SeqNum installer);
 
     /** Drop the entry for a line (CleanupSpec T3 inflight purge). */
+    UNXPEC_ROLLBACK("Cleanup_FOR_L1,Cleanup_FOR_L1L2,Cleanup_FULL,SpecBox")
     bool squash(Addr line_addr);
 
     /**
@@ -72,6 +77,8 @@ class MshrFile
      * Unlike squash(), a committed (non-speculative) fill or a fill
      * re-requested by a different installer is left alone.
      */
+    UNXPEC_TRANSITION("commit")
+    UNXPEC_ROLLBACK("CacheSquash")
     bool cancel(Addr line_addr, SeqNum installer);
 
     bool full() const { return entries_.size() >= capacity_; }
@@ -83,11 +90,15 @@ class MshrFile
 
     const ArenaVector<MshrEntry> &entries() const { return entries_; }
 
+    UNXPEC_TRANSITION("reset")
     void clear() { entries_.clear(); }
 
   private:
     unsigned capacity_;
-    ArenaVector<MshrEntry> entries_;
+    /** The outstanding-miss set itself is speculative state: CacheSquash
+     *  parks cancellable speculative fills here and its squash path
+     *  must leave no entry behind (auditRollbackComplete). */
+    UNXPEC_SPEC_STATE ArenaVector<MshrEntry> entries_;
 };
 
 } // namespace unxpec

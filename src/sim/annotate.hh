@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Zero-cost source annotations for the speccheck static analyzer
+ * (scripts/speccheck). The macros expand to [[clang::annotate(...)]]
+ * under clang — an attribute with no effect on code generation — and
+ * to nothing under every other compiler, so annotated and unannotated
+ * builds are byte-identical (the golden gate proves it).
+ *
+ * The annotation contract (DESIGN.md §15):
+ *
+ *   UNXPEC_SPEC_STATE
+ *       On a field declaration: this field is speculative
+ *       microarchitectural state — written while an installer is still
+ *       speculative and owed a restoration on squash. Every mutation
+ *       of such a field must sit inside (or be call-graph-reachable
+ *       from) a function carrying UNXPEC_TRANSITION or UNXPEC_ROLLBACK;
+ *       speccheck errors on any other mutation site.
+ *
+ *   UNXPEC_TRANSITION(kind_and_scope)
+ *       On a function: a registered mutator of speculative state.
+ *       `kind_and_scope` is "<kind>" or "<kind>@<Mode1,Mode2,...>"
+ *       with kind one of:
+ *         spec    writes performed on behalf of a not-yet-committed
+ *                 instruction — these form the speculative write-set a
+ *                 defense's rollback must cover;
+ *         commit  clears/promotes speculative markings when the
+ *                 installer retires;
+ *         reset   trial-boundary cold-start (reset/reseed/clear).
+ *       The optional @scope names the CleanupMode enumerators under
+ *       which the function can actually write speculative state
+ *       (default: every mode). Scoping is the author's assertion about
+ *       the dynamic dispatch (e.g. accessSafeSpec only runs under
+ *       SafeSpec); the runtime auditor covers the dynamic side.
+ *
+ *   UNXPEC_ROLLBACK(modes)
+ *       On a function: part of the squash/undo path for the named
+ *       CleanupMode enumerators ("*" = every mode). The union of
+ *       spec-state fields mutated in the call-graph closure of a
+ *       mode's rollback functions is that mode's undo-set; speccheck
+ *       errors when a gated mode's speculative write-set is not
+ *       covered by its undo-set — the statically-checked counterpart
+ *       of MemoryHierarchy::auditRollbackComplete.
+ */
+
+#ifndef UNXPEC_SIM_ANNOTATE_HH
+#define UNXPEC_SIM_ANNOTATE_HH
+
+#if defined(__clang__)
+#if __has_cpp_attribute(clang::annotate)
+#define UNXPEC_ANNOTATE(tag) [[clang::annotate(tag)]]
+#endif
+#endif
+#ifndef UNXPEC_ANNOTATE
+#define UNXPEC_ANNOTATE(tag)
+#endif
+
+/** Field holds speculative microarchitectural state (see file doc). */
+#define UNXPEC_SPEC_STATE UNXPEC_ANNOTATE("unxpec::spec_state")
+
+/** Function is a registered speculative-state mutator (see file doc). */
+#define UNXPEC_TRANSITION(kind_and_scope) \
+    UNXPEC_ANNOTATE("unxpec::transition:" kind_and_scope)
+
+/** Function is part of the named modes' squash/undo path. */
+#define UNXPEC_ROLLBACK(modes) UNXPEC_ANNOTATE("unxpec::rollback:" modes)
+
+#endif // UNXPEC_SIM_ANNOTATE_HH

@@ -55,6 +55,7 @@ StatGroup::counter(const std::string &name, const std::string &desc)
     const std::string full = fullName(name);
     auto it = counters_.find(full);
     if (it == counters_.end())
+        // lint-ok(steady-alloc): amortized — first-touch insert only
         it = counters_.emplace(full, Counter(full, desc)).first;
     return it->second;
 }

@@ -1,0 +1,21 @@
+// speccheck fixture body: every speculative write has a matching
+// restore in the rollback closure, for every mode.
+#include "mini.hh"
+
+namespace unxpec {
+
+void
+MiniCache::install(unsigned way)
+{
+    lines_[way].speculative = true;
+    lines_[way].installer = way;
+}
+
+void
+MiniCache::squash(unsigned way)
+{
+    lines_[way].speculative = false;
+    lines_[way].installer = 0;
+}
+
+}  // namespace unxpec

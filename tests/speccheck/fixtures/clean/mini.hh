@@ -1,0 +1,35 @@
+/** speccheck fixture: fully paired speculative state (must pass).
+ *
+ * Not compiled by the build — parsed only by scripts/speccheck in the
+ * fixture tests (tests/speccheck/run_fixtures.py).  The UNXPEC_*
+ * macros are consumed textually, so no include of annotate.hh is
+ * needed here.
+ */
+#pragma once
+
+enum class CleanupMode {
+    UnsafeBaseline,
+    Cleanup_FOR_L1,
+};
+
+namespace unxpec {
+
+struct MiniLine {
+    UNXPEC_SPEC_STATE bool speculative = false;
+    UNXPEC_SPEC_STATE unsigned installer = 0;
+    int committedData = 0;
+};
+
+class MiniCache {
+  public:
+    UNXPEC_TRANSITION("spec")
+    void install(unsigned way);
+
+    UNXPEC_ROLLBACK("*")
+    void squash(unsigned way);
+
+  private:
+    MiniLine lines_[4];
+};
+
+}  // namespace unxpec

@@ -1,0 +1,22 @@
+// speccheck fixture body: the rollback forgets installer — the exact
+// residue-after-squash bug class the undo-completeness gate exists
+// to catch.
+#include "mini.hh"
+
+namespace unxpec {
+
+void
+MiniCache::install(unsigned way)
+{
+    lines_[way].speculative = true;
+    lines_[way].installer = way;
+}
+
+void
+MiniCache::squash(unsigned way)
+{
+    lines_[way].speculative = false;
+    // BUG (intentional): installer is left behind.
+}
+
+}  // namespace unxpec

@@ -1,0 +1,15 @@
+// speccheck fixture body: the walk order leaks into the result.
+#include "mini.hh"
+
+namespace unxpec {
+
+long
+MiniStats::sum() const
+{
+    long acc = 0;
+    for (const auto &kv : table_)
+        acc += kv.second * static_cast<long>(acc + 1);
+    return acc;
+}
+
+}  // namespace unxpec

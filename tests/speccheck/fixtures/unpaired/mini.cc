@@ -1,0 +1,24 @@
+// speccheck fixture body: poke() is the contract violation.
+#include "mini.hh"
+
+namespace unxpec {
+
+void
+MiniCache::install(unsigned way)
+{
+    lines_[way].speculative = true;
+}
+
+void
+MiniCache::squash(unsigned way)
+{
+    lines_[way].speculative = false;
+}
+
+void
+MiniCache::poke(unsigned way)
+{
+    lines_[way].speculative = true;  // unpaired: not under a transition
+}
+
+}  // namespace unxpec

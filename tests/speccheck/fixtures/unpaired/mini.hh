@@ -1,0 +1,36 @@
+/** speccheck fixture: an unpaired UNXPEC_SPEC_STATE mutation.
+ *
+ * poke() mutates speculative state but is neither annotated as a
+ * transition/rollback nor reachable from one — speccheck must report
+ * an unpaired-spec-mutation finding at its write site.
+ */
+#pragma once
+
+enum class CleanupMode {
+    UnsafeBaseline,
+    Cleanup_FOR_L1,
+};
+
+namespace unxpec {
+
+struct MiniLine {
+    UNXPEC_SPEC_STATE bool speculative = false;
+};
+
+class MiniCache {
+  public:
+    UNXPEC_TRANSITION("spec")
+    void install(unsigned way);
+
+    UNXPEC_ROLLBACK("*")
+    void squash(unsigned way);
+
+    // Rogue helper: flips speculative state behind the annotation
+    // contract's back.
+    void poke(unsigned way);
+
+  private:
+    MiniLine lines_[4];
+};
+
+}  // namespace unxpec
