@@ -24,13 +24,25 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR=${BUILD_DIR:-build-release}
+SCRATCH=
 if [ -z "${OUT:-}" ]; then
     if [ -n "${TRACKED:-}" ]; then
         OUT=BENCH_kernel.json
     else
         OUT=$(mktemp -t BENCH_kernel.XXXXXX)
+        SCRATCH=$OUT
     fi
 fi
+
+# A failed run must not strand the mktemp file (or leave a half-written
+# JSON that a later tool mistakes for results). Successful runs keep it:
+# the path is printed so the caller can pick it up.
+cleanup() {
+    if [ -n "$SCRATCH" ]; then
+        rm -f "$SCRATCH"
+    fi
+}
+trap cleanup EXIT INT TERM
 
 if [ ! -x "$BUILD_DIR/bench/kernel_throughput" ]; then
     cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
@@ -43,4 +55,5 @@ if [ -n "${SMOKE:-}" ]; then
 fi
 
 "$BUILD_DIR/bench/kernel_throughput" "${ARGS[@]}"
+SCRATCH= # success: the output file survives the EXIT trap
 echo "wrote $OUT"

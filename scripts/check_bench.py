@@ -26,10 +26,16 @@ validate the schema and check --assert-auc claims. Two files: also
 diff every AUC cell against the first (golden) file within
 --auc-tolerance (warn-only unless --strict, same convention as the
 benchmark mode). --assert-auc failures are always fatal — they encode
-the paper's leakage taxonomy, not runner noise.
+the paper's leakage taxonomy, not runner noise. --assert-cell is the
+generalized form, a hard bound on any numeric cell field (e.g. the
+victim matrix's recovered_bits_per_sec); a null/absent field fails the
+assertion. Cells whose auc is null (every trial censored) are accepted
+by the loader and skipped by the drift diff.
 
   $ python3 scripts/check_bench.py --matrix matrix.json \\
         --assert-auc 'unsafe/unxpec>=0.95' --assert-auc 'safespec/unxpec<=0.6'
+  $ python3 scripts/check_bench.py --matrix victim.json \\
+        --assert-cell 'unsafe/victim-aes.recovered_bits_per_sec>=1'
   $ python3 scripts/check_bench.py --matrix tests/golden/matrix_seed.json \\
         matrix-nightly.json --auc-tolerance 0.05 --strict
 """
@@ -95,6 +101,8 @@ def tolerance_for(name, overrides, default):
 
 
 ASSERT_RE = re.compile(r"^([\w-]+)/([\w-]+)(<=|>=)([0-9.]+)$")
+CELL_ASSERT_RE = re.compile(
+    r"^([\w-]+)/([\w-]+)\.(\w+)(<=|>=)([0-9.eE+-]+)$")
 
 
 def load_matrix(path, parser):
@@ -110,7 +118,11 @@ def load_matrix(path, parser):
             if field not in cell:
                 parser.error(f"{path}: cell missing '{field}': {cell}")
         auc = cell["auc"]
-        if not isinstance(auc, (int, float)) or not 0.0 <= auc <= 1.0:
+        # null = an incomplete cell (every trial censored or missing);
+        # the cell is kept so assertions against it fail loudly rather
+        # than reading as "not in the matrix".
+        if auc is not None and (not isinstance(auc, (int, float))
+                                or not 0.0 <= auc <= 1.0):
             parser.error(f"{path}: {cell['defense']}/{cell['receiver']} "
                          f"has AUC {auc!r} outside [0, 1]")
         cells[(cell["defense"], cell["receiver"])] = cell
@@ -120,7 +132,7 @@ def load_matrix(path, parser):
 
 
 def parse_assertions(specs, parser):
-    """--assert-auc list -> [(defense, receiver, op, bound)]."""
+    """--assert-auc list -> [(defense, receiver, field, op, bound)]."""
     assertions = []
     for spec in specs:
         match = ASSERT_RE.match(spec)
@@ -128,7 +140,24 @@ def parse_assertions(specs, parser):
             parser.error("--assert-auc expects DEFENSE/RECEIVER<=V or "
                          f">=V, got '{spec}'")
         defense, receiver, op, bound = match.groups()
-        assertions.append((defense, receiver, op, float(bound)))
+        assertions.append((defense, receiver, "auc", op, float(bound)))
+    return assertions
+
+
+def parse_cell_assertions(specs, parser):
+    """--assert-cell list -> [(defense, receiver, field, op, bound)].
+
+    The generalized form: any numeric cell field, e.g.
+    'unsafe/victim-aes.recovered_bits_per_sec>=1'.
+    """
+    assertions = []
+    for spec in specs:
+        match = CELL_ASSERT_RE.match(spec)
+        if not match:
+            parser.error("--assert-cell expects DEF/RECV.FIELD<=V or "
+                         f">=V, got '{spec}'")
+        defense, receiver, field, op, bound = match.groups()
+        assertions.append((defense, receiver, field, op, float(bound)))
     return assertions
 
 
@@ -140,17 +169,25 @@ def run_matrix(args, parser):
 
     # Assertions apply to the freshest file on the command line.
     target = fresh if fresh is not None else cells
-    for defense, receiver, op, bound in parse_assertions(args.assert_auc,
-                                                         parser):
+    assertions = (parse_assertions(args.assert_auc, parser)
+                  + parse_cell_assertions(args.assert_cell, parser))
+    for defense, receiver, field, op, bound in assertions:
         cell = target.get((defense, receiver))
         if cell is None:
             print(f"FAIL {defense}/{receiver}: cell not in the matrix")
             failures += 1
             continue
-        auc = float(cell["auc"])
-        ok = auc <= bound if op == "<=" else auc >= bound
+        value = cell.get(field)
+        if not isinstance(value, (int, float)):
+            # Absent field or a null from an incomplete (censored) cell.
+            print(f"FAIL {defense}/{receiver}: {field} is "
+                  f"{value!r}, cannot check {op} {bound:g}")
+            failures += 1
+            continue
+        value = float(value)
+        ok = value <= bound if op == "<=" else value >= bound
         print(f"{'  ok' if ok else 'FAIL'} {defense}/{receiver}: "
-              f"auc {auc:.4g} {op} {bound:g}")
+              f"{field} {value:.4g} {op} {bound:g}")
         failures += not ok
 
     if fresh is not None:
@@ -164,6 +201,10 @@ def run_matrix(args, parser):
             if key not in cells:
                 print(f"NOTE {defense}/{receiver}: new cell, no golden "
                       "value yet")
+                continue
+            if cells[key]["auc"] is None or fresh[key]["auc"] is None:
+                print(f"NOTE {defense}/{receiver}: incomplete cell "
+                      "(null auc), drift not compared")
                 continue
             base = float(cells[key]["auc"])
             auc = float(fresh[key]["auc"])
@@ -212,6 +253,12 @@ def main():
                         help="matrix mode: hard AUC bound, e.g. "
                              "'unsafe/unxpec>=0.95' (repeatable, "
                              "failures are fatal)")
+    parser.add_argument("--assert-cell", action="append", default=[],
+                        metavar="DEF/RECV.FIELD<=V",
+                        help="matrix mode: hard bound on any numeric "
+                             "cell field, e.g. 'unsafe/victim-aes."
+                             "recovered_bits_per_sec>=1' (repeatable, "
+                             "failures are fatal)")
     parser.add_argument("--auc-tolerance", type=float, default=0.05,
                         help="matrix mode: allowed absolute AUC drift "
                              "between golden and fresh (default 0.05)")
@@ -221,8 +268,9 @@ def main():
         return run_matrix(args, parser)
     if args.fresh is None:
         parser.error("benchmark mode needs both baseline and fresh files")
-    if args.assert_auc:
-        parser.error("--assert-auc only applies with --matrix")
+    if args.assert_auc or args.assert_cell:
+        parser.error("--assert-auc/--assert-cell only apply with "
+                     "--matrix")
 
     overrides = parse_overrides(args.per_bench, parser)
     baseline = load(args.baseline)

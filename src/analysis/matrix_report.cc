@@ -82,7 +82,38 @@ fieldNum(const std::string &line, const std::string &key)
     return value;
 }
 
+/** A row statistic that tolerates a censored (metric-less) row. */
+double
+meanOrNaN(const ResultRow &row, const std::string &name)
+{
+    return row.metric(name) != nullptr
+        ? row.mean(name)
+        : std::numeric_limits<double>::quiet_NaN();
+}
+
+/** Fixed-precision cell, or "-" when the statistic is missing. */
+std::string
+numFixedOrDash(double value, int digits, const char *suffix = "")
+{
+    if (!std::isfinite(value))
+        return "-";
+    std::ostringstream oss;
+    oss.imbue(std::locale::classic());
+    oss.setf(std::ios::fixed);
+    oss.precision(digits);
+    oss << value << suffix;
+    return oss.str();
+}
+
 } // namespace
+
+bool
+MatrixCell::incomplete() const
+{
+    return !std::isfinite(auc) || !std::isfinite(deltaCycles) ||
+           !std::isfinite(overheadPct) ||
+           !std::isfinite(cyclesPerSample);
+}
 
 const MatrixCell *
 MatrixReport::cell(const std::string &defense,
@@ -113,6 +144,15 @@ MatrixReport::receivers() const
     return names;
 }
 
+unsigned
+MatrixReport::incompleteCells() const
+{
+    unsigned count = 0;
+    for (const MatrixCell &c : cells)
+        count += c.incomplete();
+    return count;
+}
+
 MatrixReport
 MatrixReport::fromResult(const ExperimentResult &result)
 {
@@ -121,7 +161,9 @@ MatrixReport::fromResult(const ExperimentResult &result)
     report.masterSeed = result.masterSeed;
     report.reps = result.reps;
 
-    // Pass 1: the unsafe baselines' workload cycles, per receiver.
+    // Pass 1: the unsafe baselines' workload cycles, per receiver. A
+    // censored or absent baseline poisons the column's overhead (NaN),
+    // never the other statistics.
     auto unsafeCycles = [&result](const std::string &receiver) {
         for (const ResultRow &row : result.rows) {
             if (row.label == "unsafe/" + receiver &&
@@ -129,7 +171,7 @@ MatrixReport::fromResult(const ExperimentResult &result)
                 return row.mean("workload_cycles");
             }
         }
-        return 0.0;
+        return std::numeric_limits<double>::quiet_NaN();
     };
 
     for (const ResultRow &row : result.rows) {
@@ -139,15 +181,20 @@ MatrixReport::fromResult(const ExperimentResult &result)
         MatrixCell cell;
         cell.defense = row.label.substr(0, slash);
         cell.receiver = row.label.substr(slash + 1);
-        cell.auc = row.mean("auc");
-        cell.deltaCycles = row.mean("delta_cycles");
-        cell.cyclesPerSample = row.mean("cycles_per_sample");
+        // A fully-censored row reports every trial but no metrics:
+        // keep the cell (the matrix shape is part of the artifact) and
+        // let the statistics read as missing instead of fatal'ing.
+        cell.auc = meanOrNaN(row, "auc");
+        cell.deltaCycles = meanOrNaN(row, "delta_cycles");
+        cell.cyclesPerSample = meanOrNaN(row, "cycles_per_sample");
+        cell.recoveredBitsPerSec =
+            meanOrNaN(row, "recovered_bits_per_sec");
         cell.trials = row.trials;
         const double base = unsafeCycles(cell.receiver);
-        if (base > 0.0 && row.metric("workload_cycles") != nullptr) {
-            cell.overheadPct =
-                (row.mean("workload_cycles") / base - 1.0) * 100.0;
-        }
+        const double cycles = meanOrNaN(row, "workload_cycles");
+        cell.overheadPct = base > 0.0 && std::isfinite(cycles)
+            ? (cycles / base - 1.0) * 100.0
+            : std::numeric_limits<double>::quiet_NaN();
         report.cells.push_back(std::move(cell));
     }
     return report;
@@ -169,8 +216,14 @@ MatrixReport::writeJson(std::ostream &os) const
            << c.receiver << "\", \"auc\": " << numToString(c.auc)
            << ", \"delta_cycles\": " << numToString(c.deltaCycles)
            << ", \"overhead_pct\": " << numToString(c.overheadPct)
-           << ", \"cycles_per_sample\": " << numToString(c.cyclesPerSample)
-           << ", \"trials\": " << c.trials << "}"
+           << ", \"cycles_per_sample\": " << numToString(c.cyclesPerSample);
+        // Optional field: only victim cells carry a recovery rate, and
+        // omitting it keeps classic artifacts byte-identical.
+        if (std::isfinite(c.recoveredBitsPerSec)) {
+            os << ", \"recovered_bits_per_sec\": "
+               << numToString(c.recoveredBitsPerSec);
+        }
+        os << ", \"trials\": " << c.trials << "}"
            << (i + 1 < cells.size() ? "," : "") << "\n";
     }
     os << "  ]\n";
@@ -200,18 +253,43 @@ MatrixReport::writeMarkdown(std::ostream &os) const
 
     for (const std::string &d : defenses()) {
         os << "| " << d << " |";
-        double overhead = 0.0;
+        double overhead = std::numeric_limits<double>::quiet_NaN();
         for (const std::string &r : recv) {
             const MatrixCell *c = cell(d, r);
             if (c == nullptr) {
                 os << " - | - |";
                 continue;
             }
-            os << " " << numFixed(c->auc, 3) << " | "
-               << numFixed(c->deltaCycles, 1) << " |";
-            overhead = std::max(overhead, c->overheadPct);
+            os << " " << numFixedOrDash(c->auc, 3) << " | "
+               << numFixedOrDash(c->deltaCycles, 1) << " |";
+            if (std::isfinite(c->overheadPct) &&
+                !(overhead > c->overheadPct)) {
+                overhead = c->overheadPct;
+            }
         }
-        os << " " << numFixed(overhead, 1) << "% |\n";
+        os << " " << numFixedOrDash(overhead, 1, "%") << " |\n";
+    }
+
+    // Victim campaigns: the end-to-end recovery rate per cell.
+    bool anyRate = false;
+    for (const MatrixCell &c : cells)
+        anyRate = anyRate || std::isfinite(c.recoveredBitsPerSec);
+    if (anyRate) {
+        os << "\nSecret recovery rate (bits of the planted key per "
+              "simulated second):\n\n";
+        for (const MatrixCell &c : cells) {
+            if (std::isfinite(c.recoveredBitsPerSec)) {
+                os << "- `" << c.defense << "/" << c.receiver << "`: "
+                   << numFixed(c.recoveredBitsPerSec, 1) << " bits/s\n";
+            }
+        }
+    }
+
+    const unsigned incomplete = incompleteCells();
+    if (incomplete > 0) {
+        os << "\nNote: " << incomplete << " cell(s) incomplete — "
+              "censored trials or a missing unsafe baseline; missing "
+              "statistics are shown as '-'.\n";
     }
     os << "\nReading guide: the cache-state receiver (unxpec) breaks "
           "Undo schemes; the contention receiver breaks every defense "
@@ -247,6 +325,11 @@ MatrixReport::fromJsonText(const std::string &text)
             cell.deltaCycles = fieldNum(line, "delta_cycles");
             cell.overheadPct = fieldNum(line, "overhead_pct");
             cell.cyclesPerSample = fieldNum(line, "cycles_per_sample");
+            if (line.find("\"recovered_bits_per_sec\"") !=
+                std::string::npos) {
+                cell.recoveredBitsPerSec =
+                    fieldNum(line, "recovered_bits_per_sec");
+            }
             cell.trials = static_cast<unsigned>(fieldNum(line, "trials"));
             report.cells.push_back(std::move(cell));
         }

@@ -13,12 +13,24 @@
  * "workload_cycles", and "cycles_per_sample". Overhead is computed at
  * report time against the same receiver's "unsafe" row, so trials never
  * need to run their own baselines.
+ *
+ * Rows may be incomplete: a fully-censored cell has no metrics at all,
+ * and a censored or absent unsafe row leaves the whole column without
+ * an overhead baseline. Missing statistics become NaN in the cell
+ * (JSON null, markdown "-") rather than fabricated zeros, and
+ * incompleteCells() counts them for the artifact's note.
+ *
+ * Victim rows (the real-secret campaign, bench/victim_recovery.cc)
+ * additionally carry "recovered_bits_per_sec"; the field is optional
+ * per cell and omitted from the JSON when absent, so classic matrix
+ * artifacts are byte-identical to before it existed.
  */
 
 #ifndef UNXPEC_ANALYSIS_MATRIX_REPORT_HH
 #define UNXPEC_ANALYSIS_MATRIX_REPORT_HH
 
 #include <cstdint>
+#include <limits>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -27,7 +39,8 @@
 
 namespace unxpec {
 
-/** One (defense, receiver) cell of the matrix. */
+/** One (defense, receiver) cell of the matrix. Statistics the trial
+ *  could not supply (censored rows, missing baselines) are NaN. */
 struct MatrixCell
 {
     std::string defense;  //!< defense registry key
@@ -36,7 +49,15 @@ struct MatrixCell
     double deltaCycles = 0.0;  //!< mean(secret=1) - mean(secret=0)
     double overheadPct = 0.0;  //!< workload cycles vs unsafe, percent
     double cyclesPerSample = 0.0;
+    /** Victim cells only: end-to-end secret recovery rate. NaN (and
+     *  omitted from the JSON) for classic AUC cells. */
+    double recoveredBitsPerSec =
+        std::numeric_limits<double>::quiet_NaN();
     unsigned trials = 0;
+
+    /** True when a reported statistic is missing (NaN/inf). The
+     *  optional recovery rate does not count. */
+    bool incomplete() const;
 };
 
 /** The full matrix with provenance. */
@@ -55,6 +76,8 @@ struct MatrixReport
     std::vector<std::string> defenses() const;
     /** Receiver names in first-appearance order. */
     std::vector<std::string> receivers() const;
+    /** Cells with a missing statistic (see MatrixCell::incomplete). */
+    unsigned incompleteCells() const;
 
     /** Distill a matrix campaign's result (see the row convention in
      *  the file comment). Rows without a '/' label are skipped. */

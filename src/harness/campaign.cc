@@ -420,6 +420,13 @@ parseHeaderLine(const JsonValue &obj, const std::string &path,
         requireField(obj, "specs", path, lineno), "specs", path, lineno));
     header.reps = static_cast<unsigned>(asU64(
         requireField(obj, "reps", path, lineno), "reps", path, lineno));
+    // Optional provenance fields: manifests written before they existed
+    // simply lack them, and 0 means "not recorded, not checked".
+    if (const JsonValue *batch = obj.field("batch"))
+        header.batch = static_cast<unsigned>(
+            asU64(*batch, "batch", path, lineno));
+    if (const JsonValue *digest = obj.field("spec_digest"))
+        header.specDigest = asU64(*digest, "spec_digest", path, lineno);
     return header;
 }
 
@@ -486,8 +493,34 @@ campaignHeaderLine(const CampaignHeader &header)
     line += std::to_string(header.specs);
     line += ",\"reps\":";
     line += std::to_string(header.reps);
+    if (header.batch != 0) {
+        line += ",\"batch\":";
+        line += std::to_string(header.batch);
+    }
+    if (header.specDigest != 0) {
+        line += ",\"spec_digest\":";
+        line += std::to_string(header.specDigest);
+    }
     line += "}";
     return line;
+}
+
+std::uint64_t
+campaignSpecDigest(const std::vector<std::string> &labels)
+{
+    // FNV-1a over every label with a separator byte after each, so
+    // ["ab","c"] and ["a","bc"] digest differently.
+    std::uint64_t hash = 14695981039346656037ull;
+    constexpr std::uint64_t kPrime = 1099511628211ull;
+    for (const std::string &label : labels) {
+        for (const char c : label) {
+            hash ^= static_cast<unsigned char>(c);
+            hash *= kPrime;
+        }
+        hash ^= 0x1f;
+        hash *= kPrime;
+    }
+    return hash == 0 ? 1 : hash;
 }
 
 std::string
@@ -589,6 +622,23 @@ requireCompatibleManifest(const CampaignManifest &manifest,
         fatal("cannot resume from '", path, "': manifest experiment '",
               have.experiment, "' != campaign experiment '",
               expected.experiment, "'");
+    }
+    if (have.batch != 0 && expected.batch != 0 &&
+        have.batch != expected.batch) {
+        fatal("cannot resume from '", path, "': manifest batch width ",
+              have.batch, " != campaign batch width ", expected.batch,
+              " (journaled trials ran lock-step under --batch ",
+              have.batch, " and host-watchdog censoring depends on the "
+              "group width; rerun with --batch ", have.batch,
+              " or start a fresh campaign)");
+    }
+    if (have.specDigest != 0 && expected.specDigest != 0 &&
+        have.specDigest != expected.specDigest) {
+        fatal("cannot resume from '", path, "': manifest spec digest ",
+              have.specDigest, " != campaign spec digest ",
+              expected.specDigest, " (the spec list or its sweep order "
+              "changed; job indices would splice journaled results into "
+              "the wrong rows)");
     }
 }
 

@@ -73,7 +73,31 @@ struct CampaignHeader
     std::uint64_t masterSeed = 0;
     std::size_t specs = 0;
     unsigned reps = 0;
+    /**
+     * Lock-step batch width the journaled trials ran under (--batch).
+     * Resume refuses a width mismatch: host-watchdog censoring times a
+     * trial's share of its lock-step group, so trials journaled under
+     * a different width are not interchangeable with the trials a
+     * fresh run would produce. 0 = a legacy manifest that predates the
+     * field; not checked.
+     */
+    unsigned batch = 0;
+    /**
+     * Digest of the spec labels in sweep order (campaignSpecDigest).
+     * Job indices are spec_index * reps + rep, so resuming against a
+     * permuted or edited spec list would silently splice journaled
+     * results into the wrong rows — the digest turns that into a
+     * fatal diagnostic. 0 = legacy manifest; not checked.
+     */
+    std::uint64_t specDigest = 0;
 };
+
+/**
+ * FNV-1a digest of the spec labels in sweep order, for
+ * CampaignHeader::specDigest. Order-sensitive by construction; never
+ * returns 0 (0 is the legacy "not recorded" sentinel).
+ */
+std::uint64_t campaignSpecDigest(const std::vector<std::string> &labels);
 
 /** One journaled trial: identity, fate, and its measurements. */
 struct CampaignEntry

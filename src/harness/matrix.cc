@@ -2,8 +2,10 @@
 
 #include <algorithm>
 
+#include "analysis/key_recovery.hh"
 #include "analysis/roc.hh"
 #include "attack/contention.hh"
+#include "attack/victim_attack.hh"
 #include "harness/session.hh"
 #include "sim/rng.hh"
 #include "workload/synth_spec.hh"
@@ -135,6 +137,136 @@ matrixTrialFn(unsigned samples_per_class)
                        Rng::deriveSeed(ctx.seed, 1)));
         out.samples("latency0", std::move(zeros));
         out.samples("latency1", std::move(ones));
+        return out;
+    };
+}
+
+const std::vector<std::string> &
+victimReceivers()
+{
+    static const std::vector<std::string> receivers = {
+        "victim-aes", "victim-rsa", "victim-rsa-fu"};
+    return receivers;
+}
+
+const std::vector<std::string> &
+victimDefaultDefenses()
+{
+    static const std::vector<std::string> defenses = {
+        "unsafe", "cleanup_l1", "cleanup_l1l2", "safespec",
+        "cachesquash"};
+    return defenses;
+}
+
+std::vector<ExperimentSpec>
+victimSpecs(const ExperimentSpec &base, bool all_defenses)
+{
+    std::vector<std::string> defenses;
+    if (all_defenses) {
+        for (const auto &[name, description] : defenseNames())
+            defenses.push_back(name);
+    } else {
+        defenses = victimDefaultDefenses();
+    }
+
+    std::vector<ExperimentSpec> specs;
+    std::size_t cell = 0;
+    for (const std::string &defense : defenses) {
+        for (const std::string &receiver : victimReceivers()) {
+            ExperimentSpec spec = base;
+            spec.label = defense + "/" + receiver;
+            spec.defense = defense;
+            // The registry knows the two victims; the "-fu" receiver
+            // is the RSA victim read through the contention channel.
+            spec.attack = receiver == "victim-rsa-fu" ? "victim-rsa"
+                                                      : receiver;
+            if (receiver == "victim-rsa-fu") {
+                spec.tweak = [](SystemConfig &cfg) {
+                    cfg.core.mulPipelined = false;
+                };
+            }
+            spec.with("cell", static_cast<double>(cell++));
+            specs.push_back(std::move(spec));
+        }
+    }
+    return specs;
+}
+
+TrialFn
+victimTrialFn(unsigned plaintexts)
+{
+    return [plaintexts](const TrialContext &ctx) {
+        const std::size_t slash = ctx.spec.label.find('/');
+        const std::string receiver = slash == std::string::npos
+            ? ctx.spec.label
+            : ctx.spec.label.substr(slash + 1);
+
+        double fraction = 0.0;
+        double recovered_bits = 0.0;
+        double delta = 0.0;
+        double rate = 0.0;
+        double cycles_per_sample = 0.0;
+        {
+            Session session(ctx);
+            // The planted secret derives from the trial seed: every
+            // rep recovers a different key, and the artifact is still
+            // bit-stable for a given master seed.
+            Rng rng(Rng::deriveSeed(ctx.seed, 2));
+            const double ghz = session.config().clockGHz;
+            VictimAttackConfig vcfg;
+            if (receiver == "victim-aes") {
+                vcfg.plaintexts = std::min(std::max(plaintexts, 1u), 8u);
+                VictimAttack attack(session.core(), vcfg);
+                std::array<std::uint8_t, 16> key;
+                for (std::uint8_t &b : key)
+                    b = static_cast<std::uint8_t>(rng.next());
+                attack.setKey(key);
+                const AesRecoveryResult res = attack.recoverAesKey();
+                unsigned correct = 0;
+                for (unsigned b = 0; b < key.size(); ++b) {
+                    correct += res.guess[b] == key[b];
+                    delta += res.margin[b] / key.size();
+                }
+                // OST recovers whole bytes: a byte is either pinned
+                // exactly or worthless.
+                fraction = correct / 16.0;
+                recovered_bits = 8.0 * correct;
+                rate = recoveredBitsPerSecond(
+                    recovered_bits,
+                    static_cast<double>(attack.totalCycles()), ghz);
+                cycles_per_sample = attack.cyclesPerSample();
+            } else {
+                vcfg.victim.kind = VictimKind::RsaSqMul;
+                VictimAttack attack(session.core(), vcfg);
+                const std::uint64_t exponent = rng.next();
+                attack.setExponent(exponent);
+                const RsaRecoveryResult res =
+                    attack.recoverExponent(receiver == "victim-rsa-fu");
+                const std::uint64_t wrong = res.guess ^ exponent;
+                unsigned correct = 64;
+                for (unsigned b = 0; b < 64; ++b)
+                    correct -= (wrong >> b) & 1;
+                fraction = correct / 64.0;
+                recovered_bits = correct;
+                delta = res.gap;
+                rate = recoveredBitsPerSecond(
+                    recovered_bits,
+                    static_cast<double>(attack.totalCycles()), ghz);
+                cycles_per_sample = attack.cyclesPerSample();
+            }
+        }
+
+        TrialOutput out;
+        out.metric("auc", fraction);
+        out.metric("recovered_bits", recovered_bits);
+        out.metric("recovered_bits_per_sec", rate);
+        out.metric("delta_cycles", delta);
+        out.metric("cycles_per_sample", cycles_per_sample);
+        out.metric("workload_cycles",
+                   workloadCycles(
+                       Session::configFor(ctx.spec,
+                                          Rng::deriveSeed(ctx.seed, 0)),
+                       Rng::deriveSeed(ctx.seed, 1)));
         return out;
     };
 }

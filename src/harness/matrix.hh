@@ -57,6 +57,47 @@ std::vector<ExperimentSpec> matrixSpecs(const ExperimentSpec &base,
  */
 TrialFn matrixTrialFn(unsigned samples_per_class);
 
+/**
+ * Receiver families of the real-secret victim campaign
+ * (bench/victim_recovery.cc): "victim-aes" (AES-128 T-table first
+ * round through the Flush+Reload probe), "victim-rsa" (square-and-
+ * multiply exponent bits through the multiplier-line reload), and
+ * "victim-rsa-fu" (the same victim read through the SpectreRewind
+ * FU-contention receiver on a non-pipelined multiplier).
+ */
+const std::vector<std::string> &victimReceivers();
+
+/** Defenses the victim campaign sweeps by default: the unsafe
+ *  baseline, both CleanupSpec flavors, and the two cache-hiding
+ *  defenses the contention receiver re-opens. */
+const std::vector<std::string> &victimDefaultDefenses();
+
+/**
+ * One spec per (defense, victim receiver) cell, labeled
+ * "<defense>/<receiver>". `all_defenses` (the --matrix flag) sweeps
+ * every registered defense. The "victim-rsa-fu" cells tweak the core
+ * to a non-pipelined multiplier, exactly like the classic matrix's
+ * contention cells.
+ */
+std::vector<ExperimentSpec> victimSpecs(const ExperimentSpec &base,
+                                        bool all_defenses);
+
+/**
+ * The per-cell victim trial: plants a seed-derived secret (16-byte
+ * AES key or 64-bit exponent), runs the full end-to-end recovery, and
+ * reports
+ *   auc                    recovered fraction (AES: correct key bytes
+ *                          / 16; RSA: correct exponent bits / 64)
+ *   recovered_bits         correctly recovered secret bits
+ *   recovered_bits_per_sec recovery rate over the attack's simulated
+ *                          cycles at the configured clock
+ *   delta_cycles           mean ranking margin (AES) / bit-split gap
+ *   cycles_per_sample      simulated cost of one victim run
+ *   workload_cycles        synthetic-workload cycles (overhead column)
+ * `plaintexts` bounds the AES evidence schedule (1..8).
+ */
+TrialFn victimTrialFn(unsigned plaintexts);
+
 } // namespace unxpec
 
 #endif // UNXPEC_HARNESS_MATRIX_HH

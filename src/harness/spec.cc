@@ -183,6 +183,17 @@ attacks()
                      "SpectreRewind FU-contention receiver: cache-free "
                      "channel through a non-pipelined multiplier",
                      [](UnxpecConfig &) {});
+        // Secret-bearing victim programs (victim/victim.hh). Like
+        // "contention", selection is by name: trial functions build a
+        // VictimAttack directly, so there are no UnxpecConfig knobs.
+        registry.add("victim-aes",
+                     "AES-128 T-table first round: full key-byte "
+                     "recovery through the Flush+Reload probe",
+                     [](UnxpecConfig &) {});
+        registry.add("victim-rsa",
+                     "RSA square-and-multiply: exponent-bit recovery "
+                     "through the multiplier-line reload",
+                     [](UnxpecConfig &) {});
         registry.add("none", "no attack: workload-only experiments",
                      [](UnxpecConfig &) {});
     });

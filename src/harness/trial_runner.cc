@@ -95,8 +95,16 @@ TrialRunner::run(const std::vector<ExperimentSpec> &specs, unsigned reps,
         fatal("TrialRunner: reps must be >= 1");
 
     const std::size_t jobs = specs.size() * reps;
-    const CampaignHeader header{campaign_.experiment, master_seed,
-                                specs.size(), reps};
+    std::vector<std::string> labels;
+    labels.reserve(specs.size());
+    for (const ExperimentSpec &spec : specs)
+        labels.push_back(spec.label);
+    const CampaignHeader header{campaign_.experiment,
+                                master_seed,
+                                specs.size(),
+                                reps,
+                                std::max(1u, batch_),
+                                campaignSpecDigest(labels)};
 
     std::map<std::size_t, CampaignEntry> resumed;
     if (!campaign_.resumePath.empty()) {

@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <stdexcept>
@@ -172,13 +173,15 @@ TEST(BatchRunnerTest, ResumeSplicesIntoBatchedRun)
     const std::string manifest = tmpPath("resume.jsonl");
     std::remove(manifest.c_str());
 
-    // Journal a full serial campaign.
+    // Journal a full campaign at the same lock-step width the resumed
+    // run will use (resume refuses a width mismatch).
     CampaignConfig campaign;
     campaign.manifestPath = manifest;
     campaign.experiment = "t";
-    TrialRunner serial(1);
-    serial.setCampaign(campaign);
-    const auto base = serial.run(specs, 3, 13, attackTrial);
+    TrialRunner first(1);
+    first.setBatch(4);
+    first.setCampaign(campaign);
+    const auto base = first.run(specs, 3, 13, attackTrial);
 
     // Drop the last journal lines so the resumed run has real work
     // left: the batched runner must splice the journaled trials and
@@ -210,6 +213,108 @@ TEST(BatchRunnerTest, ResumeSplicesIntoBatchedRun)
             EXPECT_EQ(base[s][r].metrics, got[s][r].metrics);
             EXPECT_TRUE(got[s][r].completed);
         }
+    }
+    std::remove(manifest.c_str());
+}
+
+// --- resume validates the manifest's batch width and spec order ----------
+
+namespace resume_guard {
+
+/** Journal a full width-2 campaign and return its manifest path. */
+std::string
+journalWidthTwoCampaign(const std::string &name,
+                        const std::vector<ExperimentSpec> &specs)
+{
+    const std::string manifest = tmpPath(name);
+    std::remove(manifest.c_str());
+    CampaignConfig campaign;
+    campaign.manifestPath = manifest;
+    campaign.experiment = "t";
+    TrialRunner first(1);
+    first.setBatch(2);
+    first.setCampaign(campaign);
+    first.run(specs, 2, 13, attackTrial);
+    return manifest;
+}
+
+TrialRunner
+resumingRunner(const std::string &manifest, unsigned batch)
+{
+    CampaignConfig resume;
+    resume.resumePath = manifest;
+    resume.experiment = "t";
+    TrialRunner second(1);
+    second.setBatch(batch);
+    second.setCampaign(resume);
+    return second;
+}
+
+} // namespace resume_guard
+
+TEST(BatchRunnerTest, ResumeRefusesMismatchedBatchWidth)
+{
+    // Splicing trials journaled under one lock-step width into a run
+    // using another silently mixes censoring regimes (the host
+    // watchdog times a trial's share of its group) — must be fatal,
+    // not silent.
+    const auto specs = mixedSweep();
+    const std::string manifest =
+        resume_guard::journalWidthTwoCampaign("width.jsonl", specs);
+    TrialRunner second = resume_guard::resumingRunner(manifest, 4);
+    EXPECT_DEATH(second.run(specs, 2, 13, attackTrial),
+                 "manifest batch width 2 != campaign batch width 4");
+    std::remove(manifest.c_str());
+}
+
+TEST(BatchRunnerTest, ResumeRefusesPermutedSpecs)
+{
+    // Job indices are spec_index * reps + rep: a permuted spec list
+    // passes the shape check (same counts) but would splice every
+    // journaled trial into the wrong row.
+    const auto specs = mixedSweep();
+    const std::string manifest =
+        resume_guard::journalWidthTwoCampaign("permuted.jsonl", specs);
+    auto permuted = specs;
+    std::reverse(permuted.begin(), permuted.end());
+    TrialRunner second = resume_guard::resumingRunner(manifest, 2);
+    EXPECT_DEATH(second.run(permuted, 2, 13, attackTrial), "spec digest");
+    std::remove(manifest.c_str());
+}
+
+TEST(BatchRunnerTest, LegacyManifestWithoutProvenanceStillResumes)
+{
+    // Manifests written before the batch / spec_digest fields existed
+    // carry neither; resume treats 0 as "not recorded" and only the
+    // seed/shape/experiment checks apply.
+    const auto specs = mixedSweep();
+    const std::string manifest =
+        resume_guard::journalWidthTwoCampaign("legacy.jsonl", specs);
+    {
+        std::vector<std::string> lines;
+        {
+            std::ifstream in(manifest);
+            std::string line;
+            while (std::getline(in, line))
+                lines.push_back(line);
+        }
+        ASSERT_FALSE(lines.empty());
+        EXPECT_NE(lines[0].find("\"batch\""), std::string::npos);
+        std::ofstream out(manifest, std::ios::trunc);
+        out << "{\"schema\":\"unxpec-campaign-v1\",\"experiment\":\"t\","
+               "\"master_seed\":13,\"specs\":"
+            << specs.size() << ",\"reps\":2}\n";
+        for (std::size_t i = 1; i < lines.size(); ++i)
+            out << lines[i] << "\n";
+    }
+    TrialRunner serial(1);
+    const auto base = serial.run(specs, 2, 13, attackTrial);
+    TrialRunner second = resume_guard::resumingRunner(manifest, 4);
+    const auto got = second.run(specs, 2, 13, attackTrial);
+    ASSERT_EQ(base.size(), got.size());
+    for (std::size_t s = 0; s < base.size(); ++s) {
+        for (std::size_t r = 0; r < base[s].size(); ++r)
+            EXPECT_EQ(base[s][r].metrics, got[s][r].metrics);
     }
     std::remove(manifest.c_str());
 }

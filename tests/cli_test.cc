@@ -184,6 +184,36 @@ TEST(CliErrorTest, OversizedBatchIsFatal)
                 "fatal: --batch must be in \\[1, 64\\]");
 }
 
+// --- crash-isolated shards ----------------------------------------------
+
+TEST(CliErrorTest, ShardsParse)
+{
+    const HarnessCli cli = makeCli();
+    EXPECT_EQ(parseArgs(cli, {"cli_test"}).shards, 1u);
+    EXPECT_EQ(parseArgs(cli, {"cli_test", "--shards", "3", "--campaign",
+                              "/tmp/unxpec_cli_test.jsonl"})
+                  .shards,
+              3u);
+}
+
+TEST(CliErrorTest, ZeroShardsIsFatal)
+{
+    // 0 shard workers would mean a campaign that executes nothing;
+    // reject at parse time instead of hanging in waitpid downstream.
+    const HarnessCli cli = makeCli();
+    EXPECT_EXIT(parseArgs(cli, {"cli_test", "--shards", "0"}),
+                ::testing::ExitedWithCode(1),
+                "fatal: --shards must be >= 1");
+}
+
+TEST(CliErrorTest, ShardsWithoutCampaignIsFatal)
+{
+    const HarnessCli cli = makeCli();
+    EXPECT_EXIT(parseArgs(cli, {"cli_test", "--shards", "2"}),
+                ::testing::ExitedWithCode(1),
+                "fatal: --shards requires --campaign PATH");
+}
+
 // --- argument shape -----------------------------------------------------
 
 TEST(CliErrorTest, MissingValueIsFatal)
@@ -276,10 +306,12 @@ TEST(ListModesTest, ListsTheDefenseZooAndBothReceiverFamilies)
             << name;
     }
     const auto attacks = sectionEntries(oss.str(), "attack variants");
-    EXPECT_NE(std::find(attacks.begin(), attacks.end(), "unxpec-probe"),
-              attacks.end());
-    EXPECT_NE(std::find(attacks.begin(), attacks.end(), "contention"),
-              attacks.end());
+    for (const char *name :
+         {"unxpec-probe", "contention", "victim-aes", "victim-rsa"}) {
+        EXPECT_NE(std::find(attacks.begin(), attacks.end(), name),
+                  attacks.end())
+            << name;
+    }
 }
 
 } // namespace

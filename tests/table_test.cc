@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <sstream>
 
 #include "analysis/matrix_report.hh"
@@ -71,6 +72,22 @@ TEST(PrintSeriesTest, OneRowPerPoint)
 
 // --- matrix report ------------------------------------------------------
 
+MatrixCell
+sampleCell(const std::string &defense, const std::string &receiver,
+           double auc, double delta, double overhead, double cps,
+           unsigned trials)
+{
+    MatrixCell cell;
+    cell.defense = defense;
+    cell.receiver = receiver;
+    cell.auc = auc;
+    cell.deltaCycles = delta;
+    cell.overheadPct = overhead;
+    cell.cyclesPerSample = cps;
+    cell.trials = trials;
+    return cell;
+}
+
 MatrixReport
 sampleMatrix()
 {
@@ -79,14 +96,31 @@ sampleMatrix()
     report.masterSeed = 42;
     report.reps = 3;
     report.cells.push_back(
-        {"unsafe", "unxpec", 1.0, -112.0, 0.0, 3871.25, 3});
+        sampleCell("unsafe", "unxpec", 1.0, -112.0, 0.0, 3871.25, 3));
     report.cells.push_back(
-        {"unsafe", "contention", 0.9875, 18.5, 0.0, 1544.0, 3});
+        sampleCell("unsafe", "contention", 0.9875, 18.5, 0.0, 1544.0, 3));
     report.cells.push_back(
-        {"safespec", "unxpec", 0.5, 0.0, 1.03125, 3870.5, 3});
+        sampleCell("safespec", "unxpec", 0.5, 0.0, 1.03125, 3870.5, 3));
     report.cells.push_back(
-        {"safespec", "contention", 1.0, 18.5, 1.03125, 1544.0, 3});
+        sampleCell("safespec", "contention", 1.0, 18.5, 1.03125, 1544.0,
+                   3));
     return report;
+}
+
+/** A row with the standard matrix metrics, `reps` trials each. */
+ResultRow
+matrixRow(const std::string &label, double auc, double workload)
+{
+    ResultRow row;
+    row.label = label;
+    row.metrics.emplace_back("auc", MetricSeries::of({auc}));
+    row.metrics.emplace_back("delta_cycles", MetricSeries::of({10.0}));
+    row.metrics.emplace_back("cycles_per_sample",
+                             MetricSeries::of({100.0}));
+    row.metrics.emplace_back("workload_cycles",
+                             MetricSeries::of({workload}));
+    row.trials = 1;
+    return row;
 }
 
 TEST(MatrixReportTest, JsonRoundTripPreservesEveryCell)
@@ -142,6 +176,129 @@ TEST(MatrixReportTest, MarkdownListsEveryDefenseRow)
     EXPECT_NE(text.find("| safespec "), std::string::npos);
     EXPECT_NE(text.find("unxpec"), std::string::npos);
     EXPECT_NE(text.find("contention"), std::string::npos);
+    // A complete matrix carries no incompleteness note.
+    EXPECT_EQ(text.find("incomplete"), std::string::npos);
+    EXPECT_EQ(sampleMatrix().incompleteCells(), 0u);
+}
+
+TEST(MatrixReportTest, CensoredRowSurvivesAsNullNotFatal)
+{
+    // A fully-censored cell reports trial accounting but no metrics.
+    // fromResult must keep the cell with missing statistics instead of
+    // fatal'ing on the absent metric (the old row.mean() crash).
+    ExperimentResult result;
+    result.experiment = "matrix_campaign";
+    result.rows.push_back(matrixRow("unsafe/unxpec", 1.0, 1000.0));
+    ResultRow censored;
+    censored.label = "safespec/unxpec";
+    censored.censoredTrials = 3;
+    result.rows.push_back(censored);
+
+    const MatrixReport report = MatrixReport::fromResult(result);
+    ASSERT_EQ(report.cells.size(), 2u);
+    const MatrixCell *cell = report.cell("safespec", "unxpec");
+    ASSERT_NE(cell, nullptr);
+    EXPECT_TRUE(std::isnan(cell->auc));
+    EXPECT_TRUE(std::isnan(cell->deltaCycles));
+    EXPECT_TRUE(std::isnan(cell->overheadPct));
+    EXPECT_TRUE(cell->incomplete());
+    EXPECT_EQ(report.incompleteCells(), 1u);
+
+    // The complete baseline cell is untouched.
+    const MatrixCell *ok = report.cell("unsafe", "unxpec");
+    ASSERT_NE(ok, nullptr);
+    EXPECT_EQ(ok->auc, 1.0);
+    EXPECT_EQ(ok->overheadPct, 0.0);
+    EXPECT_FALSE(ok->incomplete());
+
+    // JSON renders the missing statistics as null, and the markdown
+    // dashes them out with a counted note — no fabricated zeros.
+    std::ostringstream json;
+    report.writeJson(json);
+    EXPECT_NE(json.str().find("\"auc\": null"), std::string::npos);
+    std::ostringstream md;
+    report.writeMarkdown(md);
+    EXPECT_NE(md.str().find("1 cell(s) incomplete"), std::string::npos);
+    EXPECT_NE(md.str().find(" - |"), std::string::npos);
+}
+
+TEST(MatrixReportTest, MissingUnsafeBaselineNullsOverheadOnly)
+{
+    // No unsafe row at all: every overhead is uncomputable (null), but
+    // the channel statistics stay real numbers.
+    ExperimentResult result;
+    result.rows.push_back(matrixRow("safespec/unxpec", 0.5, 1030.0));
+    result.rows.push_back(matrixRow("specbox/unxpec", 0.5, 1020.0));
+    const MatrixReport report = MatrixReport::fromResult(result);
+    for (const MatrixCell &cell : report.cells) {
+        EXPECT_TRUE(std::isnan(cell.overheadPct)) << cell.defense;
+        EXPECT_EQ(cell.auc, 0.5);
+        EXPECT_TRUE(cell.incomplete());
+    }
+}
+
+TEST(MatrixReportTest, NullStatisticsRoundTripThroughJson)
+{
+    MatrixReport report = sampleMatrix();
+    report.cells[2].auc = std::numeric_limits<double>::quiet_NaN();
+    report.cells[2].overheadPct =
+        std::numeric_limits<double>::quiet_NaN();
+    std::ostringstream oss;
+    report.writeJson(oss);
+    const MatrixReport back = MatrixReport::fromJsonText(oss.str());
+    ASSERT_EQ(back.cells.size(), report.cells.size());
+    EXPECT_TRUE(std::isnan(back.cells[2].auc));
+    EXPECT_TRUE(std::isnan(back.cells[2].overheadPct));
+    EXPECT_EQ(back.cells[3].auc, report.cells[3].auc);
+    EXPECT_EQ(back.incompleteCells(), 1u);
+}
+
+TEST(MatrixReportTest, RecoveredRateIsOptionalPerCell)
+{
+    // The victim campaign's field: emitted only where finite, so
+    // classic matrix artifacts stay byte-identical.
+    MatrixReport report = sampleMatrix();
+    report.cells[0].recoveredBitsPerSec = 313419.0;
+    std::ostringstream oss;
+    report.writeJson(oss);
+    const std::string json = oss.str();
+    EXPECT_EQ(static_cast<int>(json.find("recovered_bits_per_sec") !=
+                               std::string::npos),
+              1);
+    // Exactly one cell carries the field.
+    std::size_t count = 0;
+    for (std::size_t at = json.find("recovered_bits_per_sec");
+         at != std::string::npos;
+         at = json.find("recovered_bits_per_sec", at + 1))
+        ++count;
+    EXPECT_EQ(count, 1u);
+
+    const MatrixReport back = MatrixReport::fromJsonText(json);
+    EXPECT_EQ(back.cells[0].recoveredBitsPerSec, 313419.0);
+    EXPECT_TRUE(std::isnan(back.cells[1].recoveredBitsPerSec));
+    // The optional field never counts toward incompleteness.
+    EXPECT_EQ(back.incompleteCells(), 0u);
+
+    // And the markdown gains the rate section only when present.
+    std::ostringstream md;
+    report.writeMarkdown(md);
+    EXPECT_NE(md.str().find("recovery rate"), std::string::npos);
+    std::ostringstream mdPlain;
+    sampleMatrix().writeMarkdown(mdPlain);
+    EXPECT_EQ(mdPlain.str().find("recovery rate"), std::string::npos);
+}
+
+TEST(MatrixReportTest, FromResultReadsRecoveredRate)
+{
+    ExperimentResult result;
+    ResultRow row = matrixRow("unsafe/victim-aes", 1.0, 1000.0);
+    row.metrics.emplace_back("recovered_bits_per_sec",
+                             MetricSeries::of({128000.0}));
+    result.rows.push_back(row);
+    const MatrixReport report = MatrixReport::fromResult(result);
+    ASSERT_EQ(report.cells.size(), 1u);
+    EXPECT_EQ(report.cells[0].recoveredBitsPerSec, 128000.0);
+    EXPECT_FALSE(report.cells[0].incomplete());
 }
 
 } // namespace
